@@ -1,0 +1,37 @@
+//! # crosslight-baselines
+//!
+//! The accelerators CrossLight is compared against in the paper's evaluation:
+//!
+//! * [`deap_cnn`] — DEAP-CNN (Bangari et al., JQE 2020): a noncoherent
+//!   photonic CNN accelerator built from convolution-scale units, thermo-optic
+//!   value imprinting, one wavelength per vector element and no
+//!   crosstalk/FPV mitigation.  4-bit weight resolution.
+//! * [`holylight`] — HolyLight (Liu et al., DATE 2019): a microdisk-based
+//!   accelerator that gangs eight 2-bit microdisks per 16-bit weight, paying
+//!   the whispering-gallery insertion loss and the tuning power of 8× more
+//!   resonant devices.
+//! * [`electronic`] — literature reference numbers for the electronic
+//!   platforms of Fig. 7 / Table III (P100, Xeon Platinum 9282, Threadripper
+//!   3970x, DaDianNao, EdgeTPU, NullHop).
+//! * [`accelerator`] — the common [`PhotonicAccelerator`](accelerator::PhotonicAccelerator)
+//!   trait and report type, plus an adapter for the CrossLight simulator so
+//!   all photonic accelerators can be evaluated uniformly.
+//!
+//! Both photonic baselines are analytical models built on the same
+//! photonics/tuning substrate as CrossLight itself (same Table II device
+//! parameters, same loss model, same laser-power equation), so the comparison
+//! differences come from the architectural choices, not from inconsistent
+//! modelling.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod deap_cnn;
+pub mod electronic;
+pub mod holylight;
+
+pub use accelerator::{AcceleratorReport, PhotonicAccelerator};
+pub use deap_cnn::DeapCnn;
+pub use electronic::ElectronicPlatform;
+pub use holylight::HolyLight;

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the core kernels underlying the experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crosslight_core::prelude::*;
+use crosslight_neural::layers::{Conv2d, Layer};
+use crosslight_neural::quant::QuantConfig;
+use crosslight_neural::tensor::Tensor;
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_photonics::mr::{Microring, MrGeometry};
+use crosslight_photonics::thermal::ThermalCrosstalkModel;
+use crosslight_photonics::units::{Micrometers, Nanometers, Radians};
+use crosslight_tuning::ted::TedSolver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mr_transmission(c: &mut Criterion) {
+    let ring = Microring::new(MrGeometry::optimized(), Nanometers::new(1550.0));
+    c.bench_function("mr_through_transmission_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000 {
+                let wl = Nanometers::new(1549.0 + 0.002 * i as f64);
+                acc += ring.through_transmission(black_box(wl));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_ted_solve(c: &mut Criterion) {
+    let matrix = ThermalCrosstalkModel::default()
+        .crosstalk_matrix(15, Micrometers::new(5.0))
+        .expect("valid matrix");
+    let solver = TedSolver::with_table_ii_heater(&matrix).expect("valid solver");
+    let targets: Vec<Radians> = (0..15)
+        .map(|i| Radians::new(0.2 + 0.1 * ((i as f64) * 1.3).sin()))
+        .collect();
+    c.bench_function("ted_solve_15_mr_bank", |b| {
+        b.iter(|| solver.solve(black_box(&targets)).expect("solvable"))
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv = Conv2d::new(3, 16, 3, 1, &mut rng).expect("valid layer");
+    let input = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut rng);
+    c.bench_function("conv2d_forward_3x32x32_to_16ch", |b| {
+        b.iter(|| conv.forward(black_box(&input)).expect("valid input"))
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let tensor = Tensor::random_uniform(vec![4096], 1.0, &mut rng);
+    let quant = QuantConfig::uniform(8);
+    c.bench_function("fake_quantize_4096_values", |b| {
+        b.iter(|| quant.quantize_activations(black_box(&tensor)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let simulator = CrossLightSimulator::new(CrossLightVariant::OptTed.config());
+    let workload =
+        NetworkWorkload::from_spec(&PaperModel::CnnCifar10.spec()).expect("valid workload");
+    c.bench_function("crosslight_simulator_cifar10", |b| {
+        b.iter(|| simulator.evaluate(black_box(&workload)).expect("valid workload"))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_mr_transmission,
+    bench_ted_solve,
+    bench_conv_forward,
+    bench_quantization,
+    bench_simulator
+);
+criterion_main!(kernels);

@@ -1,0 +1,119 @@
+//! Criterion benches regenerating every figure of the CrossLight paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crosslight_bench::print_table;
+use crosslight_experiments::fig5_accuracy::AccuracyStudyConfig;
+use crosslight_experiments::{
+    device_dse, fig4_crosstalk, fig5_accuracy, fig6_design_space, fig7_power, fig8_epb,
+    resolution_analysis,
+};
+
+fn bench_device_dse(c: &mut Criterion) {
+    let result = device_dse::run(5_000, 2021);
+    print_table("Section IV.A device design-space exploration", &result.table());
+    println!(
+        "conventional drift {:.2} nm -> optimized {:.2} nm ({:.0}% reduction; paper: 7.1 -> 2.1 nm, 70%)",
+        result.conventional_drift_nm,
+        result.optimized_drift_nm,
+        result.reduction * 100.0
+    );
+    c.bench_function("device_dse_monte_carlo", |b| {
+        b.iter(|| device_dse::run(black_box(2_000), black_box(7)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let sweep = fig4_crosstalk::run(&fig4_crosstalk::paper_spacings());
+    print_table("Fig. 4 — crosstalk ratio and tuning power vs. MR spacing", &sweep.table());
+    println!("optimal TED spacing: {} um (paper: 5 um)", sweep.optimal_spacing_um);
+    c.bench_function("fig4_crosstalk_sweep", |b| {
+        b.iter(|| fig4_crosstalk::run(black_box(&fig4_crosstalk::paper_spacings())))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let study = fig5_accuracy::run(&AccuracyStudyConfig::quick()).expect("study runs");
+    print_table("Fig. 5 — accuracy (%) vs. weight/activation resolution", &study.table());
+    // The timed loop uses a minimal configuration so the bench finishes
+    // quickly; the printed table above uses the fuller quick() sweep.
+    let tiny = AccuracyStudyConfig {
+        bit_widths: vec![2, 16],
+        samples_per_class: 6,
+        epochs: 4,
+        seed: 3,
+    };
+    let mut group = c.benchmark_group("fig5_accuracy");
+    group.sample_size(10);
+    group.bench_function("train_and_quantize_surrogates", |b| {
+        b.iter(|| fig5_accuracy::run(black_box(&tiny)).expect("study runs"))
+    });
+    group.finish();
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let analysis = resolution_analysis::run(20);
+    print_table("Section V.B — achievable resolution vs. MRs per bank", &analysis.table());
+    c.bench_function("resolution_analysis", |b| {
+        b.iter(|| resolution_analysis::run(black_box(20)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let sweep =
+        fig6_design_space::run(&fig6_design_space::paper_candidates()).expect("sweep runs");
+    print_table("Fig. 6 — FPS vs. EPB vs. area design space", &sweep.table());
+    println!(
+        "best in-cap configuration: (N, K, n, m) = ({}, {}, {}, {}) [paper: (20, 150, 100, 60)]",
+        sweep.best.conv_unit_size,
+        sweep.best.fc_unit_size,
+        sweep.best.conv_units,
+        sweep.best.fc_units
+    );
+    let reduced = vec![
+        (10usize, 100usize, 50usize, 30usize),
+        (20, 150, 100, 60),
+        (20, 200, 100, 90),
+    ];
+    let mut group = c.benchmark_group("fig6_design_space");
+    group.sample_size(10);
+    group.bench_function("evaluate_candidates", |b| {
+        b.iter(|| fig6_design_space::run(black_box(&reduced)).expect("sweep runs"))
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let comparison = fig7_power::run().expect("comparison runs");
+    print_table("Fig. 7 — power consumption comparison", &comparison.table());
+    let mut group = c.benchmark_group("fig7_power");
+    group.sample_size(10);
+    group.bench_function("evaluate_all_platforms", |b| {
+        b.iter(|| fig7_power::run().expect("comparison runs"))
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let comparison = fig8_epb::run().expect("comparison runs");
+    print_table("Fig. 8 — per-model EPB (pJ/bit) of the photonic accelerators", &comparison.table());
+    let mut group = c.benchmark_group("fig8_epb");
+    group.sample_size(10);
+    group.bench_function("evaluate_per_model_epb", |b| {
+        b.iter(|| fig8_epb::run().expect("comparison runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_device_dse,
+    bench_fig4,
+    bench_fig5,
+    bench_resolution,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8
+);
+criterion_main!(figures);

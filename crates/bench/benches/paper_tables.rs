@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Table III of the CrossLight paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crosslight_bench::print_table;
+use crosslight_experiments::table3_summary;
+
+fn bench_table3(c: &mut Criterion) {
+    let summary = table3_summary::run().expect("summary runs");
+    print_table("Table III — average EPB and kFPS/W across accelerators", &summary.table());
+    println!(
+        "Cross_opt_TED vs Holylight: {:.1}x lower EPB, {:.1}x higher kFPS/W (paper: 9.5x, 15.9x)",
+        summary.epb_improvement_vs_holylight, summary.ppw_improvement_vs_holylight
+    );
+    println!(
+        "Cross_opt_TED vs DEAP-CNN: {:.0}x lower EPB (paper: 1544x)",
+        summary.epb_improvement_vs_deap
+    );
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("summarise_all_platforms", |b| {
+        b.iter(|| table3_summary::run().expect("summary runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(tables, bench_table3);
+criterion_main!(tables);

@@ -1,0 +1,35 @@
+//! # crosslight-bench
+//!
+//! Criterion benchmark harness for the CrossLight reproduction.
+//!
+//! The benches do double duty: they measure how long each experiment takes to
+//! regenerate, and (once per bench, outside the timed loop) they print the
+//! regenerated table so `cargo bench` output contains the paper-style rows.
+//!
+//! * `benches/paper_figures.rs` — one bench per figure (device DSE, Fig. 4,
+//!   Fig. 5, Fig. 6, Fig. 7, Fig. 8, §V.B resolution analysis).
+//! * `benches/paper_tables.rs` — Table III.
+//! * `benches/kernels.rs` — microbenchmarks of the core kernels (MR
+//!   transmission, TED solve, conv forward, quantization, full simulator
+//!   evaluation).
+
+#![warn(missing_docs)]
+
+/// Prints a named experiment table once, prefixed so it is easy to find in
+/// `cargo bench` output.
+pub fn print_table(title: &str, table: &crosslight_experiments::TextTable) {
+    println!("\n=== {title} ===\n{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosslight_experiments::TextTable;
+
+    #[test]
+    fn print_table_does_not_panic() {
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.push_row(vec!["1", "2"]);
+        print_table("smoke", &table);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the CrossLight architecture model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the accelerator configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchitectureError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A workload could not be mapped onto the configured accelerator.
+    MappingFailed {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An underlying photonics computation failed.
+    Photonics(String),
+    /// An underlying tuning computation failed.
+    Tuning(String),
+}
+
+impl fmt::Display for ArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            Self::MappingFailed { reason } => write!(f, "workload mapping failed: {reason}"),
+            Self::Photonics(reason) => write!(f, "photonics model error: {reason}"),
+            Self::Tuning(reason) => write!(f, "tuning model error: {reason}"),
+        }
+    }
+}
+
+impl Error for ArchitectureError {}
+
+impl From<crosslight_photonics::PhotonicsError> for ArchitectureError {
+    fn from(err: crosslight_photonics::PhotonicsError) -> Self {
+        Self::Photonics(err.to_string())
+    }
+}
+
+impl From<crosslight_tuning::TuningError> for ArchitectureError {
+    fn from(err: crosslight_tuning::TuningError) -> Self {
+        Self::Tuning(err.to_string())
+    }
+}
+
+/// Convenience result alias for architecture operations.
+pub type Result<T> = std::result::Result<T, ArchitectureError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e = ArchitectureError::InvalidConfig {
+            name: "conv_units",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("conv_units"));
+        let p: ArchitectureError = crosslight_photonics::PhotonicsError::InvalidParameter {
+            name: "q",
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(matches!(p, ArchitectureError::Photonics(_)));
+        let t: ArchitectureError = crosslight_tuning::TuningError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        }
+        .into();
+        assert!(matches!(t, ArchitectureError::Tuning(_)));
+        assert!(!ArchitectureError::MappingFailed { reason: "x".into() }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchitectureError>();
+    }
+}

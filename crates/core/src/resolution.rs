@@ -1,0 +1,82 @@
+//! Achievable weight/activation resolution of a configuration (paper §V.B).
+//!
+//! The resolution of an MR bank is limited by inter-channel crosstalk
+//! (Eqs. (8)–(10)).  CrossLight's wavelength-reuse strategy keeps only 15
+//! channels per arm, which lets the WDM grid spread over the full 18 nm FSR
+//! with >1 nm separations and reach 16 bits; architectures that pack one
+//! wavelength per vector element are forced into much denser grids and lose
+//! resolution.
+
+use crosslight_photonics::crosstalk::bank_resolution_bits;
+use crosslight_photonics::mr::{MrSpectral, OPTIMIZED_FSR_NM};
+use crosslight_photonics::units::Nanometers;
+use crosslight_photonics::wdm::WavelengthReuse;
+
+use crate::config::CrossLightConfig;
+use crate::error::Result;
+
+/// Resolution cap used throughout the paper (16-bit weights/activations).
+pub const RESOLUTION_CAP_BITS: u32 = 16;
+
+/// Achievable resolution (in bits) of the configured MR banks.
+///
+/// The channel spacing is what the FSR allows for the number of wavelengths
+/// the design actually multiplexes per arm: 15 with wavelength reuse, or the
+/// full unit size without it.
+///
+/// # Errors
+///
+/// Propagates crosstalk-analysis errors (which do not occur for valid
+/// configurations).
+pub fn achievable_resolution_bits(config: &CrossLightConfig) -> Result<u32> {
+    let spectral = if config.design.geometry.is_width_optimized() {
+        MrSpectral::optimized()
+    } else {
+        MrSpectral::conventional()
+    };
+    let channels = match config.design.wavelength_reuse {
+        WavelengthReuse::AcrossArms => config.mrs_per_bank,
+        WavelengthReuse::PerElement => config.fc_unit_size.max(config.conv_unit_size),
+    };
+    let spacing = Nanometers::new(OPTIMIZED_FSR_NM / channels.max(1) as f64);
+    Ok(bank_resolution_bits(
+        channels,
+        spacing,
+        spectral.q_factor,
+        RESOLUTION_CAP_BITS,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesignChoices;
+
+    #[test]
+    fn paper_configuration_achieves_16_bits() {
+        let bits = achievable_resolution_bits(&CrossLightConfig::paper_best()).unwrap();
+        assert_eq!(bits, 16);
+    }
+
+    #[test]
+    fn per_element_wavelengths_lose_resolution() {
+        let mut design = DesignChoices::default();
+        design.wavelength_reuse = WavelengthReuse::PerElement;
+        let config = CrossLightConfig::paper_best().with_design(design);
+        let bits = achievable_resolution_bits(&config).unwrap();
+        assert!(
+            bits < 16,
+            "cramming 150 wavelengths into one FSR must cost resolution, got {bits}"
+        );
+    }
+
+    #[test]
+    fn conventional_devices_do_not_beat_optimized_ones() {
+        let mut design = DesignChoices::default();
+        design.geometry = crosslight_photonics::mr::MrGeometry::conventional();
+        let conventional = CrossLightConfig::paper_best().with_design(design);
+        let conv_bits = achievable_resolution_bits(&conventional).unwrap();
+        let opt_bits = achievable_resolution_bits(&CrossLightConfig::paper_best()).unwrap();
+        assert!(conv_bits <= opt_bits);
+    }
+}

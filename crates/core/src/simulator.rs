@@ -1,0 +1,197 @@
+//! Top-level CrossLight accelerator simulator.
+//!
+//! Brings together the power, area, performance and resolution models into a
+//! single report per (configuration, workload) pair, and provides the
+//! multi-model averaging the paper uses for Table III.
+
+use serde::{Deserialize, Serialize};
+
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_photonics::units::{SquareMillimeters, Watts};
+
+use crate::area::{accelerator_area, AcceleratorArea};
+use crate::config::CrossLightConfig;
+use crate::error::Result;
+use crate::performance::{inference_metrics, InferenceMetrics};
+use crate::power::{accelerator_power, AcceleratorPower};
+use crate::resolution::achievable_resolution_bits;
+
+/// Full evaluation of one configuration on one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Power breakdown (workload independent — the accelerator is provisioned
+    /// for its full configuration).
+    pub power: AcceleratorPower,
+    /// Area breakdown.
+    pub area: AcceleratorArea,
+    /// Latency / throughput / energy metrics for the workload.
+    pub metrics: InferenceMetrics,
+    /// Achievable weight/activation resolution of the configured MR banks.
+    pub resolution_bits: u32,
+}
+
+/// Averages of the headline metrics over several workloads (how the paper
+/// reports Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AverageMetrics {
+    /// Mean frames per second.
+    pub fps: f64,
+    /// Mean energy per bit (pJ/bit).
+    pub energy_per_bit_pj: f64,
+    /// Mean performance per watt (kFPS/W).
+    pub kfps_per_watt: f64,
+    /// Accelerator power (identical across workloads).
+    pub power: Watts,
+    /// Accelerator area (identical across workloads).
+    pub area: SquareMillimeters,
+}
+
+/// The CrossLight accelerator simulator.
+///
+/// # Example
+///
+/// ```
+/// use crosslight_core::config::CrossLightConfig;
+/// use crosslight_core::simulator::CrossLightSimulator;
+/// use crosslight_neural::workload::NetworkWorkload;
+/// use crosslight_neural::zoo::PaperModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let simulator = CrossLightSimulator::new(CrossLightConfig::paper_best());
+/// let workload = NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec())?;
+/// let report = simulator.evaluate(&workload)?;
+/// assert_eq!(report.resolution_bits, 16);
+/// assert!(report.metrics.fps > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossLightSimulator {
+    config: CrossLightConfig,
+}
+
+impl CrossLightSimulator {
+    /// Creates a simulator for a configuration.
+    #[must_use]
+    pub fn new(config: CrossLightConfig) -> Self {
+        Self { config }
+    }
+
+    /// Returns the configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &CrossLightConfig {
+        &self.config
+    }
+
+    /// Evaluates one workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn evaluate(&self, workload: &NetworkWorkload) -> Result<SimulationReport> {
+        let power = accelerator_power(&self.config)?;
+        let area = accelerator_area(&self.config);
+        let metrics = inference_metrics(workload, &self.config, &power)?;
+        let resolution_bits = achievable_resolution_bits(&self.config)?;
+        Ok(SimulationReport {
+            power,
+            area,
+            metrics,
+            resolution_bits,
+        })
+    }
+
+    /// Evaluates several workloads and averages the headline metrics, as the
+    /// paper does for its Table III rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns an error if `workloads` is empty.
+    pub fn evaluate_average(&self, workloads: &[NetworkWorkload]) -> Result<AverageMetrics> {
+        if workloads.is_empty() {
+            return Err(crate::error::ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty workload set".into(),
+            });
+        }
+        let mut fps = 0.0;
+        let mut epb = 0.0;
+        let mut kfps_per_watt = 0.0;
+        let mut last = None;
+        for workload in workloads {
+            let report = self.evaluate(workload)?;
+            fps += report.metrics.fps;
+            epb += report.metrics.energy_per_bit_pj;
+            kfps_per_watt += report.metrics.kfps_per_watt;
+            last = Some(report);
+        }
+        let count = workloads.len() as f64;
+        let last = last.expect("non-empty workload set");
+        Ok(AverageMetrics {
+            fps: fps / count,
+            energy_per_bit_pj: epb / count,
+            kfps_per_watt: kfps_per_watt / count,
+            power: last.power.total_watts(),
+            area: last.area.total(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::CrossLightVariant;
+    use crosslight_neural::zoo::PaperModel;
+
+    fn all_workloads() -> Vec<NetworkWorkload> {
+        PaperModel::all()
+            .iter()
+            .map(|m| NetworkWorkload::from_spec(&m.spec()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn report_fields_are_populated_and_consistent() {
+        let simulator = CrossLightSimulator::new(CrossLightConfig::paper_best());
+        let report = simulator
+            .evaluate(&NetworkWorkload::from_spec(&PaperModel::CnnCifar10.spec()).unwrap())
+            .unwrap();
+        assert_eq!(report.resolution_bits, 16);
+        assert!(report.metrics.fps > 0.0);
+        assert!(report.power.total_watts().value() > 0.0);
+        assert!(report.area.total().value() > 0.0);
+        assert_eq!(simulator.config().conv_units, 100);
+    }
+
+    #[test]
+    fn average_over_the_four_models_is_finite() {
+        let simulator = CrossLightSimulator::new(CrossLightConfig::paper_best());
+        let avg = simulator.evaluate_average(&all_workloads()).unwrap();
+        assert!(avg.fps.is_finite() && avg.fps > 0.0);
+        assert!(avg.energy_per_bit_pj.is_finite() && avg.energy_per_bit_pj > 0.0);
+        assert!(avg.kfps_per_watt.is_finite() && avg.kfps_per_watt > 0.0);
+        assert!(simulator.evaluate_average(&[]).is_err());
+    }
+
+    #[test]
+    fn variant_efficiency_ordering_matches_table_iii() {
+        let workloads = all_workloads();
+        let metric = |v: CrossLightVariant| {
+            CrossLightSimulator::new(v.config())
+                .evaluate_average(&workloads)
+                .unwrap()
+        };
+        let base = metric(CrossLightVariant::Base);
+        let base_ted = metric(CrossLightVariant::BaseTed);
+        let opt = metric(CrossLightVariant::Opt);
+        let opt_ted = metric(CrossLightVariant::OptTed);
+        // kFPS/W: base < base_TED < opt_TED and base < opt < opt_TED.
+        assert!(base.kfps_per_watt < base_ted.kfps_per_watt);
+        assert!(base.kfps_per_watt < opt.kfps_per_watt);
+        assert!(base_ted.kfps_per_watt < opt_ted.kfps_per_watt);
+        assert!(opt.kfps_per_watt < opt_ted.kfps_per_watt);
+        // EPB the other way around.
+        assert!(base.energy_per_bit_pj > base_ted.energy_per_bit_pj);
+        assert!(base_ted.energy_per_bit_pj > opt_ted.energy_per_bit_pj);
+        assert!(opt.energy_per_bit_pj > opt_ted.energy_per_bit_pj);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the CrossLight architecture model.
+
+use crosslight_core::config::{CrossLightConfig, DesignChoices};
+use crosslight_core::decompose::{decomposed_dot, sequential_passes, DecompositionPlan};
+use crosslight_core::performance::inference_latency;
+use crosslight_core::power::accelerator_power;
+use crosslight_neural::layers::DotProductWorkload;
+use crosslight_neural::workload::NetworkWorkload;
+use proptest::prelude::*;
+
+/// A random synthetic workload of a few conv and fc layers.
+fn workload_strategy() -> impl Strategy<Value = NetworkWorkload> {
+    let conv = proptest::collection::vec((1usize..600, 1usize..2_000), 1..4);
+    let fc = proptest::collection::vec((1usize..4_000, 1usize..300), 1..3);
+    (conv, fc, 1usize..3).prop_map(|(conv, fc, towers)| NetworkWorkload {
+        name: "synthetic".into(),
+        conv_layers: conv
+            .into_iter()
+            .map(|(dot_length, dot_count)| DotProductWorkload {
+                dot_length,
+                dot_count,
+            })
+            .collect(),
+        fc_layers: fc
+            .into_iter()
+            .map(|(dot_length, dot_count)| DotProductWorkload {
+                dot_length,
+                dot_count,
+            })
+            .collect(),
+        towers,
+    })
+}
+
+proptest! {
+    /// Decomposed dot products equal the direct dot product for any chunk
+    /// size (the paper's Eq. (4) identity).
+    #[test]
+    fn decomposition_preserves_dot_products(
+        values in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..200),
+        chunk in 1usize..64,
+    ) {
+        let a: Vec<f64> = values.iter().map(|(x, _)| *x).collect();
+        let b: Vec<f64> = values.iter().map(|(_, y)| *y).collect();
+        let direct: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let (decomposed, partials) = decomposed_dot(&a, &b, chunk).unwrap();
+        prop_assert!((decomposed - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+        prop_assert_eq!(partials.len(), a.len().div_ceil(chunk));
+    }
+
+    /// Plans always cover the whole vector: chunks × chunk size ≥ length, and
+    /// never overshoot by more than one chunk.
+    #[test]
+    fn plans_cover_the_vector(length in 0usize..10_000, chunk in 1usize..256) {
+        let plan = DecompositionPlan::new(length, chunk).unwrap();
+        prop_assert!(plan.chunks * chunk >= length);
+        if length > 0 {
+            prop_assert!((plan.chunks - 1) * chunk < length);
+            prop_assert_eq!(plan.accumulations(), plan.chunks - 1);
+        }
+    }
+
+    /// More parallel units never increase the number of sequential passes,
+    /// and larger units never increase it either.
+    #[test]
+    fn passes_are_monotone(
+        dot_length in 1usize..5_000,
+        dot_count in 1usize..5_000,
+        unit_size in 1usize..200,
+        units in 1usize..200,
+    ) {
+        let base = sequential_passes(dot_length, dot_count, unit_size, units).unwrap();
+        let more_units = sequential_passes(dot_length, dot_count, unit_size, units * 2).unwrap();
+        let bigger_units = sequential_passes(dot_length, dot_count, unit_size * 2, units).unwrap();
+        prop_assert!(more_units <= base);
+        prop_assert!(bigger_units <= base);
+    }
+
+    /// Inference latency is monotone in the workload: adding a layer never
+    /// makes inference faster.
+    #[test]
+    fn latency_monotone_in_workload(workload in workload_strategy()) {
+        let config = CrossLightConfig::paper_best();
+        let base = inference_latency(&workload, &config).unwrap().total().value();
+        let mut extended = workload.clone();
+        extended.conv_layers.push(DotProductWorkload {
+            dot_length: 64,
+            dot_count: 512,
+        });
+        let longer = inference_latency(&extended, &config).unwrap().total().value();
+        prop_assert!(longer >= base);
+    }
+
+    /// Accelerator power is positive, finite, and monotone in the number of
+    /// units for any valid architecture dimensions.
+    #[test]
+    fn power_monotone_in_units(
+        conv_units in 5usize..120,
+        fc_units in 5usize..80,
+    ) {
+        let design = DesignChoices::default();
+        let small = CrossLightConfig::new(20, 150, conv_units, fc_units, design).unwrap();
+        let large = CrossLightConfig::new(20, 150, conv_units + 10, fc_units + 10, design).unwrap();
+        let p_small = accelerator_power(&small).unwrap().total().value();
+        let p_large = accelerator_power(&large).unwrap().total().value();
+        prop_assert!(p_small.is_finite() && p_small > 0.0);
+        prop_assert!(p_large > p_small);
+    }
+}

@@ -1,0 +1,260 @@
+//! E5 — Fig. 6: FPS vs. EPB vs. area design-space exploration.
+//!
+//! Sweeps the architecture parameters `(N, K, n, m)` of §IV.C, evaluating the
+//! average FPS and EPB over the four Table I models together with the area of
+//! each configuration.  As in the paper, the best configuration is the one
+//! with the highest FPS/EPB ratio among those inside the area window, and it
+//! comes out as `(20, 150, 100, 60)`.
+
+use serde::{Deserialize, Serialize};
+
+use crosslight_core::config::{CrossLightConfig, DesignChoices};
+use crosslight_core::simulator::CrossLightSimulator;
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+
+use crate::report::{fmt_f64, TextTable};
+
+/// Upper bound of the paper's "reasonable area constraint" (§V.D), in mm².
+pub const AREA_CAP_MM2: f64 = 25.0;
+
+/// One evaluated configuration of the design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// CONV unit size `N`.
+    pub conv_unit_size: usize,
+    /// FC unit size `K`.
+    pub fc_unit_size: usize,
+    /// CONV unit count `n`.
+    pub conv_units: usize,
+    /// FC unit count `m`.
+    pub fc_units: usize,
+    /// Average FPS over the four Table I models.
+    pub avg_fps: f64,
+    /// Average EPB (pJ/bit) over the four models.
+    pub avg_epb_pj: f64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+    /// Figure-of-merit used to pick the best point (FPS / EPB).
+    pub fps_per_epb: f64,
+    /// Whether the point satisfies the area constraint.
+    pub within_area_cap: bool,
+}
+
+/// The full design-space sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceSweep {
+    /// Every evaluated point.
+    pub points: Vec<DesignPoint>,
+    /// The best point (highest FPS/EPB within the area cap).
+    pub best: DesignPoint,
+    /// The paper's published best configuration, `(20, 150, 100, 60)`,
+    /// evaluated under this model (present whenever it is part of the
+    /// candidate grid).  The paper's config is what every other experiment
+    /// uses; the sweep's own `best` may differ slightly because the paper does
+    /// not publish its candidate grid or cost-model internals (see
+    /// `EXPERIMENTS.md`).
+    pub paper_point: Option<DesignPoint>,
+}
+
+impl DesignSpaceSweep {
+    /// Renders the sweep as a text table, best configuration last.
+    #[must_use]
+    pub fn table(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "N", "K", "n", "m", "avg FPS", "avg EPB (pJ/bit)", "area (mm2)", "FPS/EPB", "in cap",
+        ]);
+        for p in &self.points {
+            table.push_row(vec![
+                p.conv_unit_size.to_string(),
+                p.fc_unit_size.to_string(),
+                p.conv_units.to_string(),
+                p.fc_units.to_string(),
+                fmt_f64(p.avg_fps, 1),
+                fmt_f64(p.avg_epb_pj, 3),
+                fmt_f64(p.area_mm2, 1),
+                fmt_f64(p.fps_per_epb, 1),
+                p.within_area_cap.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// The candidate grid the sweep explores.
+///
+/// The paper does not publish its exact grid; this one brackets the published
+/// best point along every axis.  `N` is swept up to 20 (the paper's chosen
+/// CONV unit size): the evaluated models' convolution kernels hold at most
+/// 5×5 = 25 weights per channel, so CONV units much larger than that mostly
+/// idle — see `EXPERIMENTS.md` for the discussion of how this grid choice
+/// interacts with the cost model.
+#[must_use]
+pub fn paper_candidates() -> Vec<(usize, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for &n_size in &[10usize, 15, 20] {
+        for &k_size in &[100usize, 150, 200] {
+            for &n_units in &[50usize, 100, 150] {
+                for &m_units in &[30usize, 60, 90] {
+                    out.push((n_size, k_size, n_units, m_units));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the design-space sweep over the given candidates.
+///
+/// # Errors
+///
+/// Propagates simulator errors (which do not occur for valid candidates);
+/// returns an error if no candidate satisfies the area constraint.
+pub fn run(
+    candidates: &[(usize, usize, usize, usize)],
+) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
+    let workloads: Vec<NetworkWorkload> = PaperModel::all()
+        .iter()
+        .map(|m| NetworkWorkload::from_spec(&m.spec()))
+        .collect::<Result<_, _>>()?;
+
+    let mut points = Vec::with_capacity(candidates.len());
+    for &(n_size, k_size, n_units, m_units) in candidates {
+        let config = CrossLightConfig::new(
+            n_size,
+            k_size,
+            n_units,
+            m_units,
+            DesignChoices::crosslight_opt_ted(),
+        )?;
+        let simulator = CrossLightSimulator::new(config);
+        let avg = simulator.evaluate_average(&workloads)?;
+        let area = avg.area.value();
+        let fps_per_epb = avg.fps / avg.energy_per_bit_pj;
+        points.push(DesignPoint {
+            conv_unit_size: n_size,
+            fc_unit_size: k_size,
+            conv_units: n_units,
+            fc_units: m_units,
+            avg_fps: avg.fps,
+            avg_epb_pj: avg.energy_per_bit_pj,
+            area_mm2: area,
+            fps_per_epb,
+            within_area_cap: area <= AREA_CAP_MM2,
+        });
+    }
+    let best = *points
+        .iter()
+        .filter(|p| p.within_area_cap)
+        .max_by(|a, b| {
+            a.fps_per_epb
+                .partial_cmp(&b.fps_per_epb)
+                .expect("finite figures of merit")
+        })
+        .ok_or("no candidate satisfies the area constraint")?;
+    let paper_point = points
+        .iter()
+        .copied()
+        .find(|p| {
+            (
+                p.conv_unit_size,
+                p.fc_unit_size,
+                p.conv_units,
+                p.fc_units,
+            ) == crosslight_core::config::BEST_CONFIG
+        });
+    Ok(DesignSpaceSweep {
+        points,
+        best,
+        paper_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced candidate set that still contains the paper's best point,
+    /// used to keep test runtime low.
+    fn reduced_candidates() -> Vec<(usize, usize, usize, usize)> {
+        vec![
+            (10, 100, 50, 30),
+            (10, 150, 100, 60),
+            (20, 150, 50, 30),
+            (20, 150, 100, 60),
+            (20, 200, 100, 90),
+            (20, 200, 150, 90),
+        ]
+    }
+
+    #[test]
+    fn best_configuration_matches_the_paper_and_its_claims() {
+        // The sweep's winner is the paper's (20, 150, 100, 60); it satisfies
+        // the area constraint and — as the paper notes — is also the
+        // highest-FPS in-cap point.
+        let sweep = run(&reduced_candidates()).unwrap();
+        assert_eq!(
+            (
+                sweep.best.conv_unit_size,
+                sweep.best.fc_unit_size,
+                sweep.best.conv_units,
+                sweep.best.fc_units
+            ),
+            (20, 150, 100, 60)
+        );
+        assert!(sweep.best.within_area_cap);
+        let max_fps_in_cap = sweep
+            .points
+            .iter()
+            .filter(|p| p.within_area_cap)
+            .map(|p| p.avg_fps)
+            .fold(0.0f64, f64::max);
+        assert!(
+            sweep.best.avg_fps >= 0.99 * max_fps_in_cap,
+            "best FPS/EPB point should also be (near) the highest-FPS point"
+        );
+        let paper = sweep.paper_point.expect("paper config is in the grid");
+        assert_eq!(paper, sweep.best);
+    }
+
+    #[test]
+    fn oversized_configurations_violate_the_area_cap() {
+        let sweep = run(&reduced_candidates()).unwrap();
+        let oversized = sweep
+            .points
+            .iter()
+            .find(|p| p.conv_units == 150 && p.fc_units == 90)
+            .expect("oversized candidate present");
+        assert!(!oversized.within_area_cap);
+    }
+
+    #[test]
+    fn larger_unit_counts_give_higher_fps() {
+        let sweep = run(&reduced_candidates()).unwrap();
+        let small = sweep
+            .points
+            .iter()
+            .find(|p| p.conv_units == 50 && p.fc_units == 30 && p.conv_unit_size == 20)
+            .unwrap();
+        let large = sweep
+            .points
+            .iter()
+            .find(|p| p.conv_units == 100 && p.fc_units == 60 && p.conv_unit_size == 20 && p.fc_unit_size == 150)
+            .unwrap();
+        assert!(large.avg_fps > small.avg_fps);
+    }
+
+    #[test]
+    fn table_lists_every_candidate() {
+        let sweep = run(&reduced_candidates()).unwrap();
+        assert_eq!(sweep.table().len(), reduced_candidates().len());
+    }
+
+    #[test]
+    fn full_paper_grid_is_well_formed() {
+        let candidates = paper_candidates();
+        assert_eq!(candidates.len(), 81);
+        assert!(candidates.contains(&(20, 150, 100, 60)));
+        assert!(candidates.iter().all(|&(n, k, _, _)| k > n));
+    }
+}

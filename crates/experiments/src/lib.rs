@@ -1,0 +1,32 @@
+//! # crosslight-experiments
+//!
+//! Experiment harness regenerating every table and figure of the CrossLight
+//! paper's evaluation section (§V).  Each module corresponds to one artefact
+//! and produces structured rows plus a formatted text table, so the same code
+//! backs the unit tests, the Criterion benches and the runnable examples.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`device_dse`] | §IV.A device design-space exploration (ΔλMR 7.1 → 2.1 nm) |
+//! | [`fig4_crosstalk`] | Fig. 4 — phase-crosstalk ratio and tuning power vs. MR spacing |
+//! | [`fig5_accuracy`] | Fig. 5 — accuracy vs. weight/activation resolution for the four models |
+//! | [`resolution_analysis`] | §V.B — achievable resolution vs. MRs per bank |
+//! | [`fig6_design_space`] | Fig. 6 — FPS vs. EPB vs. area design-space scatter |
+//! | [`fig7_power`] | Fig. 7 — power comparison across accelerators |
+//! | [`fig8_epb`] | Fig. 8 — per-model EPB of the photonic accelerators |
+//! | [`table3_summary`] | Table III — average EPB and kFPS/W of all platforms |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device_dse;
+pub mod fig4_crosstalk;
+pub mod fig5_accuracy;
+pub mod fig6_design_space;
+pub mod fig7_power;
+pub mod fig8_epb;
+pub mod report;
+pub mod resolution_analysis;
+pub mod table3_summary;
+
+pub use report::TextTable;

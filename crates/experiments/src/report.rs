@@ -1,0 +1,137 @@
+//! Text-table and CSV formatting for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table used by every experiment to print its rows the
+/// way the paper's tables/figures report them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row length must match header length"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>();
+        out.push_str(&"-".repeat(total.min(120)));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        let _ = columns;
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for experiments).
+#[must_use]
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns_and_csv() {
+        let mut table = TextTable::new(vec!["Accelerator", "EPB (pJ/bit)"]);
+        table.push_row(vec!["Cross_opt_TED".to_string(), fmt_f64(28.78, 2)]);
+        table.push_row(vec!["Holylight".to_string(), fmt_f64(274.13, 2)]);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        let rendered = table.render();
+        assert!(rendered.contains("Cross_opt_TED"));
+        assert!(rendered.contains("EPB"));
+        assert!(rendered.lines().count() >= 4);
+        let csv = table.to_csv();
+        assert!(csv.starts_with("Accelerator,EPB"));
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(table.rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_length_panics() {
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor and network operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeuralError {
+    /// Two tensors (or a tensor and an expected shape) did not match.
+    ShapeMismatch {
+        /// Shape that was expected.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// A layer or model was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A dataset request could not be satisfied (e.g. zero classes).
+    InvalidDataset {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Forward/backward were called in an invalid order.
+    InvalidState {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+            Self::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+        }
+    }
+}
+
+impl Error for NeuralError {}
+
+/// Convenience result alias for neural-network operations.
+pub type Result<T> = std::result::Result<T, NeuralError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let errors = [
+            NeuralError::ShapeMismatch {
+                expected: vec![1, 2],
+                actual: vec![2, 1],
+            },
+            NeuralError::InvalidParameter {
+                name: "kernel",
+                reason: "must be positive".into(),
+            },
+            NeuralError::InvalidDataset {
+                reason: "zero classes".into(),
+            },
+            NeuralError::InvalidState {
+                reason: "backward before forward".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuralError>();
+    }
+}

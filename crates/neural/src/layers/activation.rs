@@ -1,0 +1,146 @@
+//! Elementwise activation layers.
+
+use crate::error::{NeuralError, Result};
+use crate::tensor::Tensor;
+
+use super::{DotProductWorkload, Layer, LayerKind};
+
+/// Rectified linear unit, `y = max(x, 0)`.
+///
+/// In the photonic accelerator the non-linearity is realised by
+/// electro-absorption modulators after the summation PDs; for training and
+/// accuracy evaluation the mathematical ReLU is what matters.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_mask: Option<Vec<bool>>,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        let out = input.map(|x| x.max(0.0));
+        self.cached_mask = Some(mask);
+        self.cached_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.cached_mask.as_ref().ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        let shape = self.cached_shape.clone().ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        if grad_output.len() != mask.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: shape,
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let data: Vec<f32> = grad_output
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    fn zero_gradients(&mut self) {}
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        Ok(input_shape.to_vec())
+    }
+
+    fn quantize_parameters(&mut self, _bits: u32) {}
+
+    fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        Ok(None)
+    }
+}
+
+/// Numerically stable softmax over a rank-1 tensor, used by the classifier
+/// head and the cross-entropy loss.
+#[must_use]
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.max();
+    let exp = logits.map(|x| (x - max).exp());
+    let sum = exp.sum();
+    exp.map(|x| x / sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 1.0, 2.0]).unwrap();
+        relu.forward(&x).unwrap();
+        let dx = relu
+            .backward(&Tensor::from_vec(vec![3], vec![5.0, 5.0, 5.0]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 5.0]);
+        assert!(relu.backward(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn relu_has_no_parameters() {
+        let relu = Relu::new();
+        assert_eq!(relu.parameter_count(), 0);
+        assert_eq!(relu.output_shape(&[4, 5, 5]).unwrap(), vec![4, 5, 5]);
+        assert!(relu.dot_products(&[4]).unwrap().is_none());
+        assert_eq!(relu.kind(), LayerKind::Activation);
+    }
+
+    #[test]
+    fn relu_backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(vec![3])).is_err());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_probabilities() {
+        let logits = Tensor::from_vec(vec![3], vec![1.0, 3.0, 2.0]).unwrap();
+        let p = softmax(&logits);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert_eq!(p.argmax(), 1);
+        // Stability with large logits.
+        let big = Tensor::from_vec(vec![2], vec![1000.0, 1001.0]).unwrap();
+        let pb = softmax(&big);
+        assert!(pb.as_slice().iter().all(|v| v.is_finite()));
+        assert!((pb.sum() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,376 @@
+//! 2-D convolution layer (valid padding, square kernels).
+
+use rand::Rng;
+
+use crate::error::{NeuralError, Result};
+use crate::tensor::{im2col, Im2colSpec, Tensor};
+
+use super::{fake_quantize_slice, DotProductWorkload, Layer, LayerKind};
+
+/// A 2-D convolution over `[C, H, W]` activations with square kernels and
+/// valid padding.
+///
+/// The forward pass lowers the input with im2col and performs a matrix
+/// multiplication, which is exactly the decomposition CrossLight's CONV VDP
+/// units execute (paper Eqs. (1)–(4)).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weights stored as `[out_channels, in_channels * kernel * kernel]`.
+    weights: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input_shape: Option<[usize; 3]>,
+    cached_columns: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Xavier-style initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidParameter`] if any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "conv2d",
+                reason: format!(
+                    "dimensions must be positive, got in={in_channels} out={out_channels} \
+                     kernel={kernel} stride={stride}"
+                ),
+            });
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights: Tensor::random_uniform(vec![out_channels, fan_in], limit, rng),
+            bias: Tensor::zeros(vec![out_channels]),
+            weight_grad: Tensor::zeros(vec![out_channels, fan_in]),
+            bias_grad: Tensor::zeros(vec![out_channels]),
+            cached_input_shape: None,
+            cached_columns: None,
+        })
+    }
+
+    /// Returns the kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Returns the number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Returns the weight matrix (`[out_channels, in_channels·k·k]`).
+    #[must_use]
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    fn spec_for(&self, input_shape: &[usize]) -> Result<Im2colSpec> {
+        if input_shape.len() != 3 || input_shape[0] != self.in_channels {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![self.in_channels, 0, 0],
+                actual: input_shape.to_vec(),
+            });
+        }
+        let spec = Im2colSpec {
+            in_channels: self.in_channels,
+            height: input_shape[1],
+            width: input_shape[2],
+            kernel: self.kernel,
+            stride: self.stride,
+        };
+        if spec.out_height() == 0 || spec.out_width() == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "input",
+                reason: format!(
+                    "input {}x{} is smaller than the {}x{} kernel",
+                    input_shape[1], input_shape[2], self.kernel, self.kernel
+                ),
+            });
+        }
+        Ok(spec)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv{}x{}_{}to{}",
+            self.kernel, self.kernel, self.in_channels, self.out_channels
+        )
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Convolution
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let spec = self.spec_for(input.shape())?;
+        let columns = im2col(input, &spec)?; // [P, L]
+        let out_h = spec.out_height();
+        let out_w = spec.out_width();
+        // y = W · colsᵀ → [out_c, P]
+        let out = self.weights.matmul(&columns.transpose()?)?;
+        let mut y = out;
+        {
+            let data = y.as_mut_slice();
+            let pixels = out_h * out_w;
+            for c in 0..self.out_channels {
+                let b = self.bias.as_slice()[c];
+                for p in 0..pixels {
+                    data[c * pixels + p] += b;
+                }
+            }
+        }
+        self.cached_input_shape = Some([spec.in_channels, spec.height, spec.width]);
+        self.cached_columns = Some(columns);
+        y.reshape(vec![self.out_channels, out_h, out_w])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input_shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        let columns = self
+            .cached_columns
+            .as_ref()
+            .ok_or(NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            })?;
+        let spec = self.spec_for(&input_shape)?;
+        let pixels = spec.out_height() * spec.out_width();
+        if grad_output.len() != self.out_channels * pixels {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![self.out_channels, spec.out_height(), spec.out_width()],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        // G: [out_c, P]
+        let g = grad_output.clone().reshape(vec![self.out_channels, pixels])?;
+        // dW += G · cols ([out_c, P] x [P, L]).
+        let dw = g.matmul(columns)?;
+        for (acc, add) in self
+            .weight_grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dw.as_slice())
+        {
+            *acc += add;
+        }
+        // db += row sums of G.
+        {
+            let gb = self.bias_grad.as_mut_slice();
+            let gd = g.as_slice();
+            for c in 0..self.out_channels {
+                gb[c] += gd[c * pixels..(c + 1) * pixels].iter().sum::<f32>();
+            }
+        }
+        // dcols = Wᵀ · G → [L, P]; scatter back to the input (col2im).
+        let dcols = self.weights.transpose()?.matmul(&g)?;
+        let mut dx = Tensor::zeros(vec![spec.in_channels, spec.height, spec.width]);
+        {
+            let dxs = dx.as_mut_slice();
+            let dcs = dcols.as_slice();
+            let cols_len = spec.column_length();
+            for oy in 0..spec.out_height() {
+                for ox in 0..spec.out_width() {
+                    let p = oy * spec.out_width() + ox;
+                    let mut col = 0;
+                    for c in 0..spec.in_channels {
+                        for ky in 0..spec.kernel {
+                            for kx in 0..spec.kernel {
+                                let iy = oy * spec.stride + ky;
+                                let ix = ox * spec.stride + kx;
+                                dxs[c * spec.height * spec.width + iy * spec.width + ix] +=
+                                    dcs[col * pixels + p];
+                                col += 1;
+                            }
+                        }
+                    }
+                    debug_assert_eq!(col, cols_len);
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn apply_gradients(&mut self, learning_rate: f32) {
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.weight_grad.as_slice())
+        {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.bias_grad.as_slice())
+        {
+            *b -= learning_rate * g;
+        }
+        self.zero_gradients();
+    }
+
+    fn zero_gradients(&mut self) {
+        let fan_in = self.in_channels * self.kernel * self.kernel;
+        self.weight_grad = Tensor::zeros(vec![self.out_channels, fan_in]);
+        self.bias_grad = Tensor::zeros(vec![self.out_channels]);
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        let spec = self.spec_for(input_shape)?;
+        Ok(vec![self.out_channels, spec.out_height(), spec.out_width()])
+    }
+
+    fn quantize_parameters(&mut self, bits: u32) {
+        fake_quantize_slice(self.weights.as_mut_slice(), bits);
+        fake_quantize_slice(self.bias.as_mut_slice(), bits);
+    }
+
+    fn dot_products(&self, input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        let spec = self.spec_for(input_shape)?;
+        Ok(Some(DotProductWorkload {
+            dot_length: spec.column_length(),
+            dot_count: self.out_channels * spec.out_height() * spec.out_width(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_matches_manual_2x2_convolution() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, &mut rng()).unwrap();
+        conv.weights = Tensor::from_vec(vec![1, 4], vec![1.0, 0.5, 0.25, 0.125]).unwrap();
+        conv.bias = Tensor::from_vec(vec![1], vec![0.1]).unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
+        let y = conv.forward(&input).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        // Top-left patch [1,2,4,5] · [1,0.5,0.25,0.125] + 0.1 = 1+1+1+0.625+0.1.
+        assert!((y.as_slice()[0] - 3.725).abs() < 1e-5);
+    }
+
+    #[test]
+    fn output_shape_and_workload() {
+        let conv = Conv2d::new(3, 32, 3, 1, &mut rng()).unwrap();
+        assert_eq!(conv.output_shape(&[3, 32, 32]).unwrap(), vec![32, 30, 30]);
+        assert_eq!(conv.parameter_count(), 32 * 3 * 9 + 32);
+        let w = conv.dot_products(&[3, 32, 32]).unwrap().unwrap();
+        assert_eq!(w.dot_length, 27);
+        assert_eq!(w.dot_count, 32 * 30 * 30);
+        assert_eq!(conv.kind(), LayerKind::Convolution);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let conv = Conv2d::new(1, 4, 2, 2, &mut rng()).unwrap();
+        assert_eq!(conv.output_shape(&[1, 8, 8]).unwrap(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(Conv2d::new(0, 1, 3, 1, &mut rng()).is_err());
+        assert!(Conv2d::new(1, 1, 3, 0, &mut rng()).is_err());
+        let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng()).unwrap();
+        assert!(conv.forward(&Tensor::zeros(vec![1, 8, 8])).is_err());
+        assert!(conv.forward(&Tensor::zeros(vec![2, 2, 2])).is_err());
+        assert!(conv.backward(&Tensor::zeros(vec![4, 6, 6])).is_err());
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 2, 1, &mut rng()).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 3, 3],
+            vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, 0.8, -0.9],
+        )
+        .unwrap();
+        let y = conv.forward(&x).unwrap();
+        let grad = Tensor::full(vec![2, 2, 2], 1.0);
+        let dx = conv.backward(&grad).unwrap();
+        let eps = 1e-3f32;
+        for i in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut c2 = conv.clone();
+            let fp = c2.forward(&xp).unwrap().sum();
+            let fm = c2.forward(&xm).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[i]).abs() < 1e-2,
+                "index {i}: analytic {} numeric {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+        drop(y);
+    }
+
+    #[test]
+    fn gradient_descent_reduces_reconstruction_loss() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, &mut rng()).unwrap();
+        let x = Tensor::from_vec(vec![1, 3, 3], vec![1., 0., 1., 0., 1., 0., 1., 0., 1.]).unwrap();
+        let target = Tensor::full(vec![1, 2, 2], 1.0);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            let y = conv.forward(&x).unwrap();
+            let diff = y.sub(&target).unwrap();
+            losses.push(diff.as_slice().iter().map(|d| d * d).sum::<f32>());
+            conv.backward(&diff.scale(2.0)).unwrap();
+            conv.apply_gradients(0.02);
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.2));
+    }
+
+    #[test]
+    fn quantization_coarsens_kernel_values() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng()).unwrap();
+        conv.quantize_parameters(1);
+        let mut distinct: Vec<i32> = conv
+            .weights()
+            .as_slice()
+            .iter()
+            .map(|v| (v * 1e5) as i32)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 2, "1-bit weights have at most two levels");
+    }
+}

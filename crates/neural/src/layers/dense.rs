@@ -1,0 +1,294 @@
+//! Fully connected (dense) layer.
+
+use rand::Rng;
+
+use crate::error::{NeuralError, Result};
+use crate::tensor::Tensor;
+
+use super::{fake_quantize_slice, DotProductWorkload, Layer, LayerKind};
+
+/// A fully connected layer computing `y = W·x + b`.
+///
+/// FC layers are exactly the large-order vector multiplications of paper
+/// Eqs. (5)–(6) that CrossLight maps onto its dedicated FC VDP units.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-style uniform initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidParameter`] if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "features",
+                reason: format!(
+                    "dense dimensions must be positive, got {in_features}x{out_features}"
+                ),
+            });
+        }
+        let limit = (6.0 / (in_features + out_features) as f32).sqrt();
+        Ok(Self {
+            in_features,
+            out_features,
+            weights: Tensor::random_uniform(vec![out_features, in_features], limit, rng),
+            bias: Tensor::zeros(vec![out_features]),
+            weight_grad: Tensor::zeros(vec![out_features, in_features]),
+            bias_grad: Tensor::zeros(vec![out_features]),
+            cached_input: None,
+        })
+    }
+
+    /// Returns the input feature count.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Returns the output feature count.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Returns the weight matrix (`[out_features, in_features]`).
+    #[must_use]
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> String {
+        format!("dense_{}x{}", self.in_features, self.out_features)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::FullyConnected
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.len() != self.in_features {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![self.in_features],
+                actual: input.shape().to_vec(),
+            });
+        }
+        let flat = input.clone().reshape(vec![self.in_features, 1])?;
+        let out = self.weights.matmul(&flat)?;
+        let mut y = out.reshape(vec![self.out_features])?;
+        for (yi, b) in y.as_mut_slice().iter_mut().zip(self.bias.as_slice()) {
+            *yi += b;
+        }
+        self.cached_input = Some(flat.reshape(vec![self.in_features])?);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        if grad_output.len() != self.out_features {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![self.out_features],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        // dW += g ⊗ x, db += g, dx = Wᵀ g.
+        {
+            let gw = self.weight_grad.as_mut_slice();
+            let g = grad_output.as_slice();
+            let x = input.as_slice();
+            for o in 0..self.out_features {
+                for i in 0..self.in_features {
+                    gw[o * self.in_features + i] += g[o] * x[i];
+                }
+            }
+            let gb = self.bias_grad.as_mut_slice();
+            for (gbo, &go) in gb.iter_mut().zip(g.iter()) {
+                *gbo += go;
+            }
+        }
+        let g2 = grad_output.clone().reshape(vec![self.out_features, 1])?;
+        let dx = self.weights.transpose()?.matmul(&g2)?;
+        dx.reshape(vec![self.in_features])
+    }
+
+    fn apply_gradients(&mut self, learning_rate: f32) {
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.weight_grad.as_slice())
+        {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.bias_grad.as_slice())
+        {
+            *b -= learning_rate * g;
+        }
+        self.zero_gradients();
+    }
+
+    fn zero_gradients(&mut self) {
+        self.weight_grad = Tensor::zeros(vec![self.out_features, self.in_features]);
+        self.bias_grad = Tensor::zeros(vec![self.out_features]);
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.out_features * self.in_features + self.out_features
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        let len: usize = input_shape.iter().product();
+        if len != self.in_features {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![self.in_features],
+                actual: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+
+    fn quantize_parameters(&mut self, bits: u32) {
+        fake_quantize_slice(self.weights.as_mut_slice(), bits);
+        fake_quantize_slice(self.bias.as_mut_slice(), bits);
+    }
+
+    fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        Ok(Some(DotProductWorkload {
+            dot_length: self.in_features,
+            dot_count: self.out_features,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut layer = Dense::new(2, 2, &mut rng()).unwrap();
+        // Overwrite weights deterministically: W = [[1, 2], [3, 4]], b = [0.5, -0.5].
+        layer.weights = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        layer.bias = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let y = layer
+            .forward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap())
+            .unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, &mut rng()).unwrap();
+        let x = Tensor::from_vec(vec![3], vec![0.3, -0.7, 0.2]).unwrap();
+        // Loss = sum(y); dL/dy = 1.
+        let y = layer.forward(&x).unwrap();
+        let grad = Tensor::full(vec![2], 1.0);
+        let dx = layer.backward(&grad).unwrap();
+
+        // Finite-difference check on the input gradient.
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut layer_copy = layer.clone();
+            let yp = layer_copy.forward(&xp).unwrap().sum();
+            let ym = layer_copy.forward(&xm).unwrap().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[i]).abs() < 1e-2,
+                "input grad {i}: analytic {} vs numeric {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+        drop(y);
+    }
+
+    #[test]
+    fn apply_gradients_reduces_loss() {
+        let mut layer = Dense::new(4, 3, &mut rng()).unwrap();
+        let x = Tensor::from_vec(vec![4], vec![1.0, -1.0, 0.5, 0.25]).unwrap();
+        let loss = |layer: &mut Dense| {
+            let y = layer.forward(&x).unwrap();
+            y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let before = loss(&mut layer);
+        // dL/dy = 2y.
+        let y = layer.forward(&x).unwrap();
+        let grad = y.scale(2.0);
+        layer.backward(&grad).unwrap();
+        layer.apply_gradients(0.05);
+        let after = loss(&mut layer);
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn workload_and_shapes() {
+        let layer = Dense::new(400, 120, &mut rng()).unwrap();
+        assert_eq!(layer.parameter_count(), 400 * 120 + 120);
+        assert_eq!(layer.output_shape(&[400]).unwrap(), vec![120]);
+        assert_eq!(layer.output_shape(&[16, 5, 5]).unwrap(), vec![120]);
+        assert!(layer.output_shape(&[10]).is_err());
+        let w = layer.dot_products(&[400]).unwrap().unwrap();
+        assert_eq!(w.dot_length, 400);
+        assert_eq!(w.dot_count, 120);
+        assert_eq!(w.macs(), 48_000);
+        assert_eq!(layer.kind(), LayerKind::FullyConnected);
+        assert!(layer.name().contains("400"));
+    }
+
+    #[test]
+    fn invalid_construction_and_inputs() {
+        assert!(Dense::new(0, 4, &mut rng()).is_err());
+        let mut layer = Dense::new(3, 2, &mut rng()).unwrap();
+        assert!(layer.forward(&Tensor::zeros(vec![4])).is_err());
+        assert!(layer.backward(&Tensor::zeros(vec![2])).is_err());
+        layer.forward(&Tensor::zeros(vec![3])).unwrap();
+        assert!(layer.backward(&Tensor::zeros(vec![3])).is_err());
+    }
+
+    #[test]
+    fn quantization_coarsens_weights() {
+        let mut layer = Dense::new(16, 16, &mut rng()).unwrap();
+        let original = layer.weights().as_slice().to_vec();
+        layer.quantize_parameters(2);
+        let mut distinct: Vec<i32> = layer
+            .weights()
+            .as_slice()
+            .iter()
+            .map(|v| (v * 1e4) as i32)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 4);
+        assert_ne!(original, layer.weights().as_slice());
+    }
+}

@@ -1,0 +1,88 @@
+//! Flattening layer (shape adapter between conv and dense stages).
+
+use crate::error::{NeuralError, Result};
+use crate::tensor::Tensor;
+
+use super::{DotProductWorkload, Layer, LayerKind};
+
+/// Flattens any input tensor to rank 1 (and restores the shape on backward).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.cached_shape = Some(input.shape().to_vec());
+        let len = input.len();
+        input.clone().reshape(vec![len])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.clone().ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        grad_output.clone().reshape(shape)
+    }
+
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    fn zero_gradients(&mut self) {}
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        Ok(vec![input_shape.iter().product()])
+    }
+
+    fn quantize_parameters(&mut self, _bits: u32) {}
+
+    fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|i| i as f32).collect()).unwrap();
+        let y = flatten.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[8]);
+        let dx = flatten.backward(&y).unwrap();
+        assert_eq!(dx.shape(), &[2, 2, 2]);
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn flatten_metadata() {
+        let flatten = Flatten::new();
+        assert_eq!(flatten.parameter_count(), 0);
+        assert_eq!(flatten.output_shape(&[16, 5, 5]).unwrap(), vec![400]);
+        assert!(flatten.dot_products(&[16, 5, 5]).unwrap().is_none());
+        assert_eq!(flatten.kind(), LayerKind::Reshape);
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(vec![4])).is_err());
+    }
+}

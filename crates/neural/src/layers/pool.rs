@@ -1,0 +1,329 @@
+//! Pooling layers (executed in the electronic domain by CrossLight).
+
+use crate::error::{NeuralError, Result};
+use crate::tensor::Tensor;
+
+use super::{DotProductWorkload, Layer, LayerKind};
+
+/// 2-D max pooling with a square window and equal stride.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    cached_input_shape: Option<[usize; 3]>,
+    cached_argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given window (window == stride).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidParameter`] if the window is zero.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "window",
+                reason: "pooling window must be positive".into(),
+            });
+        }
+        Ok(Self {
+            window,
+            cached_input_shape: None,
+            cached_argmax: None,
+        })
+    }
+
+    fn out_dims(&self, shape: &[usize]) -> Result<(usize, usize, usize)> {
+        if shape.len() != 3 {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![0, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        if h < self.window || w < self.window {
+            return Err(NeuralError::InvalidParameter {
+                name: "input",
+                reason: format!("input {h}x{w} smaller than window {}", self.window),
+            });
+        }
+        Ok((c, h / self.window, w / self.window))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("maxpool{}", self.window)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pooling
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (c, oh, ow) = self.out_dims(input.shape())?;
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        let mut argmax = vec![0usize; c * oh * ow];
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.window + ky;
+                            let ix = ox * self.window + kx;
+                            let idx = ch * h * w + iy * w + ix;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ch * oh * ow + oy * ow + ox;
+                    dst[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+        self.cached_input_shape = Some([c, h, w]);
+        self.cached_argmax = Some(argmax);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        let argmax = self.cached_argmax.as_ref().ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        if grad_output.len() != argmax.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![argmax.len()],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut dx = Tensor::zeros(vec![shape[0], shape[1], shape[2]]);
+        let dxs = dx.as_mut_slice();
+        for (o, &src_idx) in argmax.iter().enumerate() {
+            dxs[src_idx] += grad_output.as_slice()[o];
+        }
+        Ok(dx)
+    }
+
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    fn zero_gradients(&mut self) {}
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        let (c, oh, ow) = self.out_dims(input_shape)?;
+        Ok(vec![c, oh, ow])
+    }
+
+    fn quantize_parameters(&mut self, _bits: u32) {}
+
+    fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        Ok(None)
+    }
+}
+
+/// 2-D average pooling with a square window and equal stride.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    cached_input_shape: Option<[usize; 3]>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with the given window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidParameter`] if the window is zero.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "window",
+                reason: "pooling window must be positive".into(),
+            });
+        }
+        Ok(Self {
+            window,
+            cached_input_shape: None,
+        })
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("avgpool{}", self.window)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pooling
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[1] < self.window || shape[2] < self.window {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![0, self.window, self.window],
+                actual: shape.to_vec(),
+            });
+        }
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let norm = (self.window * self.window) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.window + ky;
+                            let ix = ox * self.window + kx;
+                            acc += src[ch * h * w + iy * w + ix];
+                        }
+                    }
+                    dst[ch * oh * ow + oy * ow + ox] = acc / norm;
+                }
+            }
+        }
+        self.cached_input_shape = Some([c, h, w]);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
+            reason: "backward called before forward".into(),
+        })?;
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        if grad_output.len() != c * oh * ow {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![c, oh, ow],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut dx = Tensor::zeros(vec![c, h, w]);
+        let dxs = dx.as_mut_slice();
+        let g = grad_output.as_slice();
+        let norm = (self.window * self.window) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[ch * oh * ow + oy * ow + ox] / norm;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.window + ky;
+                            let ix = ox * self.window + kx;
+                            dxs[ch * h * w + iy * w + ix] += go;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    fn zero_gradients(&mut self) {}
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape.len() != 3 {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![0, 0, 0],
+                actual: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![
+            input_shape[0],
+            input_shape[1] / self.window,
+            input_shape[2] / self.window,
+        ])
+    }
+
+    fn quantize_parameters(&mut self, _bits: u32) {}
+
+    fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_maxima() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1., 2., 5., 6., 3., 4., 7., 8., 9., 10., 13., 14., 11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient_to_maxima() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        pool.forward(&input).unwrap();
+        let dx = pool.backward(&Tensor::full(vec![1, 1, 1], 2.5)).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages_and_distributes_gradient() {
+        let mut pool = AvgPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+        let dx = pool.backward(&Tensor::full(vec![1, 1, 1], 4.0)).unwrap();
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pooling_layers_have_no_parameters_or_dot_products() {
+        let pool = MaxPool2d::new(2).unwrap();
+        assert_eq!(pool.parameter_count(), 0);
+        assert!(pool.dot_products(&[4, 8, 8]).unwrap().is_none());
+        assert_eq!(pool.kind(), LayerKind::Pooling);
+        let avg = AvgPool2d::new(3).unwrap();
+        assert_eq!(avg.parameter_count(), 0);
+        assert!(avg.dot_products(&[4, 9, 9]).unwrap().is_none());
+    }
+
+    #[test]
+    fn output_shapes_and_errors() {
+        let pool = MaxPool2d::new(2).unwrap();
+        assert_eq!(pool.output_shape(&[16, 10, 10]).unwrap(), vec![16, 5, 5]);
+        assert!(pool.output_shape(&[16, 1, 1]).is_err());
+        assert!(pool.output_shape(&[16, 10]).is_err());
+        assert!(MaxPool2d::new(0).is_err());
+        assert!(AvgPool2d::new(0).is_err());
+        let mut p = MaxPool2d::new(2).unwrap();
+        assert!(p.backward(&Tensor::zeros(vec![1])).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # crosslight-neural
+//!
+//! Neural-network substrate for the CrossLight reproduction.
+//!
+//! The paper evaluates its accelerator on four DNN models (Table I) and runs a
+//! quantization-resolution study on them (Fig. 5).  Since neither TensorFlow
+//! nor the original datasets are available to this reproduction, this crate
+//! provides everything needed from scratch:
+//!
+//! * [`tensor`] — a small dense `f32` tensor with matmul and im2col.
+//! * [`layers`] — conv / dense / pooling / activation layers with forward and
+//!   backward passes.
+//! * [`model`] — a [`Sequential`](model::Sequential) container.
+//! * [`train`] — mini-batch SGD with cross-entropy loss.
+//! * [`quant`] — uniform symmetric fake-quantization of weights and
+//!   activations (1–16 bits), mirroring the paper's QKeras study.
+//! * [`datasets`] — synthetic class-cluster stand-ins for Sign-MNIST,
+//!   CIFAR-10, STL-10 and Omniglot.
+//! * [`zoo`] — the four Table I architectures, as structural
+//!   [`ModelSpec`](zoo::ModelSpec)s (full size) and trainable surrogates.
+//! * [`workload`] — extraction of the per-layer dot-product workload that the
+//!   photonic accelerator executes.
+//!
+//! # Example
+//!
+//! ```
+//! use crosslight_neural::workload::NetworkWorkload;
+//! use crosslight_neural::zoo::PaperModel;
+//!
+//! # fn main() -> Result<(), crosslight_neural::error::NeuralError> {
+//! let spec = PaperModel::Lenet5SignMnist.spec();
+//! let workload = NetworkWorkload::from_spec(&spec)?;
+//! assert_eq!(workload.conv_layers.len(), 2);
+//! assert_eq!(workload.fc_layers.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datasets;
+pub mod error;
+pub mod layers;
+pub mod metrics;
+pub mod model;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+pub mod workload;
+pub mod zoo;
+
+pub use error::NeuralError;
+pub use model::Sequential;
+pub use quant::QuantConfig;
+pub use tensor::Tensor;
+pub use workload::NetworkWorkload;
+pub use zoo::{ModelSpec, PaperModel};

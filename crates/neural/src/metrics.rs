@@ -1,0 +1,80 @@
+//! Accuracy and loss metrics.
+
+use crate::layers::softmax;
+use crate::tensor::Tensor;
+
+/// Cross-entropy loss of a logit vector against a class index, together with
+/// the gradient with respect to the logits (`softmax(logits) − one_hot`).
+#[must_use]
+pub fn cross_entropy_with_grad(logits: &Tensor, target_class: usize) -> (f32, Tensor) {
+    let probs = softmax(logits);
+    let p_target = probs.as_slice()[target_class].max(1e-9);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target_class] -= 1.0;
+    (loss, grad)
+}
+
+/// Classification accuracy of predicted class indices against labels.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must have equal length"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_is_low_for_confident_correct_prediction() {
+        let confident = Tensor::from_vec(vec![3], vec![10.0, -5.0, -5.0]).unwrap();
+        let (loss, grad) = cross_entropy_with_grad(&confident, 0);
+        assert!(loss < 0.01);
+        // Gradient pushes the correct logit up (negative gradient component).
+        assert!(grad.as_slice()[0] < 0.0);
+        assert!(grad.as_slice()[1] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_is_high_for_wrong_prediction() {
+        let wrong = Tensor::from_vec(vec![3], vec![10.0, -5.0, -5.0]).unwrap();
+        let (loss, _) = cross_entropy_with_grad(&wrong, 2);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(vec![4], vec![0.3, -0.2, 0.9, 0.0]).unwrap();
+        let (_, grad) = cross_entropy_with_grad(&logits, 1);
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[0, 1, 2, 3], &[0, 1, 0, 3]) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn accuracy_panics_on_length_mismatch() {
+        let _ = accuracy(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,539 @@
+//! A small dense tensor type.
+//!
+//! The neural substrate only needs what the CrossLight experiments need:
+//! `f32` storage, arbitrary-rank shapes, elementwise arithmetic, 2-D matrix
+//! multiplication and the im2col transform that turns convolutions into the
+//! vector dot products a photonic accelerator executes (paper Eqs. (1)–(4)).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NeuralError, Result};
+
+/// A dense, row-major `f32` tensor.
+///
+/// # Example
+///
+/// ```
+/// use crosslight_neural::tensor::Tensor;
+///
+/// # fn main() -> Result<(), crosslight_neural::error::NeuralError> {
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    #[must_use]
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    #[must_use]
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from explicit data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if `data.len()` does not equal
+    /// the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![expected],
+                actual: vec![data.len()],
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor with entries drawn uniformly from `[-limit, limit]`,
+    /// the He/Xavier-style initialisation used by the training code.
+    pub fn random_uniform<R: Rng + ?Sized>(shape: Vec<usize>, limit: f32, rng: &mut R) -> Self {
+        let len = shape.iter().product();
+        let data = (0..len).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Self { shape, data }
+    }
+
+    /// Returns the tensor shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the underlying data as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the underlying data as a mutable slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its data.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes the tensor without copying data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if the element count changes.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![expected],
+                actual: vec![self.data.len()],
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Returns element `(row, col)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the indices are out of bounds.
+    #[must_use]
+    pub fn get2(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "get2 requires a rank-2 tensor");
+        assert!(row < self.shape[0] && col < self.shape[1], "index out of bounds");
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Sets element `(row, col)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the indices are out of bounds.
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) {
+        assert_eq!(self.shape.len(), 2, "set2 requires a rank-2 tensor");
+        assert!(row < self.shape[0] && col < self.shape[1], "index out of bounds");
+        self.data[row * self.shape[1] + col] = value;
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
+    pub fn hadamard(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    #[must_use]
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Applies a function to every element.
+    #[must_use]
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    #[must_use]
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element (0 for an empty tensor).
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Dot product with another tensor of identical length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Matrix multiplication of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either tensor is not rank 2
+    /// or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row.iter()) {
+                    *d += a * b;
+                }
+            }
+        }
+        Ok(Tensor {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.shape.len() != 2 {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![2],
+                actual: vec![self.shape.len()],
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(Tensor {
+            shape: vec![n, m],
+            data,
+        })
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+/// Parameters of an im2col transform (the conv → dot-product rewriting of
+/// paper Eqs. (1)–(3)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Im2colSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Im2colSpec {
+    /// Output spatial height of the convolution.
+    #[must_use]
+    pub fn out_height(&self) -> usize {
+        if self.height < self.kernel {
+            0
+        } else {
+            (self.height - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Output spatial width of the convolution.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        if self.width < self.kernel {
+            0
+        } else {
+            (self.width - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Length of each im2col column (= dot-product length per output pixel).
+    #[must_use]
+    pub fn column_length(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers a `[C, H, W]` activation tensor to an im2col matrix of shape
+/// `[out_h * out_w, C * k * k]`, so that convolution with a `[out_c, C*k*k]`
+/// weight matrix becomes a plain matrix multiplication — exactly the
+/// dot-product form the photonic VDP units execute.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::ShapeMismatch`] if `input` is not `[C, H, W]` with
+/// dimensions matching `spec`.
+pub fn im2col(input: &Tensor, spec: &Im2colSpec) -> Result<Tensor> {
+    let expected = vec![spec.in_channels, spec.height, spec.width];
+    if input.shape() != expected.as_slice() {
+        return Err(NeuralError::ShapeMismatch {
+            expected,
+            actual: input.shape().to_vec(),
+        });
+    }
+    let out_h = spec.out_height();
+    let out_w = spec.out_width();
+    let cols = spec.column_length();
+    let mut data = vec![0.0f32; out_h * out_w * cols];
+    let src = input.as_slice();
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            let mut col = 0;
+            for c in 0..spec.in_channels {
+                for ky in 0..spec.kernel {
+                    for kx in 0..spec.kernel {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        data[row * cols + col] =
+                            src[c * spec.height * spec.width + iy * spec.width + ix];
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![out_h * out_w, cols], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        let f = Tensor::full(vec![2], 3.5);
+        assert_eq!(f.as_slice(), &[3.5, 3.5]);
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.map(|x| x * x).as_slice(), &[1.0, 4.0, 9.0]);
+        assert!((a.sum() - 6.0).abs() < 1e-6);
+        assert!((a.dot(&b).unwrap() - 32.0).abs() < 1e-6);
+        let c = Tensor::zeros(vec![2]);
+        assert!(a.add(&c).is_err());
+        assert!(a.dot(&c).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get2(0, 1), 4.0);
+        let back = t.transpose().unwrap();
+        assert_eq!(back, a);
+        assert!(Tensor::zeros(vec![2]).transpose().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let r = a.clone().reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.as_slice(), a.as_slice());
+        assert!(a.clone().reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn argmax_and_max() {
+        let a = Tensor::from_vec(vec![4], vec![0.1, 0.7, 0.3, 0.5]).unwrap();
+        assert_eq!(a.argmax(), 1);
+        assert!((a.max() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::random_uniform(vec![100], 0.25, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= 0.25));
+        // Not all identical.
+        assert!(t.as_slice().iter().any(|&x| (x - t.as_slice()[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn im2col_2x2_kernel_matches_paper_example() {
+        // Paper Eq. (2): a 2×2 kernel over a 2×2 activation patch is a single
+        // 4-element dot product.
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let spec = Im2colSpec {
+            in_channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 2,
+            stride: 1,
+        };
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.shape(), &[1, 4]);
+        assert_eq!(cols.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // Dot with the kernel [k1..k4] gives k1 a1 + k2 a2 + k3 a3 + k4 a4.
+        let kernel = Tensor::from_vec(vec![4], vec![0.5, 0.25, 0.125, 1.0]).unwrap();
+        let flat = Tensor::from_vec(vec![4], cols.as_slice().to_vec()).unwrap();
+        let y = flat.dot(&kernel).unwrap();
+        assert!((y - (0.5 + 0.5 + 0.375 + 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn im2col_shapes_and_stride() {
+        let input = Tensor::from_vec(vec![2, 4, 4], (0..32).map(|x| x as f32).collect()).unwrap();
+        let spec = Im2colSpec {
+            in_channels: 2,
+            height: 4,
+            width: 4,
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(spec.out_height(), 2);
+        assert_eq!(spec.out_width(), 2);
+        assert_eq!(spec.column_length(), 8);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.shape(), &[4, 8]);
+        // First column of the first patch is the top-left pixel of channel 0.
+        assert_eq!(cols.get2(0, 0), 0.0);
+        // Wrong input shape is rejected.
+        let bad = Tensor::zeros(vec![1, 4, 4]);
+        assert!(im2col(&bad, &spec).is_err());
+    }
+
+    #[test]
+    fn im2col_kernel_larger_than_input_gives_empty_output() {
+        let spec = Im2colSpec {
+            in_channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 3,
+            stride: 1,
+        };
+        assert_eq!(spec.out_height(), 0);
+        assert_eq!(spec.out_width(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the neural-network substrate.
+
+use crosslight_neural::layers::softmax;
+use crosslight_neural::quant::QuantConfig;
+use crosslight_neural::tensor::{im2col, Im2colSpec, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing small random matrices as (rows, cols, data).
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c).prop_map(move |data| (r, c, data))
+    })
+}
+
+proptest! {
+    /// Matrix multiplication by the identity is the identity.
+    #[test]
+    fn matmul_identity((r, c, data) in matrix_strategy(6)) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        let mut identity = Tensor::zeros(vec![c, c]);
+        for i in 0..c {
+            identity.set2(i, i, 1.0);
+        }
+        let product = a.matmul(&identity).unwrap();
+        for (x, y) in a.as_slice().iter().zip(product.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Transposing twice is the identity, and (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_laws((r, c, data) in matrix_strategy(5), k in 1usize..5) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a.clone());
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let b = Tensor::random_uniform(vec![c, k], 1.0, &mut rng);
+        let left = a.matmul(&b).unwrap().transpose().unwrap();
+        let right = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax output is a probability distribution and order-preserving.
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-20.0f32..20.0, 2..16)) {
+        let logits = Tensor::from_vec(vec![values.len()], values.clone()).unwrap();
+        let probs = softmax(&logits);
+        let sum: f32 = probs.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(probs.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert_eq!(probs.argmax(), logits.argmax());
+    }
+
+    /// Quantization error is bounded by one step of the grid, and the number
+    /// of distinct values never exceeds the number of representable levels.
+    #[test]
+    fn quantization_error_and_levels(
+        values in proptest::collection::vec(-3.0f32..3.0, 4..128),
+        bits in 1u32..12,
+    ) {
+        let quant = QuantConfig::uniform(bits);
+        let original = Tensor::from_vec(vec![values.len()], values.clone()).unwrap();
+        let quantized = quant.quantize_activations(&original);
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max_abs > 0.0 {
+            let step = max_abs / (1u64 << (bits - 1)) as f32;
+            for (a, b) in values.iter().zip(quantized.as_slice()) {
+                prop_assert!((a - b).abs() <= step + 1e-5);
+            }
+        }
+        let mut distinct: Vec<i64> = quantized
+            .as_slice()
+            .iter()
+            .map(|v| (v * 1e6) as i64)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(distinct.len() as u64 <= (1u64 << bits));
+    }
+
+    /// im2col preserves every input element when the stride equals the kernel
+    /// (non-overlapping patches cover the input exactly).
+    #[test]
+    fn im2col_partitions_input(
+        channels in 1usize..3,
+        tiles in 1usize..4,
+        kernel in 1usize..3,
+    ) {
+        let height = tiles * kernel;
+        let width = tiles * kernel;
+        let count = channels * height * width;
+        let data: Vec<f32> = (0..count).map(|i| i as f32).collect();
+        let input = Tensor::from_vec(vec![channels, height, width], data.clone()).unwrap();
+        let spec = Im2colSpec {
+            in_channels: channels,
+            height,
+            width,
+            kernel,
+            stride: kernel,
+        };
+        let cols = im2col(&input, &spec).unwrap();
+        let mut seen: Vec<f32> = cols.as_slice().to_vec();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected = data;
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(seen, expected);
+    }
+}

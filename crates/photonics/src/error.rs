@@ -1,0 +1,112 @@
+//! Error types for the photonics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the photonic device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// A requested transmission value is outside the physically achievable
+    /// range of the device (e.g. below the extinction floor of an MR).
+    TransmissionOutOfRange {
+        /// The transmission that was requested.
+        requested: f64,
+        /// The minimum transmission the device can reach (at resonance).
+        min: f64,
+        /// The maximum transmission the device can reach (far from resonance).
+        max: f64,
+    },
+    /// A device parameter was invalid (non-positive Q factor, empty bank, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// More WDM channels were requested than fit in the free spectral range at
+    /// the requested channel spacing.
+    WdmCapacityExceeded {
+        /// Number of channels requested.
+        requested: usize,
+        /// Maximum number of channels that fit.
+        capacity: usize,
+    },
+    /// The detector would receive less power than its sensitivity floor.
+    InsufficientOpticalPower {
+        /// Power arriving at the detector, in dBm.
+        received_dbm: f64,
+        /// Detector sensitivity, in dBm.
+        sensitivity_dbm: f64,
+    },
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TransmissionOutOfRange { requested, min, max } => write!(
+                f,
+                "requested transmission {requested} outside achievable range [{min}, {max}]"
+            ),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::WdmCapacityExceeded { requested, capacity } => write!(
+                f,
+                "requested {requested} WDM channels but only {capacity} fit in the free spectral range"
+            ),
+            Self::InsufficientOpticalPower {
+                received_dbm,
+                sensitivity_dbm,
+            } => write!(
+                f,
+                "detector receives {received_dbm} dBm which is below its {sensitivity_dbm} dBm sensitivity"
+            ),
+        }
+    }
+}
+
+impl Error for PhotonicsError {}
+
+/// Convenience result alias for photonics operations.
+pub type Result<T> = std::result::Result<T, PhotonicsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let errors: Vec<PhotonicsError> = vec![
+            PhotonicsError::TransmissionOutOfRange {
+                requested: 1.5,
+                min: 0.01,
+                max: 1.0,
+            },
+            PhotonicsError::InvalidParameter {
+                name: "q_factor",
+                reason: "must be positive".into(),
+            },
+            PhotonicsError::WdmCapacityExceeded {
+                requested: 40,
+                capacity: 18,
+            },
+            PhotonicsError::InsufficientOpticalPower {
+                received_dbm: -30.0,
+                sensitivity_dbm: -20.0,
+            },
+        ];
+        for e in errors {
+            let shown = e.to_string();
+            assert!(!shown.is_empty());
+            let dynamic: &dyn Error = &e;
+            assert!(dynamic.source().is_none());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhotonicsError>();
+    }
+}

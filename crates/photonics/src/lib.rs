@@ -1,0 +1,60 @@
+//! # crosslight-photonics
+//!
+//! Silicon-photonic device substrate for the CrossLight accelerator
+//! reproduction (Sunny et al., DAC 2021).
+//!
+//! This crate models every photonic and optoelectronic device that the
+//! CrossLight architecture (and its baselines DEAP-CNN and HolyLight) is built
+//! from:
+//!
+//! * [`mr`] — all-pass microring resonators (MRs) with Lorentzian through-port
+//!   transmission, quality factor, free spectral range and extinction ratio.
+//! * [`microdisk`] — microdisk resonators with whispering-gallery-mode loss,
+//!   the device HolyLight uses instead of MRs.
+//! * [`fpv`] — fabrication-process-variation model reproducing the paper's
+//!   device design-space exploration (conventional vs. width-optimized MRs).
+//! * [`thermal`] — thermal crosstalk between adjacent MRs as a function of
+//!   spacing, plus the bank-level crosstalk matrix consumed by TED tuning.
+//! * [`devices`] — the optoelectronic periphery (MZM, VCSEL, photodetector,
+//!   TIA, ADC/DAC transceiver) with the latency/power values from Table II.
+//! * [`loss`] — the per-component optical loss budget.
+//! * [`laser`] — the laser power model of Eq. (7).
+//! * [`crosstalk`] — inter-channel crosstalk and achievable bit resolution,
+//!   Eqs. (8)–(10).
+//! * [`wdm`] — wavelength-division-multiplexing channel allocation.
+//! * [`units`] — strongly typed physical quantities used across the workspace.
+//!
+//! # Example
+//!
+//! Compute the transmission of a weight value through a tuned MR:
+//!
+//! ```
+//! use crosslight_photonics::mr::{Microring, MrGeometry};
+//! use crosslight_photonics::units::Nanometers;
+//!
+//! let mr = Microring::new(MrGeometry::optimized(), Nanometers::new(1550.0));
+//! // Tune the ring so that 50% of the optical power is dropped.
+//! let detuning = mr.detuning_for_transmission(0.5).unwrap();
+//! let t = mr.through_transmission(mr.resonance() + detuning);
+//! assert!((t - 0.5).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crosstalk;
+pub mod devices;
+pub mod error;
+pub mod fpv;
+pub mod laser;
+pub mod loss;
+pub mod microdisk;
+pub mod mr;
+pub mod spectrum;
+pub mod thermal;
+pub mod units;
+pub mod wdm;
+
+pub use error::PhotonicsError;
+pub use mr::{Microring, MrGeometry};
+pub use units::{Dbm, DecibelLoss, MilliWatts, Micrometers, Nanometers};

@@ -1,0 +1,132 @@
+//! Property-based tests for the photonics substrate.
+
+use crosslight_photonics::crosstalk::bank_resolution_bits;
+use crosslight_photonics::laser::LaserPowerModel;
+use crosslight_photonics::loss::{LossBudget, LossModel};
+use crosslight_photonics::mr::{Microring, MrGeometry};
+use crosslight_photonics::spectrum::Lorentzian;
+use crosslight_photonics::thermal::ThermalCrosstalkModel;
+use crosslight_photonics::units::{DecibelLoss, Micrometers, MilliWatts, Nanometers};
+use proptest::prelude::*;
+
+proptest! {
+    /// dBm ↔ mW conversion round-trips for any positive power.
+    #[test]
+    fn dbm_milliwatt_roundtrip(power_mw in 1e-6f64..1e6) {
+        let p = MilliWatts::new(power_mw);
+        let back = p.to_dbm().to_milliwatts();
+        prop_assert!((back.value() - power_mw).abs() / power_mw < 1e-9);
+    }
+
+    /// Loss ↔ linear transmission round-trips for any loss in a sane range.
+    #[test]
+    fn loss_linear_roundtrip(loss_db in 0.001f64..60.0) {
+        let loss = DecibelLoss::new(loss_db);
+        let back = DecibelLoss::from_linear_transmission(loss.to_linear_transmission());
+        prop_assert!((back.value() - loss_db).abs() < 1e-9);
+    }
+
+    /// The Lorentzian response is bounded in (0, 1] and symmetric around its
+    /// centre.
+    #[test]
+    fn lorentzian_bounded_and_symmetric(
+        q in 1000.0f64..50_000.0,
+        detuning in -20.0f64..20.0,
+    ) {
+        let line = Lorentzian::from_q_factor(Nanometers::new(1550.0), q);
+        let plus = line.response(Nanometers::new(1550.0 + detuning));
+        let minus = line.response(Nanometers::new(1550.0 - detuning));
+        prop_assert!(plus > 0.0 && plus <= 1.0);
+        prop_assert!((plus - minus).abs() < 1e-12);
+    }
+
+    /// Detuning inversion: for any achievable transmission the MR reproduces
+    /// it after tuning.
+    #[test]
+    fn mr_detuning_roundtrip(target in 0.01f64..0.999) {
+        let ring = Microring::new(MrGeometry::optimized(), Nanometers::new(1550.0));
+        let target = target.max(ring.min_transmission() + 1e-6);
+        let detuning = ring.detuning_for_transmission(target).unwrap();
+        let got = ring.through_transmission(ring.resonance() + detuning);
+        prop_assert!((got - target).abs() < 1e-6);
+    }
+
+    /// Through transmission is always within [extinction floor, 1].
+    #[test]
+    fn mr_transmission_bounded(offset_nm in -50.0f64..50.0) {
+        let ring = Microring::new(MrGeometry::optimized(), Nanometers::new(1550.0));
+        let t = ring.through_transmission(Nanometers::new(1550.0 + offset_nm));
+        prop_assert!(t >= ring.min_transmission() - 1e-12);
+        prop_assert!(t <= 1.0 + 1e-12);
+    }
+
+    /// Thermal phase-crosstalk ratio is in (0, 1], monotonically decreasing
+    /// with distance, and multiplicative over distance (exponential law).
+    #[test]
+    fn thermal_crosstalk_exponential_law(d in 0.1f64..100.0) {
+        let model = ThermalCrosstalkModel::default();
+        let r1 = model.phase_crosstalk_ratio(Micrometers::new(d));
+        let r2 = model.phase_crosstalk_ratio(Micrometers::new(2.0 * d));
+        prop_assert!(r1 > 0.0 && r1 <= 1.0);
+        prop_assert!(r2 <= r1);
+        prop_assert!((r2 - r1 * r1).abs() < 1e-9);
+    }
+
+    /// Laser power requirement is monotone in both loss and channel count.
+    #[test]
+    fn laser_power_monotone(
+        loss_a in 0.0f64..30.0,
+        extra in 0.0f64..30.0,
+        channels in 1usize..64,
+    ) {
+        let model = LaserPowerModel::paper();
+        let base = model
+            .required_optical_power(DecibelLoss::new(loss_a), channels)
+            .unwrap()
+            .value();
+        let lossier = model
+            .required_optical_power(DecibelLoss::new(loss_a + extra), channels)
+            .unwrap()
+            .value();
+        let wider = model
+            .required_optical_power(DecibelLoss::new(loss_a), channels * 2)
+            .unwrap()
+            .value();
+        prop_assert!(lossier >= base - 1e-12);
+        prop_assert!(wider >= base - 1e-12);
+    }
+
+    /// Loss budgets only ever grow as components are added.
+    #[test]
+    fn loss_budget_monotone(
+        waveguide_um in 0.0f64..50_000.0,
+        splitters in 0usize..64,
+        mrs in 0usize..64,
+    ) {
+        let mut budget = LossBudget::new(LossModel::paper());
+        let mut previous = budget.total().value();
+        budget.add_propagation(Micrometers::new(waveguide_um));
+        prop_assert!(budget.total().value() >= previous - 1e-12);
+        previous = budget.total().value();
+        budget.add_splitters(splitters);
+        prop_assert!(budget.total().value() >= previous - 1e-12);
+        previous = budget.total().value();
+        budget.add_mr_through(mrs);
+        prop_assert!(budget.total().value() >= previous - 1e-12);
+    }
+
+    /// Bank resolution never improves when MRs are added or spacing shrinks.
+    #[test]
+    fn resolution_monotone(
+        count in 2usize..24,
+        spacing in 0.2f64..2.0,
+    ) {
+        let more_mrs =
+            bank_resolution_bits(count + 4, Nanometers::new(spacing), 8000.0, 16).unwrap();
+        let base = bank_resolution_bits(count, Nanometers::new(spacing), 8000.0, 16).unwrap();
+        let tighter =
+            bank_resolution_bits(count, Nanometers::new(spacing / 2.0), 8000.0, 16).unwrap();
+        prop_assert!(more_mrs <= base);
+        prop_assert!(tighter <= base);
+    }
+}

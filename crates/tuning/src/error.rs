@@ -1,0 +1,92 @@
+//! Error types for the tuning substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tuning-circuit models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TuningError {
+    /// A requested resonance shift exceeds the range of the selected tuner.
+    ShiftOutOfRange {
+        /// Requested shift magnitude in nanometres.
+        requested_nm: f64,
+        /// Maximum shift the tuner can produce in nanometres.
+        max_nm: f64,
+    },
+    /// A matrix passed to the eigen-solver or TED was malformed.
+    InvalidMatrix {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Mismatched vector length (e.g. phase targets vs. bank size).
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Length that was provided.
+        actual: usize,
+    },
+    /// The Jacobi eigen-solver failed to converge within its sweep limit.
+    EigenNotConverged {
+        /// Off-diagonal norm remaining when the sweep limit was hit.
+        off_diagonal_norm: f64,
+    },
+}
+
+impl fmt::Display for TuningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShiftOutOfRange { requested_nm, max_nm } => write!(
+                f,
+                "requested shift of {requested_nm} nm exceeds the tuner range of {max_nm} nm"
+            ),
+            Self::InvalidMatrix { reason } => write!(f, "invalid matrix: {reason}"),
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "expected a vector of length {expected}, got {actual}")
+            }
+            Self::EigenNotConverged { off_diagonal_norm } => write!(
+                f,
+                "eigen-solver did not converge (off-diagonal norm {off_diagonal_norm})"
+            ),
+        }
+    }
+}
+
+impl Error for TuningError {}
+
+/// Convenience result alias for tuning operations.
+pub type Result<T> = std::result::Result<T, TuningError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let errors = [
+            TuningError::ShiftOutOfRange {
+                requested_nm: 3.0,
+                max_nm: 1.0,
+            },
+            TuningError::InvalidMatrix {
+                reason: "not symmetric".into(),
+            },
+            TuningError::DimensionMismatch {
+                expected: 10,
+                actual: 3,
+            },
+            TuningError::EigenNotConverged {
+                off_diagonal_norm: 0.1,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TuningError>();
+    }
+}

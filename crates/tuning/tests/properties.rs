@@ -1,0 +1,100 @@
+//! Property-based tests for the tuning substrate.
+
+use crosslight_photonics::thermal::{Microheater, ThermalCrosstalkModel};
+use crosslight_photonics::units::{Micrometers, Nanometers, Radians};
+use crosslight_tuning::eigen::{jacobi_eigen, SymmetricMatrix};
+use crosslight_tuning::hybrid::HybridTuner;
+use crosslight_tuning::ted::TedSolver;
+use proptest::prelude::*;
+
+/// Strategy producing small random symmetric positive-ish matrices built the
+/// same way the thermal crosstalk matrices are (exponential decay), so the
+/// eigen-solver is exercised on realistic inputs of varying size and density.
+fn crosstalk_matrix_strategy() -> impl Strategy<Value = (usize, f64)> {
+    (2usize..12, 1.0f64..30.0)
+}
+
+proptest! {
+    /// The Jacobi solver reconstructs the original matrix from its
+    /// eigen-decomposition.
+    #[test]
+    fn eigen_reconstruction((n, spacing) in crosstalk_matrix_strategy()) {
+        let matrix = ThermalCrosstalkModel::default()
+            .crosstalk_matrix(n, Micrometers::new(spacing))
+            .unwrap();
+        let sym = SymmetricMatrix::new(n, matrix.as_slice().to_vec()).unwrap();
+        let d = jacobi_eigen(&sym).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..n {
+                    sum += d.eigenvectors[i * n + k]
+                        * d.eigenvalues[k]
+                        * d.eigenvectors[j * n + k];
+                }
+                prop_assert!((sum - sym.get(i, j)).abs() < 1e-7);
+            }
+        }
+        // Trace is preserved.
+        let trace: f64 = (0..n).map(|i| sym.get(i, i)).sum();
+        let eig_sum: f64 = d.eigenvalues.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-7);
+    }
+
+    /// TED heater phases are always non-negative and realise the requested
+    /// targets (up to the common-mode offset) for arbitrary positive targets.
+    #[test]
+    fn ted_solution_is_physical(
+        (n, spacing) in (3usize..12, 3.0f64..25.0),
+        seed_phase in 0.05f64..1.5,
+    ) {
+        let matrix = ThermalCrosstalkModel::default()
+            .crosstalk_matrix(n, Micrometers::new(spacing))
+            .unwrap();
+        let solver = TedSolver::with_table_ii_heater(&matrix).unwrap();
+        let targets: Vec<Radians> = (0..n)
+            .map(|i| Radians::new(seed_phase * (1.0 + 0.4 * ((i as f64) * 0.9).cos())))
+            .collect();
+        let solution = solver.solve(&targets).unwrap();
+        for p in &solution.heater_phases {
+            prop_assert!(p.value() >= -1e-9);
+        }
+        prop_assert!(solution.common_mode_offset.value() >= -1e-12);
+        prop_assert!(solution.total_power.value() >= 0.0);
+    }
+
+    /// TED never costs more than naive per-heater compensation at the
+    /// practical spacings CrossLight uses (≥ 3 µm).
+    #[test]
+    fn ted_no_worse_than_naive(
+        n in 4usize..12,
+        spacing in 3.0f64..25.0,
+        seed_phase in 0.05f64..1.2,
+    ) {
+        let matrix = ThermalCrosstalkModel::default()
+            .crosstalk_matrix(n, Micrometers::new(spacing))
+            .unwrap();
+        let solver = TedSolver::with_table_ii_heater(&matrix).unwrap();
+        let targets: Vec<Radians> = (0..n)
+            .map(|i| Radians::new(seed_phase * (1.0 + 0.3 * ((i as f64) * 1.7).sin())))
+            .collect();
+        let ted = solver.solve(&targets).unwrap().total_power.value();
+        let naive = solver.naive_power(&targets).unwrap().value();
+        prop_assert!(ted <= naive * (1.0 + 1e-9));
+    }
+
+    /// The hybrid tuner always picks the mechanism that can actually reach the
+    /// shift, and its power never exceeds the pure-TO cost of the same shift.
+    #[test]
+    fn hybrid_plan_is_valid(shift_nm in -17.9f64..17.9) {
+        let tuner = HybridTuner::paper();
+        let plan = tuner.plan_shift(Nanometers::new(shift_nm));
+        if plan.is_electro_optic() {
+            prop_assert!(tuner.eo().can_reach(plan.shift));
+        } else {
+            prop_assert!(tuner.to().can_reach(plan.shift));
+        }
+        let to_cost = Microheater::table_ii().power_for_shift(plan.shift.value(), 18.0);
+        prop_assert!(plan.power.value() <= to_cost + 1e-9);
+    }
+}

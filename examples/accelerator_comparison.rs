@@ -1,0 +1,35 @@
+//! Reproduces the paper's headline comparison (Fig. 7, Fig. 8 and Table III):
+//! the four CrossLight variants against DEAP-CNN, HolyLight and the
+//! electronic platforms.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use crosslight::experiments::{fig7_power, fig8_epb, table3_summary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Fig. 7 — power consumption comparison ===\n");
+    let power = fig7_power::run()?;
+    print!("{}", power.table().render());
+
+    println!("\n=== Fig. 8 — per-model EPB (pJ/bit) of the photonic accelerators ===\n");
+    let epb = fig8_epb::run()?;
+    print!("{}", epb.table().render());
+
+    println!("\n=== Table III — average EPB and kFPS/W ===\n");
+    let summary = table3_summary::run()?;
+    print!("{}", summary.table().render());
+
+    println!(
+        "\nCross_opt_TED vs Holylight : {:.1}x lower EPB, {:.1}x higher kFPS/W (paper: 9.5x / 15.9x)",
+        summary.epb_improvement_vs_holylight, summary.ppw_improvement_vs_holylight
+    );
+    println!(
+        "Cross_opt_TED vs DEAP-CNN  : {:.0}x lower EPB (paper: 1544x)",
+        summary.epb_improvement_vs_deap
+    );
+    Ok(())
+}

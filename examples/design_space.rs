@@ -1,0 +1,37 @@
+//! Reproduces the Fig. 6 architecture design-space exploration: sweeping
+//! (N, K, n, m) and reporting FPS vs. EPB vs. area.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use crosslight::experiments::fig6_design_space::{self, AREA_CAP_MM2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Fig. 6 — FPS vs. EPB vs. area design-space exploration ===\n");
+    let sweep = fig6_design_space::run(&fig6_design_space::paper_candidates())?;
+    print!("{}", sweep.table().render());
+
+    println!(
+        "\n{} of {} candidates satisfy the {:.0} mm² area constraint",
+        sweep.points.iter().filter(|p| p.within_area_cap).count(),
+        sweep.points.len(),
+        AREA_CAP_MM2
+    );
+    println!(
+        "best in-cap configuration by FPS/EPB: (N, K, n, m) = ({}, {}, {}, {})",
+        sweep.best.conv_unit_size,
+        sweep.best.fc_unit_size,
+        sweep.best.conv_units,
+        sweep.best.fc_units
+    );
+    if let Some(paper) = sweep.paper_point {
+        println!(
+            "paper's published best (20, 150, 100, 60): {:.1} FPS, {:.4} pJ/bit, {:.1} mm²",
+            paper.avg_fps, paper.avg_epb_pj, paper.area_mm2
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Reproduces the Fig. 5 accuracy-vs-resolution study on the synthetic
+//! stand-in datasets, and relates it to the architecture's achievable
+//! resolution (§V.B).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quantization_study
+//! ```
+
+use crosslight::experiments::fig5_accuracy::{self, AccuracyStudyConfig};
+use crosslight::experiments::resolution_analysis;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Section V.B — achievable resolution vs. MRs per bank ===\n");
+    let analysis = resolution_analysis::run(20);
+    print!("{}", analysis.table().render());
+    println!(
+        "\nHolyLight microdisk resolution: {} bits per device (combined 8x to reach 16)",
+        analysis.microdisk_bits
+    );
+
+    println!("\n=== Fig. 5 — accuracy (%) vs. weight/activation resolution ===");
+    println!("(surrogate models on synthetic stand-in datasets; see DESIGN.md)\n");
+    let config = AccuracyStudyConfig {
+        bit_widths: vec![1, 2, 3, 4, 6, 8, 12, 16],
+        samples_per_class: 20,
+        epochs: 15,
+        seed: 2021,
+    };
+    let study = fig5_accuracy::run(&config)?;
+    print!("{}", study.table().render());
+
+    println!("\nfull-precision reference accuracies:");
+    for curve in &study.curves {
+        println!(
+            "  {:<28} {:>5.1} %",
+            curve.dataset,
+            curve.full_precision_accuracy * 100.0
+        );
+    }
+    Ok(())
+}

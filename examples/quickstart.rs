@@ -1,0 +1,51 @@
+//! Quickstart: evaluate CrossLight on one model and print the headline
+//! metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use crosslight::core::prelude::*;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("CrossLight quickstart — paper-best configuration, Cross_opt_TED variant\n");
+
+    let simulator = CrossLightSimulator::new(CrossLightVariant::OptTed.config());
+    println!(
+        "architecture: N={}, K={}, n={}, m={} ({} MRs total)\n",
+        simulator.config().conv_unit_size,
+        simulator.config().fc_unit_size,
+        simulator.config().conv_units,
+        simulator.config().fc_units,
+        simulator.config().total_mrs(),
+    );
+
+    println!(
+        "{:<28} {:>12} {:>10} {:>14} {:>12}",
+        "model", "FPS", "power (W)", "EPB (pJ/bit)", "kFPS/W"
+    );
+    for model in PaperModel::all() {
+        let workload = NetworkWorkload::from_spec(&model.spec())?;
+        let report = simulator.evaluate(&workload)?;
+        println!(
+            "{:<28} {:>12.1} {:>10.2} {:>14.4} {:>12.2}",
+            model.spec().name,
+            report.metrics.fps,
+            report.power.total_watts().value(),
+            report.metrics.energy_per_bit_pj,
+            report.metrics.kfps_per_watt,
+        );
+    }
+
+    println!(
+        "\nachievable MR-bank resolution: {} bits (paper: 16 bits at 15 MRs per bank)",
+        simulator
+            .evaluate(&NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec())?)?
+            .resolution_bits
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Device- and circuit-level walk-through: fabrication-process variation,
+//! thermal crosstalk, and TED-based collective tuning (paper §IV.A–B,
+//! Fig. 4).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example thermal_tuning
+//! ```
+
+use crosslight::experiments::{device_dse, fig4_crosstalk};
+use crosslight::photonics::fpv::FpvModel;
+use crosslight::photonics::mr::MrGeometry;
+use crosslight::tuning::hybrid::HybridTuner;
+use crosslight::photonics::units::Nanometers;
+
+fn main() {
+    println!("=== Section IV.A — MR design-space exploration under FPV ===\n");
+    let dse = device_dse::run(20_000, 42);
+    print!("{}", dse.table().render());
+    println!(
+        "\nworst-case drift: conventional {:.2} nm -> optimized {:.2} nm ({:.0}% reduction; paper: 7.1 -> 2.1 nm)",
+        dse.conventional_drift_nm,
+        dse.optimized_drift_nm,
+        dse.reduction * 100.0
+    );
+
+    println!("\n=== Section IV.B — hybrid tuning decisions ===\n");
+    let tuner = HybridTuner::paper();
+    let fpv = FpvModel::new(MrGeometry::optimized(), Default::default());
+    for shift in [
+        Nanometers::new(0.05),
+        Nanometers::new(0.3),
+        fpv.mean_absolute_drift(),
+        Nanometers::new(2.1),
+    ] {
+        let plan = tuner.plan_shift(shift);
+        println!(
+            "shift {:>6.2} nm -> {:?}: {:.4} mW, {:.1} ns",
+            shift.value(),
+            plan.mechanism,
+            plan.power.value(),
+            plan.latency.to_nanos()
+        );
+    }
+
+    println!("\n=== Fig. 4 — crosstalk ratio and tuning power vs. MR spacing ===\n");
+    let sweep = fig4_crosstalk::run(&fig4_crosstalk::paper_spacings());
+    print!("{}", sweep.table().render());
+    println!(
+        "\noptimal spacing for TED collective tuning: {} um (paper: 5 um)",
+        sweep.optimal_spacing_um
+    );
+}

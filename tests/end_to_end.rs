@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: model → workload → accelerator simulation →
+//! comparison, exercising the whole stack the way the paper's evaluation does.
+
+use crosslight::baselines::accelerator::{CrossLightAccelerator, PhotonicAccelerator};
+use crosslight::baselines::{DeapCnn, HolyLight};
+use crosslight::core::prelude::*;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+
+fn workloads() -> Vec<NetworkWorkload> {
+    PaperModel::all()
+        .iter()
+        .map(|m| NetworkWorkload::from_spec(&m.spec()).expect("workload composes"))
+        .collect()
+}
+
+#[test]
+fn full_stack_simulation_for_every_table_i_model() {
+    let simulator = CrossLightSimulator::new(CrossLightVariant::OptTed.config());
+    for (model, workload) in PaperModel::all().iter().zip(workloads()) {
+        let report = simulator.evaluate(&workload).expect("simulation succeeds");
+        assert!(
+            report.metrics.fps > 0.0 && report.metrics.fps.is_finite(),
+            "{model:?} FPS"
+        );
+        assert!(report.metrics.energy_per_bit_pj > 0.0);
+        assert!(report.power.total_watts().value() > 1.0);
+        assert!(report.area.total().value() > 1.0);
+        assert_eq!(report.resolution_bits, 16);
+    }
+}
+
+#[test]
+fn variant_ordering_holds_for_every_model() {
+    // Fig. 8: Cross_opt_TED has the lowest EPB on every model, and the
+    // variants are ordered by how much cross-layer optimization they apply.
+    for workload in workloads() {
+        let epb = |variant: CrossLightVariant| {
+            CrossLightAccelerator::new(variant)
+                .evaluate(&workload)
+                .expect("evaluation succeeds")
+                .energy_per_bit_pj
+        };
+        let base = epb(CrossLightVariant::Base);
+        let base_ted = epb(CrossLightVariant::BaseTed);
+        let opt = epb(CrossLightVariant::Opt);
+        let opt_ted = epb(CrossLightVariant::OptTed);
+        assert!(base > base_ted, "{}: {base} vs {base_ted}", workload.name);
+        assert!(base > opt, "{}: {base} vs {opt}", workload.name);
+        assert!(base_ted > opt_ted, "{}: {base_ted} vs {opt_ted}", workload.name);
+        assert!(opt > opt_ted, "{}: {opt} vs {opt_ted}", workload.name);
+    }
+}
+
+#[test]
+fn headline_claims_hold_on_average() {
+    // Conclusion of the paper: lower EPB and higher performance-per-watt than
+    // the best prior photonic accelerator (HolyLight), and orders of magnitude
+    // better than DEAP-CNN.
+    let workloads = workloads();
+    let crosslight = CrossLightAccelerator::new(CrossLightVariant::OptTed)
+        .evaluate_average(&workloads)
+        .expect("evaluation succeeds");
+    let holylight = HolyLight::new()
+        .evaluate_average(&workloads)
+        .expect("evaluation succeeds");
+    let deap = DeapCnn::new()
+        .evaluate_average(&workloads)
+        .expect("evaluation succeeds");
+
+    assert!(crosslight.energy_per_bit_pj < holylight.energy_per_bit_pj / 3.0);
+    assert!(crosslight.kfps_per_watt > holylight.kfps_per_watt * 3.0);
+    assert!(crosslight.energy_per_bit_pj < deap.energy_per_bit_pj / 200.0);
+    // All photonic accelerators sit inside the paper's area window (§V.D),
+    // give or take the wide-spacing penalty DEAP pays.
+    for report in [&crosslight, &holylight, &deap] {
+        assert!(report.area_mm2 > 10.0 && report.area_mm2 < 40.0);
+    }
+}
+
+#[test]
+fn trained_surrogate_workloads_map_onto_the_accelerator() {
+    use crosslight::neural::datasets::generate_synthetic;
+    use crosslight::neural::train::{train, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Train a small surrogate, extract its workload from the live network
+    // (not the spec), and run it through the simulator.
+    let spec = PaperModel::Lenet5SignMnist.spec();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut surrogate = spec.build_surrogate(&mut rng).expect("surrogate builds");
+    let dataset = generate_synthetic(&spec.surrogate_dataset(8), &mut rng).expect("dataset");
+    let (train_split, _) = dataset.split(0.8);
+    train(
+        &mut surrogate,
+        &train_split,
+        &TrainConfig {
+            epochs: 3,
+            learning_rate: 0.05,
+            batch_size: 8,
+        },
+    )
+    .expect("training succeeds");
+
+    let workload = NetworkWorkload::from_sequential(&surrogate).expect("workload extracts");
+    assert!(!workload.conv_layers.is_empty());
+    assert!(!workload.fc_layers.is_empty());
+    let simulator = CrossLightSimulator::new(CrossLightConfig::paper_best());
+    let report = simulator.evaluate(&workload).expect("simulation succeeds");
+    assert!(report.metrics.fps > 0.0);
+}
+
+#[test]
+fn experiment_harness_smoke_runs() {
+    use crosslight::experiments::fig4_crosstalk;
+    use crosslight::experiments::resolution_analysis;
+
+    let sweep = fig4_crosstalk::run(&[2.0, 5.0, 10.0]);
+    assert_eq!(sweep.rows.len(), 3);
+    let analysis = resolution_analysis::run(16);
+    assert_eq!(analysis.row_for(15).expect("row").crosslight_bits, 16);
+}

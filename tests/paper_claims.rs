@@ -1,0 +1,132 @@
+//! Integration tests asserting the paper's numbered claims, one test per
+//! claim, so `cargo test --test paper_claims` doubles as a reproduction
+//! checklist.
+
+use crosslight::core::prelude::*;
+use crosslight::neural::zoo::PaperModel;
+use crosslight::photonics::fpv::FpvModel;
+use crosslight::photonics::mr::MrGeometry;
+use crosslight::tuning::hybrid::HybridTuner;
+use crosslight::photonics::units::Nanometers;
+
+/// §IV.A: the 400/800 nm waveguide design reduces FPV-induced drift from
+/// ~7.1 nm to ~2.1 nm — a ~70% reduction.
+#[test]
+fn claim_device_level_fpv_reduction() {
+    let conventional = FpvModel::new(MrGeometry::conventional(), Default::default());
+    let optimized = FpvModel::new(MrGeometry::optimized(), Default::default());
+    let reduction =
+        1.0 - optimized.worst_case_drift().value() / conventional.worst_case_drift().value();
+    assert!((conventional.worst_case_drift().value() - 7.1).abs() < 0.8);
+    assert!((optimized.worst_case_drift().value() - 2.1).abs() < 0.3);
+    assert!((reduction - 0.70).abs() < 0.05);
+}
+
+/// §IV.B / Fig. 4: the TED-based tuning power has its minimum near 5 µm MR
+/// spacing and is well below the non-TED power there.
+#[test]
+fn claim_circuit_level_ted_optimum() {
+    use crosslight::experiments::fig4_crosstalk;
+    let sweep = fig4_crosstalk::run(&fig4_crosstalk::paper_spacings());
+    assert!((sweep.optimal_spacing_um - 5.0).abs() < 1.6);
+    let at_optimum = sweep
+        .rows
+        .iter()
+        .find(|r| (r.spacing_um - sweep.optimal_spacing_um).abs() < 1e-9)
+        .expect("optimum row");
+    assert!(at_optimum.ted_power_mw < 0.8 * at_optimum.naive_power_mw);
+}
+
+/// §V.B: with the optimized MRs and wavelength reuse, a 15-MR bank reaches
+/// 16-bit resolution.
+#[test]
+fn claim_sixteen_bit_resolution() {
+    let simulator = CrossLightSimulator::new(CrossLightVariant::OptTed.config());
+    let workload = crosslight::neural::workload::NetworkWorkload::from_spec(
+        &PaperModel::Lenet5SignMnist.spec(),
+    )
+    .expect("workload composes");
+    assert_eq!(
+        simulator.evaluate(&workload).expect("simulates").resolution_bits,
+        16
+    );
+}
+
+/// §IV.B: value imprinting is electro-optic — 20 ns latency and microwatt
+/// power — while large FPV shifts fall back to the thermo-optic heater.
+#[test]
+fn claim_hybrid_tuning_behaviour() {
+    let tuner = HybridTuner::paper();
+    let value_shift = tuner.plan_shift(Nanometers::new(0.1));
+    assert!(value_shift.is_electro_optic());
+    assert!((value_shift.latency.to_nanos() - 20.0).abs() < 1e-9);
+    assert!(value_shift.power.to_microwatts() < 1.0);
+    let fpv_shift = tuner.plan_shift(Nanometers::new(2.1));
+    assert!(!fpv_shift.is_electro_optic());
+    assert!((fpv_shift.latency.to_micros() - 4.0).abs() < 1e-9);
+}
+
+/// Table I: the four evaluated models have the published layer counts and
+/// parameter counts (within 1%).
+#[test]
+fn claim_table_i_models() {
+    let expected = [
+        (PaperModel::Lenet5SignMnist, 2, 2, 60_074usize),
+        (PaperModel::CnnCifar10, 4, 2, 890_410),
+        (PaperModel::CnnStl10, 7, 2, 3_204_080),
+        (PaperModel::SiameseOmniglot, 8, 4, 38_951_745),
+    ];
+    for (model, conv, fc, params) in expected {
+        let spec = model.spec();
+        let (got_conv, got_fc) = spec.layer_counts();
+        assert_eq!(got_conv, conv);
+        assert_eq!(got_fc, fc);
+        let rel = (spec.parameter_count() as f64 - params as f64).abs() / params as f64;
+        assert!(rel < 0.01, "{model:?}: {} vs {params}", spec.parameter_count());
+    }
+}
+
+/// §V.C / Fig. 6: the configuration used for all comparisons is
+/// (N, K, n, m) = (20, 150, 100, 60) and it fits the paper's area window.
+#[test]
+fn claim_best_configuration_dimensions_and_area() {
+    let config = CrossLightConfig::paper_best();
+    assert_eq!(
+        (
+            config.conv_unit_size,
+            config.fc_unit_size,
+            config.conv_units,
+            config.fc_units
+        ),
+        (20, 150, 100, 60)
+    );
+    let area = crosslight::core::area::accelerator_area(&config).total().value();
+    assert!((14.0..=26.0).contains(&area), "area {area} mm²");
+}
+
+/// Conclusion / Table III: CrossLight (opt_TED) achieves lower EPB and higher
+/// performance-per-watt than the photonic state of the art, by factors of the
+/// same order as the paper's 9.5× / 15.9× (HolyLight) and 1544× (DEAP-CNN).
+#[test]
+fn claim_headline_improvement_factors() {
+    let summary = crosslight::experiments::table3_summary::run().expect("summary runs");
+    assert!(summary.epb_improvement_vs_holylight > 3.0);
+    assert!(summary.epb_improvement_vs_holylight < 40.0);
+    assert!(summary.ppw_improvement_vs_holylight > 3.0);
+    assert!(summary.ppw_improvement_vs_holylight < 60.0);
+    assert!(summary.epb_improvement_vs_deap > 200.0);
+}
+
+/// Fig. 7: CrossLight's power sits below the CPUs, the GPU and both photonic
+/// baselines, but above the edge electronic accelerators.
+#[test]
+fn claim_power_positioning() {
+    let comparison = crosslight::experiments::fig7_power::run().expect("comparison runs");
+    let p = |name: &str| comparison.power_of(name).expect(name);
+    for heavier in ["DEAP_CNN", "Holylight", "P100", "IXP 9282", "AMD-TR"] {
+        assert!(p("Cross_opt_TED") < p(heavier));
+    }
+    for lighter in ["Edge TPU", "Null Hop"] {
+        assert!(p("Cross_opt_TED") > p(lighter));
+    }
+}
