@@ -23,10 +23,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crosslight_core::area::accelerator_area;
 use crosslight_core::config::{CrossLightConfig, DesignChoices};
 use crosslight_core::performance::inference_metrics;
 use crosslight_core::power::accelerator_power;
-use crosslight_core::area::accelerator_area;
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_photonics::mr::MrGeometry;
 use crosslight_photonics::units::Micrometers;

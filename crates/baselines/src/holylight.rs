@@ -120,10 +120,7 @@ impl HolyLight {
         budget.add_splitters(1);
         let model = LaserPowerModel::paper();
         let per_wavelength = model
-            .required_electrical_power(
-                budget.total() + DecibelLoss::new(0.0),
-                self.unit_size,
-            )
+            .required_electrical_power(budget.total() + DecibelLoss::new(0.0), self.unit_size)
             .expect("valid loss budget");
         per_wavelength * (self.unit_size * self.units) as f64
     }
@@ -135,8 +132,8 @@ impl HolyLight {
         // so they drift like conventional devices; each disk holds a thermal
         // trim of the mean absolute drift.
         let fpv = FpvModel::new(MrGeometry::conventional(), ProcessCorner::typical());
-        let per_disk =
-            Microheater::table_ii().power_for_shift(fpv.mean_absolute_drift().value(), CONVENTIONAL_FSR_NM);
+        let per_disk = Microheater::table_ii()
+            .power_for_shift(fpv.mean_absolute_drift().value(), CONVENTIONAL_FSR_NM);
         MilliWatts::new(per_disk * (self.disks_per_unit() * self.units) as f64)
     }
 

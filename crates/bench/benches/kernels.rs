@@ -66,7 +66,11 @@ fn bench_simulator(c: &mut Criterion) {
     let workload =
         NetworkWorkload::from_spec(&PaperModel::CnnCifar10.spec()).expect("valid workload");
     c.bench_function("crosslight_simulator_cifar10", |b| {
-        b.iter(|| simulator.evaluate(black_box(&workload)).expect("valid workload"))
+        b.iter(|| {
+            simulator
+                .evaluate(black_box(&workload))
+                .expect("valid workload")
+        })
     });
 }
 

@@ -12,7 +12,10 @@ use crosslight_experiments::{
 
 fn bench_device_dse(c: &mut Criterion) {
     let result = device_dse::run(5_000, 2021);
-    print_table("Section IV.A device design-space exploration", &result.table());
+    print_table(
+        "Section IV.A device design-space exploration",
+        &result.table(),
+    );
     println!(
         "conventional drift {:.2} nm -> optimized {:.2} nm ({:.0}% reduction; paper: 7.1 -> 2.1 nm, 70%)",
         result.conventional_drift_nm,
@@ -26,8 +29,14 @@ fn bench_device_dse(c: &mut Criterion) {
 
 fn bench_fig4(c: &mut Criterion) {
     let sweep = fig4_crosstalk::run(&fig4_crosstalk::paper_spacings());
-    print_table("Fig. 4 — crosstalk ratio and tuning power vs. MR spacing", &sweep.table());
-    println!("optimal TED spacing: {} um (paper: 5 um)", sweep.optimal_spacing_um);
+    print_table(
+        "Fig. 4 — crosstalk ratio and tuning power vs. MR spacing",
+        &sweep.table(),
+    );
+    println!(
+        "optimal TED spacing: {} um (paper: 5 um)",
+        sweep.optimal_spacing_um
+    );
     c.bench_function("fig4_crosstalk_sweep", |b| {
         b.iter(|| fig4_crosstalk::run(black_box(&fig4_crosstalk::paper_spacings())))
     });
@@ -35,7 +44,10 @@ fn bench_fig4(c: &mut Criterion) {
 
 fn bench_fig5(c: &mut Criterion) {
     let study = fig5_accuracy::run(&AccuracyStudyConfig::quick()).expect("study runs");
-    print_table("Fig. 5 — accuracy (%) vs. weight/activation resolution", &study.table());
+    print_table(
+        "Fig. 5 — accuracy (%) vs. weight/activation resolution",
+        &study.table(),
+    );
     // The timed loop uses a minimal configuration so the bench finishes
     // quickly; the printed table above uses the fuller quick() sweep.
     let tiny = AccuracyStudyConfig {
@@ -54,15 +66,17 @@ fn bench_fig5(c: &mut Criterion) {
 
 fn bench_resolution(c: &mut Criterion) {
     let analysis = resolution_analysis::run(20);
-    print_table("Section V.B — achievable resolution vs. MRs per bank", &analysis.table());
+    print_table(
+        "Section V.B — achievable resolution vs. MRs per bank",
+        &analysis.table(),
+    );
     c.bench_function("resolution_analysis", |b| {
         b.iter(|| resolution_analysis::run(black_box(20)))
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
-    let sweep =
-        fig6_design_space::run(&fig6_design_space::paper_candidates()).expect("sweep runs");
+    let sweep = fig6_design_space::run(&fig6_design_space::paper_candidates()).expect("sweep runs");
     print_table("Fig. 6 — FPS vs. EPB vs. area design space", &sweep.table());
     println!(
         "best in-cap configuration: (N, K, n, m) = ({}, {}, {}, {}) [paper: (20, 150, 100, 60)]",
@@ -97,7 +111,10 @@ fn bench_fig7(c: &mut Criterion) {
 
 fn bench_fig8(c: &mut Criterion) {
     let comparison = fig8_epb::run().expect("comparison runs");
-    print_table("Fig. 8 — per-model EPB (pJ/bit) of the photonic accelerators", &comparison.table());
+    print_table(
+        "Fig. 8 — per-model EPB (pJ/bit) of the photonic accelerators",
+        &comparison.table(),
+    );
     let mut group = c.benchmark_group("fig8_epb");
     group.sample_size(10);
     group.bench_function("evaluate_per_model_epb", |b| {

@@ -7,7 +7,10 @@ use crosslight_experiments::table3_summary;
 
 fn bench_table3(c: &mut Criterion) {
     let summary = table3_summary::run().expect("summary runs");
-    print_table("Table III — average EPB and kFPS/W across accelerators", &summary.table());
+    print_table(
+        "Table III — average EPB and kFPS/W across accelerators",
+        &summary.table(),
+    );
     println!(
         "Cross_opt_TED vs Holylight: {:.1}x lower EPB, {:.1}x higher kFPS/W (paper: 9.5x, 15.9x)",
         summary.epb_improvement_vs_holylight, summary.ppw_improvement_vs_holylight

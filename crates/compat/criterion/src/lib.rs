@@ -1,0 +1,166 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the slice of the Criterion API the CrossLight benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — as a small
+//! wall-clock harness: each bench warms up briefly, then runs enough
+//! iterations to fill a fixed measurement window and reports mean time per
+//! iteration. Statistical machinery (outlier rejection, HTML reports) is out
+//! of scope; the point is that `cargo bench` runs, prints comparable numbers,
+//! and `cargo bench --no-run` keeps the perf surface compiling in CI.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name Criterion exposes.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly inside the measurement window, keeping its
+    /// output alive so the optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a handful of untimed calls to populate caches.
+        for _ in 0..3 {
+            std_black_box(routine());
+        }
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < window {
+            std_black_box(routine());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.iterations == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let (value, unit) = if per_iter < 1e-6 {
+        (per_iter * 1e9, "ns")
+    } else if per_iter < 1e-3 {
+        (per_iter * 1e6, "µs")
+    } else if per_iter < 1.0 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter, "s")
+    };
+    println!(
+        "{name:<48} time: {value:>10.3} {unit}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed measurement window
+    /// makes the requested sample count moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group (`group/name` in the report).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name), &bencher);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_is_chainable() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,107 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// An inclusive-exclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = range.into_inner();
+        assert!(lo <= hi, "empty collection size range");
+        SizeRange { lo, hi: hi + 1 }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`, see [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Builds a strategy producing vectors whose elements come from `element`
+/// and whose length is drawn from `size` (an exact `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(vec(0.0f64..1.0, 7).new_value(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn ranged_size_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strategy = vec(0u32..5, 2..9);
+        for _ in 0..100 {
+            let v = strategy.new_value(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn zero_length_supported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(vec(0u32..5, 0).new_value(&mut rng).is_empty());
+    }
+}

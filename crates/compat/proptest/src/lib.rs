@@ -1,0 +1,175 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the strategy-combinator subset the CrossLight property tests use:
+//!
+//! * range strategies (`0.0f64..1.0`, `1usize..=16`, …),
+//! * tuple strategies up to arity 4,
+//! * [`collection::vec`] with fixed or ranged lengths,
+//! * [`Strategy::prop_map`] / [`Strategy::prop_flat_map`],
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling is
+//! plain uniform random (no integrated shrinking — a failing case prints its
+//! case number and seed instead of a minimised input), and execution is
+//! deterministic per test name, so failures reproduce exactly. The number of
+//! cases per property defaults to 64 and can be raised with the
+//! `PROPTEST_CASES` environment variable, matching the real crate's knob.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Number of random cases each property runs, from `PROPTEST_CASES` (default
+/// 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Builds the deterministic RNG for one property, seeded from the test name
+/// so distinct properties explore distinct streams but reruns are identical.
+pub fn new_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Everything a property test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each function parameter is drawn from its
+/// strategy once per case. In test modules, write `#[test]` above each
+/// property exactly as with the real crate; the attribute is re-emitted on
+/// the generated zero-argument function:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+///         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                let mut proptest_rng = $crate::new_rng(stringify!($name));
+                for proptest_case in 0..cases {
+                    let run = || {
+                        $(let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut proptest_rng);)+
+                        $body
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} \
+                             (rerun is deterministic per test name)",
+                            stringify!($name),
+                            proptest_case + 1,
+                            cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-level condition, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, concat!("property assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts property-level equality, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts property-level inequality, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Floats drawn from a range land inside it.
+        #[test]
+        fn range_strategy_in_bounds(x in 1.5f64..9.25) {
+            prop_assert!((1.5..9.25).contains(&x));
+        }
+
+        /// Tuple + map + flat-map compose the way the repo's tests use them.
+        #[test]
+        fn combinators_compose(
+            (rows, cols, data) in (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
+                crate::collection::vec(-2.0f32..2.0, r * c)
+                    .prop_map(move |data| (r, c, data))
+            }),
+        ) {
+            prop_assert_eq!(data.len(), rows * cols);
+            prop_assert!(data.iter().all(|v| (-2.0..2.0).contains(v)));
+        }
+
+        /// Ranged vec lengths respect their bounds.
+        #[test]
+        fn vec_length_ranges(values in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&values.len()));
+            prop_assert!(values.iter().all(|&v| v < 10));
+        }
+    }
+
+    #[test]
+    fn cases_env_default() {
+        assert!(cases_is_positive());
+    }
+
+    fn cases_is_positive() -> bool {
+        crate::cases() > 0
+    }
+}

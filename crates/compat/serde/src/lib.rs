@@ -1,0 +1,26 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The CrossLight workspace annotates its model/config types with
+//! `#[derive(Serialize, Deserialize)]` so they are wire-ready, but nothing in
+//! the repository actually serializes yet (no `serde_json`/`bincode`
+//! consumer). Because the build environment has no crates.io access, this
+//! proc-macro crate supplies the two derive macros as no-ops: the attribute
+//! positions stay valid and the annotated types compile unchanged, and the
+//! real `serde` can be dropped in later by swapping one workspace dependency
+//! line — no source edits required.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`. Accepts the derive position and
+/// emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`. Accepts the derive position and
+/// emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

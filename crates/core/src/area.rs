@@ -51,9 +51,8 @@ pub fn accelerator_area(config: &CrossLightConfig) -> AcceleratorArea {
     let mr_cell_um2 = config.design.mr_spacing.value() * MR_TRACK_WIDTH_UM;
     let mr_banks = SquareMillimeters::new(config.total_mrs() as f64 * mr_cell_um2 * 1e-6);
     let arm_devices = SquareMillimeters::new(config.total_arms() as f64 * ARM_OVERHEAD_MM2);
-    let unit_electronics = SquareMillimeters::new(
-        (config.conv_units + config.fc_units) as f64 * UNIT_OVERHEAD_MM2,
-    );
+    let unit_electronics =
+        SquareMillimeters::new((config.conv_units + config.fc_units) as f64 * UNIT_OVERHEAD_MM2);
     AcceleratorArea {
         mr_banks,
         arm_devices,
@@ -87,9 +86,10 @@ mod tests {
 
     #[test]
     fn area_grows_with_unit_count_and_size() {
-        let base = accelerator_area(&CrossLightConfig::paper_best()).total().value();
-        let fewer_units =
-            CrossLightConfig::new(20, 150, 50, 30, DesignChoices::default()).unwrap();
+        let base = accelerator_area(&CrossLightConfig::paper_best())
+            .total()
+            .value();
+        let fewer_units = CrossLightConfig::new(20, 150, 50, 30, DesignChoices::default()).unwrap();
         assert!(accelerator_area(&fewer_units).total().value() < base);
         let bigger_units =
             CrossLightConfig::new(40, 300, 100, 60, DesignChoices::default()).unwrap();
@@ -99,8 +99,10 @@ mod tests {
     #[test]
     fn wider_mr_spacing_increases_bank_area() {
         let tight = CrossLightConfig::paper_best();
-        let mut wide_design = DesignChoices::default();
-        wide_design.mr_spacing = Micrometers::new(120.0);
+        let wide_design = DesignChoices {
+            mr_spacing: Micrometers::new(120.0),
+            ..DesignChoices::default()
+        };
         let wide = tight.with_design(wide_design);
         assert!(
             accelerator_area(&wide).mr_banks.value()

@@ -246,8 +246,10 @@ mod tests {
     fn with_methods_override_fields() {
         let c = CrossLightConfig::paper_best().with_resolution_bits(8);
         assert_eq!(c.resolution_bits, 8);
-        let mut design = DesignChoices::default();
-        design.compensation = CrosstalkCompensation::Naive;
+        let design = DesignChoices {
+            compensation: CrosstalkCompensation::Naive,
+            ..DesignChoices::default()
+        };
         let c = c.with_design(design);
         assert_eq!(c.design.compensation, CrosstalkCompensation::Naive);
     }

@@ -40,7 +40,11 @@ impl DecompositionPlan {
         Ok(Self {
             length,
             chunk,
-            chunks: if length == 0 { 0 } else { length.div_ceil(chunk) },
+            chunks: if length == 0 {
+                0
+            } else {
+                length.div_ceil(chunk)
+            },
         })
     }
 

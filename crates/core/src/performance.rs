@@ -126,10 +126,8 @@ pub fn inference_metrics(
     let total_latency = latency.total();
     let fps = 1.0 / total_latency.value();
     let total_power = power.total_watts();
-    let energy_per_inference =
-        Picojoules::from_power_time(power.total(), total_latency);
-    let operand_bits =
-        2.0 * workload.total_macs() as f64 * f64::from(config.resolution_bits);
+    let energy_per_inference = Picojoules::from_power_time(power.total(), total_latency);
+    let operand_bits = 2.0 * workload.total_macs() as f64 * f64::from(config.resolution_bits);
     let energy_per_bit_pj = if operand_bits > 0.0 {
         energy_per_inference.value() / operand_bits
     } else {
@@ -160,9 +158,8 @@ mod tests {
     fn latency_components_sum() {
         let config = CrossLightConfig::paper_best();
         let latency = inference_latency(&workload(PaperModel::Lenet5SignMnist), &config).unwrap();
-        let total = latency.conv_time.value()
-            + latency.fc_time.value()
-            + latency.electronic_time.value();
+        let total =
+            latency.conv_time.value() + latency.fc_time.value() + latency.electronic_time.value();
         assert!((latency.total().value() - total).abs() < 1e-15);
         assert!(latency.total().value() > 0.0);
     }
@@ -185,21 +182,14 @@ mod tests {
 
     #[test]
     fn more_units_reduce_latency_and_keep_epb_similar() {
-        let small = CrossLightConfig::new(
-            20,
-            150,
-            25,
-            15,
-            crate::config::DesignChoices::default(),
-        )
-        .unwrap();
+        let small = CrossLightConfig::new(20, 150, 25, 15, crate::config::DesignChoices::default())
+            .unwrap();
         let big = CrossLightConfig::paper_best();
         let w = workload(PaperModel::CnnCifar10);
         let lat_small = inference_latency(&w, &small).unwrap().total().value();
         let lat_big = inference_latency(&w, &big).unwrap().total().value();
         assert!(lat_big < lat_small);
-        let m_small =
-            inference_metrics(&w, &small, &accelerator_power(&small).unwrap()).unwrap();
+        let m_small = inference_metrics(&w, &small, &accelerator_power(&small).unwrap()).unwrap();
         let m_big = inference_metrics(&w, &big, &accelerator_power(&big).unwrap()).unwrap();
         assert!(m_big.fps > m_small.fps);
         // EPB stays within a factor of ~3 (power and latency scale in
@@ -230,14 +220,9 @@ mod tests {
         // through CONV-sized units increases latency.
         let w = workload(PaperModel::CnnCifar10);
         let with_fc_units = CrossLightConfig::paper_best();
-        let conv_only = CrossLightConfig::new(
-            20,
-            20,
-            100,
-            60,
-            crate::config::DesignChoices::default(),
-        )
-        .unwrap();
+        let conv_only =
+            CrossLightConfig::new(20, 20, 100, 60, crate::config::DesignChoices::default())
+                .unwrap();
         let fast = inference_latency(&w, &with_fc_units).unwrap().fc_time;
         let slow = inference_latency(&w, &conv_only).unwrap().fc_time;
         assert!(slow.value() > fast.value());

@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn variant_power_ordering_matches_figure_7() {
         let power_of = |v: CrossLightVariant| {
-            accelerator_power(&v.config()).unwrap().total_watts().value()
+            accelerator_power(&v.config())
+                .unwrap()
+                .total_watts()
+                .value()
         };
         let base = power_of(CrossLightVariant::Base);
         let base_ted = power_of(CrossLightVariant::BaseTed);
@@ -127,20 +130,17 @@ mod tests {
         let opt_ted = power_of(CrossLightVariant::OptTed);
         assert!(base > base_ted, "base {base} vs base_TED {base_ted}");
         assert!(base > opt, "base {base} vs opt {opt}");
-        assert!(base_ted > opt_ted, "base_TED {base_ted} vs opt_TED {opt_ted}");
+        assert!(
+            base_ted > opt_ted,
+            "base_TED {base_ted} vs opt_TED {opt_ted}"
+        );
         assert!(opt > opt_ted, "opt {opt} vs opt_TED {opt_ted}");
     }
 
     #[test]
     fn more_units_draw_more_power() {
-        let small = CrossLightConfig::new(
-            20,
-            150,
-            50,
-            30,
-            crate::config::DesignChoices::default(),
-        )
-        .unwrap();
+        let small = CrossLightConfig::new(20, 150, 50, 30, crate::config::DesignChoices::default())
+            .unwrap();
         let big = CrossLightConfig::paper_best();
         let p_small = accelerator_power(&small).unwrap().total().value();
         let p_big = accelerator_power(&big).unwrap().total().value();

@@ -60,8 +60,10 @@ mod tests {
 
     #[test]
     fn per_element_wavelengths_lose_resolution() {
-        let mut design = DesignChoices::default();
-        design.wavelength_reuse = WavelengthReuse::PerElement;
+        let design = DesignChoices {
+            wavelength_reuse: WavelengthReuse::PerElement,
+            ..DesignChoices::default()
+        };
         let config = CrossLightConfig::paper_best().with_design(design);
         let bits = achievable_resolution_bits(&config).unwrap();
         assert!(
@@ -72,8 +74,10 @@ mod tests {
 
     #[test]
     fn conventional_devices_do_not_beat_optimized_ones() {
-        let mut design = DesignChoices::default();
-        design.geometry = crosslight_photonics::mr::MrGeometry::conventional();
+        let design = DesignChoices {
+            geometry: crosslight_photonics::mr::MrGeometry::conventional(),
+            ..DesignChoices::default()
+        };
         let conventional = CrossLightConfig::paper_best().with_design(design);
         let conv_bits = achievable_resolution_bits(&conventional).unwrap();
         let opt_bits = achievable_resolution_bits(&CrossLightConfig::paper_best()).unwrap();

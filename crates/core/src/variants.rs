@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn designs_differ_along_the_two_axes() {
-        assert!(!CrossLightVariant::Base.design().geometry.is_width_optimized());
-        assert!(CrossLightVariant::OptTed.design().geometry.is_width_optimized());
+        assert!(!CrossLightVariant::Base
+            .design()
+            .geometry
+            .is_width_optimized());
+        assert!(CrossLightVariant::OptTed
+            .design()
+            .geometry
+            .is_width_optimized());
         assert_eq!(
             CrossLightVariant::Base.design().compensation,
             CrosstalkCompensation::Naive

@@ -114,7 +114,8 @@ impl VdpUnit {
         } else {
             Seconds::new(0.0)
         };
-        let conversion = Seconds::new(ADC_SAMPLE_BITS / (Transceiver::isscc2019().max_rate_gbps * 1e9));
+        let conversion =
+            Seconds::new(ADC_SAMPLE_BITS / (Transceiver::isscc2019().max_rate_gbps * 1e9));
         imprint + arm_detection + cross_arm + conversion
     }
 

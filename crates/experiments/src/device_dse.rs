@@ -143,8 +143,8 @@ mod tests {
     fn monte_carlo_agrees_with_analytic_worst_case() {
         let result = run(20_000, 13);
         for row in &result.rows {
-            let rel = (row.monte_carlo_p997_nm - row.worst_case_drift_nm).abs()
-                / row.worst_case_drift_nm;
+            let rel =
+                (row.monte_carlo_p997_nm - row.worst_case_drift_nm).abs() / row.worst_case_drift_nm;
             assert!(rel < 0.25, "row {row:?} deviates {rel}");
         }
     }

@@ -126,7 +126,9 @@ pub fn run(spacings_um: &[f64]) -> CrosstalkSweep {
 /// The spacing grid used for the paper-style figure (1–25 µm).
 #[must_use]
 pub fn paper_spacings() -> Vec<f64> {
-    vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 25.0]
+    vec![
+        1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 25.0,
+    ]
 }
 
 #[cfg(test)]
@@ -147,8 +149,11 @@ mod tests {
     #[test]
     fn ted_power_minimum_is_at_five_micrometers() {
         let sweep = run(&paper_spacings());
-        assert!((sweep.optimal_spacing_um - 5.0).abs() < 1.6,
-            "TED optimum should be near 5 um, got {}", sweep.optimal_spacing_um);
+        assert!(
+            (sweep.optimal_spacing_um - 5.0).abs() < 1.6,
+            "TED optimum should be near 5 um, got {}",
+            sweep.optimal_spacing_um
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl ModelAccuracyCurve {
     /// Accuracy at a given bit width, if it was evaluated.
     #[must_use]
     pub fn accuracy_at(&self, bits: u32) -> Option<f64> {
-        self.points.iter().find(|(b, _)| *b == bits).map(|(_, a)| *a)
+        self.points
+            .iter()
+            .find(|(b, _)| *b == bits)
+            .map(|(_, a)| *a)
     }
 }
 

@@ -62,7 +62,15 @@ impl DesignSpaceSweep {
     #[must_use]
     pub fn table(&self) -> TextTable {
         let mut table = TextTable::new(vec![
-            "N", "K", "n", "m", "avg FPS", "avg EPB (pJ/bit)", "area (mm2)", "FPS/EPB", "in cap",
+            "N",
+            "K",
+            "n",
+            "m",
+            "avg FPS",
+            "avg EPB (pJ/bit)",
+            "area (mm2)",
+            "FPS/EPB",
+            "in cap",
         ]);
         for p in &self.points {
             table.push_row(vec![
@@ -152,17 +160,10 @@ pub fn run(
                 .expect("finite figures of merit")
         })
         .ok_or("no candidate satisfies the area constraint")?;
-    let paper_point = points
-        .iter()
-        .copied()
-        .find(|p| {
-            (
-                p.conv_unit_size,
-                p.fc_unit_size,
-                p.conv_units,
-                p.fc_units,
-            ) == crosslight_core::config::BEST_CONFIG
-        });
+    let paper_point = points.iter().copied().find(|p| {
+        (p.conv_unit_size, p.fc_unit_size, p.conv_units, p.fc_units)
+            == crosslight_core::config::BEST_CONFIG
+    });
     Ok(DesignSpaceSweep {
         points,
         best,
@@ -239,7 +240,12 @@ mod tests {
         let large = sweep
             .points
             .iter()
-            .find(|p| p.conv_units == 100 && p.fc_units == 60 && p.conv_unit_size == 20 && p.fc_unit_size == 150)
+            .find(|p| {
+                p.conv_units == 100
+                    && p.fc_units == 60
+                    && p.conv_unit_size == 20
+                    && p.fc_unit_size == 150
+            })
             .unwrap();
         assert!(large.avg_fps > small.avg_fps);
     }

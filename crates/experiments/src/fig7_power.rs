@@ -53,7 +53,10 @@ impl PowerComparison {
     /// Power of a named platform, if present.
     #[must_use]
     pub fn power_of(&self, name: &str) -> Option<f64> {
-        self.rows.iter().find(|r| r.name == name).map(|r| r.power_watts)
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.power_watts)
     }
 
     /// Renders the comparison as a text table.

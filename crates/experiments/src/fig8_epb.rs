@@ -73,10 +73,8 @@ impl EpbComparison {
 
 /// The accelerators compared in Fig. 8, in plotting order.
 fn accelerators() -> Vec<Box<dyn PhotonicAccelerator>> {
-    let mut out: Vec<Box<dyn PhotonicAccelerator>> = vec![
-        Box::new(DeapCnn::new()),
-        Box::new(HolyLight::new()),
-    ];
+    let mut out: Vec<Box<dyn PhotonicAccelerator>> =
+        vec![Box::new(DeapCnn::new()), Box::new(HolyLight::new())];
     for variant in CrossLightVariant::all() {
         out.push(Box::new(CrossLightAccelerator::new(variant)));
     }

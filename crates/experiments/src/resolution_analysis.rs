@@ -76,9 +76,8 @@ pub fn run(max_mrs: usize) -> ResolutionAnalysis {
             // CrossLight: wavelength reuse spreads the bank's channels over
             // the full FSR.
             let reuse_spacing = Nanometers::new(OPTIMIZED_FSR_NM / mrs as f64);
-            let crosslight_bits =
-                bank_resolution_bits(mrs, reuse_spacing, OPTIMIZED_Q_FACTOR, 16)
-                    .expect("valid sweep point");
+            let crosslight_bits = bank_resolution_bits(mrs, reuse_spacing, OPTIMIZED_Q_FACTOR, 16)
+                .expect("valid sweep point");
             // Dense, low-Q situation: one wavelength per vector element forces
             // ~10× denser channels on a conventional device.
             let dense_spacing = Nanometers::new(OPTIMIZED_FSR_NM / (10.0 * mrs as f64));

@@ -65,7 +65,12 @@ impl SummaryTable {
                 row.name.clone(),
                 fmt_f64(row.avg_epb_pj, 2),
                 fmt_f64(row.avg_kfps_per_watt, 2),
-                if row.simulated { "simulated" } else { "literature" }.to_string(),
+                if row.simulated {
+                    "simulated"
+                } else {
+                    "literature"
+                }
+                .to_string(),
             ]);
         }
         table

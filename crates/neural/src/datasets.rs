@@ -164,7 +164,11 @@ pub fn generate_synthetic<R: Rng + ?Sized>(spec: &SyntheticSpec, rng: &mut R) ->
     }
     let pixel_count = spec.channels * spec.height * spec.width;
     let prototypes: Vec<Vec<f32>> = (0..spec.num_classes)
-        .map(|_| (0..pixel_count).map(|_| rng.gen_range(-1.0..=1.0)).collect())
+        .map(|_| {
+            (0..pixel_count)
+                .map(|_| rng.gen_range(-1.0..=1.0))
+                .collect()
+        })
         .collect();
 
     let mut samples = Vec::with_capacity(spec.num_classes * spec.samples_per_class);
@@ -177,8 +181,7 @@ pub fn generate_synthetic<R: Rng + ?Sized>(spec: &SyntheticSpec, rng: &mut R) ->
                 .map(|&p| {
                     // Sum of two uniforms approximates a triangular (noise)
                     // distribution; cheap and dependency-free.
-                    let noise =
-                        (rng.gen_range(-1.0f32..=1.0) + rng.gen_range(-1.0f32..=1.0)) * 0.5;
+                    let noise = (rng.gen_range(-1.0f32..=1.0) + rng.gen_range(-1.0f32..=1.0)) * 0.5;
                     p + noise * noise_amplitude
                 })
                 .collect();
@@ -280,6 +283,9 @@ mod tests {
         };
         let within = dist(class0[0], class0[1]);
         let between = dist(class0[0], class1[0]);
-        assert!(within < between, "within {within} should be < between {between}");
+        assert!(
+            within < between,
+            "within {within} should be < between {between}"
+        );
     }
 }

@@ -166,7 +166,9 @@ impl Layer for Conv2d {
             });
         }
         // G: [out_c, P]
-        let g = grad_output.clone().reshape(vec![self.out_channels, pixels])?;
+        let g = grad_output
+            .clone()
+            .reshape(vec![self.out_channels, pixels])?;
         // dW += G · cols ([out_c, P] x [P, L]).
         let dw = g.matmul(columns)?;
         for (acc, add) in self

@@ -99,9 +99,12 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            })?;
         if grad_output.len() != self.out_features {
             return Err(NeuralError::ShapeMismatch {
                 expected: vec![self.out_features],

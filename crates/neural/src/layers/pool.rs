@@ -98,9 +98,12 @@ impl Layer for MaxPool2d {
         let shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
             reason: "backward called before forward".into(),
         })?;
-        let argmax = self.cached_argmax.as_ref().ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            })?;
         if grad_output.len() != argmax.len() {
             return Err(NeuralError::ShapeMismatch {
                 expected: vec![argmax.len()],

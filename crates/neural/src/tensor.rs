@@ -138,7 +138,10 @@ impl Tensor {
     #[must_use]
     pub fn get2(&self, row: usize, col: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "get2 requires a rank-2 tensor");
-        assert!(row < self.shape[0] && col < self.shape[1], "index out of bounds");
+        assert!(
+            row < self.shape[0] && col < self.shape[1],
+            "index out of bounds"
+        );
         self.data[row * self.shape[1] + col]
     }
 
@@ -149,7 +152,10 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or the indices are out of bounds.
     pub fn set2(&mut self, row: usize, col: usize, value: f32) {
         assert_eq!(self.shape.len(), 2, "set2 requires a rank-2 tensor");
-        assert!(row < self.shape[0] && col < self.shape[1], "index out of bounds");
+        assert!(
+            row < self.shape[0] && col < self.shape[1],
+            "index out of bounds"
+        );
         self.data[row * self.shape[1] + col] = value;
     }
 
@@ -477,7 +483,10 @@ mod tests {
         let t = Tensor::random_uniform(vec![100], 0.25, &mut rng);
         assert!(t.as_slice().iter().all(|&x| x.abs() <= 0.25));
         // Not all identical.
-        assert!(t.as_slice().iter().any(|&x| (x - t.as_slice()[0]).abs() > 1e-9));
+        assert!(t
+            .as_slice()
+            .iter()
+            .any(|&x| (x - t.as_slice()[0]).abs() > 1e-9));
     }
 
     #[test]

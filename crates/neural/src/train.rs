@@ -175,7 +175,10 @@ mod tests {
         assert!(stats.last().unwrap().train_accuracy > 0.8);
         assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
         let test_acc = evaluate(&mut model, &test_split).unwrap();
-        assert!(test_acc > 0.5, "test accuracy {test_acc} should beat 0.25 chance");
+        assert!(
+            test_acc > 0.5,
+            "test accuracy {test_acc} should beat 0.25 chance"
+        );
     }
 
     #[test]
@@ -188,13 +191,17 @@ mod tests {
         // High-precision quantization barely changes anything.
         let mut model_16 = small_mlp(64, 4, 40);
         train(&mut model_16, &train_split, &TrainConfig::default()).unwrap();
-        let q16 = evaluate_quantized(&mut model_16, &test_split, &QuantConfig::uniform(16)).unwrap();
+        let q16 =
+            evaluate_quantized(&mut model_16, &test_split, &QuantConfig::uniform(16)).unwrap();
         assert!((q16 - full).abs() < 0.15);
         // One-bit quantization collapses towards chance.
         let mut model_1 = small_mlp(64, 4, 40);
         train(&mut model_1, &train_split, &TrainConfig::default()).unwrap();
         let q1 = evaluate_quantized(&mut model_1, &test_split, &QuantConfig::uniform(1)).unwrap();
-        assert!(q1 <= q16, "1-bit accuracy {q1} should not beat 16-bit {q16}");
+        assert!(
+            q1 <= q16,
+            "1-bit accuracy {q1} should not beat 16-bit {q16}"
+        );
     }
 
     #[test]

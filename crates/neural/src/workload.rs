@@ -104,7 +104,11 @@ impl NetworkWorkload {
     /// Total MACs contributed by convolution layers (all towers).
     #[must_use]
     pub fn conv_macs(&self) -> u64 {
-        self.conv_layers.iter().map(|w| w.macs() as u64).sum::<u64>() * self.towers as u64
+        self.conv_layers
+            .iter()
+            .map(|w| w.macs() as u64)
+            .sum::<u64>()
+            * self.towers as u64
     }
 
     /// Total MACs contributed by fully connected layers (all towers).
@@ -117,7 +121,11 @@ impl NetworkWorkload {
     /// decomposition a K-sized FC VDP unit must perform).
     #[must_use]
     pub fn max_fc_length(&self) -> usize {
-        self.fc_layers.iter().map(|w| w.dot_length).max().unwrap_or(0)
+        self.fc_layers
+            .iter()
+            .map(|w| w.dot_length)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Longest dot product appearing in the CONV pool.
@@ -191,14 +199,8 @@ mod tests {
         assert_eq!(w.fc_layers.len(), 1);
         assert_eq!(w.conv_layers[0].dot_count, 4 * 64);
         assert_eq!(w.fc_layers[0].dot_length, 64);
-        assert_eq!(
-            w.total_macs(),
-            (9 * 4 * 64 + 64 * 10) as u64
-        );
-        assert_eq!(
-            w.total_dot_products(),
-            (4 * 64 + 10) as u64
-        );
+        assert_eq!(w.total_macs(), (9 * 4 * 64 + 64 * 10) as u64);
+        assert_eq!(w.total_dot_products(), (4 * 64 + 10) as u64);
     }
 
     #[test]

@@ -541,10 +541,7 @@ mod tests {
 
     #[test]
     fn siamese_parameter_count_matches_exactly() {
-        assert_eq!(
-            ModelSpec::siamese_omniglot().parameter_count(),
-            38_951_745
-        );
+        assert_eq!(ModelSpec::siamese_omniglot().parameter_count(), 38_951_745);
     }
 
     #[test]

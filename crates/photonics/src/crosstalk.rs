@@ -242,9 +242,7 @@ mod tests {
     #[test]
     fn invalid_inputs_are_rejected() {
         assert!(ChannelCrosstalkAnalysis::new(vec![], 8000.0).is_err());
-        assert!(
-            ChannelCrosstalkAnalysis::new(vec![Nanometers::new(1550.0)], 0.0).is_err()
-        );
+        assert!(ChannelCrosstalkAnalysis::new(vec![Nanometers::new(1550.0)], 0.0).is_err());
         assert!(bank_resolution_bits(0, Nanometers::new(1.0), 8000.0, 16).is_err());
         assert!(bank_resolution_bits(5, Nanometers::new(0.0), 8000.0, 16).is_err());
         assert!(bank_resolution_bits(5, Nanometers::new(1.0), -1.0, 16).is_err());

@@ -142,10 +142,9 @@ impl FpvModel {
         // Interpolate: 500 nm → conventional sensitivity, 800 nm → optimized.
         let t = ((ring_width - 500.0) / 300.0).clamp(0.0, 1.0);
         let base = CONVENTIONAL_SENSITIVITY * (1.0 - t) + OPTIMIZED_SENSITIVITY * t;
-        let matched_widths = (geometry.ring_waveguide_width.value()
-            - geometry.input_waveguide_width.value())
-        .abs()
-            < 50.0;
+        let matched_widths =
+            (geometry.ring_waveguide_width.value() - geometry.input_waveguide_width.value()).abs()
+                < 50.0;
         if matched_widths {
             base * 1.0
         } else {
@@ -272,7 +271,10 @@ mod tests {
         let conv_drift = conventional.worst_case_drift().value();
         let opt_drift = optimized.worst_case_drift().value();
         // Paper: 7.1 nm → 2.1 nm (±10% tolerance on the calibration).
-        assert!((conv_drift - 7.1).abs() / 7.1 < 0.1, "conventional {conv_drift}");
+        assert!(
+            (conv_drift - 7.1).abs() / 7.1 < 0.1,
+            "conventional {conv_drift}"
+        );
         assert!((opt_drift - 2.1).abs() / 2.1 < 0.1, "optimized {opt_drift}");
         // 70% reduction.
         let reduction = 1.0 - opt_drift / conv_drift;
@@ -281,7 +283,7 @@ mod tests {
 
     #[test]
     fn optimized_sensitivity_is_lower() {
-        assert!(OPTIMIZED_SENSITIVITY < CONVENTIONAL_SENSITIVITY);
+        const { assert!(OPTIMIZED_SENSITIVITY < CONVENTIONAL_SENSITIVITY) };
         assert!(
             FpvModel::sensitivity_for(&MrGeometry::optimized())
                 < FpvModel::sensitivity_for(&MrGeometry::conventional())
@@ -310,8 +312,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let stats = model.monte_carlo(20_000, &mut rng);
         assert_eq!(stats.count, 20_000);
-        let rel_err = (stats.sigma.value() - model.drift_sigma().value()).abs()
-            / model.drift_sigma().value();
+        let rel_err =
+            (stats.sigma.value() - model.drift_sigma().value()).abs() / model.drift_sigma().value();
         assert!(rel_err < 0.05, "sigma relative error {rel_err}");
         // Worst observed drift should be in the vicinity of the 3σ figure.
         assert!(stats.max_abs.value() > model.worst_case_drift().value() * 0.8);

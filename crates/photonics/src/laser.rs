@@ -245,7 +245,10 @@ mod tests {
         let err = model
             .link_margin(Dbm::new(0.0), DecibelLoss::new(15.0), 10)
             .unwrap_err();
-        assert!(matches!(err, PhotonicsError::InsufficientOpticalPower { .. }));
+        assert!(matches!(
+            err,
+            PhotonicsError::InsufficientOpticalPower { .. }
+        ));
         // 10 dBm launched over 5 dB loss, 1 channel → margin 25 dB.
         let margin = model
             .link_margin(Dbm::new(10.0), DecibelLoss::new(5.0), 1)
@@ -258,6 +261,8 @@ mod tests {
         assert!(LaserPowerModel::new(Dbm::new(-20.0), 0.0).is_err());
         assert!(LaserPowerModel::new(Dbm::new(-20.0), 1.5).is_err());
         let model = LaserPowerModel::paper();
-        assert!(model.required_optical_power(DecibelLoss::new(1.0), 0).is_err());
+        assert!(model
+            .required_optical_power(DecibelLoss::new(1.0), 0)
+            .is_err());
     }
 }

@@ -57,4 +57,4 @@ pub mod wdm;
 
 pub use error::PhotonicsError;
 pub use mr::{Microring, MrGeometry};
-pub use units::{Dbm, DecibelLoss, MilliWatts, Micrometers, Nanometers};
+pub use units::{Dbm, DecibelLoss, Micrometers, MilliWatts, Nanometers};

@@ -176,7 +176,11 @@ impl Microring {
 
     /// Creates an MR with explicit spectral parameters.
     #[must_use]
-    pub fn with_spectral(geometry: MrGeometry, spectral: MrSpectral, resonance: Nanometers) -> Self {
+    pub fn with_spectral(
+        geometry: MrGeometry,
+        spectral: MrSpectral,
+        resonance: Nanometers,
+    ) -> Self {
         Self {
             geometry,
             spectral,
@@ -383,7 +387,10 @@ impl MrBank {
     /// Panics if either index is out of bounds.
     #[must_use]
     pub fn distance_between(&self, i: usize, j: usize) -> Micrometers {
-        assert!(i < self.rings.len() && j < self.rings.len(), "index out of bounds");
+        assert!(
+            i < self.rings.len() && j < self.rings.len(),
+            "index out of bounds"
+        );
         Micrometers::new(self.spacing.value() * (i as f64 - j as f64).abs())
     }
 }
@@ -420,8 +427,14 @@ mod tests {
         let ring = mr();
         let on = ring.through_transmission(ring.resonance());
         let off = ring.through_transmission(ring.resonance() + Nanometers::new(5.0));
-        assert!(on < 0.01, "on-resonance transmission should be near the extinction floor");
-        assert!(off > 0.99, "far-off-resonance transmission should be near unity");
+        assert!(
+            on < 0.01,
+            "on-resonance transmission should be near the extinction floor"
+        );
+        assert!(
+            off > 0.99,
+            "far-off-resonance transmission should be near unity"
+        );
     }
 
     #[test]
@@ -429,7 +442,9 @@ mod tests {
         // Paper §III example: activation 0.8 weighted by 0.5 → 0.4 at the
         // through port.
         let ring = mr();
-        let detuning = ring.detuning_for_transmission(0.5).expect("0.5 is achievable");
+        let detuning = ring
+            .detuning_for_transmission(0.5)
+            .expect("0.5 is achievable");
         let carrier = ring.resonance() + detuning;
         let weighted = 0.8 * ring.through_transmission(carrier);
         assert!((weighted - 0.4).abs() < 1e-9);

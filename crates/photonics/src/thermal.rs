@@ -338,11 +338,7 @@ mod tests {
             .crosstalk_matrix(3, Micrometers::new(5.0))
             .expect("valid matrix");
         // Heat only the middle ring by 1 rad: neighbours see the 5 µm ratio.
-        let phases = m.propagate(&[
-            Radians::new(0.0),
-            Radians::new(1.0),
-            Radians::new(0.0),
-        ]);
+        let phases = m.propagate(&[Radians::new(0.0), Radians::new(1.0), Radians::new(0.0)]);
         let ratio = model.phase_crosstalk_ratio(Micrometers::new(5.0));
         assert!((phases[1].value() - 1.0).abs() < 1e-12);
         assert!((phases[0].value() - ratio).abs() < 1e-12);

@@ -301,7 +301,10 @@ impl MilliWatts {
     /// no dBm representation.
     #[must_use]
     pub fn to_dbm(self) -> Dbm {
-        debug_assert!(self.value() > 0.0, "cannot express non-positive power in dBm");
+        debug_assert!(
+            self.value() > 0.0,
+            "cannot express non-positive power in dBm"
+        );
         Dbm::new(10.0 * self.value().log10())
     }
 
@@ -491,10 +494,7 @@ mod tests {
 
     #[test]
     fn quantity_sum_and_ordering() {
-        let total: DecibelLoss = [1.0, 0.5, 0.25]
-            .into_iter()
-            .map(DecibelLoss::new)
-            .sum();
+        let total: DecibelLoss = [1.0, 0.5, 0.25].into_iter().map(DecibelLoss::new).sum();
         assert!((total.value() - 1.75).abs() < 1e-12);
         assert!(DecibelLoss::new(1.0) < DecibelLoss::new(2.0));
         assert_eq!(

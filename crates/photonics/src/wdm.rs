@@ -73,9 +73,7 @@ impl WdmGrid {
                 capacity,
             });
         }
-        let channels = (0..count)
-            .map(|i| first + spacing * i as f64)
-            .collect();
+        let channels = (0..count).map(|i| first + spacing * i as f64).collect();
         Ok(Self {
             first,
             spacing,

@@ -319,7 +319,8 @@ mod tests {
 
     #[test]
     fn analytic_3x3_diagonal() {
-        let m = SymmetricMatrix::new(3, vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, -1.0]).unwrap();
+        let m =
+            SymmetricMatrix::new(3, vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, -1.0]).unwrap();
         let d = jacobi_eigen(&m).unwrap();
         assert!((d.eigenvalues[0] - 5.0).abs() < 1e-12);
         assert!((d.eigenvalues[1] - 2.0).abs() < 1e-12);
@@ -328,11 +329,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = SymmetricMatrix::new(
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 2.0],
-        )
-        .unwrap();
+        let m =
+            SymmetricMatrix::new(3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 2.0]).unwrap();
         let d = jacobi_eigen(&m).unwrap();
         for a in 0..3 {
             for b in 0..3 {

@@ -36,7 +36,10 @@ pub enum TuningError {
 impl fmt::Display for TuningError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShiftOutOfRange { requested_nm, max_nm } => write!(
+            Self::ShiftOutOfRange {
+                requested_nm,
+                max_nm,
+            } => write!(
                 f,
                 "requested shift of {requested_nm} nm exceeds the tuner range of {max_nm} nm"
             ),

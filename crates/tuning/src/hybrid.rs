@@ -76,9 +76,7 @@ impl HybridTuner {
     pub fn paper() -> Self {
         Self {
             eo: EoTuner::table_ii(),
-            to: ToTuner::table_ii(Nanometers::new(
-                crosslight_photonics::mr::OPTIMIZED_FSR_NM,
-            )),
+            to: ToTuner::table_ii(Nanometers::new(crosslight_photonics::mr::OPTIMIZED_FSR_NM)),
         }
     }
 

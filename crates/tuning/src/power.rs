@@ -140,7 +140,10 @@ pub fn estimate_bank_tuning_power(config: &BankTuningConfig) -> Result<BankTunin
     // Isolated-device cost: what the same targets would cost with no thermal
     // coupling at all.  The crosstalk-compensation component is everything the
     // chosen strategy pays on top of (or saves relative to) this baseline.
-    let isolated: f64 = targets.iter().map(|t| to.heater().power_for_phase(*t)).sum();
+    let isolated: f64 = targets
+        .iter()
+        .map(|t| to.heater().power_for_phase(*t))
+        .sum();
 
     let crosstalk_model = ThermalCrosstalkModel::default();
     let compensated_total = if config.mr_count == 1 {
@@ -309,8 +312,7 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_components() {
-        let power =
-            estimate_bank_tuning_power(&BankTuningConfig::crosslight_opt_ted(15)).unwrap();
+        let power = estimate_bank_tuning_power(&BankTuningConfig::crosslight_opt_ted(15)).unwrap();
         let expected = power.fpv_compensation.value()
             + power.crosstalk_compensation.value()
             + power.value_imprinting.value();

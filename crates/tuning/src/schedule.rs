@@ -151,7 +151,9 @@ mod tests {
     fn small_ambient_drift_is_absorbed_without_recalibration() {
         let mut schedule = TuningSchedule::default();
         schedule.boot_calibrate(Nanometers::new(2.1));
-        assert!(schedule.observe_ambient_drift(Nanometers::new(0.1)).is_none());
+        assert!(schedule
+            .observe_ambient_drift(Nanometers::new(0.1))
+            .is_none());
         assert_eq!(schedule.calibrations().len(), 1);
     }
 

@@ -129,9 +129,8 @@ impl TedSolver {
                 alpha = alpha.max(-p0[i] / w[i]);
             }
         }
-        let heater_phase_values: Vec<f64> = (0..n)
-            .map(|i| (p0[i] + alpha * w[i]).max(0.0))
-            .collect();
+        let heater_phase_values: Vec<f64> =
+            (0..n).map(|i| (p0[i] + alpha * w[i]).max(0.0)).collect();
 
         let heater_phases: Vec<Radians> = heater_phase_values
             .iter()
@@ -292,8 +291,14 @@ mod tests {
         let tight = power_at(1.0);
         let optimal = power_at(5.0);
         let wide = power_at(20.0);
-        assert!(optimal < tight, "5 um ({optimal}) should beat 1 um ({tight})");
-        assert!(optimal < wide, "5 um ({optimal}) should beat 20 um ({wide})");
+        assert!(
+            optimal < tight,
+            "5 um ({optimal}) should beat 1 um ({tight})"
+        );
+        assert!(
+            optimal < wide,
+            "5 um ({optimal}) should beat 20 um ({wide})"
+        );
     }
 
     #[test]
@@ -314,8 +319,14 @@ mod tests {
         // With identical targets there is no differential component, so the
         // collective solution gets cheaper as crosstalk increases.
         let targets = uniform_targets(10, 0.8);
-        let dense = solver_at_spacing(10, 2.0).solve(&targets).unwrap().total_power;
-        let sparse = solver_at_spacing(10, 20.0).solve(&targets).unwrap().total_power;
+        let dense = solver_at_spacing(10, 2.0)
+            .solve(&targets)
+            .unwrap()
+            .total_power;
+        let sparse = solver_at_spacing(10, 20.0)
+            .solve(&targets)
+            .unwrap()
+            .total_power;
         assert!(dense.value() < sparse.value());
     }
 
@@ -345,6 +356,9 @@ mod tests {
         let solver = solver_at_spacing(6, 5.0);
         let solution = solver.solve(&uniform_targets(6, 0.0)).unwrap();
         assert!(solution.total_power.value() < 1e-9);
-        assert!(solver.saving_factor(&uniform_targets(6, 0.0)).unwrap().is_infinite());
+        assert!(solver
+            .saving_factor(&uniform_targets(6, 0.0))
+            .unwrap()
+            .is_infinite());
     }
 }

@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nachievable MR-bank resolution: {} bits (paper: 16 bits at 15 MRs per bank)",
         simulator
-            .evaluate(&NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec())?)?
+            .evaluate(&NetworkWorkload::from_spec(
+                &PaperModel::Lenet5SignMnist.spec()
+            )?)?
             .resolution_bits
     );
     Ok(())

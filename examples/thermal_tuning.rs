@@ -11,8 +11,8 @@
 use crosslight::experiments::{device_dse, fig4_crosstalk};
 use crosslight::photonics::fpv::FpvModel;
 use crosslight::photonics::mr::MrGeometry;
-use crosslight::tuning::hybrid::HybridTuner;
 use crosslight::photonics::units::Nanometers;
+use crosslight::tuning::hybrid::HybridTuner;
 
 fn main() {
     println!("=== Section IV.A — MR design-space exploration under FPV ===\n");

@@ -47,7 +47,11 @@ fn variant_ordering_holds_for_every_model() {
         let opt_ted = epb(CrossLightVariant::OptTed);
         assert!(base > base_ted, "{}: {base} vs {base_ted}", workload.name);
         assert!(base > opt, "{}: {base} vs {opt}", workload.name);
-        assert!(base_ted > opt_ted, "{}: {base_ted} vs {opt_ted}", workload.name);
+        assert!(
+            base_ted > opt_ted,
+            "{}: {base_ted} vs {opt_ted}",
+            workload.name
+        );
         assert!(opt > opt_ted, "{}: {opt} vs {opt_ted}", workload.name);
     }
 }

@@ -6,8 +6,8 @@ use crosslight::core::prelude::*;
 use crosslight::neural::zoo::PaperModel;
 use crosslight::photonics::fpv::FpvModel;
 use crosslight::photonics::mr::MrGeometry;
-use crosslight::tuning::hybrid::HybridTuner;
 use crosslight::photonics::units::Nanometers;
+use crosslight::tuning::hybrid::HybridTuner;
 
 /// §IV.A: the 400/800 nm waveguide design reduces FPV-induced drift from
 /// ~7.1 nm to ~2.1 nm — a ~70% reduction.
@@ -47,7 +47,10 @@ fn claim_sixteen_bit_resolution() {
     )
     .expect("workload composes");
     assert_eq!(
-        simulator.evaluate(&workload).expect("simulates").resolution_bits,
+        simulator
+            .evaluate(&workload)
+            .expect("simulates")
+            .resolution_bits,
         16
     );
 }
@@ -82,7 +85,11 @@ fn claim_table_i_models() {
         assert_eq!(got_conv, conv);
         assert_eq!(got_fc, fc);
         let rel = (spec.parameter_count() as f64 - params as f64).abs() / params as f64;
-        assert!(rel < 0.01, "{model:?}: {} vs {params}", spec.parameter_count());
+        assert!(
+            rel < 0.01,
+            "{model:?}: {} vs {params}",
+            spec.parameter_count()
+        );
     }
 }
 
@@ -100,7 +107,9 @@ fn claim_best_configuration_dimensions_and_area() {
         ),
         (20, 150, 100, 60)
     );
-    let area = crosslight::core::area::accelerator_area(&config).total().value();
+    let area = crosslight::core::area::accelerator_area(&config)
+        .total()
+        .value();
     assert!((14.0..=26.0).contains(&area), "area {area} mm²");
 }
 

@@ -1,0 +1,60 @@
+//! Workspace smoke test: the exact facade path advertised in the crate docs
+//! must work end-to-end from a fresh checkout.
+//!
+//! This intentionally mirrors the `crosslight` crate-level doc example —
+//! build the fully optimized CrossLight variant, evaluate a paper workload,
+//! and get physically sensible numbers back — so the quickstart can never
+//! drift from reality without CI noticing.
+
+use crosslight::core::prelude::*;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+
+#[test]
+fn facade_quickstart_path_works_end_to_end() {
+    let simulator = CrossLightSimulator::new(CrossLightVariant::OptTed.config());
+    let workload = NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec())
+        .expect("Table I workload spec is valid");
+    let report = simulator.evaluate(&workload).expect("evaluation succeeds");
+
+    assert_eq!(report.resolution_bits, 16, "paper: 16 bits at 15 MRs/bank");
+
+    let fps = report.metrics.fps;
+    assert!(
+        fps.is_finite() && fps > 0.0,
+        "FPS must be finite, got {fps}"
+    );
+
+    let watts = report.power.total_watts().value();
+    assert!(
+        watts.is_finite() && watts > 0.0,
+        "total power must be finite, got {watts}"
+    );
+
+    let epb = report.metrics.energy_per_bit_pj;
+    assert!(
+        epb.is_finite() && epb > 0.0,
+        "energy-per-bit must be finite, got {epb}"
+    );
+}
+
+#[test]
+fn every_paper_model_evaluates_on_every_variant() {
+    for model in PaperModel::all() {
+        let workload =
+            NetworkWorkload::from_spec(&model.spec()).expect("Table I workload spec is valid");
+        for variant in CrossLightVariant::all() {
+            let report = CrossLightSimulator::new(variant.config())
+                .evaluate(&workload)
+                .expect("evaluation succeeds");
+            assert!(
+                report.metrics.fps.is_finite() && report.metrics.fps > 0.0,
+                "{model:?} on {variant:?} produced non-finite FPS"
+            );
+            assert!(
+                report.metrics.energy_per_bit_pj.is_finite(),
+                "{model:?} on {variant:?} produced non-finite EPB"
+            );
+        }
+    }
+}
