@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crosslight_core::simulator::CrossLightSimulator;
+use crosslight_core::simulator::{CrossLightSimulator, SimulationReport};
 use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::workload::NetworkWorkload;
 
@@ -24,6 +24,52 @@ pub struct AcceleratorReport {
     pub resolution_bits: u32,
     /// Accelerator area in mm².
     pub area_mm2: f64,
+}
+
+impl AcceleratorReport {
+    /// Projects a CrossLight [`SimulationReport`] onto the common report —
+    /// the single conversion used by both the serial adapter below and the
+    /// runtime-backed experiment paths, so they agree bit-for-bit.
+    #[must_use]
+    pub fn from_simulation(report: &SimulationReport) -> Self {
+        Self {
+            power_watts: report.power.total_watts().value(),
+            latency_s: report.metrics.latency.total().value(),
+            fps: report.metrics.fps,
+            energy_per_bit_pj: report.metrics.energy_per_bit_pj,
+            kfps_per_watt: report.metrics.kfps_per_watt,
+            resolution_bits: report.resolution_bits,
+            area_mm2: report.area.total().value(),
+        }
+    }
+
+    /// Averages per-workload reports fieldwise, in slice order — the single
+    /// accumulation path shared by [`PhotonicAccelerator::evaluate_average`]
+    /// and the runtime-backed experiments.
+    ///
+    /// All reports must come from the same accelerator: resolution and area
+    /// are workload-independent, so they are taken from the first report
+    /// (the same convention as `AverageMetrics::from_reports` in the core
+    /// crate).
+    ///
+    /// # Errors
+    ///
+    /// Errors on an empty report list.
+    pub fn average(reports: &[Self]) -> Result<Self, Box<dyn std::error::Error>> {
+        if reports.is_empty() {
+            return Err("cannot average over an empty report list".into());
+        }
+        let n = reports.len() as f64;
+        Ok(Self {
+            power_watts: reports.iter().map(|r| r.power_watts).sum::<f64>() / n,
+            latency_s: reports.iter().map(|r| r.latency_s).sum::<f64>() / n,
+            fps: reports.iter().map(|r| r.fps).sum::<f64>() / n,
+            energy_per_bit_pj: reports.iter().map(|r| r.energy_per_bit_pj).sum::<f64>() / n,
+            kfps_per_watt: reports.iter().map(|r| r.kfps_per_watt).sum::<f64>() / n,
+            resolution_bits: reports[0].resolution_bits,
+            area_mm2: reports[0].area_mm2,
+        })
+    }
 }
 
 /// A photonic DNN accelerator that can be evaluated on a network workload.
@@ -61,16 +107,7 @@ pub trait PhotonicAccelerator {
             .iter()
             .map(|w| self.evaluate(w))
             .collect::<Result<_, _>>()?;
-        let n = reports.len() as f64;
-        Ok(AcceleratorReport {
-            power_watts: reports.iter().map(|r| r.power_watts).sum::<f64>() / n,
-            latency_s: reports.iter().map(|r| r.latency_s).sum::<f64>() / n,
-            fps: reports.iter().map(|r| r.fps).sum::<f64>() / n,
-            energy_per_bit_pj: reports.iter().map(|r| r.energy_per_bit_pj).sum::<f64>() / n,
-            kfps_per_watt: reports.iter().map(|r| r.kfps_per_watt).sum::<f64>() / n,
-            resolution_bits: reports[0].resolution_bits,
-            area_mm2: reports[0].area_mm2,
-        })
+        AcceleratorReport::average(&reports)
     }
 }
 
@@ -105,15 +142,7 @@ impl PhotonicAccelerator for CrossLightAccelerator {
     ) -> Result<AcceleratorReport, Box<dyn std::error::Error>> {
         let simulator = CrossLightSimulator::new(self.variant.config());
         let report = simulator.evaluate(workload)?;
-        Ok(AcceleratorReport {
-            power_watts: report.power.total_watts().value(),
-            latency_s: report.metrics.latency.total().value(),
-            fps: report.metrics.fps,
-            energy_per_bit_pj: report.metrics.energy_per_bit_pj,
-            kfps_per_watt: report.metrics.kfps_per_watt,
-            resolution_bits: report.resolution_bits,
-            area_mm2: report.area.total().value(),
-        })
+        Ok(AcceleratorReport::from_simulation(&report))
     }
 }
 

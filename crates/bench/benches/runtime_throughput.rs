@@ -1,0 +1,72 @@
+//! Throughput of the runtime evaluation service vs. one-shot simulation.
+//!
+//! The suite is the paper's full evaluation grid — all four CrossLight
+//! variants × all four Table I models — submitted as one 16-request batch.
+//! Three paths are measured:
+//!
+//! * `serial_uncached` — the pre-runtime baseline: a fresh
+//!   `CrossLightSimulator::evaluate` per request, recomputing power/area per
+//!   call, single-threaded.
+//! * `service_cold_pass` — a fresh 4-worker service per iteration: thread
+//!   spawn + first-pass evaluation with an empty cache.
+//! * `service_cached` — a warmed 4-worker service: steady-state repeated
+//!   traffic, where every request is a cache hit.  The acceptance target is
+//!   ≥10× the `serial_uncached` baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use crosslight_core::simulator::CrossLightSimulator;
+use crosslight_core::variants::CrossLightVariant;
+use crosslight_runtime::planner::SweepPlanner;
+use crosslight_runtime::pool::{EvalService, RuntimeOptions};
+use crosslight_runtime::request::EvalRequest;
+
+const WORKERS: usize = 4;
+
+fn paper_suite() -> Vec<EvalRequest> {
+    SweepPlanner::new()
+        .variants(&CrossLightVariant::all())
+        .plan()
+        .expect("the paper suite plans cleanly")
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let suite = paper_suite();
+    let mut group = c.benchmark_group("runtime_throughput");
+
+    group.bench_function("serial_uncached_16req", |b| {
+        b.iter(|| {
+            let reports: Vec<_> = suite
+                .iter()
+                .map(|r| {
+                    CrossLightSimulator::new(r.config)
+                        .evaluate(&r.workload)
+                        .expect("evaluation succeeds")
+                })
+                .collect();
+            black_box(reports)
+        })
+    });
+
+    group.bench_function("service_cold_pass_16req", |b| {
+        b.iter(|| {
+            let service = EvalService::new(RuntimeOptions::default().with_workers(WORKERS));
+            let responses = service.submit_batch(suite.clone()).expect("batch succeeds");
+            black_box(responses)
+        })
+    });
+
+    let warm = EvalService::new(RuntimeOptions::default().with_workers(WORKERS));
+    warm.submit_batch(suite.clone()).expect("warm-up succeeds");
+    group.bench_function("service_cached_16req", |b| {
+        b.iter(|| {
+            let responses = warm.submit_batch(suite.clone()).expect("batch succeeds");
+            black_box(responses)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_throughput);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Canonical, hashable identity of a configuration.
+//!
+//! [`CrossLightConfig`] is a plain-old-data struct, but it contains `f64`
+//! physical quantities, so it cannot derive `Eq`/`Hash` directly.  The
+//! runtime layer nevertheless needs an exact identity for configurations: its
+//! result cache must treat two configurations as the same key *iff* every
+//! field is identical, and its worker sharding needs a platform-stable hash
+//! of that identity.
+//!
+//! [`ConfigKey`] is that identity: a lossless, bit-exact projection of every
+//! configuration field into integers (floats via [`f64::to_bits`], enums via
+//! explicit discriminants) that derives `Eq + Hash + Ord`.  Two
+//! configurations produce equal keys exactly when they are field-for-field
+//! identical, so a `ConfigKey` collision in a hash map is a true cache hit,
+//! never an approximation.
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crosslight_neural::fingerprint::fingerprint;
+use crosslight_photonics::mr::MrGeometry;
+use crosslight_photonics::wdm::WavelengthReuse;
+use crosslight_tuning::power::{CrosstalkCompensation, ValueTuning};
+
+use crate::config::{CrossLightConfig, DesignChoices};
+
+/// Bit-exact projection of [`MrGeometry`] (all fields as `f64` bit patterns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct GeometryKey {
+    input_waveguide_width: u64,
+    ring_waveguide_width: u64,
+    radius: u64,
+    gap: u64,
+    thickness: u64,
+}
+
+impl From<&MrGeometry> for GeometryKey {
+    fn from(g: &MrGeometry) -> Self {
+        Self {
+            input_waveguide_width: g.input_waveguide_width.value().to_bits(),
+            ring_waveguide_width: g.ring_waveguide_width.value().to_bits(),
+            radius: g.radius.value().to_bits(),
+            gap: g.gap.value().to_bits(),
+            thickness: g.thickness.value().to_bits(),
+        }
+    }
+}
+
+/// Canonical `Eq + Hash` identity of one [`CrossLightConfig`].
+///
+/// Construct with [`CrossLightConfig::canonical_key`].  Field order (and
+/// therefore hash and ordering) is part of the runtime cache contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigKey {
+    conv_unit_size: usize,
+    fc_unit_size: usize,
+    conv_units: usize,
+    fc_units: usize,
+    mrs_per_bank: usize,
+    resolution_bits: u32,
+    geometry: GeometryKey,
+    compensation: u8,
+    value_tuning: u8,
+    wavelength_reuse: u8,
+    mr_spacing: u64,
+}
+
+impl ConfigKey {
+    /// Platform-stable 64-bit routing hash of this key (FNV-1a over the
+    /// canonical field encoding).  Stable across runs and architectures, so
+    /// it can shard traffic deterministically; it is *not* an identity —
+    /// use `==` on the key itself for that.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(self)
+    }
+}
+
+fn compensation_tag(c: CrosstalkCompensation) -> u8 {
+    match c {
+        CrosstalkCompensation::Ted => 0,
+        CrosstalkCompensation::Naive => 1,
+    }
+}
+
+fn value_tuning_tag(v: ValueTuning) -> u8 {
+    match v {
+        ValueTuning::ElectroOptic => 0,
+        ValueTuning::ThermoOptic => 1,
+    }
+}
+
+fn wavelength_reuse_tag(w: WavelengthReuse) -> u8 {
+    match w {
+        WavelengthReuse::PerElement => 0,
+        WavelengthReuse::AcrossArms => 1,
+    }
+}
+
+impl From<&DesignChoices> for GeometryKey {
+    fn from(d: &DesignChoices) -> Self {
+        Self::from(&d.geometry)
+    }
+}
+
+impl CrossLightConfig {
+    /// Returns the canonical hashable identity of this configuration.
+    ///
+    /// Equal keys ⇔ bit-identical configurations, so downstream caches can
+    /// key results by `ConfigKey` without false sharing between distinct
+    /// design points.
+    #[must_use]
+    pub fn canonical_key(&self) -> ConfigKey {
+        ConfigKey {
+            conv_unit_size: self.conv_unit_size,
+            fc_unit_size: self.fc_unit_size,
+            conv_units: self.conv_units,
+            fc_units: self.fc_units,
+            mrs_per_bank: self.mrs_per_bank,
+            resolution_bits: self.resolution_bits,
+            geometry: GeometryKey::from(&self.design),
+            compensation: compensation_tag(self.design.compensation),
+            value_tuning: value_tuning_tag(self.design.value_tuning),
+            wavelength_reuse: wavelength_reuse_tag(self.design.wavelength_reuse),
+            mr_spacing: self.design.mr_spacing.value().to_bits(),
+        }
+    }
+
+    /// Platform-stable routing hash of the canonical key; see
+    /// [`ConfigKey::fingerprint`].
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.canonical_key().fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::CrossLightVariant;
+
+    #[test]
+    fn identical_configs_share_keys_and_fingerprints() {
+        let a = CrossLightConfig::paper_best();
+        let b = CrossLightConfig::paper_best();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn every_variant_gets_a_distinct_key() {
+        let keys: Vec<ConfigKey> = CrossLightVariant::all()
+            .iter()
+            .map(|v| v.config().canonical_key())
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn each_field_perturbation_changes_the_key() {
+        let base = CrossLightConfig::paper_best();
+        let key = base.canonical_key();
+
+        let mut dims = base;
+        dims.conv_units += 1;
+        assert_ne!(dims.canonical_key(), key);
+
+        let res = base.with_resolution_bits(8);
+        assert_ne!(res.canonical_key(), key);
+
+        let mut design = base.design;
+        design.compensation = CrosstalkCompensation::Naive;
+        assert_ne!(base.with_design(design).canonical_key(), key);
+
+        let mut design = base.design;
+        design.mr_spacing = crosslight_photonics::units::Micrometers::new(5.5);
+        assert_ne!(base.with_design(design).canonical_key(), key);
+
+        let mut design = base.design;
+        design.geometry = MrGeometry::conventional();
+        assert_ne!(base.with_design(design).canonical_key(), key);
+    }
+
+    #[test]
+    fn keys_order_and_hash_consistently() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        for v in CrossLightVariant::all() {
+            set.insert(v.config().canonical_key());
+            set.insert(v.config().canonical_key());
+        }
+        assert_eq!(set.len(), 4);
+    }
+}

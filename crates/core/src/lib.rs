@@ -13,6 +13,8 @@
 //! Modules:
 //!
 //! * [`config`] — architecture dimensions and cross-layer design choices.
+//! * [`canonical`] — bit-exact `Eq + Hash` configuration keys, the identity
+//!   the runtime layer caches and shards by.
 //! * [`variants`] — the four paper variants (`Cross_base` … `Cross_opt_TED`).
 //! * [`decompose`] — vector decomposition into partial sums (Eqs. (1)–(6)).
 //! * [`vdp`] — the VDP unit model (arms, latency, laser/tuning power).
@@ -40,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod canonical;
 pub mod config;
 pub mod decompose;
 pub mod error;
@@ -50,14 +53,18 @@ pub mod simulator;
 pub mod variants;
 pub mod vdp;
 
+pub use canonical::ConfigKey;
 pub use config::CrossLightConfig;
 pub use error::ArchitectureError;
-pub use simulator::{CrossLightSimulator, SimulationReport};
+pub use simulator::{CrossLightSimulator, PreparedSimulator, SimulationReport};
 pub use variants::CrossLightVariant;
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
+    pub use crate::canonical::ConfigKey;
     pub use crate::config::{CrossLightConfig, DesignChoices};
-    pub use crate::simulator::{AverageMetrics, CrossLightSimulator, SimulationReport};
+    pub use crate::simulator::{
+        AverageMetrics, CrossLightSimulator, PreparedSimulator, SimulationReport,
+    };
     pub use crate::variants::CrossLightVariant;
 }

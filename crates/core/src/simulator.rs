@@ -46,6 +46,102 @@ pub struct AverageMetrics {
     pub area: SquareMillimeters,
 }
 
+impl AverageMetrics {
+    /// Averages the headline metrics of per-workload reports, in slice order.
+    ///
+    /// This is the single accumulation path shared by
+    /// [`CrossLightSimulator::evaluate_average`] and the runtime layer, so
+    /// batched evaluation reproduces serial averages bit-for-bit.
+    ///
+    /// All reports must come from the same configuration: power and area are
+    /// workload-independent, so they are taken from the first report (the
+    /// same convention as `AcceleratorReport::average` in the baselines
+    /// crate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `reports` is empty.
+    pub fn from_reports(reports: &[SimulationReport]) -> Result<Self> {
+        let Some(first) = reports.first() else {
+            return Err(crate::error::ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty workload set".into(),
+            });
+        };
+        let mut fps = 0.0;
+        let mut epb = 0.0;
+        let mut kfps_per_watt = 0.0;
+        for report in reports {
+            fps += report.metrics.fps;
+            epb += report.metrics.energy_per_bit_pj;
+            kfps_per_watt += report.metrics.kfps_per_watt;
+        }
+        let count = reports.len() as f64;
+        Ok(Self {
+            fps: fps / count,
+            energy_per_bit_pj: epb / count,
+            kfps_per_watt: kfps_per_watt / count,
+            power: first.power.total_watts(),
+            area: first.area.total(),
+        })
+    }
+}
+
+/// A simulator with its workload-independent outputs precomputed.
+///
+/// Power, area and achievable resolution depend only on the configuration,
+/// so evaluating many workloads against one configuration (design-space
+/// sweeps, the runtime's hot loop) should pay for them once.  Produced by
+/// [`CrossLightSimulator::prepare`]; [`PreparedSimulator::evaluate`] then
+/// only computes the per-workload inference metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreparedSimulator {
+    config: CrossLightConfig,
+    power: AcceleratorPower,
+    area: AcceleratorArea,
+    resolution_bits: u32,
+}
+
+impl PreparedSimulator {
+    /// Returns the configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &CrossLightConfig {
+        &self.config
+    }
+
+    /// Returns the precomputed power breakdown.
+    #[must_use]
+    pub fn power(&self) -> &AcceleratorPower {
+        &self.power
+    }
+
+    /// Returns the precomputed area breakdown.
+    #[must_use]
+    pub fn area(&self) -> &AcceleratorArea {
+        &self.area
+    }
+
+    /// Returns the precomputed achievable resolution.
+    #[must_use]
+    pub fn resolution_bits(&self) -> u32 {
+        self.resolution_bits
+    }
+
+    /// Evaluates one workload, reusing the precomputed breakdowns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn evaluate(&self, workload: &NetworkWorkload) -> Result<SimulationReport> {
+        let metrics = inference_metrics(workload, &self.config, &self.power)?;
+        Ok(SimulationReport {
+            power: self.power,
+            area: self.area,
+            metrics,
+            resolution_bits: self.resolution_bits,
+        })
+    }
+}
+
 /// The CrossLight accelerator simulator.
 ///
 /// # Example
@@ -83,26 +179,52 @@ impl CrossLightSimulator {
         &self.config
     }
 
+    /// Precomputes the workload-independent outputs (power, area, achievable
+    /// resolution) so many workloads can be evaluated without redoing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn prepare(&self) -> Result<PreparedSimulator> {
+        Ok(PreparedSimulator {
+            config: self.config,
+            power: accelerator_power(&self.config)?,
+            area: accelerator_area(&self.config),
+            resolution_bits: achievable_resolution_bits(&self.config)?,
+        })
+    }
+
     /// Evaluates one workload.
     ///
     /// # Errors
     ///
     /// Propagates model errors (which do not occur for valid configurations).
     pub fn evaluate(&self, workload: &NetworkWorkload) -> Result<SimulationReport> {
-        let power = accelerator_power(&self.config)?;
-        let area = accelerator_area(&self.config);
-        let metrics = inference_metrics(workload, &self.config, &power)?;
-        let resolution_bits = achievable_resolution_bits(&self.config)?;
-        Ok(SimulationReport {
-            power,
-            area,
-            metrics,
-            resolution_bits,
-        })
+        self.prepare()?.evaluate(workload)
+    }
+
+    /// Computes only the per-workload inference metrics against an
+    /// already-computed power breakdown — the split behind
+    /// [`PreparedSimulator::evaluate`], exposed for callers that manage
+    /// their own power caching.  `power` must have been computed for *this*
+    /// configuration (as [`CrossLightSimulator::prepare`] does); passing a
+    /// breakdown from another configuration yields metrics for a machine
+    /// that does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn evaluate_metrics(
+        &self,
+        workload: &NetworkWorkload,
+        power: &AcceleratorPower,
+    ) -> Result<InferenceMetrics> {
+        inference_metrics(workload, &self.config, power)
     }
 
     /// Evaluates several workloads and averages the headline metrics, as the
-    /// paper does for its Table III rows.
+    /// paper does for its Table III rows.  The workload-independent power and
+    /// area breakdowns are computed once per configuration, not per workload.
     ///
     /// # Errors
     ///
@@ -113,26 +235,12 @@ impl CrossLightSimulator {
                 reason: "cannot average over an empty workload set".into(),
             });
         }
-        let mut fps = 0.0;
-        let mut epb = 0.0;
-        let mut kfps_per_watt = 0.0;
-        let mut last = None;
-        for workload in workloads {
-            let report = self.evaluate(workload)?;
-            fps += report.metrics.fps;
-            epb += report.metrics.energy_per_bit_pj;
-            kfps_per_watt += report.metrics.kfps_per_watt;
-            last = Some(report);
-        }
-        let count = workloads.len() as f64;
-        let last = last.expect("non-empty workload set");
-        Ok(AverageMetrics {
-            fps: fps / count,
-            energy_per_bit_pj: epb / count,
-            kfps_per_watt: kfps_per_watt / count,
-            power: last.power.total_watts(),
-            area: last.area.total(),
-        })
+        let prepared = self.prepare()?;
+        let reports: Vec<SimulationReport> = workloads
+            .iter()
+            .map(|w| prepared.evaluate(w))
+            .collect::<Result<_>>()?;
+        AverageMetrics::from_reports(&reports)
     }
 }
 
@@ -170,6 +278,40 @@ mod tests {
         assert!(avg.energy_per_bit_pj.is_finite() && avg.energy_per_bit_pj > 0.0);
         assert!(avg.kfps_per_watt.is_finite() && avg.kfps_per_watt > 0.0);
         assert!(simulator.evaluate_average(&[]).is_err());
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_direct_evaluation_exactly() {
+        for variant in CrossLightVariant::all() {
+            let simulator = CrossLightSimulator::new(variant.config());
+            let prepared = simulator.prepare().unwrap();
+            for workload in all_workloads() {
+                let direct = simulator.evaluate(&workload).unwrap();
+                let split = prepared.evaluate(&workload).unwrap();
+                assert_eq!(direct, split);
+                let metrics = simulator
+                    .evaluate_metrics(&workload, prepared.power())
+                    .unwrap();
+                assert_eq!(metrics, direct.metrics);
+            }
+            assert_eq!(prepared.config(), simulator.config());
+            assert_eq!(prepared.resolution_bits(), 16);
+            assert!(prepared.area().total().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn from_reports_matches_evaluate_average() {
+        let simulator = CrossLightSimulator::new(CrossLightConfig::paper_best());
+        let workloads = all_workloads();
+        let reports: Vec<SimulationReport> = workloads
+            .iter()
+            .map(|w| simulator.evaluate(w).unwrap())
+            .collect();
+        let from_reports = AverageMetrics::from_reports(&reports).unwrap();
+        let direct = simulator.evaluate_average(&workloads).unwrap();
+        assert_eq!(from_reports, direct);
+        assert!(AverageMetrics::from_reports(&[]).is_err());
     }
 
     #[test]

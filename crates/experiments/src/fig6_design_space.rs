@@ -9,9 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 use crosslight_core::config::{CrossLightConfig, DesignChoices};
-use crosslight_core::simulator::CrossLightSimulator;
+use crosslight_core::simulator::{AverageMetrics, CrossLightSimulator};
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::planner::SweepPlanner;
+use crosslight_runtime::pool::EvalService;
 
 use crate::report::{fmt_f64, TextTable};
 
@@ -112,7 +114,44 @@ pub fn paper_candidates() -> Vec<(usize, usize, usize, usize)> {
     out
 }
 
-/// Runs the design-space sweep over the given candidates.
+fn design_point(dims: (usize, usize, usize, usize), avg: &AverageMetrics) -> DesignPoint {
+    let (n_size, k_size, n_units, m_units) = dims;
+    let area = avg.area.value();
+    DesignPoint {
+        conv_unit_size: n_size,
+        fc_unit_size: k_size,
+        conv_units: n_units,
+        fc_units: m_units,
+        avg_fps: avg.fps,
+        avg_epb_pj: avg.energy_per_bit_pj,
+        area_mm2: area,
+        fps_per_epb: avg.fps / avg.energy_per_bit_pj,
+        within_area_cap: area <= AREA_CAP_MM2,
+    }
+}
+
+fn assemble(points: Vec<DesignPoint>) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
+    let best = *points
+        .iter()
+        .filter(|p| p.within_area_cap)
+        .max_by(|a, b| {
+            a.fps_per_epb
+                .partial_cmp(&b.fps_per_epb)
+                .expect("finite figures of merit")
+        })
+        .ok_or("no candidate satisfies the area constraint")?;
+    let paper_point = points.iter().copied().find(|p| {
+        (p.conv_unit_size, p.fc_unit_size, p.conv_units, p.fc_units)
+            == crosslight_core::config::BEST_CONFIG
+    });
+    Ok(DesignSpaceSweep {
+        points,
+        best,
+        paper_point,
+    })
+}
+
+/// Runs the design-space sweep over the given candidates, serially.
 ///
 /// # Errors
 ///
@@ -137,38 +176,47 @@ pub fn run(
         )?;
         let simulator = CrossLightSimulator::new(config);
         let avg = simulator.evaluate_average(&workloads)?;
-        let area = avg.area.value();
-        let fps_per_epb = avg.fps / avg.energy_per_bit_pj;
-        points.push(DesignPoint {
-            conv_unit_size: n_size,
-            fc_unit_size: k_size,
-            conv_units: n_units,
-            fc_units: m_units,
-            avg_fps: avg.fps,
-            avg_epb_pj: avg.energy_per_bit_pj,
-            area_mm2: area,
-            fps_per_epb,
-            within_area_cap: area <= AREA_CAP_MM2,
-        });
+        points.push(design_point((n_size, k_size, n_units, m_units), &avg));
     }
-    let best = *points
-        .iter()
-        .filter(|p| p.within_area_cap)
-        .max_by(|a, b| {
-            a.fps_per_epb
-                .partial_cmp(&b.fps_per_epb)
-                .expect("finite figures of merit")
-        })
-        .ok_or("no candidate satisfies the area constraint")?;
-    let paper_point = points.iter().copied().find(|p| {
-        (p.conv_unit_size, p.fc_unit_size, p.conv_units, p.fc_units)
-            == crosslight_core::config::BEST_CONFIG
-    });
-    Ok(DesignSpaceSweep {
-        points,
-        best,
-        paper_point,
-    })
+    assemble(points)
+}
+
+/// Runs the design-space sweep through the runtime's evaluation service,
+/// fanning the `candidates × models` grid across the service's workers.
+///
+/// Produces a sweep bit-identical to [`run`] for any worker count: each
+/// candidate's per-model reports come back in the same model order, and the
+/// averaging path ([`AverageMetrics::from_reports`]) is shared with the
+/// serial [`CrossLightSimulator::evaluate_average`].
+///
+/// # Errors
+///
+/// Propagates planner/service errors; returns an error if no candidate
+/// satisfies the area constraint.
+pub fn run_on(
+    service: &EvalService,
+    candidates: &[(usize, usize, usize, usize)],
+) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
+    let requests = SweepPlanner::new().architectures(candidates).plan()?;
+    let models = PaperModel::all().len();
+    let responses = service.submit_batch(requests)?;
+    if responses.len() != candidates.len() * models {
+        return Err(format!(
+            "sweep plan shape drifted: {} responses for {} candidates × {} models",
+            responses.len(),
+            candidates.len(),
+            models
+        )
+        .into());
+    }
+
+    let mut points = Vec::with_capacity(candidates.len());
+    for (dims, chunk) in candidates.iter().zip(responses.chunks(models)) {
+        let reports: Vec<_> = chunk.iter().map(|r| r.report).collect();
+        let avg = AverageMetrics::from_reports(&reports)?;
+        points.push(design_point(*dims, &avg));
+    }
+    assemble(points)
 }
 
 #[cfg(test)]
@@ -216,6 +264,17 @@ mod tests {
         );
         let paper = sweep.paper_point.expect("paper config is in the grid");
         assert_eq!(paper, sweep.best);
+    }
+
+    #[test]
+    fn runtime_backed_sweep_is_bit_identical_to_serial() {
+        use crosslight_runtime::pool::RuntimeOptions;
+        let serial = run(&reduced_candidates()).unwrap();
+        for workers in [1, 4] {
+            let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+            let batched = run_on(&service, &reduced_candidates()).unwrap();
+            assert_eq!(serial, batched);
+        }
     }
 
     #[test]

@@ -7,12 +7,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use crosslight_baselines::accelerator::{CrossLightAccelerator, PhotonicAccelerator};
+use crosslight_baselines::accelerator::{
+    AcceleratorReport, CrossLightAccelerator, PhotonicAccelerator,
+};
 use crosslight_baselines::electronic::all_platforms;
 use crosslight_baselines::{DeapCnn, HolyLight};
 use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::planner::SweepPlanner;
+use crosslight_runtime::pool::EvalService;
 
 use crate::report::{fmt_f64, TextTable};
 
@@ -77,7 +81,54 @@ impl SummaryTable {
     }
 }
 
-/// Runs the Table III summary.
+/// Builds the non-CrossLight rows: electronic literature references first,
+/// then the simulated DEAP-CNN and HolyLight baselines.
+fn baseline_rows(
+    workloads: &[NetworkWorkload],
+) -> Result<Vec<SummaryRow>, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for platform in all_platforms() {
+        rows.push(SummaryRow {
+            name: platform.name.to_string(),
+            avg_epb_pj: platform.avg_epb_pj,
+            avg_kfps_per_watt: platform.avg_kfps_per_watt,
+            simulated: false,
+        });
+    }
+    let photonic: Vec<Box<dyn PhotonicAccelerator>> =
+        vec![Box::new(DeapCnn::new()), Box::new(HolyLight::new())];
+    for accelerator in &photonic {
+        let report = accelerator.evaluate_average(workloads)?;
+        rows.push(SummaryRow {
+            name: accelerator.name(),
+            avg_epb_pj: report.energy_per_bit_pj,
+            avg_kfps_per_watt: report.kfps_per_watt,
+            simulated: true,
+        });
+    }
+    Ok(rows)
+}
+
+/// Computes the headline improvement factors and assembles the table.
+fn finish(rows: Vec<SummaryRow>) -> SummaryTable {
+    let find = |name: &str| -> SummaryRow {
+        rows.iter()
+            .find(|r| r.name == name)
+            .cloned()
+            .expect("row exists")
+    };
+    let opt_ted = find("Cross_opt_TED");
+    let holylight = find("Holylight");
+    let deap = find("DEAP_CNN");
+    SummaryTable {
+        epb_improvement_vs_holylight: holylight.avg_epb_pj / opt_ted.avg_epb_pj,
+        ppw_improvement_vs_holylight: opt_ted.avg_kfps_per_watt / holylight.avg_kfps_per_watt,
+        epb_improvement_vs_deap: deap.avg_epb_pj / opt_ted.avg_epb_pj,
+        rows,
+    }
+}
+
+/// Runs the Table III summary, serially.
 ///
 /// # Errors
 ///
@@ -89,48 +140,62 @@ pub fn run() -> Result<SummaryTable, Box<dyn std::error::Error>> {
         .map(|m| NetworkWorkload::from_spec(&m.spec()))
         .collect::<Result<_, _>>()?;
 
-    let mut rows = Vec::new();
-    for platform in all_platforms() {
+    let mut rows = baseline_rows(&workloads)?;
+    for variant in CrossLightVariant::all() {
+        let report = CrossLightAccelerator::new(variant).evaluate_average(&workloads)?;
         rows.push(SummaryRow {
-            name: platform.name.to_string(),
-            avg_epb_pj: platform.avg_epb_pj,
-            avg_kfps_per_watt: platform.avg_kfps_per_watt,
-            simulated: false,
-        });
-    }
-    let photonic: Vec<Box<dyn PhotonicAccelerator>> = vec![
-        Box::new(DeapCnn::new()),
-        Box::new(HolyLight::new()),
-        Box::new(CrossLightAccelerator::new(CrossLightVariant::Base)),
-        Box::new(CrossLightAccelerator::new(CrossLightVariant::BaseTed)),
-        Box::new(CrossLightAccelerator::new(CrossLightVariant::Opt)),
-        Box::new(CrossLightAccelerator::new(CrossLightVariant::OptTed)),
-    ];
-    for accelerator in &photonic {
-        let report = accelerator.evaluate_average(&workloads)?;
-        rows.push(SummaryRow {
-            name: accelerator.name(),
+            name: variant.label().to_string(),
             avg_epb_pj: report.energy_per_bit_pj,
             avg_kfps_per_watt: report.kfps_per_watt,
             simulated: true,
         });
     }
+    Ok(finish(rows))
+}
 
-    let find = |name: &str| -> SummaryRow {
-        rows.iter()
-            .find(|r| r.name == name)
-            .cloned()
-            .expect("row exists")
-    };
-    let opt_ted = find("Cross_opt_TED");
-    let holylight = find("Holylight");
-    let deap = find("DEAP_CNN");
-    Ok(SummaryTable {
-        epb_improvement_vs_holylight: holylight.avg_epb_pj / opt_ted.avg_epb_pj,
-        ppw_improvement_vs_holylight: opt_ted.avg_kfps_per_watt / holylight.avg_kfps_per_watt,
-        epb_improvement_vs_deap: deap.avg_epb_pj / opt_ted.avg_epb_pj,
-        rows,
-    })
+/// Runs the Table III summary with the four CrossLight variant rows fanned
+/// through the runtime's evaluation service (the electronic and non-
+/// CrossLight photonic baselines have no simulator behind them and stay
+/// serial).  Bit-identical to [`run`] for any worker count: the simulator
+/// reports and the averaging path are shared with the serial adapter.
+///
+/// # Errors
+///
+/// Propagates planner/service and accelerator-evaluation errors.
+pub fn run_on(service: &EvalService) -> Result<SummaryTable, Box<dyn std::error::Error>> {
+    let workloads: Vec<NetworkWorkload> = PaperModel::all()
+        .iter()
+        .map(|m| NetworkWorkload::from_spec(&m.spec()))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = baseline_rows(&workloads)?;
+    let variants = CrossLightVariant::all();
+    let requests = SweepPlanner::new().variants(&variants).plan()?;
+    let models = PaperModel::all().len();
+    let responses = service.submit_batch(requests)?;
+    if responses.len() != variants.len() * models {
+        return Err(format!(
+            "sweep plan shape drifted: {} responses for {} variants × {} models",
+            responses.len(),
+            variants.len(),
+            models
+        )
+        .into());
+    }
+    for (variant, chunk) in variants.iter().zip(responses.chunks(models)) {
+        let reports: Vec<AcceleratorReport> = chunk
+            .iter()
+            .map(|r| AcceleratorReport::from_simulation(&r.report))
+            .collect();
+        let report = AcceleratorReport::average(&reports)?;
+        rows.push(SummaryRow {
+            name: variant.label().to_string(),
+            avg_epb_pj: report.energy_per_bit_pj,
+            avg_kfps_per_watt: report.kfps_per_watt,
+            simulated: true,
+        });
+    }
+    Ok(finish(rows))
 }
 
 #[cfg(test)]
@@ -145,6 +210,17 @@ mod tests {
         assert!(summary.row("Cross_opt_TED").unwrap().simulated);
         assert!(!summary.row("P100").unwrap().simulated);
         assert!(summary.row("missing").is_none());
+    }
+
+    #[test]
+    fn runtime_backed_summary_is_bit_identical_to_serial() {
+        use crosslight_runtime::pool::RuntimeOptions;
+        let serial = run().unwrap();
+        let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+        let batched = run_on(&service).unwrap();
+        assert_eq!(serial, batched);
+        // The variant rows rode the runtime: 4 variants × 4 models.
+        assert_eq!(service.stats().completed, 16);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Stable 64-bit fingerprints for cacheable values.
+//!
+//! The runtime layer memoizes simulation results keyed by
+//! `(configuration, workload)` and shards traffic across workers by key.
+//! Both uses need a hash that is *stable* — identical across processes,
+//! platforms and runs — which `std::collections::hash_map::DefaultHasher`
+//! does not guarantee.  [`StableHasher`] is FNV-1a over a canonical little-
+//! endian byte stream: every integer write is widened to a fixed-width
+//! little-endian encoding, so `usize` values fingerprint identically on
+//! 32- and 64-bit targets.
+//!
+//! Fingerprints are *routing* hashes, not identity: two distinct values may
+//! collide (2⁻⁶⁴ per pair), so equality checks must still compare the full
+//! values.  The runtime's cache does exactly that.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hasher with a platform-independent byte encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher in the standard FNV-1a offset state.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    // Widen to 64 bits so fingerprints agree across pointer widths.
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Fingerprints any hashable value through a fresh [`StableHasher`].
+#[must_use]
+pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = StableHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Reference values for the raw byte stream (classic FNV-1a tests).
+        let mut h = StableHasher::new();
+        h.write(b"");
+        assert_eq!(h.finish(), FNV_OFFSET);
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_input_sensitive() {
+        assert_eq!(fingerprint(&(1u32, 2usize)), fingerprint(&(1u32, 2usize)));
+        assert_ne!(fingerprint(&(1u32, 2usize)), fingerprint(&(2u32, 1usize)));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+    }
+
+    #[test]
+    fn usize_hashes_like_u64() {
+        assert_eq!(fingerprint(&7usize), fingerprint(&7u64));
+    }
+}

@@ -42,7 +42,7 @@ pub enum LayerKind {
 
 /// The vector-dot-product workload one layer contributes to an accelerator:
 /// `dot_count` dot products of `dot_length` elements each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DotProductWorkload {
     /// Length of each dot product.
     pub dot_length: usize,

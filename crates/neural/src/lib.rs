@@ -20,6 +20,8 @@
 //!   [`ModelSpec`](zoo::ModelSpec)s (full size) and trainable surrogates.
 //! * [`workload`] — extraction of the per-layer dot-product workload that the
 //!   photonic accelerator executes.
+//! * [`fingerprint`] — platform-stable FNV-1a hashing, used by the runtime
+//!   layer to key its result cache and shard traffic.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod datasets;
 pub mod error;
+pub mod fingerprint;
 pub mod layers;
 pub mod metrics;
 pub mod model;

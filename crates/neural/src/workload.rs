@@ -14,7 +14,7 @@ use crate::model::Sequential;
 use crate::zoo::ModelSpec;
 
 /// The dot-product workload of one inference of one network.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NetworkWorkload {
     /// Network name.
     pub name: String,
@@ -145,6 +145,15 @@ impl NetworkWorkload {
     pub fn output_bits(&self, resolution_bits: u32) -> u64 {
         self.total_dot_products() * u64::from(resolution_bits)
     }
+
+    /// Platform-stable 64-bit fingerprint of the workload (name, per-layer
+    /// dot-product jobs and tower count), used by the runtime layer as a
+    /// cache-routing key.  Equal workloads always fingerprint equally; the
+    /// converse is only probabilistic, so callers must still compare values.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fingerprint(self)
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +219,21 @@ mod tests {
         assert_eq!(w.output_bits(16), w.total_dot_products() * 16);
         assert_eq!(w.output_bits(4), w.total_dot_products() * 4);
         assert!(w.conv_macs() > w.fc_macs());
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinguish_models() {
+        let a = NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap();
+        let b = NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for model in [
+            PaperModel::CnnCifar10,
+            PaperModel::CnnStl10,
+            PaperModel::SiameseOmniglot,
+        ] {
+            let other = NetworkWorkload::from_spec(&model.spec()).unwrap();
+            assert_ne!(a.fingerprint(), other.fingerprint());
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Memoizing result cache, sharded to keep lock contention off the hot path.
+//!
+//! The cache key is *exact*: [`CacheKey`] pairs the bit-exact
+//! [`ConfigKey`](crosslight_core::canonical::ConfigKey) of the configuration
+//! with the full workload (compared structurally on lookup), so a hit always
+//! returns the report the simulator would have computed — caching can change
+//! latency, never results.  Keys also expose a platform-stable
+//! [`fingerprint`](CacheKey::fingerprint) used both to pick a shard here and
+//! to pick a worker in the pool, so all requests for one key land on one
+//! worker and one shard deterministically.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crosslight_core::canonical::ConfigKey;
+use crosslight_core::config::CrossLightConfig;
+use crosslight_core::simulator::SimulationReport;
+use crosslight_neural::fingerprint::StableHasher;
+use crosslight_neural::workload::NetworkWorkload;
+
+/// Exact identity of one `(configuration, workload)` evaluation.
+///
+/// The routing fingerprint is computed once at construction; the hot path
+/// (worker selection, shard selection, map lookups) only reads it.
+#[derive(Debug, Clone)]
+pub struct CacheKey {
+    config: ConfigKey,
+    workload: Arc<NetworkWorkload>,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for a configuration/workload pair.
+    #[must_use]
+    pub fn new(config: &CrossLightConfig, workload: Arc<NetworkWorkload>) -> Self {
+        let config = config.canonical_key();
+        let mut hasher = StableHasher::new();
+        config.hash(&mut hasher);
+        workload.hash(&mut hasher);
+        Self {
+            config,
+            workload,
+            fingerprint: hasher.finish(),
+        }
+    }
+
+    /// The canonical configuration component of the key.
+    #[must_use]
+    pub fn config_key(&self) -> ConfigKey {
+        self.config
+    }
+
+    /// Platform-stable 64-bit routing hash of the key, identical across
+    /// processes and architectures.  Used for shard and worker selection;
+    /// equality still compares the full key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.config == other.config
+            && *self.workload == *other.workload
+    }
+}
+
+impl Eq for CacheKey {}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal keys have equal fingerprints (the fingerprint is a pure
+        // function of the contents), so hashing only the precomputed value
+        // is consistent with `Eq` and keeps map lookups O(1) in key size.
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// A sharded `CacheKey → SimulationReport` map with hit/miss counters.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<HashMap<CacheKey, SimulationReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Creates a cache with `shards` independent locks (at least one).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, SimulationReport>> {
+        let index = (key.fingerprint() % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Looks up a key, counting the outcome as a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<SimulationReport> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a computed report under its key.
+    pub fn insert(&self, key: CacheKey, report: SimulationReport) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard lock poisoned")
+            .insert(key, report);
+    }
+
+    /// Number of cached entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed and required evaluation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosslight_core::simulator::CrossLightSimulator;
+    use crosslight_core::variants::CrossLightVariant;
+    use crosslight_neural::zoo::PaperModel;
+
+    fn workload(model: PaperModel) -> Arc<NetworkWorkload> {
+        Arc::new(NetworkWorkload::from_spec(&model.spec()).unwrap())
+    }
+
+    #[test]
+    fn equal_pairs_collide_and_perturbed_pairs_do_not() {
+        let w = workload(PaperModel::CnnCifar10);
+        let a = CacheKey::new(&CrossLightConfig::paper_best(), Arc::clone(&w));
+        let b = CacheKey::new(&CrossLightConfig::paper_best(), Arc::clone(&w));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let other_config = CacheKey::new(&CrossLightVariant::Base.config(), Arc::clone(&w));
+        assert_ne!(a, other_config);
+
+        let other_workload = CacheKey::new(
+            &CrossLightConfig::paper_best(),
+            workload(PaperModel::CnnStl10),
+        );
+        assert_ne!(a, other_workload);
+        assert_ne!(a.fingerprint(), other_workload.fingerprint());
+    }
+
+    #[test]
+    fn cache_round_trips_reports_and_counts_outcomes() {
+        let cache = ShardedCache::new(4);
+        let w = workload(PaperModel::Lenet5SignMnist);
+        let key = CacheKey::new(&CrossLightConfig::paper_best(), Arc::clone(&w));
+        assert!(cache.get(&key).is_none());
+        assert!(cache.is_empty());
+
+        let report = CrossLightSimulator::new(CrossLightConfig::paper_best())
+            .evaluate(&w)
+            .unwrap();
+        cache.insert(key.clone(), report);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key), Some(report));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        let cache = ShardedCache::new(0);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! # crosslight-runtime
+//!
+//! A concurrent batched evaluation service over the CrossLight simulator —
+//! the serving layer that turns one-shot `CrossLightSimulator::evaluate`
+//! calls into production-style request traffic for design-space sweeps and
+//! repeated workloads.
+//!
+//! The request lifecycle is **submit → shard → evaluate/cache → collect**:
+//!
+//! 1. **submit** — callers hand [`EvalService::submit_batch`](pool::EvalService::submit_batch)
+//!    a stream of [`EvalRequest`](request::EvalRequest)s, usually produced by
+//!    the [`SweepPlanner`](planner::SweepPlanner).
+//! 2. **shard** — each request is routed to a worker thread by the
+//!    platform-stable fingerprint of its canonical cache key
+//!    ([`CacheKey`](cache::CacheKey)), so identical requests serialize on one
+//!    worker and distinct design points spread across the pool.
+//! 3. **evaluate/cache** — the worker answers from the memoizing
+//!    [`ShardedCache`](cache::ShardedCache) when possible; otherwise it
+//!    evaluates with a per-configuration
+//!    [`PreparedSimulator`](crosslight_core::simulator::PreparedSimulator)
+//!    (power/area/resolution computed once per configuration) and caches the
+//!    report.
+//! 4. **collect** — responses return in request order, each tagged with the
+//!    serving worker and hit/miss provenance.
+//!
+//! The service is *transparent*: reports are bit-identical to serial
+//! [`CrossLightSimulator`](crosslight_core::simulator::CrossLightSimulator)
+//! evaluation for every worker count, batch partitioning and cache state.
+//! See `RUNTIME.md` at the repository root for the full design.
+//!
+//! # Example
+//!
+//! ```
+//! use crosslight_runtime::prelude::*;
+//! use crosslight_core::variants::CrossLightVariant;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+//! let requests = SweepPlanner::new()
+//!     .variants(&CrossLightVariant::all())
+//!     .repeats(2)
+//!     .plan()?;
+//! let responses = service.submit_batch(requests)?;
+//! assert_eq!(responses.len(), 32);
+//! let stats = service.stats();
+//! assert_eq!(stats.cache_hits, 16); // the second repeat is free
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod error;
+pub mod planner;
+pub mod pool;
+pub mod request;
+
+pub use cache::{CacheKey, ShardedCache};
+pub use error::RuntimeError;
+pub use planner::SweepPlanner;
+pub use pool::{EvalService, RuntimeOptions, RuntimeStats};
+pub use request::{EvalRequest, EvalResponse};
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::cache::CacheKey;
+    pub use crate::error::RuntimeError;
+    pub use crate::planner::SweepPlanner;
+    pub use crate::pool::{EvalService, RuntimeOptions, RuntimeStats};
+    pub use crate::request::{EvalRequest, EvalResponse};
+}

@@ -1,0 +1,238 @@
+//! Deterministic expansion of scenario grids into request streams.
+//!
+//! Design-space studies (the paper's Fig. 6, Table III, and the follow-up
+//! sweeps the ROADMAP targets) all have the same shape: a cartesian grid of
+//! scenario axes — architecture dimensions × design variants × resolutions ×
+//! models — evaluated point by point.  [`SweepPlanner`] expands such a grid
+//! into a `Vec<EvalRequest>` with a fixed ordering (architectures outermost,
+//! then variants, resolutions, models; the whole grid repeated `repeats`
+//! times), so the same plan always produces the same stream and responses
+//! can be correlated by position or sequential id.
+//!
+//! Workloads are built once per model and shared across every request via
+//! `Arc`, so planning a thousand-point sweep costs one workload extraction
+//! per model, not per point.
+
+use std::sync::Arc;
+
+use crosslight_core::config::CrossLightConfig;
+use crosslight_core::variants::CrossLightVariant;
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+
+use crate::error::{Result, RuntimeError};
+use crate::request::EvalRequest;
+
+/// Architecture dimensions `(N, K, n, m)` of one candidate design point.
+pub type ArchDims = (usize, usize, usize, usize);
+
+/// Builder expanding scenario grids into deterministic request streams.
+///
+/// # Example
+///
+/// ```
+/// use crosslight_runtime::planner::SweepPlanner;
+/// use crosslight_core::variants::CrossLightVariant;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = SweepPlanner::new()
+///     .variants(&CrossLightVariant::all())
+///     .resolutions(&[16, 8])
+///     .plan()?;
+/// // 1 architecture × 4 variants × 2 resolutions × 4 models.
+/// assert_eq!(plan.len(), 32);
+/// assert_eq!(plan[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlanner {
+    variants: Vec<CrossLightVariant>,
+    architectures: Vec<ArchDims>,
+    resolutions: Vec<u32>,
+    models: Vec<PaperModel>,
+    repeats: usize,
+}
+
+impl SweepPlanner {
+    /// A planner covering the paper's default scenario: the best
+    /// architecture, the fully optimized variant, 16-bit resolution, and all
+    /// four Table I models, once.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            variants: vec![CrossLightVariant::OptTed],
+            architectures: vec![crosslight_core::config::BEST_CONFIG],
+            resolutions: vec![16],
+            models: PaperModel::all().to_vec(),
+            repeats: 1,
+        }
+    }
+
+    /// Sets the design variants axis.
+    #[must_use]
+    pub fn variants(mut self, variants: &[CrossLightVariant]) -> Self {
+        self.variants = variants.to_vec();
+        self
+    }
+
+    /// Sets the architecture-dimension axis (`(N, K, n, m)` tuples).
+    #[must_use]
+    pub fn architectures(mut self, architectures: &[ArchDims]) -> Self {
+        self.architectures = architectures.to_vec();
+        self
+    }
+
+    /// Sets the energy-accounting resolution axis.
+    #[must_use]
+    pub fn resolutions(mut self, resolutions: &[u32]) -> Self {
+        self.resolutions = resolutions.to_vec();
+        self
+    }
+
+    /// Sets the model axis.
+    #[must_use]
+    pub fn models(mut self, models: &[PaperModel]) -> Self {
+        self.models = models.to_vec();
+        self
+    }
+
+    /// Replays the whole grid `repeats` times (≥ 1) — the shape of repeated
+    /// production traffic, where everything after the first pass should hit
+    /// the cache.
+    #[must_use]
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Number of requests [`SweepPlanner::plan`] will produce.
+    #[must_use]
+    pub fn request_count(&self) -> usize {
+        self.repeats
+            * self.architectures.len()
+            * self.variants.len()
+            * self.resolutions.len()
+            * self.models.len()
+    }
+
+    /// Expands the grid into requests with sequential ids, in the documented
+    /// deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Scenario`] if any axis is empty or a workload cannot
+    /// be extracted; [`RuntimeError::Evaluation`] if an architecture tuple is
+    /// invalid.
+    pub fn plan(&self) -> Result<Vec<EvalRequest>> {
+        if self.request_count() == 0 {
+            return Err(RuntimeError::Scenario(
+                "every scenario axis must be non-empty".into(),
+            ));
+        }
+        let workloads: Vec<Arc<NetworkWorkload>> = self
+            .models
+            .iter()
+            .map(|model| {
+                NetworkWorkload::from_spec(&model.spec())
+                    .map(Arc::new)
+                    .map_err(|err| {
+                        RuntimeError::Scenario(format!("workload extraction failed: {err}"))
+                    })
+            })
+            .collect::<Result<_>>()?;
+
+        let mut requests = Vec::with_capacity(self.request_count());
+        for _ in 0..self.repeats {
+            for &(n_size, k_size, n_units, m_units) in &self.architectures {
+                for variant in &self.variants {
+                    for &bits in &self.resolutions {
+                        let config = CrossLightConfig::new(
+                            n_size,
+                            k_size,
+                            n_units,
+                            m_units,
+                            variant.design(),
+                        )?
+                        .with_resolution_bits(bits);
+                        for workload in &workloads {
+                            let id = requests.len() as u64;
+                            requests
+                                .push(EvalRequest::new(config, Arc::clone(workload)).with_id(id));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(requests)
+    }
+}
+
+impl Default for SweepPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_covers_the_four_paper_models_once() {
+        let plan = SweepPlanner::new().plan().unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.len(), SweepPlanner::new().request_count());
+        let names: Vec<&str> = plan.iter().map(|r| r.workload.name.as_str()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(plan.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let planner = SweepPlanner::new()
+            .variants(&CrossLightVariant::all())
+            .resolutions(&[16, 8])
+            .repeats(2);
+        let a = planner.plan().unwrap();
+        let b = planner.plan().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), planner.request_count());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.key(), y.key());
+        }
+        // Repeats replay the same grid: second half mirrors the first.
+        let half = a.len() / 2;
+        for i in 0..half {
+            assert_eq!(a[i].key(), a[half + i].key());
+        }
+    }
+
+    #[test]
+    fn workloads_are_shared_not_cloned() {
+        let plan = SweepPlanner::new()
+            .variants(&CrossLightVariant::all())
+            .plan()
+            .unwrap();
+        // 4 variants × 4 models: each model's workload is one allocation
+        // shared by 4 requests.
+        let first = &plan[0].workload;
+        let again = &plan[4].workload;
+        assert!(Arc::ptr_eq(first, again));
+    }
+
+    #[test]
+    fn empty_axes_and_invalid_architectures_are_rejected() {
+        assert!(matches!(
+            SweepPlanner::new().models(&[]).plan(),
+            Err(RuntimeError::Scenario(_))
+        ));
+        assert!(matches!(
+            SweepPlanner::new()
+                .architectures(&[(150, 20, 100, 60)])
+                .plan(),
+            Err(RuntimeError::Evaluation(_))
+        ));
+    }
+}

@@ -1,0 +1,446 @@
+//! The sharded worker pool behind the evaluation service.
+//!
+//! [`EvalService`] owns `N` OS threads, each with its own job channel.
+//! Requests are dispatched to workers by the platform-stable fingerprint of
+//! their cache key, so identical requests always land on the same worker —
+//! within one batch the first occurrence computes and every later duplicate
+//! is a cache hit, never a redundant recomputation racing on another thread.
+//!
+//! Two memoization layers serve the hot loop:
+//!
+//! 1. a pool-wide [`ShardedCache`] of finished `(config, workload)` reports;
+//! 2. a per-worker map of [`PreparedSimulator`]s, so a cache miss for a
+//!    configuration already seen by that worker only recomputes the
+//!    per-workload inference metrics, not power/area/resolution.
+//!
+//! Both layers are transparent: the simulator is deterministic, so responses
+//! are bit-identical to serial `CrossLightSimulator::evaluate` calls
+//! regardless of worker count, batch partitioning, or hit pattern.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crosslight_core::canonical::ConfigKey;
+use crosslight_core::simulator::{CrossLightSimulator, PreparedSimulator};
+
+use crate::cache::{CacheKey, ShardedCache};
+use crate::error::{Result, RuntimeError};
+use crate::request::{EvalRequest, EvalResponse};
+
+/// Tuning knobs of the evaluation service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Number of independent cache shards (clamped to at least 1).
+    pub cache_shards: usize,
+}
+
+impl RuntimeOptions {
+    /// Returns a copy with a different worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns a copy with a different shard count.
+    #[must_use]
+    pub fn with_cache_shards(mut self, cache_shards: usize) -> Self {
+        self.cache_shards = cache_shards;
+        self
+    }
+}
+
+impl Default for RuntimeOptions {
+    /// One worker per available core (falling back to 4) and 16 cache shards.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Requests accepted by `submit`/`submit_batch`.
+    pub submitted: u64,
+    /// Requests fully answered.
+    pub completed: u64,
+    /// Responses served from the result cache.
+    pub cache_hits: u64,
+    /// Responses that required a fresh evaluation.
+    pub cache_misses: u64,
+    /// Distinct `(config, workload)` reports currently cached.
+    pub cached_entries: usize,
+    /// Requests handled by each worker, indexed by worker id.
+    pub per_worker: Vec<u64>,
+}
+
+impl RuntimeStats {
+    /// Fraction of completed lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Job {
+    index: usize,
+    key: CacheKey,
+    request: EvalRequest,
+    reply: Sender<(usize, Result<EvalResponse>)>,
+}
+
+#[derive(Debug)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    per_worker: Vec<AtomicU64>,
+}
+
+/// The concurrent batched evaluation service.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use crosslight_runtime::pool::{EvalService, RuntimeOptions};
+/// use crosslight_runtime::request::EvalRequest;
+/// use crosslight_core::config::CrossLightConfig;
+/// use crosslight_core::simulator::CrossLightSimulator;
+/// use crosslight_neural::workload::NetworkWorkload;
+/// use crosslight_neural::zoo::PaperModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = EvalService::new(RuntimeOptions::default().with_workers(2));
+/// let config = CrossLightConfig::paper_best();
+/// let workload = Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec())?);
+///
+/// let batch = vec![
+///     EvalRequest::new(config, Arc::clone(&workload)),
+///     EvalRequest::new(config, Arc::clone(&workload)), // duplicate → cache hit
+/// ];
+/// let responses = service.submit_batch(batch)?;
+///
+/// let serial = CrossLightSimulator::new(config).evaluate(&workload)?;
+/// assert_eq!(responses[0].report, serial); // bit-identical to serial
+/// assert!(responses[1].cache_hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EvalService {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    cache: Arc<ShardedCache>,
+    counters: Arc<Counters>,
+}
+
+impl EvalService {
+    /// Spawns the worker pool.
+    #[must_use]
+    pub fn new(options: RuntimeOptions) -> Self {
+        let workers = options.workers.max(1);
+        let cache = Arc::new(ShardedCache::new(options.cache_shards));
+        let counters = Arc::new(Counters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            let handle = std::thread::Builder::new()
+                .name(format!("crosslight-runtime-{worker}"))
+                .spawn(move || worker_loop(worker, &rx, &cache, &counters))
+                .expect("spawning a runtime worker thread succeeds");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            senders,
+            handles,
+            cache,
+            counters,
+        }
+    }
+
+    /// Spawns a pool with the default options.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(RuntimeOptions::default())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Evaluates one request (sugar for a one-element batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; [`RuntimeError::WorkerLost`] if the
+    /// pool's threads died.
+    pub fn submit(&self, request: EvalRequest) -> Result<EvalResponse> {
+        let mut responses = self.submit_batch(vec![request])?;
+        responses.pop().ok_or(RuntimeError::WorkerLost)
+    }
+
+    /// Fans a batch across the workers and returns the responses in request
+    /// order.  Results are bit-identical to evaluating each request serially
+    /// with [`CrossLightSimulator::evaluate`], for any worker count and any
+    /// partitioning of the stream into batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first evaluation error, or
+    /// [`RuntimeError::WorkerLost`] if a worker thread died mid-batch.
+    pub fn submit_batch(&self, requests: Vec<EvalRequest>) -> Result<Vec<EvalResponse>> {
+        let expected = requests.len();
+        if expected == 0 {
+            return Ok(Vec::new());
+        }
+        self.counters
+            .submitted
+            .fetch_add(expected as u64, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for (index, request) in requests.into_iter().enumerate() {
+            let key = request.key();
+            let worker = (key.fingerprint() % self.senders.len() as u64) as usize;
+            let job = Job {
+                index,
+                key,
+                request,
+                reply: reply_tx.clone(),
+            };
+            self.senders[worker]
+                .send(job)
+                .map_err(|_| RuntimeError::WorkerLost)?;
+        }
+        drop(reply_tx);
+
+        let mut responses: Vec<Option<EvalResponse>> = vec![None; expected];
+        let mut received = 0;
+        while let Ok((index, outcome)) = reply_rx.recv() {
+            responses[index] = Some(outcome?);
+            received += 1;
+        }
+        if received != expected {
+            return Err(RuntimeError::WorkerLost);
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every index answered exactly once"))
+            .collect())
+    }
+
+    /// Snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cached_entries: self.cache.len(),
+            per_worker: self
+                .counters
+                .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Stops the workers and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(worker: usize, jobs: &Receiver<Job>, cache: &ShardedCache, counters: &Counters) {
+    // Workload-independent state per configuration, local to this worker:
+    // key-sharded dispatch guarantees a configuration is only ever prepared
+    // by the workers its requests hash to.
+    let mut prepared: HashMap<ConfigKey, PreparedSimulator> = HashMap::new();
+    while let Ok(job) = jobs.recv() {
+        let outcome = serve(worker, &job, cache, &mut prepared);
+        counters.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        // A send error means the batch collector gave up (error fast-path);
+        // the remaining jobs still drain so the channel empties.
+        let _ = job.reply.send((job.index, outcome));
+    }
+}
+
+fn serve(
+    worker: usize,
+    job: &Job,
+    cache: &ShardedCache,
+    prepared: &mut HashMap<ConfigKey, PreparedSimulator>,
+) -> Result<EvalResponse> {
+    if let Some(report) = cache.get(&job.key) {
+        return Ok(EvalResponse {
+            id: job.request.id,
+            report,
+            cache_hit: true,
+            worker,
+        });
+    }
+    let simulator = match prepared.get(&job.key.config_key()) {
+        Some(existing) => *existing,
+        None => {
+            let fresh = CrossLightSimulator::new(job.request.config).prepare()?;
+            prepared.insert(job.key.config_key(), fresh);
+            fresh
+        }
+    };
+    let report = simulator.evaluate(&job.request.workload)?;
+    cache.insert(job.key.clone(), report);
+    Ok(EvalResponse {
+        id: job.request.id,
+        report,
+        cache_hit: false,
+        worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosslight_core::config::CrossLightConfig;
+    use crosslight_core::variants::CrossLightVariant;
+    use crosslight_neural::workload::NetworkWorkload;
+    use crosslight_neural::zoo::PaperModel;
+
+    fn paper_requests() -> Vec<EvalRequest> {
+        let mut requests = Vec::new();
+        for variant in CrossLightVariant::all() {
+            for model in PaperModel::all() {
+                let workload = Arc::new(NetworkWorkload::from_spec(&model.spec()).unwrap());
+                requests.push(EvalRequest::new(variant.config(), workload));
+            }
+        }
+        requests
+    }
+
+    #[test]
+    fn batched_responses_match_serial_evaluation_bit_for_bit() {
+        let requests = paper_requests();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                CrossLightSimulator::new(r.config)
+                    .evaluate(&r.workload)
+                    .unwrap()
+            })
+            .collect();
+        for workers in [1, 2, 4, 7] {
+            let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+            let responses = service.submit_batch(requests.clone()).unwrap();
+            assert_eq!(responses.len(), serial.len());
+            for (response, expected) in responses.iter().zip(&serial) {
+                assert_eq!(response.report, *expected);
+                assert!(!response.cache_hit, "first pass must be all misses");
+                assert!(response.worker < workers);
+            }
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn duplicate_traffic_is_served_from_the_cache() {
+        let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+        let requests = paper_requests();
+        let first = service.submit_batch(requests.clone()).unwrap();
+        let second = service.submit_batch(requests).unwrap();
+        assert!(second.iter().all(|r| r.cache_hit));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.report, b.report);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.completed, 32);
+        assert_eq!(stats.cache_hits, 16);
+        assert_eq!(stats.cache_misses, 16);
+        assert_eq!(stats.cached_entries, 16);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.per_worker.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn duplicates_within_one_batch_hit_after_the_first_occurrence() {
+        let service = EvalService::new(RuntimeOptions::default().with_workers(3));
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap());
+        let request = EvalRequest::new(CrossLightConfig::paper_best(), workload);
+        let responses = service
+            .submit_batch(vec![request.clone(), request.clone(), request])
+            .unwrap();
+        // Key-sharded dispatch serializes identical requests on one worker,
+        // so exactly one response computed and two hit.
+        let hits = responses.iter().filter(|r| r.cache_hit).count();
+        assert_eq!(hits, 2);
+        assert_eq!(responses[0].report, responses[1].report);
+        assert_eq!(responses[1].report, responses[2].report);
+    }
+
+    #[test]
+    fn single_submit_and_empty_batches_work() {
+        let service = EvalService::new(RuntimeOptions::default().with_workers(2));
+        assert!(service.submit_batch(Vec::new()).unwrap().is_empty());
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::CnnCifar10.spec()).unwrap());
+        let response = service
+            .submit(EvalRequest::new(CrossLightConfig::paper_best(), workload).with_id(42))
+            .unwrap();
+        assert_eq!(response.id, 42);
+        assert!(!response.cache_hit);
+        assert_eq!(service.workers(), 2);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let service = EvalService::new(RuntimeOptions {
+            workers: 0,
+            cache_shards: 0,
+        });
+        assert_eq!(service.workers(), 1);
+        let workload = Arc::new(NetworkWorkload::from_spec(&PaperModel::CnnStl10.spec()).unwrap());
+        let response = service
+            .submit(EvalRequest::new(CrossLightConfig::paper_best(), workload))
+            .unwrap();
+        assert_eq!(response.worker, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The request/response vocabulary of the evaluation service.
+//!
+//! An [`EvalRequest`] names one `(configuration, workload)` point; the
+//! service answers each with an [`EvalResponse`] carrying the full
+//! [`SimulationReport`] plus provenance (which worker, cache hit or miss).
+//! Workloads are shared via [`Arc`] so a sweep over thousands of
+//! configurations does not clone the per-layer job lists thousands of times.
+
+use std::sync::Arc;
+
+use crosslight_core::config::CrossLightConfig;
+use crosslight_core::simulator::SimulationReport;
+use crosslight_neural::workload::NetworkWorkload;
+
+use crate::cache::CacheKey;
+
+/// One evaluation request: a configuration applied to a workload.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    /// Caller-chosen correlation id, echoed verbatim on the response.  The
+    /// service itself orders responses by submission position, so the id is
+    /// purely for stream bookkeeping (the planner assigns sequential ids).
+    pub id: u64,
+    /// Accelerator configuration to simulate.
+    pub config: CrossLightConfig,
+    /// Workload to evaluate, shared across requests.
+    pub workload: Arc<NetworkWorkload>,
+}
+
+impl EvalRequest {
+    /// Creates a request with id 0.
+    #[must_use]
+    pub fn new(config: CrossLightConfig, workload: Arc<NetworkWorkload>) -> Self {
+        Self {
+            id: 0,
+            config,
+            workload,
+        }
+    }
+
+    /// Returns a copy with the given correlation id.
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The canonical cache key of this request.
+    #[must_use]
+    pub fn key(&self) -> CacheKey {
+        CacheKey::new(&self.config, Arc::clone(&self.workload))
+    }
+}
+
+/// The service's answer to one [`EvalRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResponse {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// The simulation result — bit-identical to a direct
+    /// `CrossLightSimulator::evaluate` call for the same request.
+    pub report: SimulationReport,
+    /// Whether the report was served from the memoizing cache.
+    pub cache_hit: bool,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosslight_neural::zoo::PaperModel;
+
+    #[test]
+    fn requests_share_workloads_and_carry_ids() {
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap());
+        let a = EvalRequest::new(CrossLightConfig::paper_best(), Arc::clone(&workload)).with_id(7);
+        let b = EvalRequest::new(CrossLightConfig::paper_best(), Arc::clone(&workload));
+        assert_eq!(a.id, 7);
+        assert_eq!(b.id, 0);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(Arc::strong_count(&workload), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Drives the `crosslight::runtime` evaluation service with a mixed stream
+//! of paper-model requests and reports throughput, cache hit rate and
+//! per-worker load — then proves the batched results are bit-identical to
+//! serial simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example runtime_service -- --workers 4 --repeats 3
+//! ```
+//!
+//! The process exits non-zero (panics) if any batched report differs from
+//! its serial counterpart or if the repeated traffic produces no cache hits,
+//! so CI can use it as a smoke test.
+
+use std::time::Instant;
+
+use crosslight::core::prelude::*;
+use crosslight::runtime::prelude::*;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got `{v}`"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let workers = parse_flag(&args, "--workers", 4).max(1);
+    let repeats = parse_flag(&args, "--repeats", 3).max(1);
+
+    println!("=== crosslight-runtime — concurrent batched evaluation service ===\n");
+
+    // A mixed production-style stream: every variant × two architecture
+    // candidates × two resolutions × all four paper models, replayed
+    // `repeats` times.
+    let planner = SweepPlanner::new()
+        .variants(&CrossLightVariant::all())
+        .architectures(&[crosslight::core::config::BEST_CONFIG, (10, 100, 50, 30)])
+        .resolutions(&[16, 8])
+        .repeats(repeats);
+    let requests = planner.plan()?;
+    let unique = requests.len() / repeats;
+    println!(
+        "stream: {} requests ({} unique scenarios × {} repeats), {} workers",
+        requests.len(),
+        unique,
+        repeats,
+        workers
+    );
+
+    // Serial baseline: one-shot simulator calls, no sharing, no cache.
+    let serial_start = Instant::now();
+    let serial: Vec<SimulationReport> = requests
+        .iter()
+        .map(|r| CrossLightSimulator::new(r.config).evaluate(&r.workload))
+        .collect::<Result<_, _>>()?;
+    let serial_elapsed = serial_start.elapsed();
+
+    // The same stream through the service.
+    let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+    let batched_start = Instant::now();
+    let responses = service.submit_batch(requests)?;
+    let batched_elapsed = batched_start.elapsed();
+
+    // Bit-identical or bust.
+    assert_eq!(responses.len(), serial.len());
+    for (response, expected) in responses.iter().zip(&serial) {
+        assert_eq!(
+            response.report, *expected,
+            "batched report diverged from serial evaluation"
+        );
+    }
+
+    let stats = service.stats();
+    let serial_rps = serial.len() as f64 / serial_elapsed.as_secs_f64();
+    let batched_rps = responses.len() as f64 / batched_elapsed.as_secs_f64();
+    println!("\nserial  : {serial_elapsed:>10.2?}  ({serial_rps:>10.0} req/s)");
+    println!("runtime : {batched_elapsed:>10.2?}  ({batched_rps:>10.0} req/s)");
+    println!(
+        "speedup : {:.2}×",
+        serial_elapsed.as_secs_f64() / batched_elapsed.as_secs_f64()
+    );
+    println!(
+        "\ncache   : {} hits / {} misses ({:.0}% hit rate), {} entries",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cached_entries
+    );
+    print!("workers :");
+    for (worker, count) in stats.per_worker.iter().enumerate() {
+        print!(" [{worker}] {count}");
+    }
+    println!();
+
+    if repeats > 1 {
+        assert!(
+            stats.cache_hits > 0,
+            "repeated traffic must produce cache hits"
+        );
+    }
+    assert_eq!(stats.cached_entries as u64, stats.cache_misses);
+    println!("\nOK: batched results bit-identical to serial, cache active.");
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! | [`tuning`] | `crosslight-tuning` | EO/TO/hybrid tuning, thermal eigenmode decomposition |
 //! | [`neural`] | `crosslight-neural` | tensors, layers, training, quantization, the Table I model zoo |
 //! | [`core`] | `crosslight-core` | the CrossLight architecture: VDP units, power/area/latency models, simulator |
+//! | [`runtime`] | `crosslight-runtime` | concurrent batched evaluation service: worker pool, result cache, sweep planner |
 //! | [`baselines`] | `crosslight-baselines` | DEAP-CNN, HolyLight, electronic platform references |
 //! | [`experiments`] | `crosslight-experiments` | one module per paper figure/table |
 //!
@@ -48,4 +49,5 @@ pub use crosslight_core as core;
 pub use crosslight_experiments as experiments;
 pub use crosslight_neural as neural;
 pub use crosslight_photonics as photonics;
+pub use crosslight_runtime as runtime;
 pub use crosslight_tuning as tuning;

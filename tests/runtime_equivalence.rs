@@ -1,0 +1,65 @@
+//! Acceptance test for the runtime subsystem, through the facade: a sweep of
+//! all paper models across all four CrossLight variants through the
+//! evaluation service with ≥4 workers must produce reports bit-identical to
+//! serial `CrossLightSimulator` evaluation, with repeated traffic served
+//! from the cache.
+
+use crosslight::core::prelude::*;
+use crosslight::runtime::prelude::*;
+
+#[test]
+fn four_worker_sweep_matches_serial_evaluation_bit_for_bit() {
+    let requests = SweepPlanner::new()
+        .variants(&CrossLightVariant::all())
+        .plan()
+        .expect("the paper sweep plans cleanly");
+    assert_eq!(requests.len(), 16, "4 variants × 4 models");
+
+    let serial: Vec<SimulationReport> = requests
+        .iter()
+        .map(|r| {
+            CrossLightSimulator::new(r.config)
+                .evaluate(&r.workload)
+                .expect("serial evaluation succeeds")
+        })
+        .collect();
+
+    let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+    assert!(service.workers() >= 4);
+
+    let first = service
+        .submit_batch(requests.clone())
+        .expect("batched evaluation succeeds");
+    for (response, expected) in first.iter().zip(&serial) {
+        assert_eq!(response.report, *expected, "batched ≠ serial");
+    }
+
+    // Replayed traffic: all hits, still bit-identical.
+    let replay = service.submit_batch(requests).expect("replay succeeds");
+    for (response, expected) in replay.iter().zip(&serial) {
+        assert!(response.cache_hit);
+        assert_eq!(response.report, *expected, "cached ≠ serial");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.cache_hits, 16);
+    assert_eq!(stats.cached_entries, 16);
+}
+
+#[test]
+fn experiment_ports_match_their_serial_twins_through_the_facade() {
+    use crosslight::experiments::{fig6_design_space, table3_summary};
+
+    let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+
+    let candidates = [(10, 100, 50, 30), (20, 150, 100, 60)];
+    let serial_sweep = fig6_design_space::run(&candidates).expect("serial sweep runs");
+    let runtime_sweep =
+        fig6_design_space::run_on(&service, &candidates).expect("runtime sweep runs");
+    assert_eq!(serial_sweep, runtime_sweep);
+
+    let serial_table = table3_summary::run().expect("serial summary runs");
+    let runtime_table = table3_summary::run_on(&service).expect("runtime summary runs");
+    assert_eq!(serial_table, runtime_table);
+}
