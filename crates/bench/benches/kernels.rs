@@ -1,18 +1,26 @@
 //! Microbenchmarks of the core kernels underlying the experiments.
+//!
+//! The tensor/layer benches exercise the allocation-free `_into` fast paths
+//! (persistent destination buffers across iterations), mirroring how the
+//! training loop drives them.  `cargo run -p crosslight-bench --bin
+//! bench_kernels` runs the same workloads and emits a machine-readable
+//! `BENCH_kernels.json` with speedups against the pre-refactor baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use crosslight_core::prelude::*;
+use crosslight_neural::datasets::generate_synthetic;
 use crosslight_neural::layers::{Conv2d, Layer};
 use crosslight_neural::quant::QuantConfig;
-use crosslight_neural::tensor::Tensor;
+use crosslight_neural::tensor::{im2col_into, Im2colSpec, Tensor};
+use crosslight_neural::train::{evaluate_quantized, train, TrainConfig};
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
 use crosslight_photonics::mr::{Microring, MrGeometry};
 use crosslight_photonics::thermal::ThermalCrosstalkModel;
 use crosslight_photonics::units::{Micrometers, Nanometers, Radians};
-use crosslight_tuning::ted::TedSolver;
+use crosslight_tuning::ted::{TedSolver, TedWorkspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,8 +46,47 @@ fn bench_ted_solve(c: &mut Criterion) {
     let targets: Vec<Radians> = (0..15)
         .map(|i| Radians::new(0.2 + 0.1 * ((i as f64) * 1.3).sin()))
         .collect();
+    // The reused workspace makes every iteration allocation-free.
+    let mut workspace = TedWorkspace::new();
     c.bench_function("ted_solve_15_mr_bank", |b| {
-        b.iter(|| solver.solve(black_box(&targets)).expect("solvable"))
+        b.iter(|| {
+            solver
+                .solve_with(black_box(&targets), &mut workspace)
+                .expect("solvable")
+                .total_power
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = Tensor::random_uniform(vec![96, 288], 1.0, &mut rng);
+    let b_mat = Tensor::random_uniform(vec![288, 96], 1.0, &mut rng);
+    let mut out = Tensor::default();
+    c.bench_function("matmul_96x288x96", |b| {
+        b.iter(|| {
+            a.matmul_into(black_box(&b_mat), &mut out).expect("valid");
+            out.as_slice()[0]
+        })
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let input = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut rng);
+    let spec = Im2colSpec {
+        in_channels: 3,
+        height: 32,
+        width: 32,
+        kernel: 3,
+        stride: 1,
+    };
+    let mut out = Tensor::default();
+    c.bench_function("im2col_3x32x32_k3", |b| {
+        b.iter(|| {
+            im2col_into(black_box(&input), &spec, &mut out).expect("valid");
+            out.as_slice()[0]
+        })
     });
 }
 
@@ -47,8 +94,51 @@ fn bench_conv_forward(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut conv = Conv2d::new(3, 16, 3, 1, &mut rng).expect("valid layer");
     let input = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut rng);
+    let mut out = Tensor::default();
     c.bench_function("conv2d_forward_3x32x32_to_16ch", |b| {
-        b.iter(|| conv.forward(black_box(&input)).expect("valid input"))
+        b.iter(|| {
+            conv.forward_into(black_box(&input), &mut out)
+                .expect("valid input");
+            out.as_slice()[0]
+        })
+    });
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let spec = PaperModel::CnnCifar10.spec();
+    let mut data_rng = StdRng::seed_from_u64(7);
+    let dataset = generate_synthetic(&spec.surrogate_dataset(10), &mut data_rng).expect("dataset");
+    let (train_split, _) = dataset.split(0.75);
+    let mut model_rng = StdRng::seed_from_u64(9);
+    let mut model = spec.build_surrogate(&mut model_rng).expect("surrogate");
+    let config = TrainConfig {
+        epochs: 1,
+        learning_rate: 0.08,
+        batch_size: 8,
+    };
+    c.bench_function("train_epoch_cifar10_surrogate", |b| {
+        b.iter(|| train(&mut model, &train_split, &config).expect("trains"))
+    });
+}
+
+fn bench_fig5_cell(c: &mut Criterion) {
+    let spec = PaperModel::CnnCifar10.spec();
+    let mut data_rng = StdRng::seed_from_u64(7);
+    let dataset = generate_synthetic(&spec.surrogate_dataset(10), &mut data_rng).expect("dataset");
+    let (train_split, test_split) = dataset.split(0.75);
+    let config = TrainConfig {
+        epochs: 4,
+        learning_rate: 0.08,
+        batch_size: 8,
+    };
+    c.bench_function("fig5_cell_cifar10_8bit", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut surrogate = spec.build_surrogate(&mut rng).expect("surrogate");
+            train(&mut surrogate, &train_split, &config).expect("trains");
+            evaluate_quantized(&mut surrogate, &test_split, &QuantConfig::uniform(8))
+                .expect("evaluates")
+        })
     });
 }
 
@@ -78,7 +168,11 @@ criterion_group!(
     kernels,
     bench_mr_transmission,
     bench_ted_solve,
+    bench_matmul,
+    bench_im2col,
     bench_conv_forward,
+    bench_train_epoch,
+    bench_fig5_cell,
     bench_quantization,
     bench_simulator
 );

@@ -1,0 +1,228 @@
+//! Benchmark-trajectory harness: runs the hot-kernel workloads and emits a
+//! machine-readable `BENCH_kernels.json` so every PR can record a perf
+//! datapoint and future sessions can track the trajectory.
+//!
+//! ```sh
+//! cargo run --release -p crosslight-bench --bin bench_kernels            # full run
+//! cargo run --release -p crosslight-bench --bin bench_kernels -- --quick # CI smoke
+//! cargo run --release -p crosslight-bench --bin bench_kernels -- --out path.json
+//! ```
+//!
+//! Each entry carries the pre-refactor baseline (measured at commit
+//! `e4efd69`, naive kernels, default `target-cpu`) next to the current
+//! number, so `speedup_vs_baseline` is the before/after record the
+//! acceptance criteria ask for.  The `*_naive` entries re-measure the
+//! preserved reference kernels on the *same* machine and flags, isolating
+//! the algorithmic win from compiler/flag effects.
+
+use std::time::Instant;
+
+use crosslight_bench::json_escape;
+use crosslight_neural::datasets::generate_synthetic;
+use crosslight_neural::layers::{Conv2d, Layer};
+use crosslight_neural::quant::QuantConfig;
+use crosslight_neural::tensor::{im2col_into, reference, Im2colSpec, Tensor};
+use crosslight_neural::train::{evaluate_quantized, train, TrainConfig};
+use crosslight_neural::zoo::PaperModel;
+use crosslight_photonics::thermal::ThermalCrosstalkModel;
+use crosslight_photonics::units::{Micrometers, Radians};
+use crosslight_tuning::ted::{TedSolver, TedWorkspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pre-refactor baselines in ns/iter, measured at commit e4efd69 (the seed
+/// of this PR) with the then-current naive kernels and default codegen.
+const BASELINES_NS: &[(&str, f64)] = &[
+    ("matmul_96x288x96", 361_468.0),
+    ("im2col_3x32x32_k3", 44_469.0),
+    ("conv2d_forward_3x32x32_to_16ch", 150_971.0),
+    ("train_epoch_cifar10_surrogate", 5_228_967.0),
+    ("fig5_cell_cifar10_8bit", 22_174_703.0),
+    ("ted_solve_15_mr_bank", 991.0),
+];
+
+struct BenchResult {
+    name: String,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+/// Warm-up then run `routine` until `window_ms` of wall clock is filled.
+fn measure<O, F: FnMut() -> O>(name: &str, window_ms: u64, mut routine: F) -> BenchResult {
+    for _ in 0..2 {
+        std::hint::black_box(routine());
+    }
+    let window = std::time::Duration::from_millis(window_ms);
+    let start = Instant::now();
+    let mut iterations = 0u64;
+    while start.elapsed() < window {
+        std::hint::black_box(routine());
+        iterations += 1;
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / iterations as f64;
+    println!(
+        "{name:<40} {:>12.1} ns/iter  ({iterations} iterations)",
+        ns_per_iter
+    );
+    BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+        iterations,
+    }
+}
+
+fn baseline_for(name: &str) -> Option<f64> {
+    BASELINES_NS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ns)| ns)
+}
+
+fn render_json(mode: &str, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"crosslight-bench-kernels/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str(
+        "  \"baseline_commit\": \"e4efd69 (pre blocked-kernel refactor, naive kernels, \
+         default target-cpu)\",\n",
+    );
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
+        out.push_str(&format!("\"ns_per_iter\": {:.1}, ", r.ns_per_iter));
+        out.push_str(&format!("\"iterations\": {}", r.iterations));
+        if let Some(baseline) = baseline_for(&r.name) {
+            out.push_str(&format!(", \"baseline_ns_per_iter\": {baseline:.1}"));
+            out.push_str(&format!(
+                ", \"speedup_vs_baseline\": {:.2}",
+                baseline / r.ns_per_iter
+            ));
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let window_ms: u64 = if quick { 60 } else { 400 };
+    let mode = if quick { "quick" } else { "full" };
+    let mut results = Vec::new();
+
+    // --- blocked vs naive matmul -----------------------------------------
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = Tensor::random_uniform(vec![96, 288], 1.0, &mut rng);
+    let b = Tensor::random_uniform(vec![288, 96], 1.0, &mut rng);
+    let mut out = Tensor::default();
+    results.push(measure("matmul_96x288x96", window_ms, || {
+        a.matmul_into(&b, &mut out).expect("valid shapes");
+        out.as_slice()[0]
+    }));
+    results.push(measure("matmul_96x288x96_naive", window_ms, || {
+        reference::matmul_naive(&a, &b).expect("valid shapes")
+    }));
+
+    // --- im2col, blocked (buffer-reusing) vs naive -----------------------
+    let input = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut rng);
+    let spec = Im2colSpec {
+        in_channels: 3,
+        height: 32,
+        width: 32,
+        kernel: 3,
+        stride: 1,
+    };
+    results.push(measure("im2col_3x32x32_k3", window_ms, || {
+        im2col_into(&input, &spec, &mut out).expect("valid shapes");
+        out.as_slice()[0]
+    }));
+    results.push(measure("im2col_3x32x32_k3_naive", window_ms, || {
+        reference::im2col_naive(&input, &spec).expect("valid shapes")
+    }));
+
+    // --- conv forward (allocation-free steady state) ---------------------
+    let mut conv_rng = StdRng::seed_from_u64(1);
+    let mut conv = Conv2d::new(3, 16, 3, 1, &mut conv_rng).expect("valid layer");
+    let conv_input = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut conv_rng);
+    results.push(measure("conv2d_forward_3x32x32_to_16ch", window_ms, || {
+        conv.forward_into(&conv_input, &mut out)
+            .expect("valid input");
+        out.as_slice()[0]
+    }));
+
+    // --- one SGD epoch on the Fig. 5 CIFAR-10 surrogate ------------------
+    let spec_m = PaperModel::CnnCifar10.spec();
+    let mut data_rng = StdRng::seed_from_u64(7);
+    let dataset =
+        generate_synthetic(&spec_m.surrogate_dataset(10), &mut data_rng).expect("dataset");
+    let (train_split, test_split) = dataset.split(0.75);
+    let mut model_rng = StdRng::seed_from_u64(9);
+    let mut model = spec_m.build_surrogate(&mut model_rng).expect("surrogate");
+    let epoch_config = TrainConfig {
+        epochs: 1,
+        learning_rate: 0.08,
+        batch_size: 8,
+    };
+    results.push(measure("train_epoch_cifar10_surrogate", window_ms, || {
+        train(&mut model, &train_split, &epoch_config).expect("trains")
+    }));
+
+    // --- one full Fig. 5 sweep cell (train + quantized evaluate) ---------
+    let cell_config = TrainConfig {
+        epochs: 4,
+        learning_rate: 0.08,
+        batch_size: 8,
+    };
+    results.push(measure(
+        "fig5_cell_cifar10_8bit",
+        window_ms.max(200),
+        || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut surrogate = spec_m.build_surrogate(&mut rng).expect("surrogate");
+            train(&mut surrogate, &train_split, &cell_config).expect("trains");
+            evaluate_quantized(&mut surrogate, &test_split, &QuantConfig::uniform(8))
+                .expect("evaluates")
+        },
+    ));
+
+    // --- TED solve with a reused workspace -------------------------------
+    let matrix = ThermalCrosstalkModel::default()
+        .crosstalk_matrix(15, Micrometers::new(5.0))
+        .expect("valid matrix");
+    let solver = TedSolver::with_table_ii_heater(&matrix).expect("valid solver");
+    let targets: Vec<Radians> = (0..15)
+        .map(|i| Radians::new(0.2 + 0.1 * ((i as f64) * 1.3).sin()))
+        .collect();
+    let mut workspace = TedWorkspace::new();
+    results.push(measure("ted_solve_15_mr_bank", window_ms, || {
+        solver
+            .solve_with(&targets, &mut workspace)
+            .expect("solvable")
+            .total_power
+    }));
+
+    let json = render_json(mode, &results);
+    std::fs::write(&out_path, &json).expect("writing the JSON report succeeds");
+    println!("\nwrote {out_path} ({mode} mode)");
+    for r in &results {
+        if let Some(baseline) = baseline_for(&r.name) {
+            println!(
+                "  {:<36} {:>6.2}x vs pre-refactor baseline",
+                r.name,
+                baseline / r.ns_per_iter
+            );
+        }
+    }
+}

@@ -21,6 +21,25 @@ pub fn print_table(title: &str, table: &crosslight_experiments::TextTable) {
     println!("\n=== {title} ===\n{}", table.render());
 }
 
+/// Minimal JSON string escaping for the hand-rolled `BENCH_*.json` reports
+/// (no serde_json in this offline workspace).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use crosslight_photonics::fpv::FpvModel;
 use crosslight_photonics::mr::MrGeometry;
 use crosslight_photonics::thermal::ThermalCrosstalkModel;
 use crosslight_photonics::units::{Micrometers, Radians};
-use crosslight_tuning::ted::TedSolver;
+use crosslight_tuning::ted::{TedSolver, TedWorkspace};
 use crosslight_tuning::to::ToTuner;
 
 use crate::report::{fmt_f64, TextTable};
@@ -90,6 +90,9 @@ pub fn run(spacings_um: &[f64]) -> CrosstalkSweep {
     assert!(!spacings_um.is_empty(), "at least one spacing is required");
     let model = ThermalCrosstalkModel::default();
     let targets = block_targets();
+    // One TED workspace serves the whole sweep: each spacing's solve reuses
+    // the previous iteration's buffers instead of allocating fresh vectors.
+    let mut workspace = TedWorkspace::new();
     let rows: Vec<CrosstalkRow> = spacings_um
         .iter()
         .map(|&spacing_um| {
@@ -98,12 +101,15 @@ pub fn run(spacings_um: &[f64]) -> CrosstalkSweep {
                 .crosstalk_matrix(BLOCK_SIZE, spacing)
                 .expect("valid spacing");
             let solver = TedSolver::with_table_ii_heater(&matrix).expect("valid matrix");
-            let ted = solver.solve(&targets).expect("targets fit the block");
+            let ted = solver
+                .solve_with(&targets, &mut workspace)
+                .expect("targets fit the block");
+            let ted_power_mw = ted.total_power.value();
             let naive = solver.naive_power(&targets).expect("targets fit the block");
             CrosstalkRow {
                 spacing_um,
                 phase_crosstalk_ratio: model.phase_crosstalk_ratio(spacing),
-                ted_power_mw: ted.total_power.value(),
+                ted_power_mw,
                 naive_power_mw: naive.value(),
             }
         })

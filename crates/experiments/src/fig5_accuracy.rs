@@ -10,13 +10,25 @@
 //! Because the surrogate has to be re-quantized from clean weights for every
 //! bit width, a fresh surrogate is trained per model and the quantized
 //! evaluation runs on an internally re-trained copy per bit width.
+//!
+//! The sweep is embarrassingly parallel across its `(model × bit-width)`
+//! surrogate-training cells, and [`run_parallel`] exploits that with a small
+//! dedicated worker pool (the same dedicated-threads + reply-channel pattern
+//! as `crosslight_runtime::pool::EvalService`).  Every cell seeds its own
+//! `StdRng` with exactly the seed the serial sweep would use and results are
+//! reassembled in configuration order, so the parallel output is
+//! **byte-identical** to [`run`] for any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use serde::{Deserialize, Serialize};
 
-use crosslight_neural::datasets::generate_synthetic;
+use crosslight_neural::datasets::{generate_synthetic, Dataset};
 use crosslight_neural::quant::QuantConfig;
 use crosslight_neural::train::{evaluate, evaluate_quantized, train, TrainConfig};
 use crosslight_neural::zoo::PaperModel;
+use crosslight_neural::NeuralError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -164,6 +176,161 @@ pub fn run(config: &AccuracyStudyConfig) -> Result<AccuracyStudy, crosslight_neu
     })
 }
 
+/// One unit of work of the parallel sweep: train a fresh surrogate of one
+/// model and evaluate it either at full precision or at one bit width.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// The full-precision reference evaluation of one model.
+    Reference { model_index: usize },
+    /// One quantized `(model, bits)` evaluation.
+    Quantized { model_index: usize, bits: u32 },
+}
+
+impl Cell {
+    fn model_index(self) -> usize {
+        match self {
+            Cell::Reference { model_index } | Cell::Quantized { model_index, .. } => model_index,
+        }
+    }
+}
+
+/// Trains the cell's surrogate and evaluates its accuracy.
+///
+/// The RNG seeding replicates the serial sweep exactly: every cell builds
+/// and trains its surrogate from `seed + 97`, on the same dataset split the
+/// serial code derives for the model — so each cell's result is bit-identical
+/// to the corresponding serial step.
+fn run_cell(
+    config: &AccuracyStudyConfig,
+    train_config: &TrainConfig,
+    model: PaperModel,
+    splits: &(Dataset, Dataset),
+    cell: Cell,
+) -> Result<f64, NeuralError> {
+    let spec = model.spec();
+    let (train_split, test_split) = splits;
+    let mut model_rng = StdRng::seed_from_u64(config.seed.wrapping_add(97));
+    let mut surrogate = spec.build_surrogate(&mut model_rng)?;
+    train(&mut surrogate, train_split, train_config)?;
+    match cell {
+        Cell::Reference { .. } => evaluate(&mut surrogate, test_split),
+        Cell::Quantized { bits, .. } => {
+            evaluate_quantized(&mut surrogate, test_split, &QuantConfig::uniform(bits))
+        }
+    }
+}
+
+/// Runs the accuracy-vs-resolution study with the `(model × bit-width)`
+/// cells spread across `workers` dedicated threads.
+///
+/// Output is **byte-identical** to [`run`] for the same configuration, for
+/// any worker count: cells are deterministic (per-cell seeded RNGs over
+/// shared, main-thread-generated dataset splits) and results are assembled
+/// in configuration order, so scheduling cannot leak into the table.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors from the neural substrate (which do
+/// not occur for the built-in surrogates).
+pub fn run_parallel(
+    config: &AccuracyStudyConfig,
+    workers: usize,
+) -> Result<AccuracyStudy, NeuralError> {
+    let workers = workers.max(1);
+    let models = PaperModel::all();
+
+    // Datasets are generated on the main thread with the serial sweep's
+    // exact per-model seeding, then shared read-only with every cell.
+    let mut splits = Vec::with_capacity(models.len());
+    for model in models {
+        let spec = model.spec();
+        let dataset_spec = spec.surrogate_dataset(config.samples_per_class);
+        let mut data_rng = StdRng::seed_from_u64(config.seed ^ (model as u64 + 1));
+        let dataset = generate_synthetic(&dataset_spec, &mut data_rng)?;
+        splits.push(dataset.split(0.75));
+    }
+    let train_config = TrainConfig {
+        epochs: config.epochs,
+        learning_rate: 0.08,
+        batch_size: 8,
+    };
+
+    let mut cells = Vec::new();
+    for model_index in 0..models.len() {
+        cells.push(Cell::Reference { model_index });
+        for &bits in &config.bit_widths {
+            cells.push(Cell::Quantized { model_index, bits });
+        }
+    }
+
+    // Dedicated worker threads pull cell indices from a shared cursor and
+    // report `(index, result)` over a reply channel — the same worker-pool
+    // shape as the runtime's `EvalService`, minus the cache (cells never
+    // repeat).
+    let mut accuracies: Vec<Option<Result<f64, NeuralError>>> = Vec::new();
+    accuracies.resize_with(cells.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()).max(1) {
+            let reply = reply_tx.clone();
+            let cells = &cells;
+            let splits = &splits;
+            let cursor = &cursor;
+            let train_config = &train_config;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell) = cells.get(index) else {
+                    break;
+                };
+                let model_index = cell.model_index();
+                let outcome = run_cell(
+                    config,
+                    train_config,
+                    models[model_index],
+                    &splits[model_index],
+                    cell,
+                );
+                if reply.send((index, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(reply_tx);
+        while let Ok((index, outcome)) = reply_rx.recv() {
+            accuracies[index] = Some(outcome);
+        }
+    });
+
+    // Reassemble in configuration order, independent of scheduling.
+    let mut curves = Vec::with_capacity(models.len());
+    let mut slots = accuracies.into_iter();
+    for model in models {
+        let full_precision_accuracy = slots
+            .next()
+            .flatten()
+            .expect("every cell reports exactly once")?;
+        let mut points = Vec::with_capacity(config.bit_widths.len());
+        for &bits in &config.bit_widths {
+            let accuracy = slots
+                .next()
+                .flatten()
+                .expect("every cell reports exactly once")?;
+            points.push((bits, accuracy));
+        }
+        curves.push(ModelAccuracyCurve {
+            model,
+            dataset: model.dataset_name().to_string(),
+            full_precision_accuracy,
+            points,
+        });
+    }
+    Ok(AccuracyStudy {
+        curves,
+        bit_widths: config.bit_widths.clone(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +381,26 @@ mod tests {
         assert_eq!(table.len(), 4);
         assert!(table.render().contains("Sign MNIST"));
         assert!(table.render().contains("8b"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial_sweep() {
+        let config = AccuracyStudyConfig {
+            bit_widths: vec![1, 4, 16],
+            samples_per_class: 6,
+            epochs: 2,
+            seed: 99,
+        };
+        let serial = run(&config).unwrap();
+        for workers in [1, 3, 8] {
+            let parallel = run_parallel(&config, workers).unwrap();
+            assert_eq!(parallel, serial, "{workers} workers");
+            assert_eq!(
+                parallel.table().render(),
+                serial.table().render(),
+                "{workers} workers: rendered tables must match byte-for-byte"
+            );
+        }
     }
 
     #[test]

@@ -9,11 +9,14 @@ use super::{DotProductWorkload, Layer, LayerKind};
 ///
 /// In the photonic accelerator the non-linearity is realised by
 /// electro-absorption modulators after the summation PDs; for training and
-/// accuracy evaluation the mathematical ReLU is what matters.
+/// accuracy evaluation the mathematical ReLU is what matters.  The sign mask
+/// of the last forward lives in a persistent buffer, so both passes are
+/// allocation-free in steady state.
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
-    cached_mask: Option<Vec<bool>>,
-    cached_shape: Option<Vec<usize>>,
+    mask: Vec<bool>,
+    cached_shape: Vec<usize>,
+    has_cached: bool,
 }
 
 impl Relu {
@@ -33,34 +36,42 @@ impl Layer for Relu {
         LayerKind::Activation
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
-        let out = input.map(|x| x.max(0.0));
-        self.cached_mask = Some(mask);
-        self.cached_shape = Some(input.shape().to_vec());
-        Ok(out)
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
+        output.resize_for_overwrite(input.shape());
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        for (o, &x) in output.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            self.mask.push(x > 0.0);
+            *o = x.max(0.0);
+        }
+        self.cached_shape.clear();
+        self.cached_shape.extend_from_slice(input.shape());
+        self.has_cached = true;
+        Ok(())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self.cached_mask.as_ref().ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
-        let shape = self.cached_shape.clone().ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
-        if grad_output.len() != mask.len() {
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        if !self.has_cached {
+            return Err(NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            });
+        }
+        if grad_output.len() != self.mask.len() {
             return Err(NeuralError::ShapeMismatch {
-                expected: shape,
+                expected: self.cached_shape.clone(),
                 actual: grad_output.shape().to_vec(),
             });
         }
-        let data: Vec<f32> = grad_output
-            .as_slice()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(shape, data)
+        grad_input.resize_for_overwrite(&self.cached_shape);
+        for ((d, &g), &m) in grad_input
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(self.mask.iter())
+        {
+            *d = if m { g } else { 0.0 };
+        }
+        Ok(())
     }
 
     fn apply_gradients(&mut self, _learning_rate: f32) {}
@@ -86,10 +97,24 @@ impl Layer for Relu {
 /// head and the cross-entropy loss.
 #[must_use]
 pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Destination-buffer form of [`softmax`] (allocation-free in steady state),
+/// shared with the cross-entropy gradient so both paths compute the exact
+/// same max-shift / exp / divide-by-sum sequence.
+pub fn softmax_into(logits: &Tensor, out: &mut Tensor) {
     let max = logits.max();
-    let exp = logits.map(|x| (x - max).exp());
-    let sum = exp.sum();
-    exp.map(|x| x / sum)
+    out.copy_from(logits);
+    for v in out.as_mut_slice() {
+        *v = (*v - max).exp();
+    }
+    let sum = out.sum();
+    for v in out.as_mut_slice() {
+        *v /= sum;
+    }
 }
 
 #[cfg(test)]

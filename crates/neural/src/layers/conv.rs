@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use crate::error::{NeuralError, Result};
-use crate::tensor::{im2col, Im2colSpec, Tensor};
+use crate::tensor::{im2col_transposed_into, Im2colSpec, Tensor};
 
 use super::{fake_quantize_slice, DotProductWorkload, Layer, LayerKind};
 
@@ -13,6 +13,12 @@ use super::{fake_quantize_slice, DotProductWorkload, Layer, LayerKind};
 /// The forward pass lowers the input with im2col and performs a matrix
 /// multiplication, which is exactly the decomposition CrossLight's CONV VDP
 /// units execute (paper Eqs. (1)–(4)).
+///
+/// All intermediate matrices (the transposed im2col columns, the gradient
+/// scratch buffers) live in persistent per-layer workspaces, so
+/// `forward_into`/`backward_into` perform **zero heap allocations in steady
+/// state** — the buffers grow once to the working-set size on the first call
+/// and are reused afterwards.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     in_channels: usize,
@@ -25,7 +31,16 @@ pub struct Conv2d {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cached_input_shape: Option<[usize; 3]>,
-    cached_columns: Option<Tensor>,
+    /// Transposed im2col columns of the last forward (`[L, P]`), cached for
+    /// the backward pass and reused as scratch across calls.
+    columns_t: Tensor,
+    /// `[P, L]` scratch: the cached columns back in row-per-patch layout,
+    /// rebuilt by `backward_into` for the weight-gradient SAXPY.
+    columns: Tensor,
+    /// `[out_c, L]` scratch: the weight-gradient contribution of one call.
+    dw: Tensor,
+    /// `[L, P]` scratch: the column gradients scattered back by col2im.
+    dcols: Tensor,
 }
 
 impl Conv2d {
@@ -63,7 +78,10 @@ impl Conv2d {
             weight_grad: Tensor::zeros(vec![out_channels, fan_in]),
             bias_grad: Tensor::zeros(vec![out_channels]),
             cached_input_shape: None,
-            cached_columns: None,
+            columns_t: Tensor::default(),
+            columns: Tensor::default(),
+            dw: Tensor::default(),
+            dcols: Tensor::default(),
         })
     }
 
@@ -124,37 +142,33 @@ impl Layer for Conv2d {
         LayerKind::Convolution
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
         let spec = self.spec_for(input.shape())?;
-        let columns = im2col(input, &spec)?; // [P, L]
+        // cols: [L, P] — produced directly in the transposed layout the
+        // multiplication consumes, fusing away the old per-call transpose.
+        im2col_transposed_into(input, &spec, &mut self.columns_t)?;
         let out_h = spec.out_height();
         let out_w = spec.out_width();
-        // y = W · colsᵀ → [out_c, P]
-        let out = self.weights.matmul(&columns.transpose()?)?;
-        let mut y = out;
+        // y = W · colsᵀ → [out_c, P], blocked and allocation-free.
+        self.weights.matmul_into(&self.columns_t, output)?;
         {
-            let data = y.as_mut_slice();
+            let data = output.as_mut_slice();
             let pixels = out_h * out_w;
             for c in 0..self.out_channels {
                 let b = self.bias.as_slice()[c];
-                for p in 0..pixels {
-                    data[c * pixels + p] += b;
+                for d in &mut data[c * pixels..(c + 1) * pixels] {
+                    *d += b;
                 }
             }
         }
         self.cached_input_shape = Some([spec.in_channels, spec.height, spec.width]);
-        self.cached_columns = Some(columns);
-        y.reshape(vec![self.out_channels, out_h, out_w])
+        output.reshape_in_place(&[self.out_channels, out_h, out_w])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input_shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
-        let columns = self
-            .cached_columns
-            .as_ref()
-            .ok_or(NeuralError::InvalidState {
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        let input_shape = self
+            .cached_input_shape
+            .ok_or_else(|| NeuralError::InvalidState {
                 reason: "backward called before forward".into(),
             })?;
         let spec = self.spec_for(&input_shape)?;
@@ -165,34 +179,53 @@ impl Layer for Conv2d {
                 actual: grad_output.shape().to_vec(),
             });
         }
-        // G: [out_c, P]
-        let g = grad_output
-            .clone()
-            .reshape(vec![self.out_channels, pixels])?;
-        // dW += G · cols ([out_c, P] x [P, L]).
-        let dw = g.matmul(columns)?;
-        for (acc, add) in self
-            .weight_grad
-            .as_mut_slice()
-            .iter_mut()
-            .zip(dw.as_slice())
-        {
-            *acc += add;
-        }
+        let cols_len = spec.column_length();
+        // G viewed as [out_c, P] without cloning: the data is contiguous.
+        let g = grad_output.as_slice();
+        // dW = G · cols ([out_c, P] x [P, L]) through the blocked kernel:
+        // each dW element accumulates over p in ascending order — the naive
+        // chain — streaming contiguous rows of the patch-major column
+        // matrix, rebuilt here from the cached transposed layout.  (Feeding
+        // the cached [L, P] layout to the fused dot-form kernel instead
+        // would avoid this transpose but serialize each reduction into a
+        // latency-bound scalar chain — measurably slower than transpose +
+        // SAXPY matmul.)  dW then accumulates into the persistent gradient
+        // exactly as the unfused path did.  The kernels zero their own
+        // destinations, so the scratch is resized without a redundant fill.
+        self.columns_t.transpose_into(&mut self.columns)?;
+        self.dw.resize_for_overwrite(&[self.out_channels, cols_len]);
+        crate::tensor::matmul_slices(
+            g,
+            self.columns.as_slice(),
+            self.dw.as_mut_slice(),
+            self.out_channels,
+            pixels,
+            cols_len,
+        );
+        self.weight_grad.add_assign(&self.dw)?;
         // db += row sums of G.
         {
             let gb = self.bias_grad.as_mut_slice();
-            let gd = g.as_slice();
             for c in 0..self.out_channels {
-                gb[c] += gd[c * pixels..(c + 1) * pixels].iter().sum::<f32>();
+                gb[c] += g[c * pixels..(c + 1) * pixels].iter().sum::<f32>();
             }
         }
-        // dcols = Wᵀ · G → [L, P]; scatter back to the input (col2im).
-        let dcols = self.weights.transpose()?.matmul(&g)?;
-        let mut dx = Tensor::zeros(vec![spec.in_channels, spec.height, spec.width]);
+        // dcols = Wᵀ · G → [L, P], fused (no weight transpose materialized,
+        // same c-ascending per-element chain as an explicit Wᵀ·G); then
+        // scatter back to the input (col2im).
+        self.dcols.resize_for_overwrite(&[cols_len, pixels]);
+        crate::tensor::transpose_a_matmul_slices(
+            self.weights.as_slice(),
+            g,
+            self.dcols.as_mut_slice(),
+            self.out_channels,
+            cols_len,
+            pixels,
+        );
+        grad_input.reset(&[spec.in_channels, spec.height, spec.width]);
         {
-            let dxs = dx.as_mut_slice();
-            let dcs = dcols.as_slice();
+            let dxs = grad_input.as_mut_slice();
+            let dcs = self.dcols.as_slice();
             let cols_len = spec.column_length();
             for oy in 0..spec.out_height() {
                 for ox in 0..spec.out_width() {
@@ -213,7 +246,7 @@ impl Layer for Conv2d {
                 }
             }
         }
-        Ok(dx)
+        Ok(())
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
@@ -237,9 +270,8 @@ impl Layer for Conv2d {
     }
 
     fn zero_gradients(&mut self) {
-        let fan_in = self.in_channels * self.kernel * self.kernel;
-        self.weight_grad = Tensor::zeros(vec![self.out_channels, fan_in]);
-        self.bias_grad = Tensor::zeros(vec![self.out_channels]);
+        self.weight_grad.as_mut_slice().fill(0.0);
+        self.bias_grad.as_mut_slice().fill(0.0);
     }
 
     fn parameter_count(&self) -> usize {
@@ -359,6 +391,25 @@ mod tests {
             conv.apply_gradients(0.02);
         }
         assert!(losses.last().unwrap() < &(losses[0] * 0.2));
+    }
+
+    #[test]
+    fn into_passes_reuse_buffers_and_match_allocating_passes() {
+        let mut conv_a = Conv2d::new(2, 3, 3, 1, &mut rng()).unwrap();
+        let mut conv_b = conv_a.clone();
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let mut out = Tensor::default();
+        let mut dx = Tensor::default();
+        for _ in 0..3 {
+            let x = Tensor::random_uniform(vec![2, 7, 7], 1.0, &mut rng2);
+            let g = Tensor::random_uniform(vec![3, 5, 5], 1.0, &mut rng2);
+            conv_a.forward_into(&x, &mut out).unwrap();
+            assert_eq!(out, conv_b.forward(&x).unwrap());
+            conv_a.backward_into(&g, &mut dx).unwrap();
+            assert_eq!(dx, conv_b.backward(&g).unwrap());
+            assert_eq!(conv_a.weight_grad, conv_b.weight_grad);
+            assert_eq!(conv_a.bias_grad, conv_b.bias_grad);
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@ use super::{fake_quantize_slice, DotProductWorkload, Layer, LayerKind};
 ///
 /// FC layers are exactly the large-order vector multiplications of paper
 /// Eqs. (5)–(6) that CrossLight maps onto its dedicated FC VDP units.
+///
+/// Forward and backward operate directly on the input slice (no clone /
+/// reshape round-trips) and cache the input in a persistent workspace
+/// tensor, so both passes are allocation-free in steady state.
 #[derive(Debug, Clone)]
 pub struct Dense {
     in_features: usize,
@@ -19,7 +23,15 @@ pub struct Dense {
     bias: Tensor,
     weight_grad: Tensor,
     bias_grad: Tensor,
-    cached_input: Option<Tensor>,
+    /// Input of the last forward, copied into a reused buffer (`[in]`).
+    cached_input: Tensor,
+    has_cached_input: bool,
+    /// `[in, out]` cache: the transposed weights, so the `y = W·x` reduction
+    /// runs as a vectorizable SAXPY over the output lanes instead of a
+    /// latency-bound scalar dot chain.  Rebuilt lazily whenever the weights
+    /// change (`weights_t_stale`), i.e. once per optimizer step.
+    weights_t: Tensor,
+    weights_t_stale: bool,
 }
 
 impl Dense {
@@ -49,7 +61,10 @@ impl Dense {
             bias: Tensor::zeros(vec![out_features]),
             weight_grad: Tensor::zeros(vec![out_features, in_features]),
             bias_grad: Tensor::zeros(vec![out_features]),
-            cached_input: None,
+            cached_input: Tensor::default(),
+            has_cached_input: false,
+            weights_t: Tensor::default(),
+            weights_t_stale: true,
         })
     }
 
@@ -81,30 +96,48 @@ impl Layer for Dense {
         LayerKind::FullyConnected
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
         if input.len() != self.in_features {
             return Err(NeuralError::ShapeMismatch {
                 expected: vec![self.in_features],
                 actual: input.shape().to_vec(),
             });
         }
-        let flat = input.clone().reshape(vec![self.in_features, 1])?;
-        let out = self.weights.matmul(&flat)?;
-        let mut y = out.reshape(vec![self.out_features])?;
-        for (yi, b) in y.as_mut_slice().iter_mut().zip(self.bias.as_slice()) {
-            *yi += b;
+        // y = W·x + b, computed on the borrowed input slice directly — the
+        // old clone().reshape(..) round-trip is gone.  The cached weight
+        // transpose turns the reduction into a SAXPY over the output lanes
+        // (i ascending, x[i] broadcast), which vectorizes; each output
+        // element still accumulates over the input in ascending order,
+        // matching the naive matmul chain bit-for-bit.
+        if self.weights_t_stale {
+            self.weights.transpose_into(&mut self.weights_t)?;
+            self.weights_t_stale = false;
         }
-        self.cached_input = Some(flat.reshape(vec![self.in_features])?);
-        Ok(y)
+        output.reset(&[self.out_features]);
+        let x = input.as_slice();
+        let wt = self.weights_t.as_slice();
+        let y = output.as_mut_slice();
+        for (i, &xv) in x.iter().enumerate() {
+            let wt_row = &wt[i * self.out_features..(i + 1) * self.out_features];
+            for (yo, &wv) in y.iter_mut().zip(wt_row) {
+                *yo += wv * xv;
+            }
+        }
+        for (yo, &b) in y.iter_mut().zip(self.bias.as_slice()) {
+            *yo += b;
+        }
+        self.cached_input.copy_from(input);
+        self.cached_input.reshape_in_place(&[self.in_features])?;
+        self.has_cached_input = true;
+        Ok(())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or(NeuralError::InvalidState {
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        if !self.has_cached_input {
+            return Err(NeuralError::InvalidState {
                 reason: "backward called before forward".into(),
-            })?;
+            });
+        }
         if grad_output.len() != self.out_features {
             return Err(NeuralError::ShapeMismatch {
                 expected: vec![self.out_features],
@@ -112,13 +145,14 @@ impl Layer for Dense {
             });
         }
         // dW += g ⊗ x, db += g, dx = Wᵀ g.
+        let g = grad_output.as_slice();
         {
             let gw = self.weight_grad.as_mut_slice();
-            let g = grad_output.as_slice();
-            let x = input.as_slice();
-            for o in 0..self.out_features {
-                for i in 0..self.in_features {
-                    gw[o * self.in_features + i] += g[o] * x[i];
+            let x = self.cached_input.as_slice();
+            for (o, &go) in g.iter().enumerate() {
+                let row = &mut gw[o * self.in_features..(o + 1) * self.in_features];
+                for (w, &xv) in row.iter_mut().zip(x) {
+                    *w += go * xv;
                 }
             }
             let gb = self.bias_grad.as_mut_slice();
@@ -126,9 +160,18 @@ impl Layer for Dense {
                 *gbo += go;
             }
         }
-        let g2 = grad_output.clone().reshape(vec![self.out_features, 1])?;
-        let dx = self.weights.transpose()?.matmul(&g2)?;
-        dx.reshape(vec![self.in_features])
+        // dx[i] = Σ_o W[o, i]·g[o], o ascending — the same chain as the old
+        // explicit Wᵀ·g, without materializing the transpose.
+        grad_input.reset(&[self.in_features]);
+        let dx = grad_input.as_mut_slice();
+        let w = self.weights.as_slice();
+        for (o, &go) in g.iter().enumerate() {
+            let w_row = &w[o * self.in_features..(o + 1) * self.in_features];
+            for (d, &wv) in dx.iter_mut().zip(w_row) {
+                *d += wv * go;
+            }
+        }
+        Ok(())
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
@@ -148,12 +191,13 @@ impl Layer for Dense {
         {
             *b -= learning_rate * g;
         }
+        self.weights_t_stale = true;
         self.zero_gradients();
     }
 
     fn zero_gradients(&mut self) {
-        self.weight_grad = Tensor::zeros(vec![self.out_features, self.in_features]);
-        self.bias_grad = Tensor::zeros(vec![self.out_features]);
+        self.weight_grad.as_mut_slice().fill(0.0);
+        self.bias_grad.as_mut_slice().fill(0.0);
     }
 
     fn parameter_count(&self) -> usize {
@@ -174,6 +218,7 @@ impl Layer for Dense {
     fn quantize_parameters(&mut self, bits: u32) {
         fake_quantize_slice(self.weights.as_mut_slice(), bits);
         fake_quantize_slice(self.bias.as_mut_slice(), bits);
+        self.weights_t_stale = true;
     }
 
     fn dot_products(&self, _input_shape: &[usize]) -> Result<Option<DotProductWorkload>> {

@@ -8,7 +8,8 @@ use super::{DotProductWorkload, Layer, LayerKind};
 /// Flattens any input tensor to rank 1 (and restores the shape on backward).
 #[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    cached_shape: Option<Vec<usize>>,
+    cached_shape: Vec<usize>,
+    has_cached: bool,
 }
 
 impl Flatten {
@@ -28,17 +29,22 @@ impl Layer for Flatten {
         LayerKind::Reshape
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        self.cached_shape = Some(input.shape().to_vec());
-        let len = input.len();
-        input.clone().reshape(vec![len])
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
+        self.cached_shape.clear();
+        self.cached_shape.extend_from_slice(input.shape());
+        self.has_cached = true;
+        output.copy_from(input);
+        output.reshape_in_place(&[input.len()])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let shape = self.cached_shape.clone().ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
-        grad_output.clone().reshape(shape)
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        if !self.has_cached {
+            return Err(NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            });
+        }
+        grad_input.copy_from(grad_output);
+        grad_input.reshape_in_place(&self.cached_shape)
     }
 
     fn apply_gradients(&mut self, _learning_rate: f32) {}

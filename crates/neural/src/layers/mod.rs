@@ -12,7 +12,7 @@ mod dense;
 mod flatten;
 mod pool;
 
-pub use activation::{softmax, Relu};
+pub use activation::{softmax, softmax_into, Relu};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use flatten::Flatten;
@@ -63,6 +63,14 @@ impl DotProductWorkload {
 /// Layers are stateful: `forward` caches whatever `backward` needs, and
 /// gradient application is a separate step so an optimizer can decide when to
 /// update.
+///
+/// The primitive pass methods are the destination-buffer
+/// [`Layer::forward_into`] / [`Layer::backward_into`]: together with each
+/// layer's persistent internal workspaces (im2col scratch, cached columns,
+/// gradient buffers) they perform **zero heap allocations in steady state**
+/// (i.e. once buffer capacities have grown to the shapes in use).  The
+/// allocating [`Layer::forward`] / [`Layer::backward`] conveniences are
+/// provided wrappers.
 pub trait Layer: std::fmt::Debug {
     /// Human-readable layer name (e.g. `"conv3x3x64"`).
     fn name(&self) -> String;
@@ -70,22 +78,46 @@ pub trait Layer: std::fmt::Debug {
     /// The category this layer belongs to.
     fn kind(&self) -> LayerKind;
 
-    /// Runs the layer on one sample, caching state for `backward`.
+    /// Runs the layer on one sample, writing the result into a caller-owned
+    /// tensor (reusing its buffer) and caching state for `backward`.
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape does not match the layer.
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()>;
 
     /// Backpropagates the gradient of the loss with respect to this layer's
-    /// output, accumulating parameter gradients and returning the gradient
-    /// with respect to the input.
+    /// output, accumulating parameter gradients and writing the gradient with
+    /// respect to the input into a caller-owned tensor.
     ///
     /// # Errors
     ///
     /// Returns an error if called before `forward` or with a mismatched
     /// gradient shape.
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()>;
+
+    /// Allocating convenience wrapper around [`Layer::forward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape does not match the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut output = Tensor::default();
+        self.forward_into(input, &mut output)?;
+        Ok(output)
+    }
+
+    /// Allocating convenience wrapper around [`Layer::backward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward` or with a mismatched
+    /// gradient shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut grad_input = Tensor::default();
+        self.backward_into(grad_output, &mut grad_input)?;
+        Ok(grad_input)
+    }
 
     /// Applies accumulated gradients with vanilla SGD and clears them.
     fn apply_gradients(&mut self, learning_rate: f32);

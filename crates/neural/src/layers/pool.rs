@@ -6,11 +6,16 @@ use crate::tensor::Tensor;
 use super::{DotProductWorkload, Layer, LayerKind};
 
 /// 2-D max pooling with a square window and equal stride.
+///
+/// The argmax indices of the last forward live in a persistent buffer, so
+/// both passes are allocation-free in steady state.
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     cached_input_shape: Option<[usize; 3]>,
-    cached_argmax: Option<Vec<usize>>,
+    /// Flat source index of the winning element per output cell, reused
+    /// across calls.
+    argmax: Vec<usize>,
 }
 
 impl MaxPool2d {
@@ -29,7 +34,7 @@ impl MaxPool2d {
         Ok(Self {
             window,
             cached_input_shape: None,
-            cached_argmax: None,
+            argmax: Vec::new(),
         })
     }
 
@@ -60,13 +65,14 @@ impl Layer for MaxPool2d {
         LayerKind::Pooling
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
         let (c, oh, ow) = self.out_dims(input.shape())?;
         let (h, w) = (input.shape()[1], input.shape()[2]);
-        let mut out = Tensor::zeros(vec![c, oh, ow]);
-        let mut argmax = vec![0usize; c * oh * ow];
+        output.resize_for_overwrite(&[c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.resize(c * oh * ow, 0);
         let src = input.as_slice();
-        let dst = out.as_mut_slice();
+        let dst = output.as_mut_slice();
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -85,37 +91,32 @@ impl Layer for MaxPool2d {
                     }
                     let o = ch * oh * ow + oy * ow + ox;
                     dst[o] = best;
-                    argmax[o] = best_idx;
+                    self.argmax[o] = best_idx;
                 }
             }
         }
         self.cached_input_shape = Some([c, h, w]);
-        self.cached_argmax = Some(argmax);
-        Ok(out)
+        Ok(())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
-        let argmax = self
-            .cached_argmax
-            .as_ref()
-            .ok_or(NeuralError::InvalidState {
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        let shape = self
+            .cached_input_shape
+            .ok_or_else(|| NeuralError::InvalidState {
                 reason: "backward called before forward".into(),
             })?;
-        if grad_output.len() != argmax.len() {
+        if grad_output.len() != self.argmax.len() {
             return Err(NeuralError::ShapeMismatch {
-                expected: vec![argmax.len()],
+                expected: vec![self.argmax.len()],
                 actual: grad_output.shape().to_vec(),
             });
         }
-        let mut dx = Tensor::zeros(vec![shape[0], shape[1], shape[2]]);
-        let dxs = dx.as_mut_slice();
-        for (o, &src_idx) in argmax.iter().enumerate() {
+        grad_input.reset(&[shape[0], shape[1], shape[2]]);
+        let dxs = grad_input.as_mut_slice();
+        for (o, &src_idx) in self.argmax.iter().enumerate() {
             dxs[src_idx] += grad_output.as_slice()[o];
         }
-        Ok(dx)
+        Ok(())
     }
 
     fn apply_gradients(&mut self, _learning_rate: f32) {}
@@ -174,7 +175,7 @@ impl Layer for AvgPool2d {
         LayerKind::Pooling
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
         let shape = input.shape();
         if shape.len() != 3 || shape[1] < self.window || shape[2] < self.window {
             return Err(NeuralError::ShapeMismatch {
@@ -184,9 +185,9 @@ impl Layer for AvgPool2d {
         }
         let (c, h, w) = (shape[0], shape[1], shape[2]);
         let (oh, ow) = (h / self.window, w / self.window);
-        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        output.resize_for_overwrite(&[c, oh, ow]);
         let src = input.as_slice();
-        let dst = out.as_mut_slice();
+        let dst = output.as_mut_slice();
         let norm = (self.window * self.window) as f32;
         for ch in 0..c {
             for oy in 0..oh {
@@ -204,13 +205,15 @@ impl Layer for AvgPool2d {
             }
         }
         self.cached_input_shape = Some([c, h, w]);
-        Ok(out)
+        Ok(())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let shape = self.cached_input_shape.ok_or(NeuralError::InvalidState {
-            reason: "backward called before forward".into(),
-        })?;
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        let shape = self
+            .cached_input_shape
+            .ok_or_else(|| NeuralError::InvalidState {
+                reason: "backward called before forward".into(),
+            })?;
         let (c, h, w) = (shape[0], shape[1], shape[2]);
         let (oh, ow) = (h / self.window, w / self.window);
         if grad_output.len() != c * oh * ow {
@@ -219,8 +222,8 @@ impl Layer for AvgPool2d {
                 actual: grad_output.shape().to_vec(),
             });
         }
-        let mut dx = Tensor::zeros(vec![c, h, w]);
-        let dxs = dx.as_mut_slice();
+        grad_input.reset(&[c, h, w]);
+        let dxs = grad_input.as_mut_slice();
         let g = grad_output.as_slice();
         let norm = (self.window * self.window) as f32;
         for ch in 0..c {
@@ -237,7 +240,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        Ok(dx)
+        Ok(())
     }
 
     fn apply_gradients(&mut self, _learning_rate: f32) {}
@@ -298,6 +301,12 @@ mod tests {
     }
 
     #[test]
+    fn maxpool_backward_before_forward_errors() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        assert!(pool.backward(&Tensor::zeros(vec![1])).is_err());
+    }
+
+    #[test]
     fn avgpool_averages_and_distributes_gradient() {
         let mut pool = AvgPool2d::new(2).unwrap();
         let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
@@ -327,6 +336,7 @@ mod tests {
         assert!(MaxPool2d::new(0).is_err());
         assert!(AvgPool2d::new(0).is_err());
         let mut p = MaxPool2d::new(2).unwrap();
+        p.forward(&Tensor::zeros(vec![1, 4, 4])).unwrap();
         assert!(p.backward(&Tensor::zeros(vec![1])).is_err());
     }
 }

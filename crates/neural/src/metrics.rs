@@ -1,18 +1,33 @@
 //! Accuracy and loss metrics.
 
-use crate::layers::softmax;
+use crate::layers::softmax_into;
 use crate::tensor::Tensor;
 
 /// Cross-entropy loss of a logit vector against a class index, together with
 /// the gradient with respect to the logits (`softmax(logits) − one_hot`).
 #[must_use]
 pub fn cross_entropy_with_grad(logits: &Tensor, target_class: usize) -> (f32, Tensor) {
-    let probs = softmax(logits);
-    let p_target = probs.as_slice()[target_class].max(1e-9);
-    let loss = -p_target.ln();
-    let mut grad = probs;
-    grad.as_mut_slice()[target_class] -= 1.0;
+    let mut grad = Tensor::default();
+    let loss = cross_entropy_with_grad_into(logits, target_class, &mut grad);
     (loss, grad)
+}
+
+/// Destination-buffer form of [`cross_entropy_with_grad`]: writes the logit
+/// gradient into a caller-owned tensor (allocation-free in steady state) and
+/// returns the loss.
+///
+/// The probabilities come from the shared [`crate::layers::softmax_into`],
+/// so results are bit-identical to the allocating form.
+pub fn cross_entropy_with_grad_into(
+    logits: &Tensor,
+    target_class: usize,
+    grad: &mut Tensor,
+) -> f32 {
+    softmax_into(logits, grad);
+    let p_target = grad.as_slice()[target_class].max(1e-9);
+    let loss = -p_target.ln();
+    grad.as_mut_slice()[target_class] -= 1.0;
+    loss
 }
 
 /// Classification accuracy of predicted class indices against labels.

@@ -32,6 +32,12 @@ pub struct Sequential {
     name: String,
     input_shape: Vec<usize>,
     layers: Vec<Box<dyn Layer>>,
+    /// Ping-pong activation/gradient buffers threaded through the layers by
+    /// the `_into` passes; they grow once to the largest intermediate shape
+    /// and are reused for every subsequent sample (zero steady-state
+    /// allocations).
+    ping: Tensor,
+    pong: Tensor,
 }
 
 /// Structural summary of one layer within a [`Sequential`] network.
@@ -57,6 +63,8 @@ impl Sequential {
             name: name.into(),
             input_shape,
             layers: Vec::new(),
+            ping: Tensor::default(),
+            pong: Tensor::default(),
         }
     }
 
@@ -107,11 +115,48 @@ impl Sequential {
     ///
     /// Propagates shape errors from the layers.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x)?;
+        let mut output = Tensor::default();
+        self.forward_into(input, &mut output)?;
+        Ok(output)
+    }
+
+    /// Runs a forward pass on one sample into a caller-owned output tensor.
+    ///
+    /// Intermediate activations ping-pong between two persistent internal
+    /// buffers, so in steady state (same input shape) the whole pass performs
+    /// zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_into(&mut self, input: &Tensor, output: &mut Tensor) -> Result<()> {
+        let count = self.layers.len();
+        if count == 0 {
+            output.copy_from(input);
+            return Ok(());
         }
-        Ok(x)
+        let mut a = std::mem::take(&mut self.ping);
+        let mut b = std::mem::take(&mut self.pong);
+        let mut status = Ok(());
+        for (idx, layer) in self.layers.iter_mut().enumerate() {
+            let result = match (idx == 0, idx == count - 1) {
+                (true, true) => layer.forward_into(input, output),
+                (true, false) => layer.forward_into(input, &mut a),
+                (false, true) => layer.forward_into(&a, output),
+                (false, false) => {
+                    let r = layer.forward_into(&a, &mut b);
+                    std::mem::swap(&mut a, &mut b);
+                    r
+                }
+            };
+            if result.is_err() {
+                status = result;
+                break;
+            }
+        }
+        self.ping = a;
+        self.pong = b;
+        status
     }
 
     /// Runs a forward pass with activation fake-quantization after every
@@ -122,14 +167,61 @@ impl Sequential {
     ///
     /// Propagates shape errors from the layers.
     pub fn forward_quantized(&mut self, input: &Tensor, quant: &QuantConfig) -> Result<Tensor> {
-        let mut x = quant.quantize_activations(input);
-        for layer in &mut self.layers {
-            x = layer.forward(&x)?;
+        let mut output = Tensor::default();
+        self.forward_quantized_into(input, quant, &mut output)?;
+        Ok(output)
+    }
+
+    /// Destination-buffer form of [`Sequential::forward_quantized`];
+    /// quantization happens in place on the ping-pong buffers, so steady
+    /// state allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_quantized_into(
+        &mut self,
+        input: &Tensor,
+        quant: &QuantConfig,
+        output: &mut Tensor,
+    ) -> Result<()> {
+        let count = self.layers.len();
+        let mut a = std::mem::take(&mut self.ping);
+        let mut b = std::mem::take(&mut self.pong);
+        a.copy_from(input);
+        quant.quantize_activations_in_place(&mut a);
+        if count == 0 {
+            output.copy_from(&a);
+            self.ping = a;
+            self.pong = b;
+            return Ok(());
+        }
+        let mut status = Ok(());
+        for (idx, layer) in self.layers.iter_mut().enumerate() {
+            let last = idx == count - 1;
+            let result = if last {
+                layer.forward_into(&a, output)
+            } else {
+                layer.forward_into(&a, &mut b)
+            };
+            if result.is_err() {
+                status = result;
+                break;
+            }
             if layer.parameter_count() > 0 {
-                x = quant.quantize_activations(&x);
+                if last {
+                    quant.quantize_activations_in_place(output);
+                } else {
+                    quant.quantize_activations_in_place(&mut b);
+                }
+            }
+            if !last {
+                std::mem::swap(&mut a, &mut b);
             }
         }
-        Ok(x)
+        self.ping = a;
+        self.pong = b;
+        status
     }
 
     /// Runs a backward pass, accumulating parameter gradients.
@@ -138,11 +230,46 @@ impl Sequential {
     ///
     /// Propagates shape/state errors from the layers.
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
+        let mut grad_input = Tensor::default();
+        self.backward_into(grad_output, &mut grad_input)?;
+        Ok(grad_input)
+    }
+
+    /// Runs a backward pass into a caller-owned input-gradient tensor,
+    /// reusing the same persistent ping-pong buffers as the forward pass
+    /// (zero steady-state allocations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/state errors from the layers.
+    pub fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> Result<()> {
+        let count = self.layers.len();
+        if count == 0 {
+            grad_input.copy_from(grad_output);
+            return Ok(());
         }
-        Ok(grad)
+        let mut a = std::mem::take(&mut self.ping);
+        let mut b = std::mem::take(&mut self.pong);
+        let mut status = Ok(());
+        for (idx, layer) in self.layers.iter_mut().rev().enumerate() {
+            let result = match (idx == 0, idx == count - 1) {
+                (true, true) => layer.backward_into(grad_output, grad_input),
+                (true, false) => layer.backward_into(grad_output, &mut a),
+                (false, true) => layer.backward_into(&a, grad_input),
+                (false, false) => {
+                    let r = layer.backward_into(&a, &mut b);
+                    std::mem::swap(&mut a, &mut b);
+                    r
+                }
+            };
+            if result.is_err() {
+                status = result;
+                break;
+            }
+        }
+        self.ping = a;
+        self.pong = b;
+        status
     }
 
     /// Applies all accumulated gradients with vanilla SGD.

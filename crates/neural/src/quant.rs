@@ -41,8 +41,15 @@ impl QuantConfig {
     #[must_use]
     pub fn quantize_activations(&self, tensor: &Tensor) -> Tensor {
         let mut out = tensor.clone();
-        fake_quantize_slice(out.as_mut_slice(), self.activation_bits);
+        self.quantize_activations_in_place(&mut out);
         out
+    }
+
+    /// Quantizes an activation tensor to `activation_bits` in place,
+    /// allocation-free (used by the quantized forward pass on its reused
+    /// activation buffers).
+    pub fn quantize_activations_in_place(&self, tensor: &mut Tensor) {
+        fake_quantize_slice(tensor.as_mut_slice(), self.activation_bits);
     }
 
     /// Quantizes a standalone value vector to `weight_bits` (used by tests and

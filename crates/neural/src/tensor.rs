@@ -1,14 +1,49 @@
-//! A small dense tensor type.
+//! A small dense tensor type with allocation-free, cache-blocked kernels.
 //!
 //! The neural substrate only needs what the CrossLight experiments need:
 //! `f32` storage, arbitrary-rank shapes, elementwise arithmetic, 2-D matrix
 //! multiplication and the im2col transform that turns convolutions into the
 //! vector dot products a photonic accelerator executes (paper Eqs. (1)–(4)).
+//!
+//! # Kernel design
+//!
+//! Every hot kernel comes in two flavours:
+//!
+//! * an **allocating** convenience form ([`Tensor::matmul`], [`im2col`], …)
+//!   that returns a fresh tensor, and
+//! * an **`_into` form** ([`Tensor::matmul_into`], [`im2col_into`], …) that
+//!   writes into a caller-owned destination tensor, reusing its heap buffer.
+//!   In steady state (same shapes call-to-call) the `_into` forms perform
+//!   **zero heap allocations**.
+//!
+//! The matrix kernels are cache-blocked along the shared dimension and use a
+//! branch-free SAXPY-style inner loop that autovectorizes (the old
+//! `a == 0.0` skip branch defeated SIMD on dense data and is gone).  Fused
+//! [`Tensor::matmul_transpose_b`] / [`Tensor::transpose_a_matmul`] variants
+//! and [`im2col_transposed_into`] eliminate the explicit weight/column
+//! transposes from the conv forward and input-gradient paths (layers keep a
+//! materialized transpose only where the fused dot-form reduction would be
+//! slower than transpose + SAXPY, e.g. the conv weight gradient).
+//!
+//! **Bit-identity guarantee:** every blocked/fused kernel accumulates each
+//! output element over the shared dimension in the same ascending order, from
+//! the same `0.0` starting accumulator, as the naive triple-loop reference
+//! (preserved in [`reference`]).  Results are therefore bit-identical to the
+//! naive kernels for finite inputs — property-tested in
+//! `tests/properties.rs` — which is what lets the training pipeline and the
+//! runtime's bit-equivalence guarantees survive the performance rework.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{NeuralError, Result};
+
+/// Cache-block size along the shared (reduction) dimension of the matrix
+/// kernels.  A 64-row panel of `b` (64 × n floats) stays resident in L1/L2
+/// while every row of `a` streams over it.  Accumulation order per output
+/// element is unaffected by the block size (blocks are visited in ascending
+/// order), so any value here produces bit-identical results.
+const BLOCK_K: usize = 64;
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -25,7 +60,7 @@ use crate::error::{NeuralError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -130,6 +165,52 @@ impl Tensor {
         Ok(self)
     }
 
+    /// Changes the shape in place without touching the data or allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if the element count changes.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: vec![expected],
+                actual: vec![self.data.len()],
+            });
+        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        Ok(())
+    }
+
+    /// Resizes to `shape` and zero-fills, reusing the existing heap buffers
+    /// (no allocation once capacity has grown to the steady-state size).
+    pub fn reset(&mut self, shape: &[usize]) {
+        let len = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Resizes to `shape` without zero-filling the prefix; every element is
+    /// expected to be overwritten by the caller (or by a kernel that zeroes
+    /// its own destination).  Reuses the heap buffers.
+    pub(crate) fn resize_for_overwrite(&mut self, shape: &[usize]) {
+        let len = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
+    /// Copies shape and data from `other`, reusing this tensor's buffers.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&other.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Returns element `(row, col)` of a rank-2 tensor.
     ///
     /// # Panics
@@ -184,6 +265,31 @@ impl Tensor {
     /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
     pub fn hadamard(&self, other: &Tensor) -> Result<Tensor> {
         self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place elementwise addition (`self += other`), allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scalar multiplication (`self *= factor`), allocation-free.
+    pub fn scale_assign(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
     }
 
     /// Multiplies every element by a scalar.
@@ -243,39 +349,123 @@ impl Tensor {
             .sum())
     }
 
-    /// Matrix multiplication of two rank-2 tensors.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NeuralError::ShapeMismatch`] if either tensor is not rank 2
-    /// or the inner dimensions disagree.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+    fn check_matmul(&self, other: &Tensor) -> Result<(usize, usize, usize)> {
         if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
             return Err(NeuralError::ShapeMismatch {
                 expected: self.shape.clone(),
                 actual: other.shape.clone(),
             });
         }
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let n = other.shape[1];
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row.iter()) {
-                    *d += a * b;
-                }
-            }
+        Ok((self.shape[0], self.shape[1], other.shape[1]))
+    }
+
+    /// Matrix multiplication of two rank-2 tensors (`[m, k] · [k, n]`).
+    ///
+    /// Delegates to the cache-blocked [`Tensor::matmul_into`]; results are
+    /// bit-identical to the naive triple loop in
+    /// [`reference::matmul_naive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either tensor is not rank 2
+    /// or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Cache-blocked matrix multiplication into a caller-owned destination
+    /// (`out = self · other`), allocation-free in steady state.
+    ///
+    /// The kernel streams 64-row panels of `other` (see [`BLOCK_K`]) through
+    /// a branch-free SAXPY inner loop over contiguous rows, which
+    /// autovectorizes.  Each output element accumulates over the shared
+    /// dimension in ascending order from `0.0`, so the result is
+    /// bit-identical to [`reference::matmul_naive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either operand is not rank 2
+    /// or the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k, n) = self.check_matmul(other)?;
+        out.resize_for_overwrite(&[m, n]);
+        matmul_kernel(&self.data, &other.data, &mut out.data, m, k, n);
+        Ok(())
+    }
+
+    /// Fused `self · otherᵀ` for rank-2 tensors (`[m, k] · [n, k]ᵀ → [m, n]`)
+    /// without materializing the transpose.
+    ///
+    /// Bit-identical to `self.matmul(&other.transpose()?)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either operand is not rank 2
+    /// or the shared dimensions disagree.
+    pub fn matmul_transpose_b(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.matmul_transpose_b_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Destination-buffer form of [`Tensor::matmul_transpose_b`],
+    /// allocation-free in steady state.
+    ///
+    /// Both operands are traversed along contiguous rows (the transpose is
+    /// fused into the indexing), so no scratch matrix is ever built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either operand is not rank 2
+    /// or the shared dimensions disagree.
+    pub fn matmul_transpose_b_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[1] {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
         }
-        Ok(Tensor {
-            shape: vec![m, n],
-            data: out,
-        })
+        let (m, k, n) = (self.shape[0], self.shape[1], other.shape[0]);
+        out.resize_for_overwrite(&[m, n]);
+        matmul_transpose_b_kernel(&self.data, &other.data, &mut out.data, m, k, n);
+        Ok(())
+    }
+
+    /// Fused `selfᵀ · other` for rank-2 tensors (`[k, m]ᵀ · [k, n] → [m, n]`)
+    /// without materializing the transpose.
+    ///
+    /// Bit-identical to `self.transpose()?.matmul(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either operand is not rank 2
+    /// or the shared dimensions disagree.
+    pub fn transpose_a_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.transpose_a_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Destination-buffer form of [`Tensor::transpose_a_matmul`],
+    /// allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if either operand is not rank 2
+    /// or the shared dimensions disagree.
+    pub fn transpose_a_matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[0] != other.shape[0] {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        let (k, m, n) = (self.shape[0], self.shape[1], other.shape[1]);
+        out.resize_for_overwrite(&[m, n]);
+        transpose_a_matmul_kernel(&self.data, &other.data, &mut out.data, k, m, n);
+        Ok(())
     }
 
     /// Transpose of a rank-2 tensor.
@@ -284,6 +474,18 @@ impl Tensor {
     ///
     /// Returns [`NeuralError::ShapeMismatch`] if the tensor is not rank 2.
     pub fn transpose(&self) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.transpose_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor into a caller-owned destination,
+    /// allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if the tensor is not rank 2.
+    pub fn transpose_into(&self, out: &mut Tensor) -> Result<()> {
         if self.shape.len() != 2 {
             return Err(NeuralError::ShapeMismatch {
                 expected: vec![2],
@@ -291,34 +493,167 @@ impl Tensor {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut data = vec![0.0f32; m * n];
+        out.resize_for_overwrite(&[n, m]);
         for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = self.data[i * n + j];
+            let row = &self.data[i * n..(i + 1) * n];
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * m + i] = v;
             }
         }
-        Ok(Tensor {
-            shape: vec![n, m],
-            data,
-        })
+        Ok(())
     }
 
-    fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+    /// Elementwise combination into a caller-owned destination
+    /// (`out[i] = f(self[i], other[i])`), allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] on shape mismatch.
+    pub fn zip_with_into<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        f: F,
+    ) -> Result<()> {
         if self.shape != other.shape {
             return Err(NeuralError::ShapeMismatch {
                 expected: self.shape.clone(),
                 actual: other.shape.clone(),
             });
         }
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        })
+        out.resize_for_overwrite(&self.shape);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+        Ok(())
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.zip_with_into(other, &mut out, f)?;
+        Ok(out)
+    }
+}
+
+/// Crate-internal slice entry point of the blocked matmul, for layers that
+/// multiply borrowed sub-views (e.g. a `[C, H, W]` gradient viewed as a
+/// matrix) without materializing `Tensor` operands.
+pub(crate) fn matmul_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    matmul_kernel(a, b, out, m, k, n);
+}
+
+/// Crate-internal slice entry point of the fused `aᵀ · b` kernel.
+pub(crate) fn transpose_a_matmul_slices(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    transpose_a_matmul_kernel(a, b, out, k, m, n);
+}
+
+/// `out[m × n] = a[m × k] · b[k × n]`, cache-blocked over `k`.
+///
+/// Per output element the accumulation runs over `p = 0..k` in ascending
+/// order (blocks ascending, positions within a block ascending) from a `0.0`
+/// accumulator — the exact chain of the naive kernel.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    let mut pb = 0;
+    while pb < k {
+        let pe = (pb + BLOCK_K).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let dst = &mut out[i * n..(i + 1) * n];
+            // Four `b` rows per pass: each destination element receives its
+            // four products as separate, sequential adds (p, p+1, p+2, p+3 —
+            // the exact naive order), but the destination value stays in a
+            // register across all four, quartering the dst load/store
+            // traffic and the loop overhead on skinny matrices.
+            let mut p = pb;
+            while p + 4 <= pe {
+                let a0 = a_row[p];
+                let a1 = a_row[p + 1];
+                let a2 = a_row[p + 2];
+                let a3 = a_row[p + 3];
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                for ((((d, &v0), &v1), &v2), &v3) in dst.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    let mut v = *d;
+                    v += a0 * v0;
+                    v += a1 * v1;
+                    v += a2 * v2;
+                    v += a3 * v3;
+                    *d = v;
+                }
+                p += 4;
+            }
+            while p < pe {
+                let av = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (d, &bv) in dst.iter_mut().zip(b_row) {
+                    *d += av * bv;
+                }
+                p += 1;
+            }
+        }
+        pb = pe;
+    }
+}
+
+/// `out[m × n] = a[m × k] · b[n × k]ᵀ` — both operands walked along
+/// contiguous rows; the shared dimension accumulates in ascending order.
+fn matmul_transpose_b_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out[m × n] = a[k × m]ᵀ · b[k × n]` — the reduction dimension is the
+/// outer loop, so both operands stream along contiguous rows and the inner
+/// SAXPY over `n` autovectorizes.  `n == 1` (dense backward) is
+/// special-cased so the vectorizable loop runs over `m` instead.
+fn transpose_a_matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    out.fill(0.0);
+    if n == 1 {
+        for p in 0..k {
+            let scale = b[p];
+            let a_row = &a[p * m..(p + 1) * m];
+            for (o, &av) in out.iter_mut().zip(a_row) {
+                *o += av * scale;
+            }
+        }
+        return;
+    }
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let dst = &mut out[i * n..(i + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(b_row) {
+                *d += av * bv;
+            }
+        }
     }
 }
 
@@ -364,6 +699,17 @@ impl Im2colSpec {
     pub fn column_length(&self) -> usize {
         self.in_channels * self.kernel * self.kernel
     }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        let expected = [self.in_channels, self.height, self.width];
+        if input.shape() != expected {
+            return Err(NeuralError::ShapeMismatch {
+                expected: expected.to_vec(),
+                actual: input.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Lowers a `[C, H, W]` activation tensor to an im2col matrix of shape
@@ -376,36 +722,162 @@ impl Im2colSpec {
 /// Returns [`NeuralError::ShapeMismatch`] if `input` is not `[C, H, W]` with
 /// dimensions matching `spec`.
 pub fn im2col(input: &Tensor, spec: &Im2colSpec) -> Result<Tensor> {
-    let expected = vec![spec.in_channels, spec.height, spec.width];
-    if input.shape() != expected.as_slice() {
-        return Err(NeuralError::ShapeMismatch {
-            expected,
-            actual: input.shape().to_vec(),
-        });
-    }
+    let mut out = Tensor::default();
+    im2col_into(input, spec, &mut out)?;
+    Ok(out)
+}
+
+/// Destination-buffer form of [`im2col`]: lowers into a caller-owned scratch
+/// tensor, allocation-free in steady state.
+///
+/// Each `(patch, channel, kernel-row)` segment is a contiguous run of the
+/// source image, so the kernel copies `kernel`-length slices instead of
+/// moving single elements.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::ShapeMismatch`] if `input` is not `[C, H, W]` with
+/// dimensions matching `spec`.
+pub fn im2col_into(input: &Tensor, spec: &Im2colSpec, out: &mut Tensor) -> Result<()> {
+    spec.check_input(input)?;
     let out_h = spec.out_height();
     let out_w = spec.out_width();
     let cols = spec.column_length();
-    let mut data = vec![0.0f32; out_h * out_w * cols];
+    out.resize_for_overwrite(&[out_h * out_w, cols]);
     let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let hw = spec.height * spec.width;
     for oy in 0..out_h {
         for ox in 0..out_w {
             let row = oy * out_w + ox;
-            let mut col = 0;
+            let mut col = row * cols;
             for c in 0..spec.in_channels {
+                let channel_base = c * hw;
                 for ky in 0..spec.kernel {
-                    for kx in 0..spec.kernel {
-                        let iy = oy * spec.stride + ky;
-                        let ix = ox * spec.stride + kx;
-                        data[row * cols + col] =
-                            src[c * spec.height * spec.width + iy * spec.width + ix];
-                        col += 1;
-                    }
+                    let iy = oy * spec.stride + ky;
+                    let src_base = channel_base + iy * spec.width + ox * spec.stride;
+                    dst[col..col + spec.kernel]
+                        .copy_from_slice(&src[src_base..src_base + spec.kernel]);
+                    col += spec.kernel;
                 }
             }
         }
     }
-    Tensor::from_vec(vec![out_h * out_w, cols], data)
+    Ok(())
+}
+
+/// Lowers a `[C, H, W]` activation tensor directly to the **transposed**
+/// im2col matrix `[C * k * k, out_h * out_w]`, allocation-free in steady
+/// state.
+///
+/// This is the layout the conv forward pass multiplies against
+/// (`y = W · colsᵀ`); producing it directly fuses away the explicit
+/// `transpose()` the old forward path materialized on every call.  Entry
+/// `[l, p]` equals entry `[p, l]` of [`im2col`] bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::ShapeMismatch`] if `input` is not `[C, H, W]` with
+/// dimensions matching `spec`.
+pub fn im2col_transposed_into(input: &Tensor, spec: &Im2colSpec, out: &mut Tensor) -> Result<()> {
+    spec.check_input(input)?;
+    let out_h = spec.out_height();
+    let out_w = spec.out_width();
+    let pixels = out_h * out_w;
+    let cols = spec.column_length();
+    out.resize_for_overwrite(&[cols, pixels]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let hw = spec.height * spec.width;
+    let mut col = 0;
+    for c in 0..spec.in_channels {
+        let channel_base = c * hw;
+        for ky in 0..spec.kernel {
+            for kx in 0..spec.kernel {
+                let dst_row = &mut dst[col * pixels..(col + 1) * pixels];
+                for oy in 0..out_h {
+                    let iy = oy * spec.stride + ky;
+                    let src_row = channel_base + iy * spec.width + kx;
+                    let dst_seg = &mut dst_row[oy * out_w..(oy + 1) * out_w];
+                    if spec.stride == 1 {
+                        dst_seg.copy_from_slice(&src[src_row..src_row + out_w]);
+                    } else {
+                        for (ox, d) in dst_seg.iter_mut().enumerate() {
+                            *d = src[src_row + ox * spec.stride];
+                        }
+                    }
+                }
+                col += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Naive reference implementations of the blocked kernels.
+///
+/// These are the seed repository's original unblocked triple loops (minus
+/// the `a == 0.0` skip branch, which is a no-op on finite data).  They exist
+/// so property tests and the benchmark-trajectory harness can prove the
+/// cache-blocked kernels **bit-identical** and measure their speedup; they
+/// are not used on any hot path.
+pub mod reference {
+    use super::{Im2colSpec, Result, Tensor};
+
+    /// Unblocked triple-loop matrix multiplication (`[m, k] · [k, n]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::NeuralError::ShapeMismatch`] on rank or
+    /// dimension mismatch.
+    pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = a.check_matmul(b)?;
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.as_slice()[i * k + p];
+                let row = &b.as_slice()[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &bv) in dst.iter_mut().zip(row.iter()) {
+                    *d += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Element-at-a-time im2col (`[C, H, W] → [P, C·k·k]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::NeuralError::ShapeMismatch`] if `input` does
+    /// not match `spec`.
+    pub fn im2col_naive(input: &Tensor, spec: &Im2colSpec) -> Result<Tensor> {
+        spec.check_input(input)?;
+        let out_h = spec.out_height();
+        let out_w = spec.out_width();
+        let cols = spec.column_length();
+        let mut data = vec![0.0f32; out_h * out_w * cols];
+        let src = input.as_slice();
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row = oy * out_w + ox;
+                let mut col = 0;
+                for c in 0..spec.in_channels {
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            data[row * cols + col] =
+                                src[c * spec.height * spec.width + iy * spec.width + ix];
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![out_h * out_w, cols], data)
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +914,36 @@ mod tests {
     }
 
     #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![4.0, 5.0, 6.0]).unwrap();
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc, a.add(&b).unwrap());
+        acc.scale_assign(0.5);
+        assert_eq!(acc.as_slice(), a.add(&b).unwrap().scale(0.5).as_slice());
+        assert!(acc.add_assign(&Tensor::zeros(vec![2])).is_err());
+        let mut out = Tensor::default();
+        a.zip_with_into(&b, &mut out, |x, y| x * y).unwrap();
+        assert_eq!(out, a.hadamard(&b).unwrap());
+    }
+
+    #[test]
+    fn copy_reset_and_reshape_in_place_reuse_buffers() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut t = Tensor::zeros(vec![10]);
+        t.copy_from(&a);
+        assert_eq!(t, a);
+        t.reshape_in_place(&[3, 2]).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_slice(), a.as_slice());
+        assert!(t.reshape_in_place(&[4, 2]).is_err());
+        t.reset(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
     fn matmul_matches_hand_computation() {
         let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
@@ -449,6 +951,56 @@ mod tests {
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
         assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference_across_block_boundary() {
+        // Shapes straddling BLOCK_K exercise the panel loop.
+        let mut rng = StdRng::seed_from_u64(17);
+        for (m, k, n) in [(3, 5, 4), (7, BLOCK_K, 9), (5, BLOCK_K + 37, 8), (1, 1, 1)] {
+            let a = Tensor::random_uniform(vec![m, k], 1.0, &mut rng);
+            let b = Tensor::random_uniform(vec![k, n], 1.0, &mut rng);
+            let blocked = a.matmul(&b).unwrap();
+            let naive = reference::matmul_naive(&a, &b).unwrap();
+            assert_eq!(blocked, naive, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn fused_transpose_variants_match_explicit_transposes() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Tensor::random_uniform(vec![4, 6], 1.0, &mut rng);
+        let b = Tensor::random_uniform(vec![5, 6], 1.0, &mut rng);
+        assert_eq!(
+            a.matmul_transpose_b(&b).unwrap(),
+            a.matmul(&b.transpose().unwrap()).unwrap()
+        );
+        let c = Tensor::random_uniform(vec![4, 7], 1.0, &mut rng);
+        assert_eq!(
+            a.transpose_a_matmul(&c).unwrap(),
+            a.transpose().unwrap().matmul(&c).unwrap()
+        );
+        // n == 1 fast path of transpose_a_matmul.
+        let v = Tensor::random_uniform(vec![4, 1], 1.0, &mut rng);
+        assert_eq!(
+            a.transpose_a_matmul(&v).unwrap(),
+            a.transpose().unwrap().matmul(&v).unwrap()
+        );
+        assert!(a.matmul_transpose_b(&c).is_err());
+        assert!(a.transpose_a_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_into_reuses_destination() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let a = Tensor::random_uniform(vec![3, 4], 1.0, &mut rng);
+        let b = Tensor::random_uniform(vec![4, 5], 1.0, &mut rng);
+        let mut out = Tensor::full(vec![9, 9], 7.0); // stale garbage, larger
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Shrinking and regrowing keeps results correct.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.shape(), &[3, 5]);
     }
 
     #[test]
@@ -531,6 +1083,27 @@ mod tests {
         // Wrong input shape is rejected.
         let bad = Tensor::zeros(vec![1, 4, 4]);
         assert!(im2col(&bad, &spec).is_err());
+    }
+
+    #[test]
+    fn im2col_variants_agree_with_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (c, h, w, kernel, stride) in [(1, 5, 5, 3, 1), (2, 6, 4, 2, 2), (3, 7, 7, 3, 2)] {
+            let input = Tensor::random_uniform(vec![c, h, w], 1.0, &mut rng);
+            let spec = Im2colSpec {
+                in_channels: c,
+                height: h,
+                width: w,
+                kernel,
+                stride,
+            };
+            let naive = reference::im2col_naive(&input, &spec).unwrap();
+            let fast = im2col(&input, &spec).unwrap();
+            assert_eq!(fast, naive);
+            let mut transposed = Tensor::default();
+            im2col_transposed_into(&input, &spec, &mut transposed).unwrap();
+            assert_eq!(transposed, naive.transpose().unwrap());
+        }
     }
 
     #[test]

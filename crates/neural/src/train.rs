@@ -8,9 +8,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::datasets::Dataset;
 use crate::error::Result;
-use crate::metrics::{accuracy, cross_entropy_with_grad};
+use crate::metrics::{accuracy, cross_entropy_with_grad_into};
 use crate::model::Sequential;
 use crate::quant::QuantConfig;
+use crate::tensor::Tensor;
 
 /// Hyperparameters of the SGD training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,17 +57,24 @@ pub fn train(
     config: &TrainConfig,
 ) -> Result<Vec<EpochStats>> {
     let mut stats = Vec::with_capacity(config.epochs);
+    // Sample-loop buffers, allocated once and reused for every sample of
+    // every epoch: together with the layers' internal workspaces the hot
+    // loop runs allocation-free in steady state.
+    let mut logits = Tensor::default();
+    let mut grad = Tensor::default();
+    let mut grad_sink = Tensor::default();
+    let mut predictions = Vec::with_capacity(data.len());
     for epoch in 0..config.epochs {
         let mut total_loss = 0.0f64;
-        let mut predictions = Vec::with_capacity(data.len());
         let mut in_batch = 0usize;
+        predictions.clear();
         model.zero_gradients();
         for (sample, &label) in data.samples.iter().zip(&data.labels) {
-            let logits = model.forward(sample)?;
+            model.forward_into(sample, &mut logits)?;
             predictions.push(logits.argmax());
-            let (loss, grad) = cross_entropy_with_grad(&logits, label);
+            let loss = cross_entropy_with_grad_into(&logits, label, &mut grad);
             total_loss += f64::from(loss);
-            model.backward(&grad)?;
+            model.backward_into(&grad, &mut grad_sink)?;
             in_batch += 1;
             if in_batch == config.batch_size {
                 model.apply_gradients(config.learning_rate / config.batch_size as f32);
@@ -92,8 +100,10 @@ pub fn train(
 /// Propagates shape errors from the model's layers.
 pub fn evaluate(model: &mut Sequential, data: &Dataset) -> Result<f64> {
     let mut predictions = Vec::with_capacity(data.len());
+    let mut logits = Tensor::default();
     for sample in &data.samples {
-        predictions.push(model.forward(sample)?.argmax());
+        model.forward_into(sample, &mut logits)?;
+        predictions.push(logits.argmax());
     }
     Ok(accuracy(&predictions, &data.labels))
 }
@@ -119,8 +129,10 @@ pub fn evaluate_quantized(
 ) -> Result<f64> {
     model.quantize_parameters(quant.weight_bits);
     let mut predictions = Vec::with_capacity(data.len());
+    let mut logits = Tensor::default();
     for sample in &data.samples {
-        predictions.push(model.forward_quantized(sample, quant)?.argmax());
+        model.forward_quantized_into(sample, quant, &mut logits)?;
+        predictions.push(logits.argmax());
     }
     Ok(accuracy(&predictions, &data.labels))
 }

@@ -2,7 +2,8 @@
 
 use crosslight_neural::layers::softmax;
 use crosslight_neural::quant::QuantConfig;
-use crosslight_neural::tensor::{im2col, Im2colSpec, Tensor};
+use crosslight_neural::tensor::{im2col, im2col_into, im2col_transposed_into, reference};
+use crosslight_neural::tensor::{Im2colSpec, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,6 +80,77 @@ proptest! {
         distinct.sort_unstable();
         distinct.dedup();
         prop_assert!(distinct.len() as u64 <= (1u64 << bits));
+    }
+
+    /// The cache-blocked matmul is **bit-identical** to the naive unblocked
+    /// triple loop, across shapes that straddle the 64-wide k-panel
+    /// boundary.  Exact `==` on the raw f32 data — no tolerance.
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive(
+        (m, n) in (1usize..=12, 1usize..=12),
+        k in 1usize..=150,
+        seed in 0u64..1024,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::random_uniform(vec![m, k], 2.0, &mut rng);
+        let b = Tensor::random_uniform(vec![k, n], 2.0, &mut rng);
+        let naive = reference::matmul_naive(&a, &b).unwrap();
+        prop_assert_eq!(a.matmul(&b).unwrap(), naive.clone());
+        // The destination-buffer form, run twice into a reused (stale)
+        // buffer, stays bit-identical.
+        let mut out = Tensor::full(vec![3, 3], f32::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out.clone(), naive.clone());
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, naive);
+    }
+
+    /// Both fused-transpose kernels are bit-identical to transposing
+    /// explicitly and running the naive matmul.
+    #[test]
+    fn fused_transpose_kernels_are_bit_identical_to_naive(
+        (m, n) in (1usize..=10, 1usize..=10),
+        k in 1usize..=96,
+        seed in 0u64..1024,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        // A·Bᵀ with A: [m, k], B: [n, k].
+        let a = Tensor::random_uniform(vec![m, k], 2.0, &mut rng);
+        let b = Tensor::random_uniform(vec![n, k], 2.0, &mut rng);
+        let expected = reference::matmul_naive(&a, &b.transpose().unwrap()).unwrap();
+        prop_assert_eq!(a.matmul_transpose_b(&b).unwrap(), expected);
+        // Aᵀ·C with A: [k, m], C: [k, n] (n == 1 covers the dense-backward
+        // fast path whenever n is drawn as 1).
+        let a = Tensor::random_uniform(vec![k, m], 2.0, &mut rng);
+        let c = Tensor::random_uniform(vec![k, n], 2.0, &mut rng);
+        let expected = reference::matmul_naive(&a.transpose().unwrap(), &c).unwrap();
+        prop_assert_eq!(a.transpose_a_matmul(&c).unwrap(), expected);
+    }
+
+    /// The slice-copying im2col (and its fused-transpose variant) relocate
+    /// exactly the same bits as the naive element-at-a-time reference.
+    #[test]
+    fn blocked_im2col_is_bit_identical_to_naive(
+        channels in 1usize..=3,
+        height in 1usize..=12,
+        width in 1usize..=12,
+        kernel in 1usize..=4,
+        stride in 1usize..=3,
+        seed in 0u64..1024,
+    ) {
+        // Only run geometries that produce a non-empty output.
+        if height >= kernel && width >= kernel {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc01);
+            let input = Tensor::random_uniform(vec![channels, height, width], 2.0, &mut rng);
+            let spec = Im2colSpec { in_channels: channels, height, width, kernel, stride };
+            let naive = reference::im2col_naive(&input, &spec).unwrap();
+            prop_assert_eq!(im2col(&input, &spec).unwrap(), naive.clone());
+            let mut out = Tensor::full(vec![2], f32::NAN);
+            im2col_into(&input, &spec, &mut out).unwrap();
+            prop_assert_eq!(out.clone(), naive.clone());
+            im2col_transposed_into(&input, &spec, &mut out).unwrap();
+            prop_assert_eq!(out, naive.transpose().unwrap());
+        }
     }
 
     /// im2col preserves every input element when the stride equals the kernel

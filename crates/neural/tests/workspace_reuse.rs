@@ -1,0 +1,121 @@
+//! Proves the layers' workspace reuse: after a warm-up call has grown every
+//! internal buffer to its steady-state size, forward/backward passes and the
+//! whole training step perform **zero heap allocations**.
+//!
+//! A counting global allocator wraps the system allocator; the tests read
+//! the allocation counter around the steady-state calls.  Everything runs
+//! inside a single `#[test]` so no concurrent test can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crosslight_neural::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use crosslight_neural::metrics::cross_entropy_with_grad_into;
+use crosslight_neural::model::Sequential;
+use crosslight_neural::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn steady_state_passes_allocate_nothing() {
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Conv2d alone: the acceptance-critical case.
+    let mut conv = Conv2d::new(3, 16, 3, 1, &mut rng).unwrap();
+    let x = Tensor::random_uniform(vec![3, 32, 32], 1.0, &mut rng);
+    let g = Tensor::random_uniform(vec![16, 30, 30], 1.0, &mut rng);
+    let mut out = Tensor::default();
+    let mut dx = Tensor::default();
+    // Warm-up grows the workspaces (im2col scratch, gradient buffers).
+    for _ in 0..2 {
+        conv.forward_into(&x, &mut out).unwrap();
+        conv.backward_into(&g, &mut dx).unwrap();
+    }
+    let (count, ()) = allocations_during(|| {
+        conv.forward_into(&x, &mut out).unwrap();
+    });
+    assert_eq!(
+        count, 0,
+        "Conv2d::forward_into must not allocate in steady state"
+    );
+    let (count, ()) = allocations_during(|| {
+        conv.backward_into(&g, &mut dx).unwrap();
+        conv.apply_gradients(0.01);
+    });
+    assert_eq!(
+        count, 0,
+        "Conv2d backward/update must not allocate in steady state"
+    );
+
+    // Dense alone (the old forward cloned its input every call).
+    let mut dense = Dense::new(64, 10, &mut rng).unwrap();
+    let xd = Tensor::random_uniform(vec![64], 1.0, &mut rng);
+    let gd = Tensor::random_uniform(vec![10], 1.0, &mut rng);
+    for _ in 0..2 {
+        dense.forward_into(&xd, &mut out).unwrap();
+        dense.backward_into(&gd, &mut dx).unwrap();
+    }
+    let (count, ()) = allocations_during(|| {
+        dense.forward_into(&xd, &mut out).unwrap();
+        dense.backward_into(&gd, &mut dx).unwrap();
+    });
+    assert_eq!(count, 0, "Dense passes must not allocate in steady state");
+
+    // A full model: conv → relu → pool → flatten → dense, through the
+    // Sequential ping-pong buffers, including the loss gradient.
+    let mut model = Sequential::new("alloc_probe", vec![3, 12, 12]);
+    model.push(Box::new(Conv2d::new(3, 8, 3, 1, &mut rng).unwrap()));
+    model.push(Box::new(Relu::new()));
+    model.push(Box::new(MaxPool2d::new(2).unwrap()));
+    model.push(Box::new(Flatten::new()));
+    model.push(Box::new(Dense::new(8 * 5 * 5, 10, &mut rng).unwrap()));
+    let sample = Tensor::random_uniform(vec![3, 12, 12], 1.0, &mut rng);
+    let mut logits = Tensor::default();
+    let mut grad = Tensor::default();
+    let mut grad_sink = Tensor::default();
+    for _ in 0..2 {
+        model.forward_into(&sample, &mut logits).unwrap();
+        cross_entropy_with_grad_into(&logits, 3, &mut grad);
+        model.backward_into(&grad, &mut grad_sink).unwrap();
+        model.apply_gradients(0.01);
+    }
+    let (count, ()) = allocations_during(|| {
+        model.forward_into(&sample, &mut logits).unwrap();
+        cross_entropy_with_grad_into(&logits, 3, &mut grad);
+        model.backward_into(&grad, &mut grad_sink).unwrap();
+        model.apply_gradients(0.01);
+    });
+    assert_eq!(
+        count, 0,
+        "a full training step must not allocate in steady state"
+    );
+}

@@ -103,15 +103,32 @@ impl SymmetricMatrix {
     /// Returns [`TuningError::DimensionMismatch`] if the vector length does
     /// not match the matrix dimension.
     pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.mul_vec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Multiplies the matrix by a vector into a caller-owned buffer, reusing
+    /// its allocation (the form the TED solver's iteration loops use so that
+    /// repeated solves allocate nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuningError::DimensionMismatch`] if the vector length does
+    /// not match the matrix dimension.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if v.len() != self.size {
             return Err(TuningError::DimensionMismatch {
                 expected: self.size,
                 actual: v.len(),
             });
         }
-        Ok((0..self.size)
-            .map(|i| (0..self.size).map(|j| self.get(i, j) * v[j]).sum())
-            .collect())
+        out.clear();
+        out.extend((0..self.size).map(|i| {
+            let row = &self.data[i * self.size..(i + 1) * self.size];
+            row.iter().zip(v).map(|(&m, &x)| m * x).sum::<f64>()
+        }));
+        Ok(())
     }
 
     /// Frobenius norm of the strictly off-diagonal part.
@@ -163,19 +180,31 @@ impl EigenDecomposition {
     ///
     /// Returns [`TuningError::DimensionMismatch`] on length mismatch.
     pub fn project(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.project_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Destination-buffer form of [`EigenDecomposition::project`], reusing
+    /// the output allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuningError::DimensionMismatch`] on length mismatch.
+    pub fn project_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if x.len() != self.size {
             return Err(TuningError::DimensionMismatch {
                 expected: self.size,
                 actual: x.len(),
             });
         }
-        Ok((0..self.size)
-            .map(|k| {
-                (0..self.size)
-                    .map(|i| self.eigenvectors[i * self.size + k] * x[i])
-                    .sum()
-            })
-            .collect())
+        out.clear();
+        out.extend((0..self.size).map(|k| {
+            (0..self.size)
+                .map(|i| self.eigenvectors[i * self.size + k] * x[i])
+                .sum::<f64>()
+        }));
+        Ok(())
     }
 
     /// Reconstructs a vector from modal coefficients (`V · c`).
@@ -184,19 +213,31 @@ impl EigenDecomposition {
     ///
     /// Returns [`TuningError::DimensionMismatch`] on length mismatch.
     pub fn reconstruct(&self, coefficients: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.reconstruct_into(coefficients, &mut out)?;
+        Ok(out)
+    }
+
+    /// Destination-buffer form of [`EigenDecomposition::reconstruct`],
+    /// reusing the output allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuningError::DimensionMismatch`] on length mismatch.
+    pub fn reconstruct_into(&self, coefficients: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if coefficients.len() != self.size {
             return Err(TuningError::DimensionMismatch {
                 expected: self.size,
                 actual: coefficients.len(),
             });
         }
-        Ok((0..self.size)
-            .map(|i| {
-                (0..self.size)
-                    .map(|k| self.eigenvectors[i * self.size + k] * coefficients[k])
-                    .sum()
-            })
-            .collect())
+        out.clear();
+        out.extend((0..self.size).map(|i| {
+            (0..self.size)
+                .map(|k| self.eigenvectors[i * self.size + k] * coefficients[k])
+                .sum::<f64>()
+        }));
+        Ok(())
     }
 }
 
@@ -391,6 +432,32 @@ mod tests {
         let d = jacobi_eigen(&m).unwrap();
         assert!(d.project(&[1.0]).is_err());
         assert!(d.reconstruct(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms_and_reuse_buffers() {
+        let n = 5;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = (-((i as f64 - j as f64).abs()) * 0.9).exp();
+            }
+        }
+        let m = SymmetricMatrix::new(n, data).unwrap();
+        let d = jacobi_eigen(&m).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        // One buffer serves all three operations across repeated calls.
+        let mut buffer = vec![999.0; 16];
+        m.mul_vec_into(&x, &mut buffer).unwrap();
+        assert_eq!(buffer, m.mul_vec(&x).unwrap());
+        d.project_into(&x, &mut buffer).unwrap();
+        assert_eq!(buffer, d.project(&x).unwrap());
+        let coeffs = buffer.clone();
+        d.reconstruct_into(&coeffs, &mut buffer).unwrap();
+        assert_eq!(buffer, d.reconstruct(&coeffs).unwrap());
+        assert!(m.mul_vec_into(&[1.0], &mut buffer).is_err());
+        assert!(d.project_into(&[1.0], &mut buffer).is_err());
+        assert!(d.reconstruct_into(&[1.0], &mut buffer).is_err());
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub mod to;
 
 pub use error::TuningError;
 pub use hybrid::{HybridTuner, TuningPlan};
-pub use ted::TedSolver;
+pub use ted::{TedSolver, TedWorkspace};

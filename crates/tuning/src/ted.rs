@@ -59,6 +59,42 @@ pub struct TedSolution {
     pub total_power: MilliWatts,
 }
 
+/// Reusable scratch buffers for [`TedSolver::solve_with`].
+///
+/// A single workspace serves any bank size: every buffer (including the
+/// vectors inside the embedded [`TedSolution`]) is cleared and refilled per
+/// solve, so iteration loops — sweeps over spacings, repeated solves in the
+/// benches — perform zero heap allocations after the first call.
+#[derive(Debug, Clone, Default)]
+pub struct TedWorkspace {
+    targets: Vec<f64>,
+    ones: Vec<f64>,
+    p0: Vec<f64>,
+    w: Vec<f64>,
+    coefficients: Vec<f64>,
+    solution: Option<TedSolution>,
+}
+
+impl TedWorkspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solution of the last successful [`TedSolver::solve_with`] call.
+    #[must_use]
+    pub fn solution(&self) -> Option<&TedSolution> {
+        self.solution.as_ref()
+    }
+
+    /// Consumes the workspace, returning the last solution (if any).
+    #[must_use]
+    pub fn into_solution(self) -> Option<TedSolution> {
+        self.solution
+    }
+}
+
 impl TedSolver {
     /// Builds a solver from a thermal-crosstalk matrix and heater
     /// characterisation.
@@ -107,6 +143,28 @@ impl TedSolver {
     /// Returns [`TuningError::DimensionMismatch`] if `targets` does not match
     /// the bank size.
     pub fn solve(&self, targets: &[Radians]) -> Result<TedSolution> {
+        let mut workspace = TedWorkspace::new();
+        self.solve_with(targets, &mut workspace)?;
+        Ok(workspace
+            .into_solution()
+            .expect("solve_with stores a solution on success"))
+    }
+
+    /// Workspace form of [`TedSolver::solve`] for iteration loops: all
+    /// intermediate vectors and the solution's own vectors are drawn from
+    /// `workspace`, so repeated solves perform zero heap allocations in
+    /// steady state.  Returns a reference to the solution stored in the
+    /// workspace; results are identical to [`TedSolver::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuningError::DimensionMismatch`] if `targets` does not match
+    /// the bank size.
+    pub fn solve_with<'ws>(
+        &self,
+        targets: &[Radians],
+        workspace: &'ws mut TedWorkspace,
+    ) -> Result<&'ws TedSolution> {
         let n = self.bank_size();
         if targets.len() != n {
             return Err(TuningError::DimensionMismatch {
@@ -114,13 +172,26 @@ impl TedSolver {
                 actual: targets.len(),
             });
         }
-        let target_values: Vec<f64> = targets.iter().map(|t| t.value()).collect();
+        workspace.targets.clear();
+        workspace.targets.extend(targets.iter().map(|t| t.value()));
 
         // Raw solution p0 = C⁻¹ φ through the eigenbasis.
-        let p0 = self.apply_inverse(&target_values)?;
-        // w = C⁻¹ 1: the response to a unit common-mode offset.
-        let ones = vec![1.0; n];
-        let w = self.apply_inverse(&ones)?;
+        let (p0, w) = {
+            let TedWorkspace {
+                targets: target_values,
+                ones,
+                p0,
+                w,
+                coefficients,
+                ..
+            } = workspace;
+            self.apply_inverse_into(target_values, coefficients, p0)?;
+            // w = C⁻¹ 1: the response to a unit common-mode offset.
+            ones.clear();
+            ones.resize(n, 1.0);
+            self.apply_inverse_into(ones, coefficients, w)?;
+            (&*p0, &*w)
+        };
 
         // Choose the smallest α ≥ 0 such that p0 + α·w ≥ 0 component-wise.
         let mut alpha: f64 = 0.0;
@@ -129,25 +200,29 @@ impl TedSolver {
                 alpha = alpha.max(-p0[i] / w[i]);
             }
         }
-        let heater_phase_values: Vec<f64> =
-            (0..n).map(|i| (p0[i] + alpha * w[i]).max(0.0)).collect();
 
-        let heater_phases: Vec<Radians> = heater_phase_values
-            .iter()
-            .map(|&p| Radians::new(p))
-            .collect();
-        let per_heater_power: Vec<MilliWatts> = heater_phases
-            .iter()
-            .map(|&p| MilliWatts::new(self.heater.power_for_phase(p)))
-            .collect();
-        let total_power = MilliWatts::new(per_heater_power.iter().map(|p| p.value()).sum());
-
-        Ok(TedSolution {
-            heater_phases,
-            common_mode_offset: Radians::new(alpha),
-            per_heater_power,
-            total_power,
-        })
+        // Fill the solution, reusing its vectors when one is already there.
+        let solution = workspace.solution.get_or_insert_with(|| TedSolution {
+            heater_phases: Vec::new(),
+            common_mode_offset: Radians::new(0.0),
+            per_heater_power: Vec::new(),
+            total_power: MilliWatts::new(0.0),
+        });
+        solution.heater_phases.clear();
+        solution
+            .heater_phases
+            .extend((0..n).map(|i| Radians::new((p0[i] + alpha * w[i]).max(0.0))));
+        solution.per_heater_power.clear();
+        solution.per_heater_power.extend(
+            solution
+                .heater_phases
+                .iter()
+                .map(|&p| MilliWatts::new(self.heater.power_for_phase(p))),
+        );
+        solution.common_mode_offset = Radians::new(alpha);
+        solution.total_power =
+            MilliWatts::new(solution.per_heater_power.iter().map(|p| p.value()).sum());
+        Ok(solution)
     }
 
     /// Power of the *naive* (non-TED) tuning strategy for the same targets:
@@ -198,15 +273,22 @@ impl TedSolver {
     }
 
     /// Applies `C⁻¹` to a vector through the eigen-decomposition, flooring
-    /// eigenvalues to keep dense banks finite.
-    fn apply_inverse(&self, x: &[f64]) -> Result<Vec<f64>> {
-        let coefficients = self.decomposition.project(x)?;
-        let scaled: Vec<f64> = coefficients
-            .iter()
+    /// eigenvalues to keep dense banks finite.  `coefficients` and `out` are
+    /// caller-owned scratch, reused across calls.
+    fn apply_inverse_into(
+        &self,
+        x: &[f64],
+        coefficients: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.decomposition.project_into(x, coefficients)?;
+        for (c, &l) in coefficients
+            .iter_mut()
             .zip(self.decomposition.eigenvalues.iter())
-            .map(|(c, &l)| c / l.max(EIGENVALUE_FLOOR))
-            .collect();
-        self.decomposition.reconstruct(&scaled)
+        {
+            *c /= l.max(EIGENVALUE_FLOOR);
+        }
+        self.decomposition.reconstruct_into(coefficients, out)
     }
 }
 
@@ -342,6 +424,24 @@ mod tests {
         assert!((ted - independent).abs() / independent < 1e-3);
         let naive = solver.naive_power(&targets).unwrap().value();
         assert!((naive - independent).abs() / independent < 1e-3);
+    }
+
+    #[test]
+    fn solve_with_matches_solve_and_reuses_one_workspace_across_bank_sizes() {
+        let mut workspace = TedWorkspace::new();
+        assert!(workspace.solution().is_none());
+        for (count, spacing) in [(10usize, 2.0), (10, 5.0), (6, 8.0), (15, 5.0)] {
+            let solver = solver_at_spacing(count, spacing);
+            let targets = varied_targets(count);
+            let expected = solver.solve(&targets).unwrap();
+            let got = solver.solve_with(&targets, &mut workspace).unwrap();
+            assert_eq!(*got, expected);
+            assert_eq!(workspace.solution(), Some(&expected));
+        }
+        let solver = solver_at_spacing(4, 5.0);
+        assert!(solver
+            .solve_with(&varied_targets(5), &mut workspace)
+            .is_err());
     }
 
     #[test]

@@ -6,10 +6,29 @@
 //!
 //! ```text
 //! cargo run --release --example quantization_study
+//! cargo run --release --example quantization_study -- --workers 8
 //! ```
+//!
+//! With `--workers N` the `(model × bit-width)` training cells run on `N`
+//! threads via [`fig5_accuracy::run_parallel`]; the output table is
+//! byte-identical to the serial sweep.
+
+use std::time::Instant;
 
 use crosslight::experiments::fig5_accuracy::{self, AccuracyStudyConfig};
 use crosslight::experiments::resolution_analysis;
+
+fn workers_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let index = args.iter().position(|a| a == "--workers")?;
+    match args.get(index + 1).map(|v| v.parse()) {
+        Some(Ok(workers)) => Some(workers),
+        _ => {
+            eprintln!("error: --workers requires a positive integer argument");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Section V.B — achievable resolution vs. MRs per bank ===\n");
@@ -28,8 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epochs: 15,
         seed: 2021,
     };
-    let study = fig5_accuracy::run(&config)?;
+    let start = Instant::now();
+    let study = match workers_from_args() {
+        Some(workers) => {
+            println!("(parallel sweep across {workers} workers)");
+            fig5_accuracy::run_parallel(&config, workers)?
+        }
+        None => fig5_accuracy::run(&config)?,
+    };
+    let elapsed = start.elapsed();
     print!("{}", study.table().render());
+    println!("\nsweep completed in {:.2} s", elapsed.as_secs_f64());
 
     println!("\nfull-precision reference accuracies:");
     for curve in &study.curves {
