@@ -15,9 +15,7 @@
 //! preserved reference kernels on the *same* machine and flags, isolating
 //! the algorithmic win from compiler/flag effects.
 
-use std::time::Instant;
-
-use crosslight_bench::json_escape;
+use crosslight_bench::{measure, print_speedups, render_trajectory_json};
 use crosslight_neural::datasets::generate_synthetic;
 use crosslight_neural::layers::{Conv2d, Layer};
 use crosslight_neural::quant::QuantConfig;
@@ -40,74 +38,6 @@ const BASELINES_NS: &[(&str, f64)] = &[
     ("fig5_cell_cifar10_8bit", 22_174_703.0),
     ("ted_solve_15_mr_bank", 991.0),
 ];
-
-struct BenchResult {
-    name: String,
-    ns_per_iter: f64,
-    iterations: u64,
-}
-
-/// Warm-up then run `routine` until `window_ms` of wall clock is filled.
-fn measure<O, F: FnMut() -> O>(name: &str, window_ms: u64, mut routine: F) -> BenchResult {
-    for _ in 0..2 {
-        std::hint::black_box(routine());
-    }
-    let window = std::time::Duration::from_millis(window_ms);
-    let start = Instant::now();
-    let mut iterations = 0u64;
-    while start.elapsed() < window {
-        std::hint::black_box(routine());
-        iterations += 1;
-    }
-    let ns_per_iter = start.elapsed().as_nanos() as f64 / iterations as f64;
-    println!(
-        "{name:<40} {:>12.1} ns/iter  ({iterations} iterations)",
-        ns_per_iter
-    );
-    BenchResult {
-        name: name.to_string(),
-        ns_per_iter,
-        iterations,
-    }
-}
-
-fn baseline_for(name: &str) -> Option<f64> {
-    BASELINES_NS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|&(_, ns)| ns)
-}
-
-fn render_json(mode: &str, results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"crosslight-bench-kernels/v1\",\n");
-    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
-    out.push_str(
-        "  \"baseline_commit\": \"e4efd69 (pre blocked-kernel refactor, naive kernels, \
-         default target-cpu)\",\n",
-    );
-    out.push_str("  \"benches\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str("    {");
-        out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
-        out.push_str(&format!("\"ns_per_iter\": {:.1}, ", r.ns_per_iter));
-        out.push_str(&format!("\"iterations\": {}", r.iterations));
-        if let Some(baseline) = baseline_for(&r.name) {
-            out.push_str(&format!(", \"baseline_ns_per_iter\": {baseline:.1}"));
-            out.push_str(&format!(
-                ", \"speedup_vs_baseline\": {:.2}",
-                baseline / r.ns_per_iter
-            ));
-        }
-        out.push('}');
-        if i + 1 < results.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -213,16 +143,14 @@ fn main() {
             .total_power
     }));
 
-    let json = render_json(mode, &results);
+    let json = render_trajectory_json(
+        "crosslight-bench-kernels/v1",
+        mode,
+        "e4efd69 (pre blocked-kernel refactor, naive kernels, default target-cpu)",
+        BASELINES_NS,
+        &results,
+    );
     std::fs::write(&out_path, &json).expect("writing the JSON report succeeds");
     println!("\nwrote {out_path} ({mode} mode)");
-    for r in &results {
-        if let Some(baseline) = baseline_for(&r.name) {
-            println!(
-                "  {:<36} {:>6.2}x vs pre-refactor baseline",
-                r.name,
-                baseline / r.ns_per_iter
-            );
-        }
-    }
+    print_speedups(BASELINES_NS, &results);
 }

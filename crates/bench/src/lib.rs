@@ -12,13 +12,140 @@
 //! * `benches/kernels.rs` — microbenchmarks of the core kernels (MR
 //!   transmission, TED solve, conv forward, quantization, full simulator
 //!   evaluation).
+//!
+//! The crate also hosts the shared benchmark-trajectory harness
+//! ([`measure`], [`measure_once`], [`render_trajectory_json`]) behind the
+//! `bench_kernels` and `bench_sim` bins: each emits a `BENCH_*.json` with
+//! embedded pre-refactor baselines so every PR records a perf datapoint for
+//! both the neural-kernel and the analytical-simulator trajectories.
 
 #![warn(missing_docs)]
+
+use std::time::Instant;
 
 /// Prints a named experiment table once, prefixed so it is easy to find in
 /// `cargo bench` output.
 pub fn print_table(title: &str, table: &crosslight_experiments::TextTable) {
     println!("\n=== {title} ===\n{}", table.render());
+}
+
+/// One measured workload of a benchmark-trajectory bin (`bench_kernels`,
+/// `bench_sim`).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name (stable across PRs — the trajectory key).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of timed iterations behind the mean.
+    pub iterations: u64,
+}
+
+/// Warm-up twice, then run `routine` until `window_ms` of wall clock is
+/// filled — the shared measurement loop of the trajectory bins.
+pub fn measure<O, F: FnMut() -> O>(name: &str, window_ms: u64, mut routine: F) -> BenchResult {
+    for _ in 0..2 {
+        std::hint::black_box(routine());
+    }
+    let window = std::time::Duration::from_millis(window_ms);
+    let start = Instant::now();
+    let mut iterations = 0u64;
+    while start.elapsed() < window {
+        std::hint::black_box(routine());
+        iterations += 1;
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / iterations as f64;
+    println!(
+        "{name:<44} {:>14.1} ns/iter  ({iterations} iterations)",
+        ns_per_iter
+    );
+    BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+        iterations,
+    }
+}
+
+/// Times a single un-warmed run of `routine` — for workloads too large to
+/// repeat (full dense sweeps).
+pub fn measure_once<O, F: FnOnce() -> O>(name: &str, routine: F) -> (BenchResult, O) {
+    let start = Instant::now();
+    let output = std::hint::black_box(routine());
+    let ns_per_iter = start.elapsed().as_nanos() as f64;
+    println!("{name:<44} {ns_per_iter:>14.1} ns/iter  (1 iteration)");
+    (
+        BenchResult {
+            name: name.to_string(),
+            ns_per_iter,
+            iterations: 1,
+        },
+        output,
+    )
+}
+
+/// Looks up a workload's pre-refactor baseline in a `(name, ns)` table.
+#[must_use]
+pub fn baseline_for(baselines: &[(&str, f64)], name: &str) -> Option<f64> {
+    baselines
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ns)| ns)
+}
+
+/// Renders a benchmark-trajectory report as the `BENCH_*.json` format shared
+/// by the kernel and simulator trajectories: every entry carries its
+/// measurement, and entries with a recorded baseline also carry
+/// `baseline_ns_per_iter`/`speedup_vs_baseline` so the before/after record
+/// survives in the committed artifact.
+#[must_use]
+pub fn render_trajectory_json(
+    schema: &str,
+    mode: &str,
+    baseline_commit: &str,
+    baselines: &[(&str, f64)],
+    results: &[BenchResult],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(schema)));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str(&format!(
+        "  \"baseline_commit\": \"{}\",\n",
+        json_escape(baseline_commit)
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
+        out.push_str(&format!("\"ns_per_iter\": {:.1}, ", r.ns_per_iter));
+        out.push_str(&format!("\"iterations\": {}", r.iterations));
+        if let Some(baseline) = baseline_for(baselines, &r.name) {
+            out.push_str(&format!(", \"baseline_ns_per_iter\": {baseline:.1}"));
+            out.push_str(&format!(
+                ", \"speedup_vs_baseline\": {:.2}",
+                baseline / r.ns_per_iter
+            ));
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the speedup-vs-baseline summary lines of a trajectory run.
+pub fn print_speedups(baselines: &[(&str, f64)], results: &[BenchResult]) {
+    for r in results {
+        if let Some(baseline) = baseline_for(baselines, &r.name) {
+            println!(
+                "  {:<40} {:>6.2}x vs pre-refactor baseline",
+                r.name,
+                baseline / r.ns_per_iter
+            );
+        }
+    }
 }
 
 /// Minimal JSON string escaping for the hand-rolled `BENCH_*.json` reports
@@ -50,5 +177,36 @@ mod tests {
         let mut table = TextTable::new(vec!["a", "b"]);
         table.push_row(vec!["1", "2"]);
         print_table("smoke", &table);
+    }
+
+    #[test]
+    fn trajectory_json_embeds_baselines_only_where_recorded() {
+        let baselines = [("with_baseline", 200.0)];
+        let results = vec![
+            BenchResult {
+                name: "with_baseline".into(),
+                ns_per_iter: 100.0,
+                iterations: 10,
+            },
+            BenchResult {
+                name: "fresh".into(),
+                ns_per_iter: 50.0,
+                iterations: 3,
+            },
+        ];
+        let json = render_trajectory_json("s/v1", "quick", "abc123", &baselines, &results);
+        assert!(json.contains("\"schema\": \"s/v1\""));
+        assert!(json.contains("\"speedup_vs_baseline\": 2.00"));
+        assert!(json.contains("\"name\": \"fresh\", \"ns_per_iter\": 50.0, \"iterations\": 3}"));
+        assert_eq!(json.matches("baseline_ns_per_iter").count(), 1);
+        assert_eq!(baseline_for(&baselines, "fresh"), None);
+    }
+
+    #[test]
+    fn measure_once_returns_the_routine_output() {
+        let (result, value) = measure_once("smoke_once", || 7 * 6);
+        assert_eq!(value, 42);
+        assert_eq!(result.iterations, 1);
+        assert!(result.ns_per_iter >= 0.0);
     }
 }

@@ -1,0 +1,292 @@
+//! Memoized analytical-model layer.
+//!
+//! The workload-independent halves of the simulator — per-unit power reports
+//! (laser, tuning with its 15×15 TED eigendecomposition, detection,
+//! conversion), accelerator power/area, and achievable resolution — are pure
+//! functions of small sub-configurations that repeat heavily across
+//! design-space grids: an `(N, K, n, m)` sweep with `G` distinct `(N, K)`
+//! pairs only contains `G` distinct CONV/FC unit shapes, and usually a single
+//! distinct resolution input.  [`ModelCache`] memoizes those results by their
+//! canonical sub-config keys ([`crate::canonical`]), so a sweep pays for each
+//! distinct sub-model once instead of once per grid point.
+//!
+//! The cache is transparent: every model is deterministic, so a hit returns
+//! exactly the value a fresh computation would produce and cached evaluation
+//! is bit-identical to the uncached paths (`CrossLightSimulator::prepare`,
+//! `accelerator_power`, `achievable_resolution_bits`) — the core test suite
+//! enforces this with exact equality over all paper variants.
+//!
+//! [`ModelCache`] is `Sync`: one instance can back a whole worker pool (the
+//! runtime's `EvalService` shares one across its workers, and the parallel
+//! Fig. 6 sweep shares one across its scoped threads).  Values are computed
+//! outside the short-lived map locks, so two threads racing on the same key
+//! may both compute — they insert the same bits, and neither blocks the
+//! other's unrelated lookups.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::area::{accelerator_area, AcceleratorArea};
+use crate::canonical::{ConfigKey, ResolutionKey, VdpUnitKey};
+use crate::config::CrossLightConfig;
+use crate::error::Result;
+use crate::power::{accelerator_power_from_unit_reports, AcceleratorPower};
+use crate::resolution::achievable_resolution_bits;
+use crate::simulator::PreparedSimulator;
+use crate::vdp::{VdpUnit, VdpUnitReport};
+
+/// Point-in-time hit/miss counters of a [`ModelCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelCacheStats {
+    /// Lookups answered from a memoized value.
+    pub hits: u64,
+    /// Lookups that computed a fresh value.
+    pub misses: u64,
+    /// Distinct VDP unit reports currently memoized.
+    pub unit_reports: usize,
+    /// Distinct resolution results currently memoized.
+    pub resolutions: usize,
+    /// Distinct prepared simulators currently memoized.
+    pub prepared_configs: usize,
+}
+
+impl ModelCacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes the workload-independent analytical models by canonical
+/// sub-config key; see the module docs.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    units: Mutex<HashMap<VdpUnitKey, VdpUnitReport>>,
+    resolutions: Mutex<HashMap<ResolutionKey, u32>>,
+    prepared: Mutex<HashMap<ConfigKey, PreparedSimulator>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Memoized [`VdpUnit::report`]: the unit key only involves the unit size,
+    /// bank size and design choices, so every grid point sharing a `(N or K,
+    /// design)` sub-configuration shares one report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unit-model errors (which do not occur for valid units).
+    pub fn unit_report(&self, unit: &VdpUnit) -> Result<VdpUnitReport> {
+        let key = unit.canonical_key();
+        if let Some(report) = self
+            .units
+            .lock()
+            .expect("unit-report cache lock poisoned")
+            .get(&key)
+        {
+            self.record(true);
+            return Ok(*report);
+        }
+        let report = unit.report()?;
+        self.units
+            .lock()
+            .expect("unit-report cache lock poisoned")
+            .insert(key, report);
+        self.record(false);
+        Ok(report)
+    }
+
+    /// Accelerator power built from memoized unit reports — bit-identical to
+    /// [`accelerator_power`](crate::power::accelerator_power) (same combine
+    /// path, same per-unit values).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unit-model errors (which do not occur for valid
+    /// configurations).
+    pub fn power(&self, config: &CrossLightConfig) -> Result<AcceleratorPower> {
+        let conv_unit = self.unit_report(&VdpUnit::conv_unit(config))?;
+        let fc_unit = self.unit_report(&VdpUnit::fc_unit(config))?;
+        Ok(accelerator_power_from_unit_reports(
+            config, &conv_unit, &fc_unit,
+        ))
+    }
+
+    /// Accelerator area.  The area model is a handful of multiplications —
+    /// cheaper than a map probe — so it is computed directly; it is memoized
+    /// as part of the [`PreparedSimulator`] that [`ModelCache::prepare`]
+    /// caches per configuration.
+    #[must_use]
+    pub fn area(&self, config: &CrossLightConfig) -> AcceleratorArea {
+        accelerator_area(config)
+    }
+
+    /// Memoized
+    /// [`achievable_resolution_bits`](crate::resolution::achievable_resolution_bits),
+    /// keyed by the resolution model's actual inputs ([`ResolutionKey`]), so
+    /// an architecture grid that never changes the design or unit sizes pays
+    /// for one crosstalk analysis in total.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crosstalk-analysis errors (which do not occur for valid
+    /// configurations).
+    pub fn resolution_bits(&self, config: &CrossLightConfig) -> Result<u32> {
+        let key = ResolutionKey::from(config);
+        if let Some(bits) = self
+            .resolutions
+            .lock()
+            .expect("resolution cache lock poisoned")
+            .get(&key)
+        {
+            self.record(true);
+            return Ok(*bits);
+        }
+        let bits = achievable_resolution_bits(config)?;
+        self.resolutions
+            .lock()
+            .expect("resolution cache lock poisoned")
+            .insert(key, bits);
+        self.record(false);
+        Ok(bits)
+    }
+
+    /// Memoized [`CrossLightSimulator::prepare`]: a hit is one map probe; a
+    /// miss assembles the prepared simulator from the (themselves memoized)
+    /// power and resolution models.  Bit-identical to an uncached `prepare`.
+    ///
+    /// [`CrossLightSimulator::prepare`]: crate::simulator::CrossLightSimulator::prepare
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn prepare(&self, config: &CrossLightConfig) -> Result<PreparedSimulator> {
+        let key = config.canonical_key();
+        if let Some(prepared) = self
+            .prepared
+            .lock()
+            .expect("prepared cache lock poisoned")
+            .get(&key)
+        {
+            self.record(true);
+            return Ok(*prepared);
+        }
+        let prepared = PreparedSimulator::from_parts(
+            *config,
+            self.power(config)?,
+            self.area(config),
+            self.resolution_bits(config)?,
+        );
+        self.prepared
+            .lock()
+            .expect("prepared cache lock poisoned")
+            .insert(key, prepared);
+        self.record(false);
+        Ok(prepared)
+    }
+
+    /// Snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> ModelCacheStats {
+        ModelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            unit_reports: self
+                .units
+                .lock()
+                .expect("unit-report cache lock poisoned")
+                .len(),
+            resolutions: self
+                .resolutions
+                .lock()
+                .expect("resolution cache lock poisoned")
+                .len(),
+            prepared_configs: self
+                .prepared
+                .lock()
+                .expect("prepared cache lock poisoned")
+                .len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::accelerator_power;
+    use crate::simulator::CrossLightSimulator;
+    use crate::variants::CrossLightVariant;
+
+    #[test]
+    fn cached_models_are_bit_identical_to_fresh_ones() {
+        let cache = ModelCache::new();
+        for variant in CrossLightVariant::all() {
+            let config = variant.config();
+            for _ in 0..2 {
+                assert_eq!(
+                    cache.power(&config).unwrap(),
+                    accelerator_power(&config).unwrap()
+                );
+                assert_eq!(cache.area(&config), accelerator_area(&config));
+                assert_eq!(
+                    cache.resolution_bits(&config).unwrap(),
+                    achievable_resolution_bits(&config).unwrap()
+                );
+                assert_eq!(
+                    cache.prepare(&config).unwrap(),
+                    CrossLightSimulator::new(config).prepare().unwrap()
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.prepared_configs, 4);
+        assert!(stats.hits > stats.misses, "second pass must hit: {stats:?}");
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn grid_points_share_unit_reports_across_unit_counts() {
+        let cache = ModelCache::new();
+        let base = CrossLightConfig::paper_best();
+        for (n_units, m_units) in [(50, 30), (100, 60), (150, 90)] {
+            let mut config = base;
+            config.conv_units = n_units;
+            config.fc_units = m_units;
+            cache.prepare(&config).unwrap();
+        }
+        let stats = cache.stats();
+        // Three grid points, one (N, K) pair: one conv + one fc report.
+        assert_eq!(stats.unit_reports, 2);
+        assert_eq!(stats.resolutions, 1);
+        assert_eq!(stats.prepared_configs, 3);
+    }
+
+    #[test]
+    fn empty_cache_reports_zeroed_stats() {
+        let stats = ModelCache::new().stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

@@ -24,6 +24,7 @@ use crosslight_photonics::wdm::WavelengthReuse;
 use crosslight_tuning::power::{CrosstalkCompensation, ValueTuning};
 
 use crate::config::{CrossLightConfig, DesignChoices};
+use crate::vdp::VdpUnit;
 
 /// Bit-exact projection of [`MrGeometry`] (all fields as `f64` bit patterns).
 #[derive(
@@ -103,6 +104,93 @@ fn wavelength_reuse_tag(w: WavelengthReuse) -> u8 {
 impl From<&DesignChoices> for GeometryKey {
     fn from(d: &DesignChoices) -> Self {
         Self::from(&d.geometry)
+    }
+}
+
+/// Bit-exact projection of [`DesignChoices`]: the sub-config identity shared
+/// by every model whose output depends only on the cross-layer design, not on
+/// the architecture dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DesignKey {
+    geometry: GeometryKey,
+    compensation: u8,
+    value_tuning: u8,
+    wavelength_reuse: u8,
+    mr_spacing: u64,
+}
+
+impl From<&DesignChoices> for DesignKey {
+    fn from(d: &DesignChoices) -> Self {
+        Self {
+            geometry: GeometryKey::from(&d.geometry),
+            compensation: compensation_tag(d.compensation),
+            value_tuning: value_tuning_tag(d.value_tuning),
+            wavelength_reuse: wavelength_reuse_tag(d.wavelength_reuse),
+            mr_spacing: d.mr_spacing.value().to_bits(),
+        }
+    }
+}
+
+impl DesignChoices {
+    /// Returns the canonical hashable identity of these design choices.
+    #[must_use]
+    pub fn canonical_key(&self) -> DesignKey {
+        DesignKey::from(self)
+    }
+}
+
+/// Canonical identity of one [`VdpUnit`]: everything its report depends on.
+///
+/// Two units with equal keys produce bit-identical [`VdpUnitReport`]s
+/// (the model is a pure function of size, bank size and design), so the
+/// [`ModelCache`](crate::cache::ModelCache) can share one report across every
+/// `(n, m)` grid point — and across the CONV/FC pools — that reuses the same
+/// `(N or K, design)` sub-configuration.
+///
+/// [`VdpUnitReport`]: crate::vdp::VdpUnitReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VdpUnitKey {
+    size: usize,
+    mrs_per_bank: usize,
+    design: DesignKey,
+}
+
+impl VdpUnit {
+    /// Returns the canonical hashable identity of this unit.
+    #[must_use]
+    pub fn canonical_key(&self) -> VdpUnitKey {
+        VdpUnitKey {
+            size: self.size,
+            mrs_per_bank: self.mrs_per_bank,
+            design: DesignKey::from(&self.design),
+        }
+    }
+}
+
+/// Canonical identity of the inputs of
+/// [`achievable_resolution_bits`](crate::resolution::achievable_resolution_bits):
+/// the geometry (which selects the spectral model), the wavelength-reuse
+/// strategy, the bank size and the unit sizes (which set the channel count
+/// without reuse).  A conservative superset of what the resolution model
+/// reads, so equal keys always mean equal resolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResolutionKey {
+    geometry: GeometryKey,
+    wavelength_reuse: u8,
+    mrs_per_bank: usize,
+    conv_unit_size: usize,
+    fc_unit_size: usize,
+}
+
+impl From<&CrossLightConfig> for ResolutionKey {
+    fn from(config: &CrossLightConfig) -> Self {
+        Self {
+            geometry: GeometryKey::from(&config.design.geometry),
+            wavelength_reuse: wavelength_reuse_tag(config.design.wavelength_reuse),
+            mrs_per_bank: config.mrs_per_bank,
+            conv_unit_size: config.conv_unit_size,
+            fc_unit_size: config.fc_unit_size,
+        }
     }
 }
 
@@ -186,6 +274,45 @@ mod tests {
         let mut design = base.design;
         design.geometry = MrGeometry::conventional();
         assert_ne!(base.with_design(design).canonical_key(), key);
+    }
+
+    #[test]
+    fn unit_keys_ignore_unit_counts_but_track_sizes_and_design() {
+        let base = CrossLightConfig::paper_best();
+        let mut more_units = base;
+        more_units.conv_units *= 2;
+        more_units.fc_units += 5;
+        // Same (size, bank, design) sub-config → same unit key, even though
+        // the full configs differ.
+        assert_eq!(
+            VdpUnit::conv_unit(&base).canonical_key(),
+            VdpUnit::conv_unit(&more_units).canonical_key()
+        );
+        assert_ne!(
+            VdpUnit::conv_unit(&base).canonical_key(),
+            VdpUnit::fc_unit(&base).canonical_key()
+        );
+        let mut design = base.design;
+        design.compensation = CrosstalkCompensation::Naive;
+        assert_ne!(
+            VdpUnit::conv_unit(&base.with_design(design)).canonical_key(),
+            VdpUnit::conv_unit(&base).canonical_key()
+        );
+        assert_eq!(
+            base.design.canonical_key(),
+            more_units.design.canonical_key()
+        );
+    }
+
+    #[test]
+    fn resolution_keys_ignore_unit_counts() {
+        let base = CrossLightConfig::paper_best();
+        let mut more_units = base;
+        more_units.conv_units *= 3;
+        assert_eq!(ResolutionKey::from(&base), ResolutionKey::from(&more_units));
+        let mut bigger_fc = base;
+        bigger_fc.fc_unit_size += 15;
+        assert_ne!(ResolutionKey::from(&base), ResolutionKey::from(&bigger_fc));
     }
 
     #[test]

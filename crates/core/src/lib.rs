@@ -13,13 +13,15 @@
 //! Modules:
 //!
 //! * [`config`] — architecture dimensions and cross-layer design choices.
-//! * [`canonical`] — bit-exact `Eq + Hash` configuration keys, the identity
-//!   the runtime layer caches and shards by.
+//! * [`canonical`] — bit-exact `Eq + Hash` configuration and sub-config keys,
+//!   the identities the cache layers memoize and shard by.
 //! * [`variants`] — the four paper variants (`Cross_base` … `Cross_opt_TED`).
 //! * [`decompose`] — vector decomposition into partial sums (Eqs. (1)–(6)).
 //! * [`vdp`] — the VDP unit model (arms, latency, laser/tuning power).
 //! * [`power`], [`area`], [`performance`], [`resolution`] — the accelerator
 //!   models behind the paper's figures.
+//! * [`cache`] — the [`ModelCache`](cache::ModelCache) memoizing those
+//!   models by sub-config key for design-space sweeps and the runtime pool.
 //! * [`simulator`] — the top-level [`CrossLightSimulator`].
 //!
 //! # Example
@@ -42,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod cache;
 pub mod canonical;
 pub mod config;
 pub mod decompose;
@@ -53,6 +56,7 @@ pub mod simulator;
 pub mod variants;
 pub mod vdp;
 
+pub use cache::{ModelCache, ModelCacheStats};
 pub use canonical::ConfigKey;
 pub use config::CrossLightConfig;
 pub use error::ArchitectureError;
@@ -61,6 +65,7 @@ pub use variants::CrossLightVariant;
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
+    pub use crate::cache::{ModelCache, ModelCacheStats};
     pub use crate::canonical::ConfigKey;
     pub use crate::config::{CrossLightConfig, DesignChoices};
     pub use crate::simulator::{

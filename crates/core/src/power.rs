@@ -15,7 +15,7 @@ use crosslight_photonics::units::{MilliWatts, Watts};
 
 use crate::config::CrossLightConfig;
 use crate::error::Result;
-use crate::vdp::VdpUnit;
+use crate::vdp::{VdpUnit, VdpUnitReport};
 
 /// Static power of the global electronic control unit, partial-sum buffers
 /// and memory interface (calibration constant; not specified by the paper).
@@ -63,6 +63,22 @@ impl AcceleratorPower {
 pub fn accelerator_power(config: &CrossLightConfig) -> Result<AcceleratorPower> {
     let conv_unit = VdpUnit::conv_unit(config).report()?;
     let fc_unit = VdpUnit::fc_unit(config).report()?;
+    Ok(accelerator_power_from_unit_reports(
+        config, &conv_unit, &fc_unit,
+    ))
+}
+
+/// Combines already-computed per-unit reports into the accelerator power —
+/// the accumulation half of [`accelerator_power`], shared with the
+/// [`ModelCache`](crate::cache::ModelCache) so cached unit reports produce
+/// bit-identical totals.  `conv_unit`/`fc_unit` must describe *this*
+/// configuration's CONV/FC units.
+#[must_use]
+pub fn accelerator_power_from_unit_reports(
+    config: &CrossLightConfig,
+    conv_unit: &VdpUnitReport,
+    fc_unit: &VdpUnitReport,
+) -> AcceleratorPower {
     let conv_n = config.conv_units as f64;
     let fc_n = config.fc_units as f64;
 
@@ -74,13 +90,13 @@ pub fn accelerator_power(config: &CrossLightConfig) -> Result<AcceleratorPower> 
         CONTROL_BASE_MW + CONTROL_PER_UNIT_MW * (config.conv_units + config.fc_units) as f64,
     );
 
-    Ok(AcceleratorPower {
+    AcceleratorPower {
         laser,
         tuning,
         detection,
         conversion,
         control,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crosslight_neural::workload::NetworkWorkload;
 use crosslight_photonics::units::{SquareMillimeters, Watts};
 
 use crate::area::{accelerator_area, AcceleratorArea};
+use crate::cache::ModelCache;
 use crate::config::CrossLightConfig;
 use crate::error::Result;
 use crate::performance::{inference_metrics, InferenceMetrics};
@@ -102,6 +103,24 @@ pub struct PreparedSimulator {
 }
 
 impl PreparedSimulator {
+    /// Assembles a prepared simulator from already-computed breakdowns (the
+    /// `ModelCache` construction path).  The parts must all describe
+    /// `config`, which `CrossLightSimulator::prepare` and
+    /// `ModelCache::prepare` guarantee.
+    pub(crate) fn from_parts(
+        config: CrossLightConfig,
+        power: AcceleratorPower,
+        area: AcceleratorArea,
+        resolution_bits: u32,
+    ) -> Self {
+        Self {
+            config,
+            power,
+            area,
+            resolution_bits,
+        }
+    }
+
     /// Returns the configuration being simulated.
     #[must_use]
     pub fn config(&self) -> &CrossLightConfig {
@@ -194,6 +213,18 @@ impl CrossLightSimulator {
         })
     }
 
+    /// [`CrossLightSimulator::prepare`] through a shared [`ModelCache`]: a
+    /// configuration already seen by the cache costs one map probe, and
+    /// configurations sharing `(N, K, design)` sub-configs share the
+    /// expensive per-unit models.  Bit-identical to the uncached `prepare`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (which do not occur for valid configurations).
+    pub fn prepare_with(&self, cache: &ModelCache) -> Result<PreparedSimulator> {
+        cache.prepare(&self.config)
+    }
+
     /// Evaluates one workload.
     ///
     /// # Errors
@@ -235,7 +266,36 @@ impl CrossLightSimulator {
                 reason: "cannot average over an empty workload set".into(),
             });
         }
-        let prepared = self.prepare()?;
+        Self::average_with_prepared(&self.prepare()?, workloads)
+    }
+
+    /// [`CrossLightSimulator::evaluate_average`] through a shared
+    /// [`ModelCache`] — the hot loop of design-space sweeps.  Bit-identical
+    /// to the uncached path (same prepared breakdowns, same accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns an error if `workloads` is empty.
+    pub fn evaluate_average_with(
+        &self,
+        workloads: &[NetworkWorkload],
+        cache: &ModelCache,
+    ) -> Result<AverageMetrics> {
+        if workloads.is_empty() {
+            return Err(crate::error::ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty workload set".into(),
+            });
+        }
+        Self::average_with_prepared(&self.prepare_with(cache)?, workloads)
+    }
+
+    /// Shared tail of the `evaluate_average*` family: per-workload reports in
+    /// slice order through one prepared simulator, then the single
+    /// accumulation path.
+    fn average_with_prepared(
+        prepared: &PreparedSimulator,
+        workloads: &[NetworkWorkload],
+    ) -> Result<AverageMetrics> {
         let reports: Vec<SimulationReport> = workloads
             .iter()
             .map(|w| prepared.evaluate(w))
@@ -298,6 +358,32 @@ mod tests {
             assert_eq!(prepared.resolution_bits(), 16);
             assert!(prepared.area().total().value() > 0.0);
         }
+    }
+
+    #[test]
+    fn cached_paths_are_bit_identical_to_uncached_ones() {
+        let cache = ModelCache::new();
+        let workloads = all_workloads();
+        for variant in CrossLightVariant::all() {
+            let simulator = CrossLightSimulator::new(variant.config());
+            // Twice per variant: the second pass is all cache hits.
+            for _ in 0..2 {
+                assert_eq!(
+                    simulator.prepare_with(&cache).unwrap(),
+                    simulator.prepare().unwrap()
+                );
+                assert_eq!(
+                    simulator.evaluate_average_with(&workloads, &cache).unwrap(),
+                    simulator.evaluate_average(&workloads).unwrap()
+                );
+            }
+        }
+        assert!(CrossLightSimulator::new(CrossLightConfig::paper_best())
+            .evaluate_average_with(&[], &cache)
+            .is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.prepared_configs, 4);
+        assert!(stats.hits > 0);
     }
 
     #[test]

@@ -5,11 +5,31 @@
 //! each configuration.  As in the paper, the best configuration is the one
 //! with the highest FPS/EPB ratio among those inside the area window, and it
 //! comes out as `(20, 150, 100, 60)`.
+//!
+//! Every sweep flavor shares one [`ModelCache`]: a grid with `G` distinct
+//! `(N, K)` pairs pays for `G` CONV/FC unit reports (each with a 15×15 TED
+//! eigendecomposition inside) instead of one per grid point, which is where
+//! almost all of a candidate's cost used to go.  On top of that:
+//!
+//! * [`run`] materializes every [`DesignPoint`] serially;
+//! * [`run_parallel`] spreads contiguous candidate chunks over scoped worker
+//!   threads and reassembles them in candidate order — **byte-identical** to
+//!   [`run`] for any worker count (the `fig5_accuracy::run_parallel`
+//!   determinism contract);
+//! * [`run_streaming`] folds each candidate into a per-worker
+//!   [`FrontierAccumulator`] (top-K by FPS/EPB plus the FPS/EPB/area Pareto
+//!   frontier) and merges the accumulators, so a dense grid such as
+//!   [`dense_candidates`] (~58.5k points) needs O(top-K + frontier) memory
+//!   instead of one `DesignPoint` per candidate;
+//! * [`run_on`] fans the `candidates × models` grid through the runtime's
+//!   [`EvalService`].
 
 use serde::{Deserialize, Serialize};
 
+use crosslight_core::cache::ModelCache;
 use crosslight_core::config::{CrossLightConfig, DesignChoices};
-use crosslight_core::simulator::{AverageMetrics, CrossLightSimulator};
+use crosslight_core::error::Result as CoreResult;
+use crosslight_core::simulator::{AverageMetrics, CrossLightSimulator, SimulationReport};
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
 use crosslight_runtime::planner::SweepPlanner;
@@ -63,32 +83,38 @@ impl DesignSpaceSweep {
     /// Renders the sweep as a text table, best configuration last.
     #[must_use]
     pub fn table(&self) -> TextTable {
-        let mut table = TextTable::new(vec![
-            "N",
-            "K",
-            "n",
-            "m",
-            "avg FPS",
-            "avg EPB (pJ/bit)",
-            "area (mm2)",
-            "FPS/EPB",
-            "in cap",
-        ]);
-        for p in &self.points {
-            table.push_row(vec![
-                p.conv_unit_size.to_string(),
-                p.fc_unit_size.to_string(),
-                p.conv_units.to_string(),
-                p.fc_units.to_string(),
-                fmt_f64(p.avg_fps, 1),
-                fmt_f64(p.avg_epb_pj, 3),
-                fmt_f64(p.area_mm2, 1),
-                fmt_f64(p.fps_per_epb, 1),
-                p.within_area_cap.to_string(),
-            ]);
-        }
-        table
+        points_table(&self.points)
     }
+}
+
+/// Renders design points as a text table (shared by the materializing sweep
+/// and the streaming frontier).
+fn points_table(points: &[DesignPoint]) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "N",
+        "K",
+        "n",
+        "m",
+        "avg FPS",
+        "avg EPB (pJ/bit)",
+        "area (mm2)",
+        "FPS/EPB",
+        "in cap",
+    ]);
+    for p in points {
+        table.push_row(vec![
+            p.conv_unit_size.to_string(),
+            p.fc_unit_size.to_string(),
+            p.conv_units.to_string(),
+            p.fc_units.to_string(),
+            fmt_f64(p.avg_fps, 1),
+            fmt_f64(p.avg_epb_pj, 3),
+            fmt_f64(p.area_mm2, 1),
+            fmt_f64(p.fps_per_epb, 1),
+            p.within_area_cap.to_string(),
+        ]);
+    }
+    table
 }
 
 /// The candidate grid the sweep explores.
@@ -114,6 +140,26 @@ pub fn paper_candidates() -> Vec<(usize, usize, usize, usize)> {
     out
 }
 
+/// A dense ~58.5k-candidate grid (three orders of magnitude beyond
+/// [`paper_candidates`]): every even CONV unit size up to the paper's 20,
+/// FC unit sizes 50–300 in steps of 10, and both unit counts 10–150 in steps
+/// of 10.  Designed for the streaming sweep ([`run_streaming`]), which never
+/// materializes its per-candidate points.
+#[must_use]
+pub fn dense_candidates() -> Vec<(usize, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for n_size in (2..=20).step_by(2) {
+        for k_size in (50..=300).step_by(10) {
+            for n_units in (10..=150).step_by(10) {
+                for m_units in (10..=150).step_by(10) {
+                    out.push((n_size, k_size, n_units, m_units));
+                }
+            }
+        }
+    }
+    out
+}
+
 fn design_point(dims: (usize, usize, usize, usize), avg: &AverageMetrics) -> DesignPoint {
     let (n_size, k_size, n_units, m_units) = dims;
     let area = avg.area.value();
@@ -130,15 +176,60 @@ fn design_point(dims: (usize, usize, usize, usize), avg: &AverageMetrics) -> Des
     }
 }
 
+/// Evaluates one candidate against the shared workloads through the shared
+/// [`ModelCache`], reusing `reports` as the per-workload scratch buffer.
+///
+/// This is the single evaluation path behind [`run`], [`run_parallel`] and
+/// [`run_streaming`]: the per-workload reports are assembled from the
+/// memoized workload-independent breakdowns exactly as
+/// `PreparedSimulator::evaluate` assembles them, and averaged through the
+/// shared `AverageMetrics::from_reports` accumulation, so every flavor
+/// produces bit-identical points.
+fn evaluate_candidate(
+    dims: (usize, usize, usize, usize),
+    workloads: &[NetworkWorkload],
+    cache: &ModelCache,
+    reports: &mut Vec<SimulationReport>,
+) -> CoreResult<DesignPoint> {
+    let (n_size, k_size, n_units, m_units) = dims;
+    let config = CrossLightConfig::new(
+        n_size,
+        k_size,
+        n_units,
+        m_units,
+        DesignChoices::crosslight_opt_ted(),
+    )?;
+    let power = cache.power(&config)?;
+    let area = cache.area(&config);
+    let resolution_bits = cache.resolution_bits(&config)?;
+    let simulator = CrossLightSimulator::new(config);
+    reports.clear();
+    for workload in workloads {
+        reports.push(SimulationReport {
+            power,
+            area,
+            metrics: simulator.evaluate_metrics(workload, &power)?,
+            resolution_bits,
+        });
+    }
+    let avg = AverageMetrics::from_reports(reports)?;
+    Ok(design_point(dims, &avg))
+}
+
+fn table_i_workloads() -> Result<Vec<NetworkWorkload>, Box<dyn std::error::Error>> {
+    Ok(PaperModel::all()
+        .iter()
+        .map(|m| NetworkWorkload::from_spec(&m.spec()))
+        .collect::<Result<_, _>>()?)
+}
+
 fn assemble(points: Vec<DesignPoint>) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
     let best = *points
         .iter()
         .filter(|p| p.within_area_cap)
-        .max_by(|a, b| {
-            a.fps_per_epb
-                .partial_cmp(&b.fps_per_epb)
-                .expect("finite figures of merit")
-        })
+        // total_cmp: a degenerate figure of merit (NaN from a 0/0, ±inf from
+        // a zero EPB) orders deterministically instead of panicking.
+        .max_by(|a, b| a.fps_per_epb.total_cmp(&b.fps_per_epb))
         .ok_or("no candidate satisfies the area constraint")?;
     let paper_point = points.iter().copied().find(|p| {
         (p.conv_unit_size, p.fc_unit_size, p.conv_units, p.fc_units)
@@ -151,7 +242,8 @@ fn assemble(points: Vec<DesignPoint>) -> Result<DesignSpaceSweep, Box<dyn std::e
     })
 }
 
-/// Runs the design-space sweep over the given candidates, serially.
+/// Runs the design-space sweep over the given candidates, serially, sharing
+/// one [`ModelCache`] across the whole grid.
 ///
 /// # Errors
 ///
@@ -160,25 +252,286 @@ fn assemble(points: Vec<DesignPoint>) -> Result<DesignSpaceSweep, Box<dyn std::e
 pub fn run(
     candidates: &[(usize, usize, usize, usize)],
 ) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
-    let workloads: Vec<NetworkWorkload> = PaperModel::all()
-        .iter()
-        .map(|m| NetworkWorkload::from_spec(&m.spec()))
-        .collect::<Result<_, _>>()?;
-
+    let workloads = table_i_workloads()?;
+    let cache = ModelCache::new();
+    let mut reports = Vec::with_capacity(workloads.len());
     let mut points = Vec::with_capacity(candidates.len());
-    for &(n_size, k_size, n_units, m_units) in candidates {
-        let config = CrossLightConfig::new(
-            n_size,
-            k_size,
-            n_units,
-            m_units,
-            DesignChoices::crosslight_opt_ted(),
-        )?;
-        let simulator = CrossLightSimulator::new(config);
-        let avg = simulator.evaluate_average(&workloads)?;
-        points.push(design_point((n_size, k_size, n_units, m_units), &avg));
+    for &dims in candidates {
+        points.push(evaluate_candidate(dims, &workloads, &cache, &mut reports)?);
     }
     assemble(points)
+}
+
+/// Runs the design-space sweep with contiguous candidate chunks spread over
+/// `workers` scoped threads, all sharing one [`ModelCache`].
+///
+/// Chunking is deterministic and results are reassembled in candidate order,
+/// so the sweep is **byte-identical** to [`run`] for any worker count (each
+/// point is a pure function of its candidate, and caching cannot change
+/// values, only latency).
+///
+/// # Errors
+///
+/// Propagates simulator errors (which do not occur for valid candidates);
+/// returns an error if no candidate satisfies the area constraint.
+pub fn run_parallel(
+    candidates: &[(usize, usize, usize, usize)],
+    workers: usize,
+) -> Result<DesignSpaceSweep, Box<dyn std::error::Error>> {
+    if candidates.is_empty() {
+        return assemble(Vec::new());
+    }
+    let workloads = table_i_workloads()?;
+    let cache = ModelCache::new();
+    let chunk_size = candidates.len().div_ceil(workers.max(1));
+    let mut points = Vec::with_capacity(candidates.len());
+    std::thread::scope(|scope| -> CoreResult<()> {
+        let mut handles = Vec::new();
+        for chunk in candidates.chunks(chunk_size) {
+            let workloads = &workloads;
+            let cache = &cache;
+            handles.push(scope.spawn(move || -> CoreResult<Vec<DesignPoint>> {
+                let mut reports = Vec::with_capacity(workloads.len());
+                chunk
+                    .iter()
+                    .map(|&dims| evaluate_candidate(dims, workloads, cache, &mut reports))
+                    .collect()
+            }));
+        }
+        for handle in handles {
+            points.extend(handle.join().expect("sweep worker thread panicked")?);
+        }
+        Ok(())
+    })?;
+    assemble(points)
+}
+
+/// Ordering of frontier entries: figure of merit descending, then candidate
+/// index ascending — a total order (`total_cmp`), so degenerate foms cannot
+/// panic and merges are deterministic.
+fn fom_ordering(a: &(usize, DesignPoint), b: &(usize, DesignPoint)) -> std::cmp::Ordering {
+    b.1.fps_per_epb
+        .total_cmp(&a.1.fps_per_epb)
+        .then(a.0.cmp(&b.0))
+}
+
+/// `a` Pareto-dominates `b` on (FPS max, EPB min, area min).
+///
+/// NaN metrics compare false on every axis, so degenerate points never
+/// dominate and are never dominated — they simply persist on the frontier,
+/// keeping the accumulator panic-free and order-independent.
+fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    a.avg_fps >= b.avg_fps
+        && a.avg_epb_pj <= b.avg_epb_pj
+        && a.area_mm2 <= b.area_mm2
+        && (a.avg_fps > b.avg_fps || a.avg_epb_pj < b.avg_epb_pj || a.area_mm2 < b.area_mm2)
+}
+
+/// Streaming summary of a design-space sweep: everything the analysis needs
+/// without one [`DesignPoint`] per candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignFrontier {
+    /// The `top_k` in-cap points by FPS/EPB, best first.
+    pub top: Vec<DesignPoint>,
+    /// The Pareto frontier over (FPS max, EPB min, area min) of *all*
+    /// evaluated points, in candidate order.
+    pub pareto: Vec<DesignPoint>,
+    /// The best in-cap point by FPS/EPB (the [`DesignSpaceSweep::best`]
+    /// criterion — agreeing with it whenever figures of merit are distinct;
+    /// on bitwise-tied foms the streaming path breaks ties by lowest
+    /// candidate index), if any candidate satisfies the cap.
+    pub best: Option<DesignPoint>,
+    /// The paper's published `(20, 150, 100, 60)` point, when in the grid.
+    pub paper_point: Option<DesignPoint>,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+    /// Number of candidates inside the area cap.
+    pub in_cap: usize,
+}
+
+impl DesignFrontier {
+    /// Renders the top-K points as a text table, best first.
+    #[must_use]
+    pub fn table(&self) -> TextTable {
+        points_table(&self.top)
+    }
+}
+
+/// Order-independent streaming accumulator behind [`run_streaming`]: folds
+/// design points one at a time, holding only the current top-K (by FPS/EPB,
+/// within the area cap), the Pareto frontier, the running best and the
+/// paper's point — O(K + frontier) memory however many candidates stream
+/// through.
+///
+/// Both [`FrontierAccumulator::push`] and [`FrontierAccumulator::merge`] are
+/// deterministic for a fixed assignment of candidate indices: top-K selection
+/// and best tracking use the total order ([`f64::total_cmp`], then candidate
+/// index) and the Pareto frontier of a set does not depend on insertion
+/// order, so any partitioning of one candidate stream merges to the same
+/// frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierAccumulator {
+    top_k: usize,
+    top: Vec<(usize, DesignPoint)>,
+    pareto: Vec<(usize, DesignPoint)>,
+    best: Option<(usize, DesignPoint)>,
+    paper_point: Option<(usize, DesignPoint)>,
+    evaluated: usize,
+    in_cap: usize,
+}
+
+impl FrontierAccumulator {
+    /// Creates an accumulator keeping the best `top_k` in-cap points.
+    #[must_use]
+    pub fn new(top_k: usize) -> Self {
+        Self {
+            top_k,
+            top: Vec::with_capacity(top_k.saturating_add(1).min(1024)),
+            pareto: Vec::new(),
+            best: None,
+            paper_point: None,
+            evaluated: 0,
+            in_cap: 0,
+        }
+    }
+
+    /// Folds one evaluated candidate (with its grid index) into the summary.
+    pub fn push(&mut self, index: usize, point: DesignPoint) {
+        self.evaluated += 1;
+        if (
+            point.conv_unit_size,
+            point.fc_unit_size,
+            point.conv_units,
+            point.fc_units,
+        ) == crosslight_core::config::BEST_CONFIG
+            && self.paper_point.is_none_or(|(i, _)| index < i)
+        {
+            self.paper_point = Some((index, point));
+        }
+        if point.within_area_cap {
+            self.in_cap += 1;
+            let entry = (index, point);
+            if self
+                .best
+                .is_none_or(|cur| fom_ordering(&entry, &cur).is_lt())
+            {
+                self.best = Some(entry);
+            }
+            if self.top_k > 0 {
+                let at = self
+                    .top
+                    .binary_search_by(|probe| fom_ordering(probe, &entry))
+                    .unwrap_or_else(|i| i);
+                if at < self.top_k {
+                    self.top.insert(at, entry);
+                    self.top.truncate(self.top_k);
+                }
+            }
+        }
+        self.pareto_insert((index, point));
+    }
+
+    fn pareto_insert(&mut self, entry: (usize, DesignPoint)) {
+        if self.pareto.iter().any(|(_, p)| dominates(p, &entry.1)) {
+            return;
+        }
+        self.pareto.retain(|(_, p)| !dominates(&entry.1, p));
+        self.pareto.push(entry);
+    }
+
+    /// Merges another accumulator (built over a disjoint slice of the same
+    /// candidate stream) into this one.
+    pub fn merge(&mut self, other: Self) {
+        self.evaluated += other.evaluated;
+        self.in_cap += other.in_cap;
+        if let Some((index, point)) = other.paper_point {
+            if self.paper_point.is_none_or(|(i, _)| index < i) {
+                self.paper_point = Some((index, point));
+            }
+        }
+        if let Some(entry) = other.best {
+            if self
+                .best
+                .is_none_or(|cur| fom_ordering(&entry, &cur).is_lt())
+            {
+                self.best = Some(entry);
+            }
+        }
+        for entry in other.top {
+            let at = self
+                .top
+                .binary_search_by(|probe| fom_ordering(probe, &entry))
+                .unwrap_or_else(|i| i);
+            if at < self.top_k {
+                self.top.insert(at, entry);
+                self.top.truncate(self.top_k);
+            }
+        }
+        for entry in other.pareto {
+            self.pareto_insert(entry);
+        }
+    }
+
+    /// Finalizes the summary: top-K best first, Pareto frontier in candidate
+    /// order.
+    #[must_use]
+    pub fn finish(mut self) -> DesignFrontier {
+        self.pareto.sort_by_key(|(index, _)| *index);
+        DesignFrontier {
+            top: self.top.into_iter().map(|(_, p)| p).collect(),
+            pareto: self.pareto.into_iter().map(|(_, p)| p).collect(),
+            best: self.best.map(|(_, p)| p),
+            paper_point: self.paper_point.map(|(_, p)| p),
+            evaluated: self.evaluated,
+            in_cap: self.in_cap,
+        }
+    }
+}
+
+/// Runs the design-space sweep as a stream: candidates are folded into
+/// per-worker [`FrontierAccumulator`]s (contiguous deterministic chunks over
+/// scoped threads, one shared [`ModelCache`]) and merged in chunk order.
+///
+/// Memory stays O(top-K + Pareto frontier) regardless of grid size — a
+/// [`dense_candidates`] grid streams ~58.5k points through without ever
+/// materializing them — and the result is identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates simulator errors (which do not occur for valid candidates).
+pub fn run_streaming(
+    candidates: &[(usize, usize, usize, usize)],
+    workers: usize,
+    top_k: usize,
+) -> Result<DesignFrontier, Box<dyn std::error::Error>> {
+    if candidates.is_empty() {
+        return Ok(FrontierAccumulator::new(top_k).finish());
+    }
+    let workloads = table_i_workloads()?;
+    let cache = ModelCache::new();
+    let chunk_size = candidates.len().div_ceil(workers.max(1));
+    let mut merged = FrontierAccumulator::new(top_k);
+    std::thread::scope(|scope| -> CoreResult<()> {
+        let mut handles = Vec::new();
+        for (chunk_index, chunk) in candidates.chunks(chunk_size).enumerate() {
+            let workloads = &workloads;
+            let cache = &cache;
+            handles.push(scope.spawn(move || -> CoreResult<FrontierAccumulator> {
+                let mut local = FrontierAccumulator::new(top_k);
+                let mut reports = Vec::with_capacity(workloads.len());
+                for (offset, &dims) in chunk.iter().enumerate() {
+                    let point = evaluate_candidate(dims, workloads, cache, &mut reports)?;
+                    local.push(chunk_index * chunk_size + offset, point);
+                }
+                Ok(local)
+            }));
+        }
+        for handle in handles {
+            merged.merge(handle.join().expect("sweep worker thread panicked")?);
+        }
+        Ok(())
+    })?;
+    Ok(merged.finish())
 }
 
 /// Runs the design-space sweep through the runtime's evaluation service,
@@ -278,6 +631,102 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_byte_identical_to_serial_sweep() {
+        let serial = run(&reduced_candidates()).unwrap();
+        for workers in [1, 2, 5] {
+            let parallel = run_parallel(&reduced_candidates(), workers).unwrap();
+            assert_eq!(serial, parallel, "{workers} workers");
+            assert_eq!(
+                serial.table().render(),
+                parallel.table().render(),
+                "{workers} workers: rendered tables must match byte-for-byte"
+            );
+        }
+        assert!(
+            run_parallel(&[], 4).is_err(),
+            "empty grid has no best point"
+        );
+    }
+
+    #[test]
+    fn streaming_sweep_is_identical_for_any_worker_count_and_matches_run() {
+        let sweep = run(&reduced_candidates()).unwrap();
+        let serial = run_streaming(&reduced_candidates(), 1, 3).unwrap();
+        for workers in [2, 5] {
+            let parallel = run_streaming(&reduced_candidates(), workers, 3).unwrap();
+            assert_eq!(serial, parallel, "{workers} workers");
+        }
+        // The streaming summary agrees with the materializing sweep.
+        assert_eq!(serial.best, Some(sweep.best));
+        assert_eq!(serial.paper_point, sweep.paper_point);
+        assert_eq!(serial.evaluated, sweep.points.len());
+        assert_eq!(
+            serial.in_cap,
+            sweep.points.iter().filter(|p| p.within_area_cap).count()
+        );
+        // Top-K is exactly the K best in-cap points of the full sweep.
+        let mut expected: Vec<DesignPoint> = sweep
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.within_area_cap)
+            .collect();
+        expected.sort_by(|a, b| b.fps_per_epb.total_cmp(&a.fps_per_epb));
+        expected.truncate(3);
+        assert_eq!(serial.top, expected);
+        assert_eq!(serial.table().len(), 3);
+        // Every frontier point is non-dominated within the full sweep, and
+        // every non-frontier point is dominated by someone.
+        for p in &sweep.points {
+            let dominated = sweep.points.iter().any(|q| super::dominates(q, p));
+            assert_eq!(serial.pareto.contains(p), !dominated);
+        }
+        // Streaming an empty grid is well-formed.
+        let empty = run_streaming(&[], 3, 2).unwrap();
+        assert_eq!(empty.evaluated, 0);
+        assert!(empty.best.is_none() && empty.top.is_empty() && empty.pareto.is_empty());
+    }
+
+    #[test]
+    fn assemble_survives_degenerate_figures_of_merit() {
+        // A 0/0 figure of merit (NaN) must not panic the best-point
+        // selection: f64::total_cmp gives a deterministic total order in
+        // which NaN sorts above every number.
+        let degenerate = DesignPoint {
+            conv_unit_size: 10,
+            fc_unit_size: 100,
+            conv_units: 50,
+            fc_units: 30,
+            avg_fps: 0.0,
+            avg_epb_pj: 0.0,
+            area_mm2: 10.0,
+            fps_per_epb: f64::NAN,
+            within_area_cap: true,
+        };
+        let mut normal = degenerate;
+        normal.avg_fps = 100.0;
+        normal.avg_epb_pj = 2.0;
+        normal.fps_per_epb = 50.0;
+        let sweep = assemble(vec![normal, degenerate]).unwrap();
+        assert!(sweep.best.fps_per_epb.is_nan());
+        // Zero-EPB (infinite fom) points are equally panic-free.
+        let mut free_energy = normal;
+        free_energy.avg_epb_pj = 0.0;
+        free_energy.fps_per_epb = f64::INFINITY;
+        let sweep = assemble(vec![normal, free_energy]).unwrap();
+        assert_eq!(sweep.best.fps_per_epb, f64::INFINITY);
+        // The degenerate points stream through the frontier accumulator
+        // without panicking, too.
+        let mut acc = FrontierAccumulator::new(2);
+        for (i, p) in [normal, degenerate, free_energy].iter().enumerate() {
+            acc.push(i, *p);
+        }
+        let frontier = acc.finish();
+        assert_eq!(frontier.evaluated, 3);
+        assert!(frontier.best.is_some());
+    }
+
+    #[test]
     fn oversized_configurations_violate_the_area_cap() {
         let sweep = run(&reduced_candidates()).unwrap();
         let oversized = sweep
@@ -321,5 +770,18 @@ mod tests {
         assert_eq!(candidates.len(), 81);
         assert!(candidates.contains(&(20, 150, 100, 60)));
         assert!(candidates.iter().all(|&(n, k, _, _)| k > n));
+    }
+
+    #[test]
+    fn dense_grid_is_well_formed() {
+        let candidates = dense_candidates();
+        assert_eq!(candidates.len(), 58_500);
+        assert!(candidates.contains(&(20, 150, 100, 60)));
+        assert!(candidates.iter().all(|&(n, k, _, _)| k > n));
+        // Distinct (N, K) pairs — the number of CONV/FC unit-report pairs a
+        // shared ModelCache pays for across the whole grid.
+        let pairs: std::collections::HashSet<(usize, usize)> =
+            candidates.iter().map(|&(n, k, _, _)| (n, k)).collect();
+        assert_eq!(pairs.len(), 260);
     }
 }

@@ -110,17 +110,29 @@ impl ChannelCrosstalkAnalysis {
             .fold(0.0, f64::max)
     }
 
+    /// Precomputes the full Eq. (8) coupling matrix so repeated noise-power
+    /// queries read coefficients instead of re-deriving Lorentzian tails.
+    ///
+    /// Every entry is produced by [`ChannelCrosstalkAnalysis::coupling`], so
+    /// matrix-backed results are bit-identical to the per-pair path.
+    #[must_use]
+    pub fn coupling_matrix(&self) -> CouplingMatrix {
+        let n = self.channels.len();
+        let mut entries = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                entries.push(self.coupling(i, j));
+            }
+        }
+        CouplingMatrix { entries, n }
+    }
+
     /// Eq. (10): number of distinguishable signal levels, `1 / max|P_noise|`.
     ///
     /// Returns `f64::INFINITY` for a single channel (no crosstalk at all).
     #[must_use]
     pub fn resolution_levels(&self) -> f64 {
-        let noise = self.worst_noise_power();
-        if noise <= 0.0 {
-            f64::INFINITY
-        } else {
-            1.0 / noise
-        }
+        resolution_levels_from_noise(self.worst_noise_power())
     }
 
     /// Achievable resolution in bits, following the paper's reading of
@@ -135,23 +147,122 @@ impl ChannelCrosstalkAnalysis {
     /// `cap_bits = 16`.
     #[must_use]
     pub fn resolution_bits(&self, cap_bits: u32) -> u32 {
-        let levels = self.resolution_levels();
-        if levels.is_infinite() {
-            return cap_bits;
+        resolution_bits_from_levels(self.resolution_levels(), cap_bits)
+    }
+}
+
+/// Precomputed Eq. (8) coupling coefficients of one channel bank.
+///
+/// Row `i` holds `coupling(i, j)` for every `j`, in channel order.  The
+/// matrix is not exactly symmetric — `δ` in Eq. (8) depends on the *victim*
+/// wavelength `λᵢ` — but it is symmetric in magnitude ordering: for every
+/// victim, closer aggressors always couple more strongly.
+///
+/// Produced by [`ChannelCrosstalkAnalysis::coupling_matrix`].  All
+/// aggregation methods reproduce the per-pair implementation bit for bit
+/// (same coefficients, same summation order); they only skip the repeated
+/// Lorentzian evaluations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CouplingMatrix {
+    entries: Vec<f64>,
+    n: usize,
+}
+
+impl CouplingMatrix {
+    /// Returns the number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.n
+    }
+
+    /// Precomputed Eq. (8) coefficient from channel `j` into channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[must_use]
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "channel index out of bounds");
+        self.entries[i * self.n + j]
+    }
+
+    /// Eq. (9) noise power in channel `i`, read from the precomputed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn noise_power(&self, i: usize) -> f64 {
+        assert!(i < self.n, "channel index out of bounds");
+        let row = &self.entries[i * self.n..(i + 1) * self.n];
+        let mut total = 0.0;
+        for (j, &coupling) in row.iter().enumerate() {
+            if j != i {
+                total += coupling;
+            }
         }
-        let bits = levels.floor();
-        if bits < 1.0 {
-            1
-        } else {
-            (bits as u32).min(cap_bits)
-        }
+        total
+    }
+
+    /// Writes the per-channel noise powers into `out` (resized to the channel
+    /// count), the workspace variant of calling
+    /// [`CouplingMatrix::noise_power`] per channel.  Reusing `out` across
+    /// calls makes repeated bank analyses allocation-free.
+    pub fn noise_power_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n).map(|i| self.noise_power(i)));
+    }
+
+    /// The worst (largest) per-channel noise power.
+    #[must_use]
+    pub fn worst_noise_power(&self) -> f64 {
+        (0..self.n).map(|i| self.noise_power(i)).fold(0.0, f64::max)
+    }
+
+    /// Eq. (10) distinguishable levels; see
+    /// [`ChannelCrosstalkAnalysis::resolution_levels`].
+    #[must_use]
+    pub fn resolution_levels(&self) -> f64 {
+        resolution_levels_from_noise(self.worst_noise_power())
+    }
+
+    /// Achievable resolution in bits; see
+    /// [`ChannelCrosstalkAnalysis::resolution_bits`].
+    #[must_use]
+    pub fn resolution_bits(&self, cap_bits: u32) -> u32 {
+        resolution_bits_from_levels(self.resolution_levels(), cap_bits)
+    }
+}
+
+fn resolution_levels_from_noise(noise: f64) -> f64 {
+    if noise <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / noise
+    }
+}
+
+fn resolution_bits_from_levels(levels: f64, cap_bits: u32) -> u32 {
+    if levels.is_infinite() {
+        return cap_bits;
+    }
+    let bits = levels.floor();
+    if bits < 1.0 {
+        1
+    } else {
+        (bits as u32).min(cap_bits)
     }
 }
 
 /// Resolution achievable by a uniform bank: `mr_count` channels equally spaced
 /// by `spacing`, all with quality factor `q_factor`.
 ///
-/// This is the function the CrossLight resolution analysis (§V.B) sweeps.
+/// This is the function the CrossLight resolution analysis (§V.B) sweeps, and
+/// it sits on the architecture simulator's per-configuration path, so it is
+/// allocation-free: the uniform channel grid is generated on the fly instead
+/// of materializing a wavelength vector and an analysis object.  Results are
+/// bit-identical to [`reference::bank_resolution_bits_naive`] (the original
+/// implementation), which the property tests enforce with exact equality.
 ///
 /// # Errors
 ///
@@ -175,11 +286,75 @@ pub fn bank_resolution_bits(
             reason: format!("channel spacing must be positive, got {spacing}"),
         });
     }
-    let channels: Vec<Nanometers> = (0..mr_count)
-        .map(|i| Nanometers::new(1550.0) + spacing * i as f64)
-        .collect();
-    let analysis = ChannelCrosstalkAnalysis::new(channels, q_factor)?;
-    Ok(analysis.resolution_bits(cap_bits))
+    if q_factor <= 0.0 {
+        return Err(PhotonicsError::InvalidParameter {
+            name: "q_factor",
+            reason: format!("Q factor must be positive, got {q_factor}"),
+        });
+    }
+    // The same arithmetic as building the channel vector explicitly:
+    // λₖ = 1550 + spacing·k (multiply first, then add, exactly as
+    // `Nanometers::new(1550.0) + spacing * k as f64` evaluates).
+    let spacing_nm = spacing.value();
+    let lambda = |k: usize| 1550.0 + spacing_nm * k as f64;
+    let mut worst = 0.0f64;
+    for i in 0..mr_count {
+        let lambda_i = lambda(i);
+        let delta = lambda_i / (2.0 * q_factor);
+        let delta_sq = delta * delta;
+        let mut noise = 0.0;
+        for j in 0..mr_count {
+            if j == i {
+                continue;
+            }
+            let detuning = lambda_i - lambda(j);
+            noise += delta_sq / (detuning * detuning + delta_sq);
+        }
+        worst = worst.max(noise);
+    }
+    Ok(resolution_bits_from_levels(
+        resolution_levels_from_noise(worst),
+        cap_bits,
+    ))
+}
+
+/// Reference implementations preserved for exact-equality testing (the same
+/// pattern as `crosslight_neural::tensor::reference`): the optimized paths
+/// above must reproduce these bit for bit.
+pub mod reference {
+    use super::{ChannelCrosstalkAnalysis, Nanometers, Result};
+
+    /// The original [`super::bank_resolution_bits`]: materializes the uniform
+    /// channel grid and a [`ChannelCrosstalkAnalysis`], then walks every
+    /// channel pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::bank_resolution_bits`].
+    pub fn bank_resolution_bits_naive(
+        mr_count: usize,
+        spacing: Nanometers,
+        q_factor: f64,
+        cap_bits: u32,
+    ) -> Result<u32> {
+        if mr_count == 0 {
+            return Err(super::PhotonicsError::InvalidParameter {
+                name: "mr_count",
+                reason: "bank must contain at least one MR".into(),
+            });
+        }
+        if spacing.value() <= 0.0 {
+            return Err(super::PhotonicsError::InvalidParameter {
+                name: "spacing",
+                reason: format!("channel spacing must be positive, got {spacing}"),
+            });
+        }
+        let channels: Vec<Nanometers> = (0..mr_count)
+            .map(|i| Nanometers::new(1550.0) + spacing * i as f64)
+            .collect();
+        let analysis = ChannelCrosstalkAnalysis::new(channels, q_factor)?;
+        Ok(analysis.resolution_bits(cap_bits))
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +428,60 @@ mod tests {
         // Pathologically dense grid still reports at least 1 bit.
         let bits = bank_resolution_bits(30, Nanometers::new(0.01), 500.0, 16).expect("valid");
         assert!(bits >= 1);
+    }
+
+    #[test]
+    fn matrix_reproduces_the_per_pair_path_exactly() {
+        let grid = WdmGrid::c_band_grid(15, Nanometers::new(1.2)).expect("fits");
+        let analysis = ChannelCrosstalkAnalysis::from_grid(&grid, 8000.0).expect("valid");
+        let matrix = analysis.coupling_matrix();
+        assert_eq!(matrix.channel_count(), analysis.channel_count());
+        let mut noise = Vec::new();
+        matrix.noise_power_into(&mut noise);
+        for (i, &noise_i) in noise.iter().enumerate() {
+            for j in 0..analysis.channel_count() {
+                assert_eq!(matrix.coupling(i, j), analysis.coupling(i, j));
+            }
+            assert_eq!(matrix.noise_power(i), analysis.noise_power(i));
+            assert_eq!(noise_i, analysis.noise_power(i));
+        }
+        assert_eq!(matrix.worst_noise_power(), analysis.worst_noise_power());
+        assert_eq!(matrix.resolution_levels(), analysis.resolution_levels());
+        assert_eq!(matrix.resolution_bits(16), analysis.resolution_bits(16));
+    }
+
+    #[test]
+    fn noise_power_into_reuses_its_buffer() {
+        let grid = WdmGrid::c_band_grid(8, Nanometers::new(1.0)).expect("fits");
+        let matrix = ChannelCrosstalkAnalysis::from_grid(&grid, 8000.0)
+            .expect("valid")
+            .coupling_matrix();
+        let mut noise = Vec::with_capacity(8);
+        matrix.noise_power_into(&mut noise);
+        assert_eq!(noise.len(), 8);
+        let first = noise.clone();
+        matrix.noise_power_into(&mut noise);
+        assert_eq!(noise, first);
+        assert!(noise.capacity() >= 8);
+    }
+
+    #[test]
+    fn allocation_free_bank_resolution_matches_the_reference() {
+        for &(count, spacing, q) in &[
+            (1usize, 1.0, 8000.0),
+            (5, 0.4, 8000.0),
+            (15, 1.2, 8000.0),
+            (15, 0.3, 2000.0),
+            (30, 0.01, 500.0),
+        ] {
+            let fast = bank_resolution_bits(count, Nanometers::new(spacing), q, 16).unwrap();
+            let naive =
+                reference::bank_resolution_bits_naive(count, Nanometers::new(spacing), q, 16)
+                    .unwrap();
+            assert_eq!(fast, naive, "count={count} spacing={spacing} q={q}");
+        }
+        assert!(
+            reference::bank_resolution_bits_naive(0, Nanometers::new(1.0), 8000.0, 16).is_err()
+        );
     }
 }

@@ -130,9 +130,12 @@ impl FpvModel {
     /// Wider ring waveguides confine the optical mode more strongly, so the
     /// effective index — and therefore the resonance — moves less per
     /// nanometre of edge error.  The model interpolates between the calibrated
-    /// conventional and optimized sensitivities using the ring width, and adds
-    /// a small penalty when bus and ring widths are identical (phase-matched
-    /// designs are maximally sensitive to correlated width errors).
+    /// conventional and optimized sensitivities using the ring width.  The
+    /// intended phase-matched penalty: designs whose bus and ring widths are
+    /// within 50 nm of each other respond to correlated width errors in both
+    /// waveguides at once, so they carry the full interpolated sensitivity,
+    /// while width-mismatched designs (partially decorrelated edge errors)
+    /// earn an 8% relief factor.
     #[must_use]
     pub fn sensitivity_for(geometry: &MrGeometry) -> f64 {
         if geometry.is_width_optimized() {
@@ -146,7 +149,7 @@ impl FpvModel {
             (geometry.ring_waveguide_width.value() - geometry.input_waveguide_width.value()).abs()
                 < 50.0;
         if matched_widths {
-            base * 1.0
+            base
         } else {
             base * 0.92
         }
@@ -205,9 +208,42 @@ impl FpvModel {
 
     /// Samples `count` drifts and returns summary statistics, used by the
     /// device design-space-exploration experiment (E1).
+    ///
+    /// Allocates one sample buffer per call; repeated studies should hold a
+    /// [`DriftWorkspace`] and use [`FpvModel::monte_carlo_with`] instead.
     pub fn monte_carlo<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> DriftStatistics {
-        let samples: Vec<f64> = (0..count).map(|_| self.sample_drift(rng).value()).collect();
-        DriftStatistics::from_samples(&samples)
+        self.monte_carlo_with(count, rng, &mut DriftWorkspace::new())
+    }
+
+    /// Allocation-free [`FpvModel::monte_carlo`]: samples into the
+    /// workspace's reusable buffer, so steady-state sweeps (many geometries ×
+    /// process corners) never touch the heap.  Statistically identical to
+    /// `monte_carlo` — same RNG stream, same statistics, bit for bit.
+    pub fn monte_carlo_with<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        workspace: &mut DriftWorkspace,
+    ) -> DriftStatistics {
+        workspace.samples.clear();
+        workspace
+            .samples
+            .extend((0..count).map(|_| self.sample_drift(rng).value()));
+        DriftStatistics::from_samples_mut(&mut workspace.samples)
+    }
+}
+
+/// Reusable sample buffer for [`FpvModel::monte_carlo_with`].
+#[derive(Debug, Default, Clone)]
+pub struct DriftWorkspace {
+    samples: Vec<f64>,
+}
+
+impl DriftWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -228,10 +264,65 @@ pub struct DriftStatistics {
 
 impl DriftStatistics {
     /// Computes statistics from raw signed drift samples (in nm).
+    ///
+    /// Copies the samples into a scratch buffer; callers that already own a
+    /// mutable buffer should use [`DriftStatistics::from_samples_mut`].
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
+        Self::from_samples_mut(&mut samples.to_vec())
+    }
+
+    /// In-place variant of [`DriftStatistics::from_samples`]: consumes the
+    /// buffer's contents (entries are replaced by their absolute values and
+    /// partially reordered) so the 99.7th percentile comes from an O(n)
+    /// `select_nth_unstable` pass instead of a full sort.  The statistics are
+    /// bit-identical to the sorted reference implementation
+    /// ([`reference::drift_statistics_sorted`]).
+    #[must_use]
+    pub fn from_samples_mut(samples: &mut [f64]) -> Self {
         if samples.is_empty() {
             return Self {
+                count: 0,
+                mean_abs: Nanometers::new(0.0),
+                sigma: Nanometers::new(0.0),
+                max_abs: Nanometers::new(0.0),
+                p997_abs: Nanometers::new(0.0),
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mean_abs = samples.iter().map(|x| x.abs()).sum::<f64>() / n;
+        let max_abs = samples.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        for x in samples.iter_mut() {
+            *x = x.abs();
+        }
+        let idx = ((samples.len() as f64) * 0.997).floor() as usize;
+        let idx = idx.min(samples.len() - 1);
+        // Selecting the idx-th element leaves exactly the value a full sort
+        // would place there, so p99.7 matches the sorted path bit for bit.
+        let (_, &mut p997, _) = samples.select_nth_unstable_by(idx, f64::total_cmp);
+        Self {
+            count: samples.len(),
+            mean_abs: Nanometers::new(mean_abs),
+            sigma: Nanometers::new(var.sqrt()),
+            max_abs: Nanometers::new(max_abs),
+            p997_abs: Nanometers::new(p997),
+        }
+    }
+}
+
+/// Reference implementations preserved for exact-equality testing (the same
+/// pattern as `crosslight_neural::tensor::reference`).
+pub mod reference {
+    use super::{DriftStatistics, Nanometers};
+
+    /// The original [`DriftStatistics::from_samples`]: allocates an absolute-
+    /// value vector and fully sorts it to read the 99.7th percentile.
+    #[must_use]
+    pub fn drift_statistics_sorted(samples: &[f64]) -> DriftStatistics {
+        if samples.is_empty() {
+            return DriftStatistics {
                 count: 0,
                 mean_abs: Nanometers::new(0.0),
                 sigma: Nanometers::new(0.0),
@@ -248,7 +339,7 @@ impl DriftStatistics {
         abs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         let idx = ((abs.len() as f64) * 0.997).floor() as usize;
         let p997 = abs[idx.min(abs.len() - 1)];
-        Self {
+        DriftStatistics {
             count: samples.len(),
             mean_abs: Nanometers::new(mean_abs),
             sigma: Nanometers::new(var.sqrt()),
@@ -332,5 +423,47 @@ mod tests {
         let stats = DriftStatistics::from_samples(&[]);
         assert_eq!(stats.count, 0);
         assert_eq!(stats.max_abs.value(), 0.0);
+        assert_eq!(stats, reference::drift_statistics_sorted(&[]));
+        assert_eq!(stats, DriftStatistics::from_samples_mut(&mut []));
+    }
+
+    #[test]
+    fn selection_based_statistics_match_the_sorted_reference() {
+        let samples: Vec<f64> = (0..1500)
+            .map(|i| ((i as f64) * 0.7).sin() * 3.0 - 1.0)
+            .collect();
+        let fast = DriftStatistics::from_samples(&samples);
+        let sorted = reference::drift_statistics_sorted(&samples);
+        assert_eq!(fast, sorted);
+        let mut buffer = samples.clone();
+        assert_eq!(DriftStatistics::from_samples_mut(&mut buffer), sorted);
+    }
+
+    #[test]
+    fn workspace_monte_carlo_is_bit_identical_and_reuses_its_buffer() {
+        let model = FpvModel::new(MrGeometry::conventional(), ProcessCorner::typical());
+        let mut fresh_rng = StdRng::seed_from_u64(42);
+        let fresh = model.monte_carlo(5_000, &mut fresh_rng);
+        let mut workspace = DriftWorkspace::new();
+        let mut ws_rng = StdRng::seed_from_u64(42);
+        let with_ws = model.monte_carlo_with(5_000, &mut ws_rng, &mut workspace);
+        assert_eq!(fresh, with_ws);
+        let capacity = workspace.samples.capacity();
+        let mut ws_rng = StdRng::seed_from_u64(42);
+        let again = model.monte_carlo_with(5_000, &mut ws_rng, &mut workspace);
+        assert_eq!(again, with_ws);
+        assert_eq!(workspace.samples.capacity(), capacity);
+    }
+
+    #[test]
+    fn mismatched_widths_earn_the_decorrelation_relief() {
+        let mut matched = MrGeometry::conventional();
+        matched.input_waveguide_width = matched.ring_waveguide_width;
+        let mut mismatched = matched;
+        mismatched.input_waveguide_width =
+            Nanometers::new(matched.ring_waveguide_width.value() - 120.0);
+        let full = FpvModel::sensitivity_for(&matched);
+        let relieved = FpvModel::sensitivity_for(&mismatched);
+        assert!((relieved - full * 0.92).abs() < 1e-12);
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the photonics substrate.
 
-use crosslight_photonics::crosstalk::bank_resolution_bits;
+use crosslight_photonics::crosstalk::{
+    bank_resolution_bits, reference as crosstalk_reference, ChannelCrosstalkAnalysis,
+};
+use crosslight_photonics::fpv::{reference as fpv_reference, DriftStatistics};
 use crosslight_photonics::laser::LaserPowerModel;
 use crosslight_photonics::loss::{LossBudget, LossModel};
 use crosslight_photonics::mr::{Microring, MrGeometry};
@@ -128,5 +131,83 @@ proptest! {
             bank_resolution_bits(count, Nanometers::new(spacing / 2.0), 8000.0, 16).unwrap();
         prop_assert!(more_mrs <= base);
         prop_assert!(tighter <= base);
+    }
+
+    /// The allocation-free uniform-bank resolution is bit-identical to the
+    /// original vector-materializing implementation over the whole parameter
+    /// space the experiments sweep.
+    #[test]
+    fn bank_resolution_matches_reference_exactly(
+        count in 1usize..32,
+        spacing in 0.01f64..3.0,
+        q in 500.0f64..20_000.0,
+        cap in 1u32..24,
+    ) {
+        let fast = bank_resolution_bits(count, Nanometers::new(spacing), q, cap).unwrap();
+        let naive = crosstalk_reference::bank_resolution_bits_naive(
+            count,
+            Nanometers::new(spacing),
+            q,
+            cap,
+        )
+        .unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Coupling-matrix invariants: unit diagonal, symmetric magnitude
+    /// ordering (for every victim, a closer aggressor couples at least as
+    /// strongly), and exact agreement between the matrix-backed and per-pair
+    /// noise/resolution paths.
+    #[test]
+    fn coupling_matrix_invariants(
+        count in 2usize..20,
+        spacing in 0.05f64..2.5,
+        q in 1_000.0f64..16_000.0,
+    ) {
+        let channels: Vec<Nanometers> = (0..count)
+            .map(|i| Nanometers::new(1550.0) + Nanometers::new(spacing) * i as f64)
+            .collect();
+        let analysis = ChannelCrosstalkAnalysis::new(channels, q).unwrap();
+        let matrix = analysis.coupling_matrix();
+        for i in 0..count {
+            prop_assert_eq!(matrix.coupling(i, i), 1.0);
+            for j in 0..count {
+                prop_assert_eq!(matrix.coupling(i, j), analysis.coupling(i, j));
+                if i != j {
+                    prop_assert!(matrix.coupling(i, j) > 0.0 && matrix.coupling(i, j) < 1.0);
+                }
+                // Magnitude ordering is symmetric: both directions of a pair
+                // order identically against any other pair with larger
+                // detuning.
+                for k in 0..count {
+                    if k != i
+                        && j != i
+                        && (i as i64 - k as i64).abs() > (i as i64 - j as i64).abs()
+                    {
+                        prop_assert!(matrix.coupling(i, k) <= matrix.coupling(i, j));
+                        prop_assert!(matrix.coupling(k, i) <= matrix.coupling(j, i));
+                    }
+                }
+            }
+            prop_assert_eq!(matrix.noise_power(i), analysis.noise_power(i));
+        }
+        let mut noise = Vec::new();
+        matrix.noise_power_into(&mut noise);
+        prop_assert_eq!(noise.len(), count);
+        prop_assert_eq!(matrix.worst_noise_power(), analysis.worst_noise_power());
+        prop_assert_eq!(matrix.resolution_bits(16), analysis.resolution_bits(16));
+    }
+
+    /// Selection-based drift statistics equal the fully-sorted reference
+    /// bit for bit, for any sample vector.
+    #[test]
+    fn drift_statistics_match_sorted_reference(
+        samples in proptest::collection::vec(-25.0f64..25.0, 0..400),
+    ) {
+        let fast = DriftStatistics::from_samples(&samples);
+        let sorted = fpv_reference::drift_statistics_sorted(&samples);
+        prop_assert_eq!(fast, sorted);
+        let mut buffer = samples.clone();
+        prop_assert_eq!(DriftStatistics::from_samples_mut(&mut buffer), sorted);
     }
 }

@@ -9,22 +9,25 @@
 //! Two memoization layers serve the hot loop:
 //!
 //! 1. a pool-wide [`ShardedCache`] of finished `(config, workload)` reports;
-//! 2. a per-worker map of [`PreparedSimulator`]s, so a cache miss for a
-//!    configuration already seen by that worker only recomputes the
-//!    per-workload inference metrics, not power/area/resolution.
+//! 2. a pool-wide [`ModelCache`] of the workload-independent analytical
+//!    models (per-unit power reports, prepared simulators, resolutions), so a
+//!    report-cache miss for a configuration *or sub-configuration* any worker
+//!    has seen only recomputes the per-workload inference metrics.  The cache
+//!    is shared across workers — and can be shared with callers via
+//!    [`EvalService::with_model_cache`] — so batched evaluation, serial
+//!    sweeps and parallel sweeps all draw from one set of memoized models.
 //!
 //! Both layers are transparent: the simulator is deterministic, so responses
 //! are bit-identical to serial `CrossLightSimulator::evaluate` calls
 //! regardless of worker count, batch partitioning, or hit pattern.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crosslight_core::canonical::ConfigKey;
-use crosslight_core::simulator::{CrossLightSimulator, PreparedSimulator};
+use crosslight_core::cache::ModelCache;
+use crosslight_core::simulator::CrossLightSimulator;
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::error::{Result, RuntimeError};
@@ -80,6 +83,9 @@ pub struct RuntimeStats {
     pub cache_misses: u64,
     /// Distinct `(config, workload)` reports currently cached.
     pub cached_entries: usize,
+    /// Distinct configurations whose workload-independent models are
+    /// memoized in the pool-wide [`ModelCache`].
+    pub prepared_configs: usize,
     /// Requests handled by each worker, indexed by worker id.
     pub per_worker: Vec<u64>,
 }
@@ -146,13 +152,22 @@ pub struct EvalService {
     senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     cache: Arc<ShardedCache>,
+    model_cache: Arc<ModelCache>,
     counters: Arc<Counters>,
 }
 
 impl EvalService {
-    /// Spawns the worker pool.
+    /// Spawns the worker pool with a fresh pool-wide [`ModelCache`].
     #[must_use]
     pub fn new(options: RuntimeOptions) -> Self {
+        Self::with_model_cache(options, Arc::new(ModelCache::new()))
+    }
+
+    /// Spawns the worker pool around an existing [`ModelCache`], so batched
+    /// evaluation shares memoized analytical models with work done outside
+    /// the pool (a warm-up sweep, a sibling pool, a serial pre-pass).
+    #[must_use]
+    pub fn with_model_cache(options: RuntimeOptions, model_cache: Arc<ModelCache>) -> Self {
         let workers = options.workers.max(1);
         let cache = Arc::new(ShardedCache::new(options.cache_shards));
         let counters = Arc::new(Counters {
@@ -165,10 +180,11 @@ impl EvalService {
         for worker in 0..workers {
             let (tx, rx) = mpsc::channel::<Job>();
             let cache = Arc::clone(&cache);
+            let models = Arc::clone(&model_cache);
             let counters = Arc::clone(&counters);
             let handle = std::thread::Builder::new()
                 .name(format!("crosslight-runtime-{worker}"))
-                .spawn(move || worker_loop(worker, &rx, &cache, &counters))
+                .spawn(move || worker_loop(worker, &rx, &cache, &models, &counters))
                 .expect("spawning a runtime worker thread succeeds");
             senders.push(tx);
             handles.push(handle);
@@ -177,6 +193,7 @@ impl EvalService {
             senders,
             handles,
             cache,
+            model_cache,
             counters,
         }
     }
@@ -185,6 +202,12 @@ impl EvalService {
     #[must_use]
     pub fn with_defaults() -> Self {
         Self::new(RuntimeOptions::default())
+    }
+
+    /// The pool-wide cache of workload-independent analytical models.
+    #[must_use]
+    pub fn model_cache(&self) -> &Arc<ModelCache> {
+        &self.model_cache
     }
 
     /// Number of worker threads.
@@ -261,6 +284,7 @@ impl EvalService {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cached_entries: self.cache.len(),
+            prepared_configs: self.model_cache.stats().prepared_configs,
             per_worker: self
                 .counters
                 .per_worker
@@ -289,13 +313,15 @@ impl Drop for EvalService {
     }
 }
 
-fn worker_loop(worker: usize, jobs: &Receiver<Job>, cache: &ShardedCache, counters: &Counters) {
-    // Workload-independent state per configuration, local to this worker:
-    // key-sharded dispatch guarantees a configuration is only ever prepared
-    // by the workers its requests hash to.
-    let mut prepared: HashMap<ConfigKey, PreparedSimulator> = HashMap::new();
+fn worker_loop(
+    worker: usize,
+    jobs: &Receiver<Job>,
+    cache: &ShardedCache,
+    models: &ModelCache,
+    counters: &Counters,
+) {
     while let Ok(job) = jobs.recv() {
-        let outcome = serve(worker, &job, cache, &mut prepared);
+        let outcome = serve(worker, &job, cache, models);
         counters.per_worker[worker].fetch_add(1, Ordering::Relaxed);
         counters.completed.fetch_add(1, Ordering::Relaxed);
         // A send error means the batch collector gave up (error fast-path);
@@ -308,7 +334,7 @@ fn serve(
     worker: usize,
     job: &Job,
     cache: &ShardedCache,
-    prepared: &mut HashMap<ConfigKey, PreparedSimulator>,
+    models: &ModelCache,
 ) -> Result<EvalResponse> {
     if let Some(report) = cache.get(&job.key) {
         return Ok(EvalResponse {
@@ -318,14 +344,10 @@ fn serve(
             worker,
         });
     }
-    let simulator = match prepared.get(&job.key.config_key()) {
-        Some(existing) => *existing,
-        None => {
-            let fresh = CrossLightSimulator::new(job.request.config).prepare()?;
-            prepared.insert(job.key.config_key(), fresh);
-            fresh
-        }
-    };
+    // The pool-wide ModelCache shares the workload-independent breakdowns
+    // (and their sub-config unit reports) across all workers, so only the
+    // per-workload inference metrics remain per-request work.
+    let simulator = CrossLightSimulator::new(job.request.config).prepare_with(models)?;
     let report = simulator.evaluate(&job.request.workload)?;
     cache.insert(job.key.clone(), report);
     Ok(EvalResponse {
@@ -428,6 +450,24 @@ mod tests {
         assert_eq!(response.id, 42);
         assert!(!response.cache_hit);
         assert_eq!(service.workers(), 2);
+    }
+
+    #[test]
+    fn pool_shares_one_model_cache_across_workers_and_callers() {
+        let models = Arc::new(ModelCache::new());
+        // Warm the cache outside the pool…
+        CrossLightSimulator::new(CrossLightConfig::paper_best())
+            .prepare_with(&models)
+            .unwrap();
+        let service =
+            EvalService::with_model_cache(RuntimeOptions::default().with_workers(4), models);
+        let responses = service.submit_batch(paper_requests()).unwrap();
+        assert_eq!(responses.len(), 16);
+        let stats = service.stats();
+        // Four paper variants → four prepared configurations, one of which
+        // was prepared by the caller before the pool ever ran.
+        assert_eq!(stats.prepared_configs, 4);
+        assert!(service.model_cache().stats().hits > 0);
     }
 
     #[test]
