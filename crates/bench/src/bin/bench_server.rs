@@ -1,0 +1,202 @@
+//! Server-trajectory benchmark: measures the TCP/JSON-lines front-end
+//! against direct in-process `EvalService` dispatch over the same
+//! cache-warm request mix, plus the wire codec microbenches, and emits a
+//! machine-readable `BENCH_server.json` on the shared trajectory harness.
+//!
+//! ```sh
+//! cargo run --release -p crosslight-bench --bin bench_server            # full run
+//! cargo run --release -p crosslight-bench --bin bench_server -- --quick # CI smoke
+//! cargo run --release -p crosslight-bench --bin bench_server -- --out path.json
+//! ```
+//!
+//! The headline comparison is per-request: `direct_submit_each_warm` is
+//! what an in-process caller pays per `EvalService::submit` on a warm
+//! cache, and `server_loopback_warm_mix` is what a network client pays for
+//! the same scenario stream (pipelined over one loopback connection,
+//! including client-side encode/decode).  The acceptance bar for this
+//! subsystem is the loopback path staying within 2× of direct dispatch;
+//! the measured ratio is embedded in the JSON as `speedup_vs_baseline` of
+//! `server_loopback_warm_mix` (a value ≥ 0.5 means within 2×).
+
+use std::sync::Arc;
+
+use crosslight_bench::{measure, print_speedups, render_trajectory_json, BenchResult};
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::pool::{EvalService, RuntimeOptions};
+use crosslight_runtime::request::EvalRequest;
+use crosslight_server::loadgen::{Client, LoadGenOptions};
+use crosslight_server::server::{Server, ServerOptions};
+use crosslight_server::wire::{
+    self, EvalFrame, EvalSpec, Request, RequestBody, Response, ResponseBody,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let window_ms: u64 = if quick { 80 } else { 500 };
+    let mode = if quick { "quick" } else { "full" };
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut results = Vec::new();
+
+    // The shared cache-warm scenario mix: the 64 distinct paper scenarios
+    // of the loadgen's standard pool, materialized once.
+    let mix_options = LoadGenOptions::paper_mix(1, 1, 0);
+    let specs: Vec<EvalSpec> = mix_options.scenarios.clone();
+    let workloads: [Arc<NetworkWorkload>; 4] = PaperModel::all()
+        .map(|m| Arc::new(NetworkWorkload::from_spec(&m.spec()).expect("paper models are valid")));
+    let requests: Vec<EvalRequest> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            spec.to_eval_request(i as u64, &workloads)
+                .expect("mix scenarios are valid")
+        })
+        .collect();
+
+    // ---- wire codec microbenches ------------------------------------------
+    let sample_request = Request {
+        id: 42,
+        body: RequestBody::Eval(specs[0].clone()),
+    };
+    let request_line = wire::encode_request(&sample_request);
+    results.push(measure("wire_encode_request", window_ms, || {
+        wire::encode_request(&sample_request)
+    }));
+    results.push(measure("wire_decode_request", window_ms, || {
+        wire::decode_request(&request_line).expect("sample line is valid")
+    }));
+
+    let direct_service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+    let sample_report = direct_service
+        .submit(requests[0].clone())
+        .expect("dispatch succeeds")
+        .report;
+    let sample_response = Response {
+        id: Some(42),
+        body: ResponseBody::Eval(EvalFrame {
+            report: sample_report,
+            cache_hit: true,
+            worker: 0,
+        }),
+    };
+    let response_line = wire::encode_response(&sample_response);
+    results.push(measure("wire_encode_response", window_ms, || {
+        wire::encode_response(&sample_response)
+    }));
+    results.push(measure("wire_decode_response", window_ms, || {
+        wire::decode_response(&response_line).expect("sample line is valid")
+    }));
+
+    // ---- direct in-process dispatch over the warm mix ---------------------
+    // Warm every scenario once so both sides measure the steady state.
+    direct_service
+        .submit_batch(requests.clone())
+        .expect("warm-up succeeds");
+
+    let mut cursor = 0usize;
+    let direct_each = measure("direct_submit_each_warm", window_ms, || {
+        let request = requests[cursor % requests.len()].clone();
+        cursor += 1;
+        direct_service.submit(request).expect("dispatch succeeds")
+    });
+    let direct_each_ns = direct_each.ns_per_iter;
+    results.push(direct_each);
+
+    let batch = measure("direct_submit_batch_warm_mix", window_ms, || {
+        direct_service
+            .submit_batch(requests.clone())
+            .expect("dispatch succeeds")
+    });
+    results.push(BenchResult {
+        name: "direct_submit_batch_warm_per_req".to_string(),
+        ns_per_iter: batch.ns_per_iter / requests.len() as f64,
+        iterations: batch.iterations,
+    });
+
+    // ---- the same warm mix over loopback TCP ------------------------------
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(workers)
+            .with_queue_capacity(16 * 1024),
+    )
+    .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect to loopback server");
+    // Warm pass (also verifies equivalence with direct dispatch).
+    let warm = client
+        .eval_pipelined(&specs, 0)
+        .expect("warm pass succeeds");
+    assert_eq!(warm.len(), specs.len());
+    for response in &warm {
+        let ResponseBody::Eval(frame) = &response.body else {
+            panic!("unexpected response {response:?}");
+        };
+        let id = response.id.expect("ids are echoed") as usize;
+        let direct = direct_service
+            .submit(requests[id].clone())
+            .expect("dispatch succeeds");
+        assert_eq!(
+            frame.report, direct.report,
+            "wire response diverged from direct dispatch"
+        );
+    }
+
+    let loopback = measure("server_loopback_warm_mix_batch", window_ms, || {
+        client
+            .eval_pipelined(&specs, 0)
+            .expect("pipelined mix succeeds")
+    });
+    let per_request_ns = loopback.ns_per_iter / specs.len() as f64;
+    results.push(BenchResult {
+        name: "server_loopback_warm_mix".to_string(),
+        ns_per_iter: per_request_ns,
+        iterations: loopback.iterations,
+    });
+
+    // Multi-connection aggregate throughput, reported for context.
+    let load_options = LoadGenOptions::paper_mix(4, if quick { 64 } else { 256 }, 1);
+    let load = crosslight_server::loadgen::run(server.local_addr(), &load_options)
+        .expect("load run succeeds");
+    assert_eq!(load.ok, load.sent);
+    println!(
+        "loadgen: {} clients × {} requests → {:>8.0} req/s aggregate",
+        load_options.clients,
+        load_options.requests_per_client,
+        load.throughput_rps()
+    );
+
+    drop(client);
+    server.shutdown();
+
+    // The acceptance ratio: loopback serving vs direct per-request dispatch.
+    // Recorded as the baseline of `server_loopback_warm_mix`, so
+    // `speedup_vs_baseline` in the JSON *is* the ratio (≥ 0.5 ⇔ within 2×).
+    let baselines: Vec<(&str, f64)> = vec![("server_loopback_warm_mix", direct_each_ns)];
+    let ratio = per_request_ns / direct_each_ns;
+    println!(
+        "\nserver loopback {per_request_ns:.0} ns/req vs direct dispatch {direct_each_ns:.0} \
+         ns/req → {ratio:.2}× direct cost (acceptance bar: ≤ 2×)"
+    );
+
+    let json = render_trajectory_json(
+        "crosslight-bench-server/v1",
+        mode,
+        "b2dd617 (pre-server seed: EvalService reachable in-process only; the recorded \
+         baseline of server_loopback_warm_mix is direct_submit_each_warm measured in this \
+         same run, so speedup_vs_baseline is the loopback-vs-direct cost ratio)",
+        &baselines,
+        &results,
+    );
+    std::fs::write(&out_path, &json).expect("writing the JSON report succeeds");
+    println!("\nwrote {out_path} ({mode} mode)");
+    print_speedups(&baselines, &results);
+}

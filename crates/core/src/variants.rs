@@ -52,6 +52,15 @@ impl CrossLightVariant {
         }
     }
 
+    /// Parses a paper figure label (as produced by
+    /// [`CrossLightVariant::label`]) back into the variant — the inverse
+    /// used by the wire protocol of `crosslight-server`, which transmits
+    /// variants by their stable paper names.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all().into_iter().find(|v| v.label() == label)
+    }
+
     /// The design choices of this variant.
     ///
     /// All variants share the same 5 µm layout (so they fit the same area
@@ -103,6 +112,17 @@ mod tests {
         assert_eq!(CrossLightVariant::OptTed.label(), "Cross_opt_TED");
         assert_eq!(CrossLightVariant::OptTed.to_string(), "Cross_opt_TED");
         assert_eq!(CrossLightVariant::all().len(), 4);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for variant in CrossLightVariant::all() {
+            assert_eq!(
+                CrossLightVariant::from_label(variant.label()),
+                Some(variant)
+            );
+        }
+        assert_eq!(CrossLightVariant::from_label("Cross_unknown"), None);
     }
 
     #[test]

@@ -77,6 +77,25 @@ impl PaperModel {
         ]
     }
 
+    /// Stable machine-readable name of the model, used by the
+    /// `crosslight-server` wire protocol to reference a Table I workload by
+    /// name instead of shipping the full per-layer job list.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Self::Lenet5SignMnist => "lenet5_sign_mnist",
+            Self::CnnCifar10 => "cnn_cifar10",
+            Self::CnnStl10 => "cnn_stl10",
+            Self::SiameseOmniglot => "siamese_omniglot",
+        }
+    }
+
+    /// Parses a [`PaperModel::wire_name`] back into the model.
+    #[must_use]
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|m| m.wire_name() == name)
+    }
+
     /// The dataset name used in Table I.
     #[must_use]
     pub fn dataset_name(&self) -> &'static str {
@@ -600,6 +619,16 @@ mod tests {
         assert_eq!(PaperModel::CnnCifar10.dataset_name(), "CIFAR10");
         assert_eq!(PaperModel::CnnStl10.dataset_name(), "STL10");
         assert_eq!(PaperModel::SiameseOmniglot.dataset_name(), "Omniglot");
+    }
+
+    #[test]
+    fn wire_names_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for model in PaperModel::all() {
+            assert_eq!(PaperModel::from_wire_name(model.wire_name()), Some(model));
+            assert!(seen.insert(model.wire_name()));
+        }
+        assert_eq!(PaperModel::from_wire_name("resnet50"), None);
     }
 
     #[test]

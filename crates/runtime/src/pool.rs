@@ -73,7 +73,7 @@ impl Default for RuntimeOptions {
 /// Point-in-time snapshot of the service counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeStats {
-    /// Requests accepted by `submit`/`submit_batch`.
+    /// Requests accepted by `submit`/`submit_batch`/`submit_detached`.
     pub submitted: u64,
     /// Requests fully answered.
     pub completed: u64,
@@ -88,6 +88,10 @@ pub struct RuntimeStats {
     pub prepared_configs: usize,
     /// Requests handled by each worker, indexed by worker id.
     pub per_worker: Vec<u64>,
+    /// Jobs dispatched to each worker's channel but not yet picked up,
+    /// indexed by worker id (a gauge, so the network front-end can report
+    /// backlog per shard).
+    pub queue_depths: Vec<u64>,
 }
 
 impl RuntimeStats {
@@ -101,13 +105,19 @@ impl RuntimeStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Requests accepted but not yet answered.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.submitted.saturating_sub(self.completed)
+    }
 }
 
 struct Job {
-    index: usize,
+    tag: u64,
     key: CacheKey,
     request: EvalRequest,
-    reply: Sender<(usize, Result<EvalResponse>)>,
+    reply: Sender<(u64, Result<EvalResponse>)>,
 }
 
 #[derive(Debug)]
@@ -115,6 +125,7 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     per_worker: Vec<AtomicU64>,
+    queued: Vec<AtomicU64>,
 }
 
 /// The concurrent batched evaluation service.
@@ -174,6 +185,7 @@ impl EvalService {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            queued: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -241,29 +253,16 @@ impl EvalService {
         if expected == 0 {
             return Ok(Vec::new());
         }
-        self.counters
-            .submitted
-            .fetch_add(expected as u64, Ordering::Relaxed);
         let (reply_tx, reply_rx) = mpsc::channel();
         for (index, request) in requests.into_iter().enumerate() {
-            let key = request.key();
-            let worker = (key.fingerprint() % self.senders.len() as u64) as usize;
-            let job = Job {
-                index,
-                key,
-                request,
-                reply: reply_tx.clone(),
-            };
-            self.senders[worker]
-                .send(job)
-                .map_err(|_| RuntimeError::WorkerLost)?;
+            self.submit_detached(index as u64, request, &reply_tx)?;
         }
         drop(reply_tx);
 
         let mut responses: Vec<Option<EvalResponse>> = vec![None; expected];
         let mut received = 0;
-        while let Ok((index, outcome)) = reply_rx.recv() {
-            responses[index] = Some(outcome?);
+        while let Ok((tag, outcome)) = reply_rx.recv() {
+            responses[tag as usize] = Some(outcome?);
             received += 1;
         }
         if received != expected {
@@ -273,6 +272,49 @@ impl EvalService {
             .into_iter()
             .map(|r| r.expect("every index answered exactly once"))
             .collect())
+    }
+
+    /// Routes one request to its fingerprint-sharded worker without waiting
+    /// for the answer: the worker will eventually send `(tag, outcome)` on
+    /// `reply`.  This is the queue hook behind the network front-end
+    /// (`crosslight-server`), which keeps many requests in flight per
+    /// connection and correlates completions by tag; [`EvalService::submit_batch`]
+    /// is a thin collector over the same path, so detached and batched
+    /// submissions share routing, caching and counters exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorkerLost`] if the target worker's channel is closed
+    /// (the pool is shutting down or the worker panicked).  On error the
+    /// request was not enqueued and no reply will arrive.
+    pub fn submit_detached(
+        &self,
+        tag: u64,
+        request: EvalRequest,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+    ) -> Result<()> {
+        if self.senders.is_empty() {
+            // The pool has been shut down in place; there is no worker to
+            // route to.
+            return Err(RuntimeError::WorkerLost);
+        }
+        let key = request.key();
+        let worker = (key.fingerprint() % self.senders.len() as u64) as usize;
+        let job = Job {
+            tag,
+            key,
+            request,
+            reply: reply.clone(),
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.queued[worker].fetch_add(1, Ordering::Relaxed);
+        self.senders[worker].send(job).map_err(|_| {
+            // The job never reached a worker: roll the counters back so the
+            // gauges cannot drift on a dying pool.
+            self.counters.queued[worker].fetch_sub(1, Ordering::Relaxed);
+            self.counters.submitted.fetch_sub(1, Ordering::Relaxed);
+            RuntimeError::WorkerLost
+        })
     }
 
     /// Snapshot of the service counters.
@@ -288,6 +330,12 @@ impl EvalService {
             per_worker: self
                 .counters
                 .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue_depths: self
+                .counters
+                .queued
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -321,12 +369,13 @@ fn worker_loop(
     counters: &Counters,
 ) {
     while let Ok(job) = jobs.recv() {
+        counters.queued[worker].fetch_sub(1, Ordering::Relaxed);
         let outcome = serve(worker, &job, cache, models);
         counters.per_worker[worker].fetch_add(1, Ordering::Relaxed);
         counters.completed.fetch_add(1, Ordering::Relaxed);
         // A send error means the batch collector gave up (error fast-path);
         // the remaining jobs still drain so the channel empties.
-        let _ = job.reply.send((job.index, outcome));
+        let _ = job.reply.send((job.tag, outcome));
     }
 }
 
@@ -468,6 +517,59 @@ mod tests {
         // was prepared by the caller before the pool ever ran.
         assert_eq!(stats.prepared_configs, 4);
         assert!(service.model_cache().stats().hits > 0);
+    }
+
+    #[test]
+    fn detached_submission_matches_batched_and_settles_queue_gauges() {
+        let service = EvalService::new(RuntimeOptions::default().with_workers(3));
+        let requests = paper_requests();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                CrossLightSimulator::new(r.config)
+                    .evaluate(&r.workload)
+                    .unwrap()
+            })
+            .collect();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for (i, request) in requests.into_iter().enumerate() {
+            service
+                .submit_detached(1_000 + i as u64, request, &reply_tx)
+                .unwrap();
+        }
+        drop(reply_tx);
+        let mut answered = 0;
+        while let Ok((tag, outcome)) = reply_rx.recv() {
+            let index = (tag - 1_000) as usize;
+            assert_eq!(outcome.unwrap().report, serial[index]);
+            answered += 1;
+        }
+        assert_eq!(answered, serial.len());
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 16);
+        assert_eq!(stats.completed, 16);
+        assert_eq!(stats.in_flight(), 0);
+        // Once every reply has been received, no job is waiting anywhere.
+        assert_eq!(stats.queue_depths.len(), 3);
+        assert!(stats.queue_depths.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn detached_submission_to_a_shut_down_pool_is_rejected() {
+        let mut service = EvalService::new(RuntimeOptions::default().with_workers(2));
+        service.shutdown_in_place();
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap());
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        let err = service.submit_detached(
+            0,
+            EvalRequest::new(CrossLightConfig::paper_best(), workload),
+            &reply_tx,
+        );
+        assert_eq!(err, Err(RuntimeError::WorkerLost));
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 0);
+        assert!(stats.queue_depths.iter().all(|&d| d == 0));
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Minimal JSON tree, parser and writer for the wire protocol.
+//!
+//! The offline workspace has no `serde_json`, so the JSON-lines protocol is
+//! implemented on this self-contained module.  Design points that matter for
+//! the protocol guarantees:
+//!
+//! * **Exact floats.**  Finite `f64`s are written with Rust's shortest
+//!   round-trip formatting and parsed with the standard correctly-rounding
+//!   parser, so `decode(encode(x))` returns the bit-identical value for every
+//!   finite `f64` (including `-0.0` and subnormals).  Non-finite values are
+//!   encoded as the strings `"NaN"`, `"inf"` and `"-inf"` (JSON has no
+//!   literal for them) and accepted back by [`Json::as_f64`].
+//! * **Typed errors, no panics.**  The parser returns [`JsonError`] with a
+//!   byte offset for every malformed input; it never panics and is bounded
+//!   by an explicit nesting-depth limit, so adversarial input cannot blow
+//!   the stack.
+//! * **Order-preserving objects.** Objects are stored as insertion-ordered
+//!   `(key, value)` vectors, so encoding is deterministic — identical
+//!   requests always serialize to identical bytes, which the loadgen relies
+//!   on for reproducible traffic.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts (arrays + objects combined).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal (fits `u64`).
+    Uint(u64),
+    /// A negative integer literal (fits `i64`).
+    Int(i64),
+    /// Any other number literal (fraction, exponent, or out of integer
+    /// range).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered members.
+    Object(Vec<(String, Json)>),
+}
+
+/// A parse error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input line.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Member lookup on an object (first match; `None` on other variants).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Uint(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: accepts any number plus the non-finite string
+    /// encodings (`"NaN"`, `"inf"`, `"-inf"`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Uint(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Wraps a float in its wire encoding (number when finite, tagged string
+    /// otherwise).
+    #[must_use]
+    pub fn from_f64(value: f64) -> Json {
+        if value.is_finite() {
+            Json::Float(value)
+        } else if value.is_nan() {
+            Json::Str("NaN".to_string())
+        } else if value > 0.0 {
+            Json::Str("inf".to_string())
+        } else {
+            Json::Str("-inf".to_string())
+        }
+    }
+
+    /// Serializes the value to a single-line JSON string.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Uint(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(*v, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value from `input`, requiring it to span the whole
+    /// string (surrounding whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for any syntactically invalid input, trailing
+    /// garbage, or nesting deeper than [`MAX_DEPTH`].
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Appends the wire encoding of one `f64` to `out` — the allocation-free
+/// building block of the hot-path frame encoders in `crate::wire`.
+pub fn push_f64(value: f64, out: &mut String) {
+    write_f64(value, out);
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_string_literal(s: &str, out: &mut String) {
+    write_string(s, out);
+}
+
+/// Writes a finite float in shortest-round-trip form; non-finite values fall
+/// back to their tagged-string encoding so the output stays valid JSON.
+///
+/// Integral values get an explicit `.0` so the reader classifies them as
+/// floats again — without it `-0.0` would serialize as `-0`, parse as the
+/// integer `0`, and silently drop its sign bit.
+fn write_f64(value: f64, out: &mut String) {
+    if value.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{value}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        Json::from_f64(value).write(out);
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Bulk-copy up to the next quote, backslash or control
+                    // byte.  Those are all ASCII, so `stop` always lands on
+                    // a character boundary of the (already valid UTF-8)
+                    // input — this keeps parsing O(n) on long strings.
+                    let rest = &self.bytes[self.pos..];
+                    let stop = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                        .unwrap_or(rest.len());
+                    if stop == 0 {
+                        // Quote/backslash are handled above, so this byte
+                        // is an unescaped control character.
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    let chunk = std::str::from_utf8(&rest[..stop])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += stop;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid unicode escape"))?;
+        let value =
+            u32::from_str_radix(s, 16).map_err(|_| self.err("invalid unicode escape digits"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Uint(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid number".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for input in [
+            "null", "true", "false", "0", "-7", "42", "1.5", "-0.125", "1e300",
+        ] {
+            let parsed = Json::parse(input).unwrap();
+            let reparsed = Json::parse(&parsed.encode()).unwrap();
+            assert_eq!(parsed, reparsed, "{input}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for value in [
+            0.0,
+            -0.0,
+            1.0,
+            std::f64::consts::PI,
+            1.0e-308,
+            4.9e-324, // smallest subnormal
+            1.797e308,
+            -123.456_789_012_345_67,
+        ] {
+            let encoded = Json::from_f64(value).encode();
+            let decoded = Json::parse(&encoded).unwrap().as_f64().unwrap();
+            assert_eq!(decoded.to_bits(), value.to_bits(), "{value} via {encoded}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_use_tagged_strings() {
+        assert_eq!(Json::from_f64(f64::NAN).encode(), "\"NaN\"");
+        assert_eq!(Json::from_f64(f64::INFINITY).encode(), "\"inf\"");
+        assert_eq!(Json::from_f64(f64::NEG_INFINITY).encode(), "\"-inf\"");
+        assert!(Json::parse("\"NaN\"").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(
+            Json::parse("\"-inf\"").unwrap().as_f64(),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn objects_preserve_order_and_support_lookup() {
+        let parsed = Json::parse(r#"{"b": 1, "a": [true, "x\n"], "c": {"d": null}}"#).unwrap();
+        assert_eq!(parsed.get("b").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("missing"), None);
+        let encoded = parsed.encode();
+        assert_eq!(encoded, r#"{"b":1,"a":[true,"x\n"],"c":{"d":null}}"#);
+        assert_eq!(Json::parse(&encoded).unwrap(), parsed);
+    }
+
+    #[test]
+    fn escapes_and_unicode_round_trip() {
+        let parsed = Json::parse(r#""quote \" slash \\ tab \t unicode é 😀""#);
+        let s = parsed.unwrap();
+        assert_eq!(s.as_str(), Some("quote \" slash \\ tab \t unicode é 😀"));
+        let roundtrip = Json::parse(&s.encode()).unwrap();
+        assert_eq!(roundtrip, s);
+    }
+
+    #[test]
+    fn malformed_inputs_return_typed_errors() {
+        for input in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "truthy",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\ud800 lonely\"",
+            "1 2",
+            "--3",
+            "1.2.3",
+            "[1]]",
+            "{\"a\":1,}",
+            "\u{1}",
+        ] {
+            let outcome = Json::parse(input);
+            assert!(outcome.is_err(), "`{input}` should fail, got {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(MAX_DEPTH + 8) + &"]".repeat(MAX_DEPTH + 8);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # crosslight-server
+//!
+//! A load-shedding TCP/JSON-lines front-end over the
+//! [`crosslight-runtime`](crosslight_runtime) evaluation service — the
+//! network surface that turns the in-process [`EvalService`] into a
+//! datacenter-style inference endpoint, the deployment scenario the
+//! paper's FPS/EPB metrics (Fig. 6–8, Table III) are meant to answer.
+//!
+//! Layering:
+//!
+//! * [`json`] — self-contained JSON tree/parser/writer with exact `f64`
+//!   round-tripping (the workspace is offline, so no `serde_json`).
+//! * [`wire`] — the versioned frame vocabulary: `eval`/`stats`/`ping`
+//!   requests, `ok`/`err` responses, typed [`ErrorKind`]s, and the exact
+//!   report encoding, proven bit-identical to in-process evaluation.
+//! * [`server`] — acceptor + per-connection reader/responder/writer
+//!   threads, bounded admission with explicit `overloaded` shedding, a
+//!   `stats` endpoint exposing [`RuntimeStats`] plus queue depths and shed
+//!   counts, and graceful drain-on-shutdown.
+//! * [`loadgen`] — the reference [`Client`] and a deterministic seeded
+//!   multi-connection load generator behind `examples/serve.rs`,
+//!   `bench_server` and the stress tests.
+//!
+//! See the **Serving** section of `RUNTIME.md` at the repository root for
+//! the protocol specification and an example transcript.
+//!
+//! [`EvalService`]: crosslight_runtime::EvalService
+//! [`RuntimeStats`]: crosslight_runtime::RuntimeStats
+//! [`ErrorKind`]: wire::ErrorKind
+//! [`Client`]: loadgen::Client
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use loadgen::{Client, LoadGenOptions, LoadReport};
+pub use server::{Server, ServerOptions, ServerStats};
+pub use wire::{ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody};
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::loadgen::{Client, LoadGenOptions, LoadReport};
+    pub use crate::server::{Server, ServerOptions, ServerStats};
+    pub use crate::wire::{
+        ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody, WorkloadRef,
+    };
+}

@@ -1,0 +1,374 @@
+//! In-crate load generator: a blocking client plus a multi-connection
+//! driver with deterministic seeded request mixes.
+//!
+//! [`Client`] is the protocol's reference client: one TCP connection,
+//! pipelined JSON-lines frames, typed decoding.  [`run`] fans a
+//! deterministic scenario mix over `clients` concurrent connections and
+//! aggregates a [`LoadReport`] — the tool behind `examples/serve.rs`, the
+//! `bench_server` trajectory bin, and the stress tests, so every
+//! throughput/shedding claim is produced by the same code path.
+//!
+//! Determinism: client `c` of a run with seed `s` draws its scenario
+//! sequence from `StdRng::seed_from_u64(s + c)` and uses ids
+//! `c * requests_per_client + i`, so a mix can be replayed exactly and
+//! every response can be mapped back to the spec that produced it.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crosslight_core::variants::CrossLightVariant;
+use crosslight_neural::zoo::PaperModel;
+
+use crate::wire::{
+    self, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
+};
+
+/// A blocking JSON-lines client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request without waiting for the response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        self.writer
+            .write_all(wire::encode_request(request).as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Flushes buffered requests to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Sends one raw line verbatim (for protocol testing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Flushes and half-closes the write side, signalling EOF to the
+    /// server while keeping the read side open — the client-initiated
+    /// drain: the server answers everything already pipelined, then closes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn shutdown_write(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Receives and decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on EOF/socket failure; a decode failure is
+    /// returned as a typed [`ErrorFrame`] response so callers see exactly
+    /// what the server sent.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(wire::decode_response(&line).unwrap_or_else(|frame| Response::error(None, frame)))
+    }
+
+    /// Sends a request and waits for the next response line.
+    ///
+    /// Only valid when no other responses are pending on the connection
+    /// (the protocol itself correlates by id, not order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Sugar: evaluates one spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn eval(&mut self, id: u64, spec: &EvalSpec) -> std::io::Result<Response> {
+        self.call(&Request {
+            id,
+            body: RequestBody::Eval(spec.clone()),
+        })
+    }
+
+    /// Sugar: fetches a stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn stats(&mut self, id: u64) -> std::io::Result<Response> {
+        self.call(&Request {
+            id,
+            body: RequestBody::Stats,
+        })
+    }
+
+    /// Pipelines a whole mix of specs (ids `base_id + index`) and collects
+    /// every response, in **arrival order** — pipelined responses complete
+    /// out of order, so callers correlate by [`Response::id`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn eval_pipelined(
+        &mut self,
+        specs: &[EvalSpec],
+        base_id: u64,
+    ) -> std::io::Result<Vec<Response>> {
+        for (index, spec) in specs.iter().enumerate() {
+            self.send(&Request {
+                id: base_id + index as u64,
+                body: RequestBody::Eval(spec.clone()),
+            })?;
+        }
+        self.flush()?;
+        let mut responses = Vec::with_capacity(specs.len());
+        for _ in 0..specs.len() {
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+}
+
+/// Options of a load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenOptions {
+    /// Number of concurrent client connections.
+    pub clients: usize,
+    /// Requests sent by each client.
+    pub requests_per_client: usize,
+    /// Base RNG seed; client `c` uses `seed + c`.
+    pub seed: u64,
+    /// The scenario pool each client draws from uniformly.
+    pub scenarios: Vec<EvalSpec>,
+}
+
+impl LoadGenOptions {
+    /// A mixed paper-scenario pool: every variant × every Table I model ×
+    /// two architectures × two resolutions (64 distinct scenarios).
+    #[must_use]
+    pub fn paper_mix(clients: usize, requests_per_client: usize, seed: u64) -> Self {
+        let mut scenarios = Vec::new();
+        for variant in CrossLightVariant::all() {
+            for model in PaperModel::all() {
+                for dims in [crosslight_core::config::BEST_CONFIG, (10, 100, 50, 30)] {
+                    for resolution_bits in [16u32, 8] {
+                        scenarios.push(EvalSpec {
+                            variant,
+                            dims,
+                            resolution_bits,
+                            workload: crate::wire::WorkloadRef::Model(model),
+                        });
+                    }
+                }
+            }
+        }
+        Self {
+            clients: clients.max(1),
+            requests_per_client: requests_per_client.max(1),
+            seed,
+            scenarios,
+        }
+    }
+
+    /// The deterministic spec sequence of one client (what [`run`] sends).
+    #[must_use]
+    pub fn client_specs(&self, client: usize) -> Vec<EvalSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed + client as u64);
+        (0..self.requests_per_client)
+            .map(|_| self.scenarios[rng.gen_range(0..self.scenarios.len())].clone())
+            .collect()
+    }
+
+    /// The id of request `index` of `client` (unique across the run).
+    #[must_use]
+    pub fn request_id(&self, client: usize, index: usize) -> u64 {
+        (client * self.requests_per_client + index) as u64
+    }
+}
+
+/// What one load-generation run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests sent across all clients.
+    pub sent: u64,
+    /// Successful eval responses.
+    pub ok: u64,
+    /// Responses shed with `overloaded`.
+    pub shed: u64,
+    /// Any other error responses (by kind name), including id-less error
+    /// frames (e.g. `oversized` rejections, which cannot echo an id).
+    pub errors: Vec<(ErrorKind, u64)>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Every `(id, response)` pair for responses that carried an id,
+    /// sorted by id.  Id-less error frames are counted in
+    /// [`LoadReport::errors`] only.
+    pub responses: Vec<(u64, Response)>,
+}
+
+impl LoadReport {
+    /// Aggregate requests per second over the run.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Drives `options.clients` concurrent connections against `addr`, each
+/// pipelining its deterministic seeded mix, and aggregates the outcome.
+///
+/// # Errors
+///
+/// Propagates the first client I/O error.
+///
+/// # Panics
+///
+/// Panics if a client thread itself panicked.
+pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadReport> {
+    let start = Instant::now();
+    let outcomes: Vec<std::io::Result<Vec<Response>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let specs = options.client_specs(client);
+                    let base_id = options.request_id(client, 0);
+                    let mut connection = Client::connect(addr)?;
+                    connection.eval_pipelined(&specs, base_id)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load-generator client panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut errors: Vec<(ErrorKind, u64)> = Vec::new();
+    let mut responses: Vec<(u64, Response)> = Vec::new();
+    for outcome in outcomes {
+        for response in outcome? {
+            match &response.body {
+                ResponseBody::Eval(_) => ok += 1,
+                ResponseBody::Error(ErrorFrame {
+                    kind: ErrorKind::Overloaded,
+                    ..
+                }) => shed += 1,
+                ResponseBody::Error(frame) => {
+                    match errors.iter_mut().find(|(kind, _)| *kind == frame.kind) {
+                        Some((_, count)) => *count += 1,
+                        None => errors.push((frame.kind, 1)),
+                    }
+                }
+                _ => {}
+            }
+            // Pipelined completions arrive out of order; the protocol's
+            // ids are the correlation mechanism.  Id-less frames (e.g.
+            // `oversized` rejections) stay countable above but cannot be
+            // correlated, so they are not in `responses`.
+            if let Some(id) = response.id {
+                responses.push((id, response));
+            }
+        }
+    }
+    responses.sort_by_key(|(id, _)| *id);
+
+    Ok(LoadReport {
+        sent: (options.clients * options.requests_per_client) as u64,
+        ok,
+        shed,
+        errors,
+        elapsed,
+        responses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_deterministic_and_ids_unique() {
+        let options = LoadGenOptions::paper_mix(3, 5, 42);
+        assert_eq!(options.scenarios.len(), 64);
+        for client in 0..3 {
+            assert_eq!(options.client_specs(client), options.client_specs(client));
+        }
+        assert_ne!(options.client_specs(0), options.client_specs(1));
+        let mut ids = std::collections::HashSet::new();
+        for client in 0..3 {
+            for index in 0..5 {
+                assert!(ids.insert(options.request_id(client, index)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_report_throughput_is_zero() {
+        let report = LoadReport {
+            sent: 0,
+            ok: 0,
+            shed: 0,
+            errors: vec![],
+            elapsed: Duration::ZERO,
+            responses: vec![],
+        };
+        assert_eq!(report.throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,848 @@
+//! The TCP front-end: acceptor, per-connection readers, admission control.
+//!
+//! # Thread model
+//!
+//! One **acceptor** thread owns the [`TcpListener`].  Each accepted
+//! connection gets three threads:
+//!
+//! * a **reader** that parses JSON lines, answers `ping`/`stats`/error
+//!   frames inline, and feeds admitted `eval` requests to the
+//!   fingerprint-sharded [`EvalService`] via
+//!   [`EvalService::submit_detached`] (never blocking on evaluation, so
+//!   pipelined requests from one client run concurrently);
+//! * a **responder** that receives tagged completions from the pool,
+//!   encodes them, and releases their admission permits;
+//! * a **writer** that owns the socket's write half behind a channel and
+//!   batches flushes, so responses from the reader and responder interleave
+//!   safely.
+//!
+//! # Load shedding
+//!
+//! Admission is a server-wide counting semaphore of `queue_capacity`
+//! permits.  An `eval` frame that cannot take a permit is answered
+//! *immediately* with an `overloaded` error — the connection never blocks
+//! on evaluation and the server never buffers unbounded work.  Non-eval
+//! ops (`ping`, `stats`) bypass admission so health checks still work
+//! under overload.  The per-connection write queue is *bounded* too: a
+//! client that stops reading its responses back-pressures the responder
+//! and then the reader (which stops consuming input), and a socket that
+//! stays unwritable past `write_timeout` tears the connection down — so a
+//! non-reading client can neither grow server memory without bound nor
+//! wedge shutdown.
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] stops the acceptor, half-closes every live
+//! connection's read side, and joins the connection threads: readers see
+//! EOF and stop accepting input, in-flight evaluations complete, responders
+//! drain every completion, writers flush, and only then does the underlying
+//! [`EvalService`] shut down.  No admitted request is ever dropped.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::pool::{EvalService, RuntimeOptions, RuntimeStats};
+use crosslight_runtime::request::EvalResponse;
+
+use crate::wire::{
+    self, ErrorFrame, ErrorKind, EvalFrame, RequestBody, Response, ResponseBody, StatsFrame,
+    WireRuntimeStats, WireServerStats, DEFAULT_MAX_LINE_BYTES,
+};
+
+/// Tuning knobs of the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Worker threads of the underlying [`EvalService`].
+    pub workers: usize,
+    /// Cache shards of the underlying [`EvalService`].
+    pub cache_shards: usize,
+    /// Maximum evals admitted concurrently; everything beyond is shed with
+    /// an `overloaded` error frame (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// Maximum accepted line length in bytes (clamped to at least 1 KiB).
+    pub max_line_bytes: usize,
+    /// How long a socket write may stall before the connection is torn
+    /// down — the bound that keeps a non-reading client from wedging the
+    /// writer (and therefore shutdown) forever.
+    pub write_timeout: Duration,
+}
+
+impl ServerOptions {
+    /// Returns a copy with a different evaluation worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns a copy with a different admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Returns a copy with a different maximum line length.
+    #[must_use]
+    pub fn with_max_line_bytes(mut self, max_line_bytes: usize) -> Self {
+        self.max_line_bytes = max_line_bytes;
+        self
+    }
+
+    /// Returns a copy with a different write-stall bound.
+    #[must_use]
+    pub fn with_write_timeout(mut self, write_timeout: Duration) -> Self {
+        self.write_timeout = write_timeout;
+        self
+    }
+}
+
+impl Default for ServerOptions {
+    /// Default runtime options, 256 admitted evals, 64 KiB lines, 30 s
+    /// write-stall bound.
+    fn default() -> Self {
+        let runtime = RuntimeOptions::default();
+        Self {
+            workers: runtime.workers,
+            cache_shards: runtime.cache_shards,
+            queue_capacity: 256,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the server and its evaluation pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Front-end counters (connections, sheds, malformed frames, …).
+    pub server: WireServerStats,
+    /// Evaluation-pool counters.
+    pub runtime: RuntimeStats,
+}
+
+#[derive(Debug)]
+struct Admission {
+    capacity: usize,
+    in_flight: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl Admission {
+    fn try_acquire(&self) -> bool {
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[derive(Debug, Default)]
+struct FrontendCounters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    requests_total: AtomicU64,
+    evals_ok: AtomicU64,
+    evals_failed: AtomicU64,
+    malformed_total: AtomicU64,
+    oversized_total: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    service: EvalService,
+    options: ServerOptions,
+    admission: Admission,
+    counters: FrontendCounters,
+    shutting_down: AtomicBool,
+    /// Read-half handles of live connections, so shutdown can interrupt
+    /// blocked readers.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    /// Prebuilt Table I workloads, indexed as [`PaperModel::all`].
+    workloads: [Arc<NetworkWorkload>; 4],
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            server: WireServerStats {
+                connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
+                connections_active: self.counters.connections_active.load(Ordering::Relaxed),
+                requests_total: self.counters.requests_total.load(Ordering::Relaxed),
+                evals_ok: self.counters.evals_ok.load(Ordering::Relaxed),
+                evals_failed: self.counters.evals_failed.load(Ordering::Relaxed),
+                shed_total: self.admission.shed.load(Ordering::Relaxed),
+                malformed_total: self.counters.malformed_total.load(Ordering::Relaxed),
+                oversized_total: self.counters.oversized_total.load(Ordering::Relaxed),
+                queue_capacity: self.admission.capacity as u64,
+                in_flight: self.admission.in_flight.load(Ordering::Relaxed) as u64,
+            },
+            runtime: self.service.stats(),
+        }
+    }
+}
+
+/// The JSON-lines evaluation server.
+///
+/// # Example
+///
+/// ```
+/// use crosslight_server::server::{Server, ServerOptions};
+/// use crosslight_server::loadgen::Client;
+/// use crosslight_server::wire::{EvalSpec, ResponseBody};
+/// use crosslight_core::variants::CrossLightVariant;
+/// use crosslight_neural::zoo::PaperModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = Server::bind("127.0.0.1:0", ServerOptions::default().with_workers(2))?;
+/// let mut client = Client::connect(server.local_addr())?;
+/// let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::Lenet5SignMnist);
+/// let response = client.eval(7, &spec)?;
+/// assert!(matches!(response.body, ResponseBody::Eval(_)));
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and evaluation pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding or address resolution.
+    pub fn bind(addr: impl ToSocketAddrs, options: ServerOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workloads = PaperModel::all().map(|model| {
+            Arc::new(
+                NetworkWorkload::from_spec(&model.spec()).expect("the Table I workloads are valid"),
+            )
+        });
+        let service = EvalService::new(
+            RuntimeOptions::default()
+                .with_workers(options.workers)
+                .with_cache_shards(options.cache_shards),
+        );
+        let shared = Arc::new(Shared {
+            service,
+            options: ServerOptions {
+                queue_capacity: options.queue_capacity.max(1),
+                max_line_bytes: options.max_line_bytes.max(1024),
+                ..options
+            },
+            admission: Admission {
+                capacity: options.queue_capacity.max(1),
+                in_flight: AtomicUsize::new(0),
+                shed: AtomicU64::new(0),
+            },
+            counters: FrontendCounters::default(),
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            workloads,
+        });
+        let connection_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let threads = Arc::clone(&connection_threads);
+            std::thread::Builder::new()
+                .name("crosslight-server-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &threads))
+                .expect("spawning the acceptor thread succeeds")
+        };
+        Ok(Self {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            connection_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server and runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Stops accepting connections, drains every in-flight request, joins
+    /// all connection threads, and shuts the evaluation pool down.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor: it re-checks the flag per connection, so a
+        // throwaway local connection unblocks `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Half-close the read side of every live connection: readers see
+        // EOF, stop taking input, and drain their in-flight work.
+        {
+            let connections = self
+                .shared
+                .connections
+                .lock()
+                .expect("connection registry lock poisoned");
+            for stream in connections.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self
+                .connection_threads
+                .lock()
+                .expect("connection thread registry lock poisoned");
+            threads.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Dropping the service inside `self.shared` when the last Arc goes
+        // away also joins the pool; nothing in-flight remains at this point.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are small frames on a request/response cycle; Nagle +
+        // delayed ACK would add tens of milliseconds per exchange.
+        let _ = stream.set_nodelay(true);
+        // Bound how long a write may stall on a client that stopped
+        // reading, so the writer (and shutdown behind it) cannot hang.
+        let _ = stream.set_write_timeout(Some(shared.options.write_timeout));
+        // Reap handles of connections that already finished so a
+        // long-running server does not accumulate one dead JoinHandle per
+        // historical connection (finished threads are safe to detach).
+        threads
+            .lock()
+            .expect("connection thread registry lock poisoned")
+            .retain(|handle| !handle.is_finished());
+        let connection_id = next_id;
+        next_id += 1;
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared
+                .connections
+                .lock()
+                .expect("connection registry lock poisoned")
+                .insert(connection_id, read_half);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("crosslight-conn-{connection_id}"))
+            .spawn(move || {
+                handle_connection(connection_id, stream, &shared);
+                shared
+                    .connections
+                    .lock()
+                    .expect("connection registry lock poisoned")
+                    .remove(&connection_id);
+                shared
+                    .counters
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawning a connection thread succeeds");
+        threads
+            .lock()
+            .expect("connection thread registry lock poisoned")
+            .push(handle);
+    }
+}
+
+/// Upper bound on encoded response lines queued per connection before the
+/// responder (and then the reader) block — the back-pressure bound that
+/// keeps a non-reading client from growing server memory.
+const WRITE_QUEUE_LINES: usize = 1024;
+
+/// Outcome of reading one length-limited line.
+enum LineRead {
+    /// A complete line (without the newline).
+    Line(String),
+    /// The line exceeded the limit; the rest of it was discarded.
+    Oversized,
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+    /// End of stream.
+    Eof,
+    /// The socket failed.
+    Error,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes`, discarding the
+/// remainder of over-long lines so the stream stays line-synchronized.
+fn read_line_limited<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(available) => available,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return LineRead::Error,
+            };
+            if available.is_empty() {
+                // EOF mid-line counts as EOF: the peer hung up before
+                // finishing the frame, so there is nothing to answer.
+                return LineRead::Eof;
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(newline) => {
+                    if !oversized && buf.len() + newline <= max_bytes {
+                        buf.extend_from_slice(&available[..newline]);
+                    } else {
+                        oversized = true;
+                    }
+                    (true, newline + 1)
+                }
+                None => {
+                    if !oversized && buf.len() + available.len() <= max_bytes {
+                        buf.extend_from_slice(available);
+                    } else {
+                        oversized = true;
+                    }
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if done {
+            if oversized {
+                return LineRead::Oversized;
+            }
+            return match String::from_utf8(buf) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::InvalidUtf8,
+            };
+        }
+    }
+}
+
+fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+
+    // Writer: owns the socket write half; exits when every Sender is gone.
+    // The channel is bounded so a client that stops reading back-pressures
+    // the responder/reader instead of buffering responses without limit.
+    let (line_tx, line_rx) = mpsc::sync_channel::<String>(WRITE_QUEUE_LINES);
+    let writer = std::thread::Builder::new()
+        .name(format!("crosslight-conn-{connection_id}-write"))
+        .spawn(move || write_loop(write_half, &line_rx))
+        .expect("spawning a connection writer succeeds");
+
+    // Responder: turns pool completions into response lines and releases
+    // admission permits; exits when the reader and all in-flight jobs have
+    // dropped their Senders.
+    let (done_tx, done_rx) =
+        mpsc::channel::<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>();
+    let responder = {
+        let shared = Arc::clone(shared);
+        let line_tx = line_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("crosslight-conn-{connection_id}-respond"))
+            .spawn(move || respond_loop(&shared, &done_rx, &line_tx))
+            .expect("spawning a connection responder succeeds")
+    };
+
+    read_loop(shared, &stream, &line_tx, &done_tx);
+
+    // EOF (or shutdown): drop our channel ends so responder and writer
+    // drain and exit once in-flight work completes — the graceful part of
+    // the drain.
+    drop(done_tx);
+    drop(line_tx);
+    let _ = responder.join();
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn write_loop(stream: TcpStream, lines: &Receiver<String>) {
+    let mut writer = BufWriter::new(stream);
+    pump_lines(&mut writer, lines);
+    // Whether the channel closed normally or the socket write failed (or
+    // timed out on a non-reading client), tear the whole connection down:
+    // this unblocks the reader immediately, so the server cannot keep
+    // admitting and evaluating requests whose responses can never be
+    // delivered.
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+fn pump_lines(writer: &mut BufWriter<TcpStream>, lines: &Receiver<String>) {
+    while let Ok(line) = lines.recv() {
+        if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+        // Batch whatever is already queued before paying for a flush.
+        while let Ok(more) = lines.try_recv() {
+            if writer.write_all(more.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn respond_loop(
+    shared: &Shared,
+    completions: &Receiver<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
+    lines: &SyncSender<String>,
+) {
+    while let Ok((tag, outcome)) = completions.recv() {
+        let response = match outcome {
+            Ok(eval) => {
+                shared.counters.evals_ok.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    id: Some(tag),
+                    body: ResponseBody::Eval(EvalFrame {
+                        report: eval.report,
+                        cache_hit: eval.cache_hit,
+                        worker: eval.worker as u64,
+                    }),
+                }
+            }
+            Err(err) => {
+                shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    Some(tag),
+                    ErrorFrame::new(ErrorKind::Evaluation, err.to_string()),
+                )
+            }
+        };
+        // Hand the line to the (bounded) writer before releasing the
+        // admission permit: a non-reading client therefore caps both the
+        // write queue and the number of evals in flight.
+        let _ = lines.send(wire::encode_response(&response));
+        shared.admission.release();
+    }
+}
+
+fn read_loop(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    lines: &SyncSender<String>,
+    completions: &Sender<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
+) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let max_bytes = shared.options.max_line_bytes;
+    loop {
+        let line = match read_line_limited(&mut reader, max_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Oversized => {
+                shared
+                    .counters
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .oversized_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = ErrorFrame::new(
+                    ErrorKind::Oversized,
+                    format!("line exceeds {max_bytes} bytes"),
+                );
+                if lines
+                    .send(wire::encode_response(&Response::error(None, frame)))
+                    .is_err()
+                {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+                continue;
+            }
+            LineRead::InvalidUtf8 => {
+                shared
+                    .counters
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .malformed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = ErrorFrame::new(ErrorKind::Malformed, "line is not valid UTF-8");
+                if lines
+                    .send(wire::encode_response(&Response::error(None, frame)))
+                    .is_err()
+                {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+                continue;
+            }
+            LineRead::Eof | LineRead::Error => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared
+            .counters
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let request = match wire::decode_request(&line) {
+            Ok(request) => request,
+            Err(frame) => {
+                shared
+                    .counters
+                    .malformed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let id = wire::peek_id(&line);
+                if lines
+                    .send(wire::encode_response(&Response::error(id, frame)))
+                    .is_err()
+                {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+                continue;
+            }
+        };
+        match request.body {
+            RequestBody::Ping => {
+                if lines
+                    .send(wire::encode_response(&Response {
+                        id: Some(request.id),
+                        body: ResponseBody::Pong,
+                    }))
+                    .is_err()
+                {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+            }
+            RequestBody::Stats => {
+                let stats = shared.snapshot();
+                if lines
+                    .send(wire::encode_response(&Response {
+                        id: Some(request.id),
+                        body: ResponseBody::Stats(StatsFrame {
+                            server: stats.server,
+                            runtime: WireRuntimeStats::from(&stats.runtime),
+                        }),
+                    }))
+                    .is_err()
+                {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+            }
+            RequestBody::Eval(spec) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    let frame = ErrorFrame::new(ErrorKind::ShuttingDown, "server is draining");
+                    if lines
+                        .send(wire::encode_response(&Response::error(
+                            Some(request.id),
+                            frame,
+                        )))
+                        .is_err()
+                    {
+                        // The writer is gone; the connection is dead.
+                        return;
+                    }
+                    continue;
+                }
+                let eval_request = match spec.to_eval_request(request.id, &shared.workloads) {
+                    Ok(eval_request) => eval_request,
+                    Err(frame) => {
+                        shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
+                        if lines
+                            .send(wire::encode_response(&Response::error(
+                                Some(request.id),
+                                frame,
+                            )))
+                            .is_err()
+                        {
+                            // The writer is gone; the connection is dead.
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                if !shared.admission.try_acquire() {
+                    let frame = ErrorFrame::new(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "admission queue full (capacity {})",
+                            shared.admission.capacity
+                        ),
+                    );
+                    if lines
+                        .send(wire::encode_response(&Response::error(
+                            Some(request.id),
+                            frame,
+                        )))
+                        .is_err()
+                    {
+                        // The writer is gone; the connection is dead.
+                        return;
+                    }
+                    continue;
+                }
+                if let Err(err) =
+                    shared
+                        .service
+                        .submit_detached(request.id, eval_request, completions)
+                {
+                    shared.admission.release();
+                    shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
+                    let frame = ErrorFrame::new(ErrorKind::Evaluation, err.to_string());
+                    if lines
+                        .send(wire::encode_response(&Response::error(
+                            Some(request.id),
+                            frame,
+                        )))
+                        .is_err()
+                    {
+                        // The writer is gone; the connection is dead.
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn limited_line_reader_handles_lines_oversize_and_eof() {
+        let data = b"short\n".to_vec();
+        let mut reader = Cursor::new(data);
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Line(line) if line == "short"
+        ));
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Eof
+        ));
+
+        let long = "x".repeat(5000) + "\nnext\n";
+        let mut reader = Cursor::new(long.into_bytes());
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Oversized
+        ));
+        // The over-long line was discarded; the stream is still synchronized.
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Line(line) if line == "next"
+        ));
+
+        // A line of exactly the limit passes.
+        let exact = "y".repeat(8) + "\n";
+        let mut reader = Cursor::new(exact.into_bytes());
+        assert!(matches!(
+            read_line_limited(&mut reader, 8),
+            LineRead::Line(line) if line.len() == 8
+        ));
+
+        // EOF mid-line is EOF, not a frame.
+        let mut reader = Cursor::new(b"unterminated".to_vec());
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Eof
+        ));
+
+        // Invalid UTF-8 is its own outcome (answered as `malformed`, not
+        // `oversized`), and the stream stays synchronized past it.
+        let mut reader = Cursor::new(b"bad \xff byte\nnext\n".to_vec());
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::InvalidUtf8
+        ));
+        assert!(matches!(
+            read_line_limited(&mut reader, 1024),
+            LineRead::Line(line) if line == "next"
+        ));
+    }
+
+    #[test]
+    fn admission_counts_sheds_and_releases() {
+        let admission = Admission {
+            capacity: 2,
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        };
+        assert!(admission.try_acquire());
+        assert!(admission.try_acquire());
+        assert!(!admission.try_acquire());
+        assert!(!admission.try_acquire());
+        assert_eq!(admission.shed.load(Ordering::Relaxed), 2);
+        admission.release();
+        assert!(admission.try_acquire());
+        assert_eq!(admission.in_flight.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,984 @@
+//! The versioned JSON-lines wire protocol of `crosslight-server`.
+//!
+//! Every frame is one line of JSON.  Requests carry a protocol version `v`,
+//! a caller-chosen correlation id, and an operation:
+//!
+//! ```text
+//! {"v":1,"id":7,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],
+//!   "resolution_bits":16},"model":"lenet5_sign_mnist"}
+//! {"v":1,"id":8,"op":"stats"}
+//! {"v":1,"id":9,"op":"ping"}
+//! ```
+//!
+//! Responses echo the id and carry either an `ok` payload or a typed `err`
+//! frame:
+//!
+//! ```text
+//! {"v":1,"id":7,"ok":{"type":"eval","cache_hit":false,"worker":2,"report":{...}}}
+//! {"v":1,"id":7,"err":{"kind":"overloaded","detail":"admission queue full (capacity 256)"}}
+//! ```
+//!
+//! Numbers round-trip exactly (see [`crate::json`]), so a decoded
+//! [`SimulationReport`] is bit-identical to the one the in-process
+//! [`EvalService`](crosslight_runtime::EvalService) produced — the protocol
+//! never changes results, only transport.
+//!
+//! Decoding is total: any malformed, truncated or unsupported input maps to
+//! an [`ErrorFrame`] (never a panic), which the server sends back with the
+//! offending request's id when it could be parsed.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crosslight_core::config::CrossLightConfig;
+use crosslight_core::performance::{InferenceLatency, InferenceMetrics};
+use crosslight_core::simulator::SimulationReport;
+use crosslight_core::variants::CrossLightVariant;
+use crosslight_neural::layers::DotProductWorkload;
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_photonics::units::{MilliWatts, Picojoules, Seconds, SquareMillimeters, Watts};
+use crosslight_runtime::pool::RuntimeStats;
+use crosslight_runtime::request::EvalRequest;
+
+use crate::json::{self, Json, JsonError};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default maximum accepted line length (bytes, excluding the newline).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// The typed error kinds of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The line was not a valid frame (bad JSON, missing/ill-typed fields,
+    /// unknown op, unknown variant/model name).
+    Malformed,
+    /// The frame declared a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The line exceeded the server's maximum line length.
+    Oversized,
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The simulator rejected the request (e.g. invalid architecture
+    /// dimensions).
+    Evaluation,
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The stable wire name of the kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Malformed => "malformed",
+            Self::UnsupportedVersion => "unsupported_version",
+            Self::Oversized => "oversized",
+            Self::Overloaded => "overloaded",
+            Self::Evaluation => "evaluation",
+            Self::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire name back into the kind.
+    #[must_use]
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        [
+            Self::Malformed,
+            Self::UnsupportedVersion,
+            Self::Oversized,
+            Self::Overloaded,
+            Self::Evaluation,
+            Self::ShuttingDown,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == name)
+    }
+}
+
+/// A typed error frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorFrame {
+    /// What went wrong, as a closed enum clients can switch on.
+    pub kind: ErrorKind,
+    /// Human-readable detail (never required for dispatch).
+    pub detail: String,
+}
+
+impl ErrorFrame {
+    /// Builds an error frame.
+    #[must_use]
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    fn malformed(detail: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Malformed, detail)
+    }
+}
+
+impl From<JsonError> for ErrorFrame {
+    fn from(err: JsonError) -> Self {
+        Self::malformed(format!("invalid JSON: {err}"))
+    }
+}
+
+/// How a request names its workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadRef {
+    /// One of the four Table I models, by
+    /// [`PaperModel::wire_name`](crosslight_neural::zoo::PaperModel::wire_name).
+    Model(PaperModel),
+    /// A full inline workload (per-layer dot-product jobs).
+    Inline(NetworkWorkload),
+}
+
+/// The scenario named by one `eval` request: the same axes the
+/// [`SweepPlanner`](crosslight_runtime::SweepPlanner) expands — design
+/// variant, architecture dimensions, accounting resolution, workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSpec {
+    /// Cross-layer design variant, transmitted by paper label.
+    pub variant: CrossLightVariant,
+    /// Architecture dimensions `(N, K, n, m)`.
+    pub dims: (usize, usize, usize, usize),
+    /// Energy-accounting resolution in bits.
+    pub resolution_bits: u32,
+    /// The workload to evaluate.
+    pub workload: WorkloadRef,
+}
+
+impl EvalSpec {
+    /// A spec for a paper model on the given variant with the paper-best
+    /// architecture at 16 bits.
+    #[must_use]
+    pub fn paper(variant: CrossLightVariant, model: PaperModel) -> Self {
+        Self {
+            variant,
+            dims: crosslight_core::config::BEST_CONFIG,
+            resolution_bits: 16,
+            workload: WorkloadRef::Model(model),
+        }
+    }
+
+    /// Builds the validated [`CrossLightConfig`] this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErrorFrame`] of kind [`ErrorKind::Evaluation`] if the
+    /// dimensions are architecturally invalid.
+    pub fn config(&self) -> Result<CrossLightConfig, ErrorFrame> {
+        let (n, k, conv_units, fc_units) = self.dims;
+        CrossLightConfig::new(n, k, conv_units, fc_units, self.variant.design())
+            .map(|c| c.with_resolution_bits(self.resolution_bits))
+            .map_err(|err| ErrorFrame::new(ErrorKind::Evaluation, err.to_string()))
+    }
+
+    /// Resolves the spec into a runtime [`EvalRequest`], sharing prebuilt
+    /// paper workloads from `table` (indexed as [`PaperModel::all`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErrorFrame`] of kind [`ErrorKind::Evaluation`] if the
+    /// dimensions are invalid.
+    pub fn to_eval_request(
+        &self,
+        id: u64,
+        table: &[Arc<NetworkWorkload>; 4],
+    ) -> Result<EvalRequest, ErrorFrame> {
+        let config = self.config()?;
+        let workload = match &self.workload {
+            WorkloadRef::Model(model) => {
+                let index = PaperModel::all()
+                    .iter()
+                    .position(|m| m == model)
+                    .expect("PaperModel::all covers every variant");
+                Arc::clone(&table[index])
+            }
+            WorkloadRef::Inline(workload) => Arc::new(workload.clone()),
+        };
+        Ok(EvalRequest::new(config, workload).with_id(id))
+    }
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// The operations of the protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Evaluate one scenario.
+    Eval(EvalSpec),
+    /// Snapshot the server + runtime counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Server-side counters exposed by the `stats` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireServerStats {
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Frames received (all ops, including shed/malformed ones).
+    pub requests_total: u64,
+    /// Eval requests answered with a report.
+    pub evals_ok: u64,
+    /// Eval requests answered with a typed `evaluation` error.
+    pub evals_failed: u64,
+    /// Eval requests shed by admission control.
+    pub shed_total: u64,
+    /// Frames rejected as malformed/unsupported-version.
+    pub malformed_total: u64,
+    /// Lines rejected as oversized.
+    pub oversized_total: u64,
+    /// Admission-queue capacity (max in-flight evals).
+    pub queue_capacity: u64,
+    /// Evals currently admitted and not yet answered.
+    pub in_flight: u64,
+}
+
+/// Runtime counters as transmitted by the `stats` endpoint (a lossless wire
+/// view of [`RuntimeStats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRuntimeStats {
+    /// See [`RuntimeStats::submitted`].
+    pub submitted: u64,
+    /// See [`RuntimeStats::completed`].
+    pub completed: u64,
+    /// See [`RuntimeStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`RuntimeStats::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`RuntimeStats::cached_entries`].
+    pub cached_entries: u64,
+    /// See [`RuntimeStats::prepared_configs`].
+    pub prepared_configs: u64,
+    /// See [`RuntimeStats::per_worker`].
+    pub per_worker: Vec<u64>,
+    /// See [`RuntimeStats::queue_depths`].
+    pub queue_depths: Vec<u64>,
+}
+
+impl From<&RuntimeStats> for WireRuntimeStats {
+    fn from(stats: &RuntimeStats) -> Self {
+        Self {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cached_entries: stats.cached_entries as u64,
+            prepared_configs: stats.prepared_configs as u64,
+            per_worker: stats.per_worker.clone(),
+            queue_depths: stats.queue_depths.clone(),
+        }
+    }
+}
+
+/// The payload of a successful `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsFrame {
+    /// Front-end counters.
+    pub server: WireServerStats,
+    /// Evaluation-pool counters.
+    pub runtime: WireRuntimeStats,
+}
+
+/// The payload of a successful `eval` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalFrame {
+    /// The simulation result, bit-identical to in-process evaluation.
+    pub report: SimulationReport,
+    /// Whether the report came from the memoizing cache.
+    pub cache_hit: bool,
+    /// The worker that served the request.
+    pub worker: u64,
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id, when the request's id could be parsed.
+    pub id: Option<u64>,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// The response payloads of the protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// A completed evaluation.
+    Eval(EvalFrame),
+    /// A stats snapshot.
+    Stats(StatsFrame),
+    /// Answer to `ping`.
+    Pong,
+    /// A typed error.
+    Error(ErrorFrame),
+}
+
+impl Response {
+    /// Builds an error response.
+    #[must_use]
+    pub fn error(id: Option<u64>, frame: ErrorFrame) -> Self {
+        Self {
+            id,
+            body: ResponseBody::Error(frame),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Appends the workload object to the line being built.
+fn encode_workload_into(workload: &NetworkWorkload, out: &mut String) {
+    let layers = |layers: &[DotProductWorkload], out: &mut String| {
+        out.push('[');
+        for (i, l) in layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", l.dot_length, l.dot_count);
+        }
+        out.push(']');
+    };
+    out.push_str("{\"name\":");
+    json::push_string_literal(&workload.name, out);
+    let _ = write!(out, ",\"towers\":{},\"conv_layers\":", workload.towers);
+    layers(&workload.conv_layers, out);
+    out.push_str(",\"fc_layers\":");
+    layers(&workload.fc_layers, out);
+    out.push('}');
+}
+
+/// Appends the report object to the line being built.  Frames are encoded by
+/// direct string writing (not via a [`Json`] tree) because this runs once
+/// per response on the serving hot path.
+fn encode_report_into(report: &SimulationReport, out: &mut String) {
+    let f = |label: &str, value: f64, out: &mut String| {
+        out.push_str(label);
+        json::push_f64(value, out);
+    };
+    f("{\"power_mw\":{\"laser\":", report.power.laser.value(), out);
+    f(",\"tuning\":", report.power.tuning.value(), out);
+    f(",\"detection\":", report.power.detection.value(), out);
+    f(",\"conversion\":", report.power.conversion.value(), out);
+    f(",\"control\":", report.power.control.value(), out);
+    f(
+        "},\"area_mm2\":{\"mr_banks\":",
+        report.area.mr_banks.value(),
+        out,
+    );
+    f(",\"arm_devices\":", report.area.arm_devices.value(), out);
+    f(
+        ",\"unit_electronics\":",
+        report.area.unit_electronics.value(),
+        out,
+    );
+    f(
+        "},\"metrics\":{\"conv_time_s\":",
+        report.metrics.latency.conv_time.value(),
+        out,
+    );
+    f(
+        ",\"fc_time_s\":",
+        report.metrics.latency.fc_time.value(),
+        out,
+    );
+    f(
+        ",\"electronic_time_s\":",
+        report.metrics.latency.electronic_time.value(),
+        out,
+    );
+    f(",\"fps\":", report.metrics.fps, out);
+    f(
+        ",\"energy_per_inference_pj\":",
+        report.metrics.energy_per_inference.value(),
+        out,
+    );
+    f(
+        ",\"energy_per_bit_pj\":",
+        report.metrics.energy_per_bit_pj,
+        out,
+    );
+    f(",\"kfps_per_watt\":", report.metrics.kfps_per_watt, out);
+    f(",\"power_w\":", report.metrics.power.value(), out);
+    let _ = write!(out, "}},\"resolution_bits\":{}}}", report.resolution_bits);
+}
+
+/// Encodes a request as one JSON line (no trailing newline).
+#[must_use]
+pub fn encode_request(request: &Request) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION},\"id\":{}", request.id);
+    match &request.body {
+        RequestBody::Eval(spec) => {
+            let (n, k, conv_units, fc_units) = spec.dims;
+            let _ = write!(
+                out,
+                ",\"op\":\"eval\",\"config\":{{\"variant\":\"{}\",\"dims\":[{n},{k},{conv_units},\
+                 {fc_units}],\"resolution_bits\":{}}}",
+                spec.variant.label(),
+                spec.resolution_bits
+            );
+            match &spec.workload {
+                WorkloadRef::Model(model) => {
+                    let _ = write!(out, ",\"model\":\"{}\"", model.wire_name());
+                }
+                WorkloadRef::Inline(workload) => {
+                    out.push_str(",\"workload\":");
+                    encode_workload_into(workload, &mut out);
+                }
+            }
+        }
+        RequestBody::Stats => out.push_str(",\"op\":\"stats\""),
+        RequestBody::Ping => out.push_str(",\"op\":\"ping\""),
+    }
+    out.push('}');
+    out
+}
+
+fn encode_server_stats(stats: &WireServerStats) -> Json {
+    obj(vec![
+        (
+            "connections_accepted",
+            Json::Uint(stats.connections_accepted),
+        ),
+        ("connections_active", Json::Uint(stats.connections_active)),
+        ("requests_total", Json::Uint(stats.requests_total)),
+        ("evals_ok", Json::Uint(stats.evals_ok)),
+        ("evals_failed", Json::Uint(stats.evals_failed)),
+        ("shed_total", Json::Uint(stats.shed_total)),
+        ("malformed_total", Json::Uint(stats.malformed_total)),
+        ("oversized_total", Json::Uint(stats.oversized_total)),
+        ("queue_capacity", Json::Uint(stats.queue_capacity)),
+        ("in_flight", Json::Uint(stats.in_flight)),
+    ])
+}
+
+fn encode_runtime_stats(stats: &WireRuntimeStats) -> Json {
+    let counts = |values: &[u64]| Json::Array(values.iter().map(|&v| Json::Uint(v)).collect());
+    obj(vec![
+        ("submitted", Json::Uint(stats.submitted)),
+        ("completed", Json::Uint(stats.completed)),
+        ("cache_hits", Json::Uint(stats.cache_hits)),
+        ("cache_misses", Json::Uint(stats.cache_misses)),
+        ("cached_entries", Json::Uint(stats.cached_entries)),
+        ("prepared_configs", Json::Uint(stats.prepared_configs)),
+        ("per_worker", counts(&stats.per_worker)),
+        ("queue_depths", counts(&stats.queue_depths)),
+    ])
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+#[must_use]
+pub fn encode_response(response: &Response) -> String {
+    let mut out = String::with_capacity(640);
+    let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION}");
+    if let Some(id) = response.id {
+        let _ = write!(out, ",\"id\":{id}");
+    }
+    match &response.body {
+        ResponseBody::Eval(frame) => {
+            let _ = write!(
+                out,
+                ",\"ok\":{{\"type\":\"eval\",\"cache_hit\":{},\"worker\":{},\"report\":",
+                frame.cache_hit, frame.worker
+            );
+            encode_report_into(&frame.report, &mut out);
+            out.push('}');
+        }
+        ResponseBody::Stats(frame) => {
+            out.push_str(",\"ok\":");
+            let body = obj(vec![
+                ("type", Json::Str("stats".to_string())),
+                ("server", encode_server_stats(&frame.server)),
+                ("runtime", encode_runtime_stats(&frame.runtime)),
+            ]);
+            out.push_str(&body.encode());
+        }
+        ResponseBody::Pong => out.push_str(",\"ok\":{\"type\":\"pong\"}"),
+        ResponseBody::Error(frame) => {
+            let _ = write!(
+                out,
+                ",\"err\":{{\"kind\":\"{}\",\"detail\":",
+                frame.kind.as_str()
+            );
+            json::push_string_literal(&frame.detail, &mut out);
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn field<'a>(value: &'a Json, key: &str) -> Result<&'a Json, ErrorFrame> {
+    value
+        .get(key)
+        .ok_or_else(|| ErrorFrame::malformed(format!("missing field `{key}`")))
+}
+
+fn u64_field(value: &Json, key: &str) -> Result<u64, ErrorFrame> {
+    field(value, key)?.as_u64().ok_or_else(|| {
+        ErrorFrame::malformed(format!("field `{key}` must be a non-negative integer"))
+    })
+}
+
+fn f64_field(value: &Json, key: &str) -> Result<f64, ErrorFrame> {
+    field(value, key)?
+        .as_f64()
+        .ok_or_else(|| ErrorFrame::malformed(format!("field `{key}` must be a number")))
+}
+
+fn str_field<'a>(value: &'a Json, key: &str) -> Result<&'a str, ErrorFrame> {
+    field(value, key)?
+        .as_str()
+        .ok_or_else(|| ErrorFrame::malformed(format!("field `{key}` must be a string")))
+}
+
+fn usize_from(value: u64, key: &str) -> Result<usize, ErrorFrame> {
+    usize::try_from(value).map_err(|_| ErrorFrame::malformed(format!("field `{key}` out of range")))
+}
+
+/// Checks the envelope version and extracts the id, shared by request and
+/// response decoding.
+fn check_version(value: &Json) -> Result<(), ErrorFrame> {
+    let version = u64_field(value, "v")?;
+    if version != PROTOCOL_VERSION {
+        return Err(ErrorFrame::new(
+            ErrorKind::UnsupportedVersion,
+            format!(
+                "protocol version {version} not supported (this server speaks {PROTOCOL_VERSION})"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn decode_layers(value: &Json, key: &str) -> Result<Vec<DotProductWorkload>, ErrorFrame> {
+    let items = field(value, key)?
+        .as_array()
+        .ok_or_else(|| ErrorFrame::malformed(format!("field `{key}` must be an array")))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                ErrorFrame::malformed(format!("entries of `{key}` must be [length, count] pairs"))
+            })?;
+            let dot_length = pair[0]
+                .as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("dot_length must be an integer"))?;
+            let dot_count = pair[1]
+                .as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("dot_count must be an integer"))?;
+            Ok(DotProductWorkload {
+                dot_length: usize_from(dot_length, "dot_length")?,
+                dot_count: usize_from(dot_count, "dot_count")?,
+            })
+        })
+        .collect()
+}
+
+fn decode_workload(value: &Json) -> Result<NetworkWorkload, ErrorFrame> {
+    Ok(NetworkWorkload {
+        name: str_field(value, "name")?.to_string(),
+        towers: usize_from(u64_field(value, "towers")?, "towers")?,
+        conv_layers: decode_layers(value, "conv_layers")?,
+        fc_layers: decode_layers(value, "fc_layers")?,
+    })
+}
+
+fn decode_eval_spec(value: &Json) -> Result<EvalSpec, ErrorFrame> {
+    let config = field(value, "config")?;
+    let label = str_field(config, "variant")?;
+    let variant = CrossLightVariant::from_label(label)
+        .ok_or_else(|| ErrorFrame::malformed(format!("unknown variant `{label}`")))?;
+    let dims_json = field(config, "dims")?
+        .as_array()
+        .filter(|a| a.len() == 4)
+        .ok_or_else(|| ErrorFrame::malformed("field `dims` must be a 4-element array"))?;
+    let mut dims = [0usize; 4];
+    for (slot, item) in dims.iter_mut().zip(dims_json) {
+        *slot = usize_from(
+            item.as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("`dims` entries must be integers"))?,
+            "dims",
+        )?;
+    }
+    let resolution_bits = u32::try_from(u64_field(config, "resolution_bits")?)
+        .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))?;
+    let workload = match (value.get("model"), value.get("workload")) {
+        (Some(model), None) => {
+            let name = model
+                .as_str()
+                .ok_or_else(|| ErrorFrame::malformed("field `model` must be a string"))?;
+            WorkloadRef::Model(
+                PaperModel::from_wire_name(name)
+                    .ok_or_else(|| ErrorFrame::malformed(format!("unknown model `{name}`")))?,
+            )
+        }
+        (None, Some(inline)) => WorkloadRef::Inline(decode_workload(inline)?),
+        _ => {
+            return Err(ErrorFrame::malformed(
+                "eval requests need exactly one of `model` or `workload`",
+            ))
+        }
+    };
+    Ok(EvalSpec {
+        variant,
+        dims: (dims[0], dims[1], dims[2], dims[3]),
+        resolution_bits,
+        workload,
+    })
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a typed [`ErrorFrame`] (with the parsed id when available via
+/// [`peek_id`]) for malformed or unsupported frames.  Never panics.
+pub fn decode_request(line: &str) -> Result<Request, ErrorFrame> {
+    let value = Json::parse(line)?;
+    check_version(&value)?;
+    let id = u64_field(&value, "id")?;
+    let body = match str_field(&value, "op")? {
+        "eval" => RequestBody::Eval(decode_eval_spec(&value)?),
+        "stats" => RequestBody::Stats,
+        "ping" => RequestBody::Ping,
+        other => return Err(ErrorFrame::malformed(format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, body })
+}
+
+/// Best-effort extraction of the id from a (possibly malformed) request
+/// line, so error responses can still be correlated.
+#[must_use]
+pub fn peek_id(line: &str) -> Option<u64> {
+    Json::parse(line).ok()?.get("id")?.as_u64()
+}
+
+fn decode_report(value: &Json) -> Result<SimulationReport, ErrorFrame> {
+    let power = field(value, "power_mw")?;
+    let area = field(value, "area_mm2")?;
+    let metrics = field(value, "metrics")?;
+    Ok(SimulationReport {
+        power: crosslight_core::power::AcceleratorPower {
+            laser: MilliWatts::new(f64_field(power, "laser")?),
+            tuning: MilliWatts::new(f64_field(power, "tuning")?),
+            detection: MilliWatts::new(f64_field(power, "detection")?),
+            conversion: MilliWatts::new(f64_field(power, "conversion")?),
+            control: MilliWatts::new(f64_field(power, "control")?),
+        },
+        area: crosslight_core::area::AcceleratorArea {
+            mr_banks: SquareMillimeters::new(f64_field(area, "mr_banks")?),
+            arm_devices: SquareMillimeters::new(f64_field(area, "arm_devices")?),
+            unit_electronics: SquareMillimeters::new(f64_field(area, "unit_electronics")?),
+        },
+        metrics: InferenceMetrics {
+            latency: InferenceLatency {
+                conv_time: Seconds::new(f64_field(metrics, "conv_time_s")?),
+                fc_time: Seconds::new(f64_field(metrics, "fc_time_s")?),
+                electronic_time: Seconds::new(f64_field(metrics, "electronic_time_s")?),
+            },
+            fps: f64_field(metrics, "fps")?,
+            energy_per_inference: Picojoules::new(f64_field(metrics, "energy_per_inference_pj")?),
+            energy_per_bit_pj: f64_field(metrics, "energy_per_bit_pj")?,
+            kfps_per_watt: f64_field(metrics, "kfps_per_watt")?,
+            power: Watts::new(f64_field(metrics, "power_w")?),
+        },
+        resolution_bits: u32::try_from(u64_field(value, "resolution_bits")?)
+            .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))?,
+    })
+}
+
+fn decode_counts(value: &Json, key: &str) -> Result<Vec<u64>, ErrorFrame> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| ErrorFrame::malformed(format!("field `{key}` must be an array")))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .ok_or_else(|| ErrorFrame::malformed(format!("`{key}` entries must be integers")))
+        })
+        .collect()
+}
+
+fn decode_server_stats(value: &Json) -> Result<WireServerStats, ErrorFrame> {
+    Ok(WireServerStats {
+        connections_accepted: u64_field(value, "connections_accepted")?,
+        connections_active: u64_field(value, "connections_active")?,
+        requests_total: u64_field(value, "requests_total")?,
+        evals_ok: u64_field(value, "evals_ok")?,
+        evals_failed: u64_field(value, "evals_failed")?,
+        shed_total: u64_field(value, "shed_total")?,
+        malformed_total: u64_field(value, "malformed_total")?,
+        oversized_total: u64_field(value, "oversized_total")?,
+        queue_capacity: u64_field(value, "queue_capacity")?,
+        in_flight: u64_field(value, "in_flight")?,
+    })
+}
+
+fn decode_runtime_stats(value: &Json) -> Result<WireRuntimeStats, ErrorFrame> {
+    Ok(WireRuntimeStats {
+        submitted: u64_field(value, "submitted")?,
+        completed: u64_field(value, "completed")?,
+        cache_hits: u64_field(value, "cache_hits")?,
+        cache_misses: u64_field(value, "cache_misses")?,
+        cached_entries: u64_field(value, "cached_entries")?,
+        prepared_configs: u64_field(value, "prepared_configs")?,
+        per_worker: decode_counts(value, "per_worker")?,
+        queue_depths: decode_counts(value, "queue_depths")?,
+    })
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+///
+/// Returns a typed [`ErrorFrame`] for malformed or unsupported frames.
+/// Never panics.
+pub fn decode_response(line: &str) -> Result<Response, ErrorFrame> {
+    let value = Json::parse(line)?;
+    check_version(&value)?;
+    let id =
+        match value.get("id") {
+            None => None,
+            Some(json) => Some(json.as_u64().ok_or_else(|| {
+                ErrorFrame::malformed("field `id` must be a non-negative integer")
+            })?),
+        };
+    let body = match (value.get("ok"), value.get("err")) {
+        (Some(ok), None) => match str_field(ok, "type")? {
+            "eval" => ResponseBody::Eval(EvalFrame {
+                report: decode_report(field(ok, "report")?)?,
+                cache_hit: field(ok, "cache_hit")?
+                    .as_bool()
+                    .ok_or_else(|| ErrorFrame::malformed("field `cache_hit` must be a bool"))?,
+                worker: u64_field(ok, "worker")?,
+            }),
+            "stats" => ResponseBody::Stats(StatsFrame {
+                server: decode_server_stats(field(ok, "server")?)?,
+                runtime: decode_runtime_stats(field(ok, "runtime")?)?,
+            }),
+            "pong" => ResponseBody::Pong,
+            other => return Err(ErrorFrame::malformed(format!("unknown ok type `{other}`"))),
+        },
+        (None, Some(err)) => {
+            let kind_name = str_field(err, "kind")?;
+            let kind = ErrorKind::from_wire_name(kind_name).ok_or_else(|| {
+                ErrorFrame::malformed(format!("unknown error kind `{kind_name}`"))
+            })?;
+            ResponseBody::Error(ErrorFrame::new(kind, str_field(err, "detail")?))
+        }
+        _ => {
+            return Err(ErrorFrame::malformed(
+                "responses need exactly one of `ok` or `err`",
+            ))
+        }
+    };
+    Ok(Response { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crosslight_core::simulator::CrossLightSimulator;
+
+    fn paper_workloads() -> [Arc<NetworkWorkload>; 4] {
+        PaperModel::all().map(|m| Arc::new(NetworkWorkload::from_spec(&m.spec()).unwrap()))
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let requests = vec![
+            Request {
+                id: 0,
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: u64::MAX,
+                body: RequestBody::Stats,
+            },
+            Request {
+                id: 7,
+                body: RequestBody::Eval(EvalSpec::paper(
+                    CrossLightVariant::OptTed,
+                    PaperModel::CnnCifar10,
+                )),
+            },
+            Request {
+                id: 8,
+                body: RequestBody::Eval(EvalSpec {
+                    variant: CrossLightVariant::Base,
+                    dims: (10, 100, 50, 30),
+                    resolution_bits: 8,
+                    workload: WorkloadRef::Inline(
+                        NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap(),
+                    ),
+                }),
+            },
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            assert_eq!(decode_request(&line).unwrap(), request, "{line}");
+            assert_eq!(peek_id(&line), Some(request.id));
+        }
+    }
+
+    #[test]
+    fn eval_responses_round_trip_reports_bit_exactly() {
+        let workloads = paper_workloads();
+        let report = CrossLightSimulator::new(CrossLightConfig::paper_best())
+            .evaluate(&workloads[0])
+            .unwrap();
+        let response = Response {
+            id: Some(42),
+            body: ResponseBody::Eval(EvalFrame {
+                report,
+                cache_hit: true,
+                worker: 3,
+            }),
+        };
+        let line = encode_response(&response);
+        let decoded = decode_response(&line).unwrap();
+        assert_eq!(decoded, response);
+        match decoded.body {
+            ResponseBody::Eval(frame) => assert_eq!(frame.report, report),
+            other => panic!("expected eval frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_stats_and_pong_frames_round_trip() {
+        let frames = vec![
+            Response::error(None, ErrorFrame::new(ErrorKind::Overloaded, "queue full")),
+            Response::error(
+                Some(9),
+                ErrorFrame::new(ErrorKind::Evaluation, "K < N rejected"),
+            ),
+            Response {
+                id: Some(1),
+                body: ResponseBody::Pong,
+            },
+            Response {
+                id: Some(2),
+                body: ResponseBody::Stats(StatsFrame {
+                    server: WireServerStats {
+                        connections_accepted: 3,
+                        connections_active: 1,
+                        requests_total: 40,
+                        evals_ok: 30,
+                        evals_failed: 2,
+                        shed_total: 5,
+                        malformed_total: 2,
+                        oversized_total: 1,
+                        queue_capacity: 256,
+                        in_flight: 4,
+                    },
+                    runtime: WireRuntimeStats {
+                        submitted: 30,
+                        completed: 30,
+                        cache_hits: 12,
+                        cache_misses: 18,
+                        cached_entries: 18,
+                        prepared_configs: 4,
+                        per_worker: vec![10, 20],
+                        queue_depths: vec![0, 0],
+                    },
+                }),
+            },
+        ];
+        for response in frames {
+            let line = encode_response(&response);
+            assert_eq!(decode_response(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn version_mismatches_and_malformed_frames_are_typed() {
+        let err = decode_request(r#"{"v":2,"id":1,"op":"ping"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnsupportedVersion);
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"v":1}"#,
+            r#"{"v":1,"id":1}"#,
+            r#"{"v":1,"id":1,"op":"launch"}"#,
+            r#"{"v":1,"id":1,"op":"eval"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"nope","dims":[1,2,3,4],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3,4],"resolution_bits":16},"model":"vgg16"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3,4],"resolution_bits":16}}"#,
+            r#"{"v":1,"id":-3,"op":"ping"}"#,
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{line} → {err:?}");
+        }
+        let err = decode_response(r#"{"v":1,"id":1,"ok":{"type":"eval"},"err":{}}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+    }
+
+    #[test]
+    fn eval_specs_resolve_to_runtime_requests() {
+        let workloads = paper_workloads();
+        let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::CnnStl10);
+        let request = spec.to_eval_request(11, &workloads).unwrap();
+        assert_eq!(request.id, 11);
+        assert_eq!(request.config, CrossLightConfig::paper_best());
+        assert!(Arc::ptr_eq(&request.workload, &workloads[2]));
+
+        let invalid = EvalSpec {
+            dims: (150, 20, 100, 60), // K < N
+            ..spec
+        };
+        let err = invalid.to_eval_request(0, &workloads).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Evaluation);
+    }
+
+    #[test]
+    fn error_kind_names_round_trip() {
+        for kind in [
+            ErrorKind::Malformed,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::Oversized,
+            ErrorKind::Overloaded,
+            ErrorKind::Evaluation,
+            ErrorKind::ShuttingDown,
+        ] {
+            assert_eq!(ErrorKind::from_wire_name(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_wire_name("panic"), None);
+    }
+}

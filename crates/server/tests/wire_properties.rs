@@ -1,0 +1,343 @@
+//! Property tests of the wire protocol: every frame round-trips exactly,
+//! and the decoder is total — malformed, truncated and adversarial input
+//! produces typed errors, never panics.
+
+use proptest::prelude::*;
+
+use crosslight_core::performance::{InferenceLatency, InferenceMetrics};
+use crosslight_core::simulator::SimulationReport;
+use crosslight_core::variants::CrossLightVariant;
+use crosslight_neural::layers::DotProductWorkload;
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_photonics::units::{MilliWatts, Picojoules, Seconds, SquareMillimeters, Watts};
+use crosslight_server::json::Json;
+use crosslight_server::wire::{
+    decode_request, decode_response, encode_request, encode_response, ErrorFrame, ErrorKind,
+    EvalFrame, EvalSpec, Request, RequestBody, Response, ResponseBody, StatsFrame,
+    WireRuntimeStats, WireServerStats, WorkloadRef,
+};
+
+fn variant_from(index: usize) -> CrossLightVariant {
+    CrossLightVariant::all()[index % 4]
+}
+
+fn model_from(index: usize) -> PaperModel {
+    PaperModel::all()[index % 4]
+}
+
+fn spec_from(
+    variant: usize,
+    dims: (usize, usize, usize, usize),
+    bits: u32,
+    model: usize,
+) -> EvalSpec {
+    EvalSpec {
+        variant: variant_from(variant),
+        dims,
+        resolution_bits: bits,
+        workload: WorkloadRef::Model(model_from(model)),
+    }
+}
+
+fn report_from(values: &[f64; 16], bits: u32) -> SimulationReport {
+    SimulationReport {
+        power: crosslight_core::power::AcceleratorPower {
+            laser: MilliWatts::new(values[0]),
+            tuning: MilliWatts::new(values[1]),
+            detection: MilliWatts::new(values[2]),
+            conversion: MilliWatts::new(values[3]),
+            control: MilliWatts::new(values[4]),
+        },
+        area: crosslight_core::area::AcceleratorArea {
+            mr_banks: SquareMillimeters::new(values[5]),
+            arm_devices: SquareMillimeters::new(values[6]),
+            unit_electronics: SquareMillimeters::new(values[7]),
+        },
+        metrics: InferenceMetrics {
+            latency: InferenceLatency {
+                conv_time: Seconds::new(values[8]),
+                fc_time: Seconds::new(values[9]),
+                electronic_time: Seconds::new(values[10]),
+            },
+            fps: values[11],
+            energy_per_inference: Picojoules::new(values[12]),
+            energy_per_bit_pj: values[13],
+            kfps_per_watt: values[14],
+            power: Watts::new(values[15]),
+        },
+        resolution_bits: bits,
+    }
+}
+
+proptest! {
+    /// Model-referencing eval requests round-trip for every id, variant,
+    /// dimension tuple and resolution.
+    #[test]
+    fn eval_requests_round_trip(
+        id in 0u64..u64::MAX,
+        variant in 0usize..4,
+        dims in (1usize..500, 1usize..500, 1usize..200, 1usize..200),
+        bits in 1u32..32,
+        model in 0usize..4,
+    ) {
+        let request = Request {
+            id,
+            body: RequestBody::Eval(spec_from(variant, dims, bits, model)),
+        };
+        let line = encode_request(&request);
+        prop_assert_eq!(decode_request(&line).unwrap(), request);
+    }
+
+    /// Inline-workload requests round-trip, including arbitrary layer lists
+    /// and names with characters that need escaping.
+    #[test]
+    fn inline_workload_requests_round_trip(
+        id in 0u64..1_000_000,
+        towers in 1usize..4,
+        conv in proptest::collection::vec((1usize..10_000, 1usize..100_000), 0..6),
+        fc in proptest::collection::vec((1usize..10_000, 1usize..100_000), 0..4),
+        name_tag in 0u32..1000,
+    ) {
+        let layers = |pairs: &[(usize, usize)]| {
+            pairs
+                .iter()
+                .map(|&(dot_length, dot_count)| DotProductWorkload { dot_length, dot_count })
+                .collect::<Vec<_>>()
+        };
+        let workload = NetworkWorkload {
+            name: format!("net \"{name_tag}\"\n\t✓"),
+            conv_layers: layers(&conv),
+            fc_layers: layers(&fc),
+            towers,
+        };
+        let request = Request {
+            id,
+            body: RequestBody::Eval(EvalSpec {
+                variant: CrossLightVariant::OptTed,
+                dims: (20, 150, 100, 60),
+                resolution_bits: 16,
+                workload: WorkloadRef::Inline(workload),
+            }),
+        };
+        let line = encode_request(&request);
+        prop_assert_eq!(decode_request(&line).unwrap(), request);
+    }
+
+    /// Eval responses round-trip bit-exactly for arbitrary finite float
+    /// reports spanning many orders of magnitude.
+    #[test]
+    fn eval_responses_round_trip_bit_exactly(
+        id in 0u64..u64::MAX,
+        cache_hit in 0u32..2,
+        worker in 0u64..64,
+        mantissas in proptest::collection::vec(-1.0f64..1.0, 16),
+        scales in proptest::collection::vec(-300.0f64..300.0, 16),
+        bits in 1u32..64,
+    ) {
+        let mut values = [0.0f64; 16];
+        for i in 0..16 {
+            values[i] = mantissas[i] * 10f64.powf(scales[i] / 2.0);
+        }
+        let response = Response {
+            id: Some(id),
+            body: ResponseBody::Eval(EvalFrame {
+                report: report_from(&values, bits),
+                cache_hit: cache_hit == 1,
+                worker,
+            }),
+        };
+        let line = encode_response(&response);
+        let decoded = decode_response(&line).unwrap();
+        prop_assert_eq!(&decoded, &response);
+        // PartialEq on f64 is value equality; additionally pin the bit
+        // patterns of a representative field.
+        if let (ResponseBody::Eval(a), ResponseBody::Eval(b)) = (&decoded.body, &response.body) {
+            prop_assert_eq!(
+                a.report.metrics.fps.to_bits(),
+                b.report.metrics.fps.to_bits()
+            );
+            prop_assert_eq!(
+                a.report.power.laser.value().to_bits(),
+                b.report.power.laser.value().to_bits()
+            );
+        }
+    }
+
+    /// Stats and error responses round-trip for arbitrary counter values.
+    #[test]
+    fn stats_and_error_responses_round_trip(
+        counters in proptest::collection::vec(0u64..u64::MAX, 18),
+        per_worker in proptest::collection::vec(0u64..1_000_000, 0..8),
+        kind in 0usize..6,
+        detail_tag in 0u32..1000,
+    ) {
+        let stats = Response {
+            id: Some(counters[0]),
+            body: ResponseBody::Stats(StatsFrame {
+                server: WireServerStats {
+                    connections_accepted: counters[1],
+                    connections_active: counters[2],
+                    requests_total: counters[3],
+                    evals_ok: counters[4],
+                    evals_failed: counters[5],
+                    shed_total: counters[6],
+                    malformed_total: counters[7],
+                    oversized_total: counters[8],
+                    queue_capacity: counters[9],
+                    in_flight: counters[10],
+                },
+                runtime: WireRuntimeStats {
+                    submitted: counters[11],
+                    completed: counters[12],
+                    cache_hits: counters[13],
+                    cache_misses: counters[14],
+                    cached_entries: counters[15],
+                    prepared_configs: counters[16],
+                    per_worker: per_worker.clone(),
+                    queue_depths: per_worker.clone(),
+                },
+            }),
+        };
+        let line = encode_response(&stats);
+        prop_assert_eq!(decode_response(&line).unwrap(), stats);
+
+        let kinds = [
+            ErrorKind::Malformed,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::Oversized,
+            ErrorKind::Overloaded,
+            ErrorKind::Evaluation,
+            ErrorKind::ShuttingDown,
+        ];
+        let error = Response::error(
+            None,
+            ErrorFrame::new(kinds[kind], format!("detail \\ \"{detail_tag}\"")),
+        );
+        let line = encode_response(&error);
+        prop_assert_eq!(decode_response(&line).unwrap(), error);
+    }
+
+    /// Fuzz: arbitrary byte soup never panics the decoders — every outcome
+    /// is a typed error (or, for the rare syntactically valid line, a
+    /// decoded frame).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = decode_request(&line);
+        let _ = decode_response(&line);
+        let _ = Json::parse(&line);
+    }
+
+    /// Fuzz: printable JSON-ish soup (brackets, quotes, digits) never
+    /// panics and truncations of valid frames decode to typed errors.
+    #[test]
+    fn truncated_frames_decode_to_typed_errors(
+        id in 0u64..10_000,
+        variant in 0usize..4,
+        model in 0usize..4,
+        cut_permille in 0usize..1000,
+    ) {
+        let request = Request {
+            id,
+            body: RequestBody::Eval(spec_from(variant, (20, 150, 100, 60), 16, model)),
+        };
+        let line = encode_request(&request);
+        let cut = cut_permille * line.len() / 1000;
+        // Cut on a char boundary (the encoding here is pure ASCII).
+        let truncated = &line[..cut];
+        if cut == line.len() {
+            prop_assert!(decode_request(truncated).is_ok());
+        } else {
+            let err = decode_request(truncated).unwrap_err();
+            prop_assert!(
+                matches!(err.kind, ErrorKind::Malformed),
+                "truncated frame must be malformed, got {:?}",
+                err
+            );
+        }
+    }
+}
+
+#[test]
+fn special_float_values_round_trip_through_reports() {
+    // NaN compares unequal, so pin bit-level behaviour explicitly.
+    let values = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        5e-324,
+        f64::MAX,
+        -f64::MAX,
+        1.0,
+        -1.0,
+        std::f64::consts::PI,
+        1e-300,
+        -1e300,
+        42.5,
+        -0.125,
+    ];
+    let report = report_from(&values, 16);
+    let response = Response {
+        id: Some(1),
+        body: ResponseBody::Eval(EvalFrame {
+            report,
+            cache_hit: false,
+            worker: 0,
+        }),
+    };
+    let decoded = decode_response(&encode_response(&response)).unwrap();
+    let ResponseBody::Eval(frame) = decoded.body else {
+        panic!("expected eval frame");
+    };
+    let got = [
+        frame.report.power.laser.value(),
+        frame.report.power.tuning.value(),
+        frame.report.power.detection.value(),
+        frame.report.power.conversion.value(),
+        frame.report.power.control.value(),
+        frame.report.area.mr_banks.value(),
+        frame.report.area.arm_devices.value(),
+        frame.report.area.unit_electronics.value(),
+        frame.report.metrics.latency.conv_time.value(),
+        frame.report.metrics.latency.fc_time.value(),
+        frame.report.metrics.latency.electronic_time.value(),
+        frame.report.metrics.fps,
+        frame.report.metrics.energy_per_inference.value(),
+        frame.report.metrics.energy_per_bit_pj,
+        frame.report.metrics.kfps_per_watt,
+        frame.report.metrics.power.value(),
+    ];
+    for (i, (expected, actual)) in values.iter().zip(&got).enumerate() {
+        if expected.is_nan() {
+            assert!(actual.is_nan(), "field {i}");
+        } else {
+            assert_eq!(expected.to_bits(), actual.to_bits(), "field {i}");
+        }
+    }
+}
+
+#[test]
+fn oversized_like_inputs_are_rejected_without_panic() {
+    // A deeply nested line (adversarial stack attack) and a very long flat
+    // line both decode to typed errors.
+    let deep = format!(
+        "{{\"v\":1,\"id\":1,\"op\":{}1{}",
+        "[".repeat(500),
+        "]".repeat(500)
+    );
+    assert_eq!(
+        decode_request(&deep).unwrap_err().kind,
+        ErrorKind::Malformed
+    );
+    let long = format!("{{\"v\":1,\"id\":1,\"op\":\"{}\"}}", "x".repeat(1 << 20));
+    assert_eq!(
+        decode_request(&long).unwrap_err().kind,
+        ErrorKind::Malformed
+    );
+}

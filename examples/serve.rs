@@ -1,0 +1,199 @@
+//! Serves the CrossLight evaluation runtime over TCP/JSON-lines and drives
+//! it with the in-crate load generator — the end-to-end smoke of the
+//! `crosslight::server` stack.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve -- --port 0 --workers 4 --clients 4 --requests 64
+//! ```
+//!
+//! Three phases, each of which panics (non-zero exit, so CI can use this as
+//! a smoke test) if its invariant does not hold:
+//!
+//! 1. **Equivalence** — a mixed paper-scenario load is replayed twice over
+//!    `--clients` concurrent connections; every wire response must be
+//!    bit-identical to direct in-process `EvalService` dispatch of the same
+//!    scenario, and the second (cache-warm) pass must hit the cache.
+//! 2. **Overload** — the same mix is fired at a capacity-1 server; the
+//!    overload path must observably shed with typed `overloaded` frames
+//!    while still answering every request exactly once.
+//! 3. **Drain** — shutdown with clients connected must complete without
+//!    hanging (the process exiting is the proof).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crosslight::core::simulator::SimulationReport;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+use crosslight::runtime::prelude::*;
+use crosslight::server::loadgen::{self, Client, LoadGenOptions};
+use crosslight::server::server::{Server, ServerOptions};
+use crosslight::server::wire::{EvalSpec, ResponseBody, WorkloadRef};
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a non-negative integer, got `{v}`"))
+        })
+        .unwrap_or(default)
+}
+
+/// Direct in-process dispatch of every distinct scenario of the mix, used
+/// as the ground truth the wire responses must reproduce bit-for-bit.
+fn direct_reports(
+    options: &LoadGenOptions,
+    service: &EvalService,
+) -> HashMap<u64, SimulationReport> {
+    let workloads: [Arc<NetworkWorkload>; 4] = PaperModel::all()
+        .map(|m| Arc::new(NetworkWorkload::from_spec(&m.spec()).expect("paper models are valid")));
+    let mut by_id = HashMap::new();
+    for client in 0..options.clients {
+        for (index, spec) in options.client_specs(client).into_iter().enumerate() {
+            let request = spec
+                .to_eval_request(options.request_id(client, index), &workloads)
+                .expect("mix scenarios are valid");
+            let response = service.submit(request).expect("direct dispatch succeeds");
+            by_id.insert(options.request_id(client, index), response.report);
+        }
+    }
+    by_id
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let port = parse_flag(&args, "--port", 0);
+    let workers = parse_flag(&args, "--workers", 4).max(1);
+    let clients = parse_flag(&args, "--clients", 4).max(1);
+    let requests = parse_flag(&args, "--requests", 64).max(1);
+
+    println!("=== crosslight-server — TCP/JSON-lines front-end over the runtime ===\n");
+
+    // ---- Phase 1: serve + prove equivalence --------------------------------
+    let server = Server::bind(
+        format!("127.0.0.1:{port}"),
+        ServerOptions::default()
+            .with_workers(workers)
+            .with_queue_capacity(16 * 1024),
+    )?;
+    let addr = server.local_addr();
+    println!("listening on {addr} ({workers} eval workers)");
+
+    let options = LoadGenOptions::paper_mix(clients, requests, 0x5EED);
+    let direct_service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+    let expected = direct_reports(&options, &direct_service);
+
+    let mut warm_rps = 0.0;
+    for pass in 0..2 {
+        let report = loadgen::run(addr, &options)?;
+        assert_eq!(report.ok, report.sent, "no request may fail: {report:?}");
+        assert_eq!(report.shed, 0, "nothing may be shed below capacity");
+        for (id, response) in &report.responses {
+            let ResponseBody::Eval(frame) = &response.body else {
+                panic!("id {id}: unexpected response {response:?}");
+            };
+            assert_eq!(
+                frame.report, expected[id],
+                "id {id}: wire response diverged from direct EvalService dispatch"
+            );
+        }
+        let label = if pass == 0 { "cold" } else { "warm" };
+        println!(
+            "pass {label}: {} requests over {} connections in {:.2?}  ({:>8.0} req/s)",
+            report.sent,
+            options.clients,
+            report.elapsed,
+            report.throughput_rps()
+        );
+        warm_rps = report.throughput_rps();
+    }
+    let stats = server.stats();
+    assert!(
+        stats.runtime.cache_hits > 0,
+        "the warm pass must hit the cache"
+    );
+    println!(
+        "cache   : {} hits / {} misses ({:.0}% hit rate), {} prepared configs",
+        stats.runtime.cache_hits,
+        stats.runtime.cache_misses,
+        stats.runtime.hit_rate() * 100.0,
+        stats.runtime.prepared_configs
+    );
+    println!(
+        "server  : {} frames, {} evals ok, shed {}, malformed {}",
+        stats.server.requests_total,
+        stats.server.evals_ok,
+        stats.server.shed_total,
+        stats.server.malformed_total
+    );
+    println!("OK: every wire response bit-identical to direct EvalService dispatch.\n");
+
+    // A stats request over the wire itself.
+    let mut probe = Client::connect(addr)?;
+    let stats_frame = probe.stats(0)?;
+    let ResponseBody::Stats(wire_stats) = &stats_frame.body else {
+        panic!("stats endpoint returned {stats_frame:?}");
+    };
+    println!(
+        "wire stats: queue {}/{} in flight, per-worker {:?}, queue depths {:?}\n",
+        wire_stats.server.in_flight,
+        wire_stats.server.queue_capacity,
+        wire_stats.runtime.per_worker,
+        wire_stats.runtime.queue_depths
+    );
+    drop(probe);
+    server.shutdown();
+
+    // ---- Phase 2: overload sheds, typed and bounded ------------------------
+    let tiny = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(workers)
+            .with_queue_capacity(1),
+    )?;
+    // Distinct, uncached configurations keep evaluations slow enough that a
+    // pipelined burst must overrun the capacity-1 admission queue.
+    let mut burst = LoadGenOptions::paper_mix(clients, requests.max(32), 0xBEEF);
+    burst.scenarios = (0..64)
+        .map(|i| EvalSpec {
+            variant: crosslight::core::variants::CrossLightVariant::all()[i % 4],
+            dims: (10 + i, 160 + i, 40 + i, 20 + i),
+            resolution_bits: 16,
+            workload: WorkloadRef::Model(PaperModel::all()[i % 4]),
+        })
+        .collect();
+    let overload = loadgen::run(tiny.local_addr(), &burst)?;
+    let tiny_stats = tiny.stats();
+    assert_eq!(
+        overload.ok + overload.shed,
+        overload.sent,
+        "every request is answered exactly once: {overload:?}"
+    );
+    assert!(overload.ok > 0, "admitted work must complete");
+    assert!(
+        overload.shed > 0,
+        "a pipelined burst against capacity 1 must shed"
+    );
+    assert_eq!(tiny_stats.server.shed_total, overload.shed);
+    assert_eq!(tiny_stats.server.in_flight, 0);
+    println!(
+        "overload: {} sent → {} ok, {} shed (typed `overloaded` frames), 0 hangs",
+        overload.sent, overload.ok, overload.shed
+    );
+
+    // ---- Phase 3: drain with clients connected -----------------------------
+    let idle = Client::connect(tiny.local_addr())?;
+    tiny.shutdown();
+    drop(idle);
+    println!("drain   : shutdown completed with a client connected\n");
+
+    println!(
+        "OK: served {:.0} req/s warm over {} connections; overload shed {} of {}; drain clean.",
+        warm_rps, options.clients, overload.shed, overload.sent
+    );
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! | [`neural`] | `crosslight-neural` | tensors, layers, training, quantization, the Table I model zoo |
 //! | [`core`] | `crosslight-core` | the CrossLight architecture: VDP units, power/area/latency models, simulator |
 //! | [`runtime`] | `crosslight-runtime` | concurrent batched evaluation service: worker pool, result cache, sweep planner |
+//! | [`server`] | `crosslight-server` | load-shedding TCP/JSON-lines front-end over the runtime, plus the reference client/loadgen |
 //! | [`baselines`] | `crosslight-baselines` | DEAP-CNN, HolyLight, electronic platform references |
 //! | [`experiments`] | `crosslight-experiments` | one module per paper figure/table |
 //!
@@ -50,4 +51,5 @@ pub use crosslight_experiments as experiments;
 pub use crosslight_neural as neural;
 pub use crosslight_photonics as photonics;
 pub use crosslight_runtime as runtime;
+pub use crosslight_server as server;
 pub use crosslight_tuning as tuning;

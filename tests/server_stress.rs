@@ -1,0 +1,286 @@
+//! Concurrency stress tests of `crosslight::server`: many clients ×
+//! pipelined requests against a loopback server across worker counts,
+//! checked for exact equivalence with serial in-process evaluation, clean
+//! drain on shutdown, and observable load shedding under a saturating mix.
+
+use std::collections::HashMap;
+
+use crosslight::core::simulator::{CrossLightSimulator, SimulationReport};
+use crosslight::core::variants::CrossLightVariant;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+use crosslight::server::loadgen::{self, Client, LoadGenOptions};
+use crosslight::server::server::{Server, ServerOptions};
+use crosslight::server::wire::{ErrorKind, EvalSpec, Request, RequestBody, ResponseBody};
+
+/// Serially evaluates the spec a response answered, for equivalence checks.
+fn serial_report(spec: &EvalSpec) -> SimulationReport {
+    let config = spec.config().expect("stress specs are valid");
+    let workload = match &spec.workload {
+        crosslight::server::wire::WorkloadRef::Model(model) => {
+            NetworkWorkload::from_spec(&model.spec()).unwrap()
+        }
+        crosslight::server::wire::WorkloadRef::Inline(inline) => inline.clone(),
+    };
+    CrossLightSimulator::new(config)
+        .evaluate(&workload)
+        .unwrap()
+}
+
+#[test]
+fn many_clients_match_serial_evaluation_across_worker_counts() {
+    for workers in [1usize, 4] {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions::default()
+                .with_workers(workers)
+                .with_queue_capacity(10_000),
+        )
+        .expect("bind loopback server");
+
+        let options = LoadGenOptions::paper_mix(6, 40, 0xC0FFEE + workers as u64);
+        let report = loadgen::run(server.local_addr(), &options).expect("load run succeeds");
+        assert_eq!(report.sent, 240);
+        assert_eq!(report.ok, 240, "nothing may be shed below capacity");
+        assert_eq!(report.shed, 0);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+        // Multiset equivalence: every response maps back (by id) to the
+        // spec that produced it, and its report equals serial evaluation
+        // of that spec — bit for bit.
+        let mut expected: HashMap<u64, EvalSpec> = HashMap::new();
+        for client in 0..options.clients {
+            for (index, spec) in options.client_specs(client).into_iter().enumerate() {
+                expected.insert(options.request_id(client, index), spec);
+            }
+        }
+        let mut serial_cache: HashMap<String, SimulationReport> = HashMap::new();
+        assert_eq!(report.responses.len(), expected.len());
+        for (id, response) in &report.responses {
+            let spec = expected.remove(id).expect("unknown or duplicate id");
+            let ResponseBody::Eval(frame) = &response.body else {
+                panic!("id {id}: expected eval frame, got {response:?}");
+            };
+            assert_eq!(response.id, Some(*id));
+            assert!(frame.worker < workers as u64);
+            let key = format!("{spec:?}");
+            let serial = serial_cache
+                .entry(key)
+                .or_insert_with(|| serial_report(&spec));
+            assert_eq!(
+                frame.report, *serial,
+                "id {id}: wire report diverged from serial evaluation"
+            );
+        }
+        assert!(expected.is_empty(), "unanswered ids: {expected:?}");
+
+        // Consistency of the counters after the run.
+        let stats = server.stats();
+        assert_eq!(stats.server.evals_ok, 240);
+        assert_eq!(stats.server.shed_total, 0);
+        assert_eq!(stats.server.in_flight, 0);
+        assert_eq!(stats.runtime.submitted, 240);
+        assert_eq!(stats.runtime.completed, 240);
+        assert!(stats.runtime.queue_depths.iter().all(|&d| d == 0));
+        assert_eq!(stats.runtime.per_worker.len(), workers);
+
+        // Shutdown must drain cleanly with no hang (the test harness
+        // timeout is the watchdog) — and twice is harmless.
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_requests_drain_on_half_close_without_losing_any() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(2)
+            .with_queue_capacity(1_000),
+    )
+    .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Pipeline a burst, never reading, then half-close the write side: the
+    // server must still answer every admitted request.
+    let specs: Vec<EvalSpec> = (0..50)
+        .map(|i| EvalSpec::paper(CrossLightVariant::all()[i % 4], PaperModel::all()[i % 4]))
+        .collect();
+    for (i, spec) in specs.iter().enumerate() {
+        client
+            .send(&Request {
+                id: i as u64,
+                body: RequestBody::Eval(spec.clone()),
+            })
+            .unwrap();
+    }
+    // EOF the server's reader while everything is still in flight.
+    client.shutdown_write().unwrap();
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..specs.len() {
+        let response = client.recv().expect("every in-flight request is answered");
+        let id = response.id.expect("eval responses carry ids");
+        assert!(matches!(response.body, ResponseBody::Eval(_)));
+        assert!(seen.insert(id));
+    }
+    assert_eq!(seen.len(), specs.len());
+    // After the drain the server closes the connection.
+    assert!(client.recv().is_err());
+    server.shutdown();
+}
+
+#[test]
+fn saturating_mix_sheds_with_typed_overload_and_no_hang() {
+    // Capacity 1: a pipelined burst must observably shed, every request
+    // must still get exactly one answer, and nothing may hang.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(2)
+            .with_queue_capacity(1),
+    )
+    .expect("bind loopback server");
+
+    let options = LoadGenOptions::paper_mix(4, 64, 7);
+    let report = loadgen::run(server.local_addr(), &options).expect("load run succeeds");
+    assert_eq!(report.sent, 256);
+    assert_eq!(
+        report.ok + report.shed,
+        256,
+        "every request is answered exactly once: {report:?}"
+    );
+    assert!(report.ok > 0, "some requests must be admitted");
+    assert!(
+        report.shed > 0,
+        "a saturating mix against capacity 1 must shed"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.server.shed_total, report.shed);
+    assert_eq!(stats.server.evals_ok, report.ok);
+    assert_eq!(stats.server.in_flight, 0);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_stats_and_ping_work_over_the_wire() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(1)
+            .with_max_line_bytes(2048),
+    )
+    .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Ping.
+    let pong = client
+        .call(&Request {
+            id: 3,
+            body: RequestBody::Ping,
+        })
+        .unwrap();
+    assert_eq!(pong.id, Some(3));
+    assert!(matches!(pong.body, ResponseBody::Pong));
+
+    // Malformed JSON keeps the connection usable and echoes the id when
+    // parseable.
+    client
+        .send_raw("{\"v\":1,\"id\":9,\"op\":\"warp\"}")
+        .unwrap();
+    let err = client.recv().unwrap();
+    assert_eq!(err.id, Some(9));
+    assert!(matches!(
+        err.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::Malformed
+    ));
+
+    // Wrong version.
+    client
+        .send_raw("{\"v\":99,\"id\":1,\"op\":\"ping\"}")
+        .unwrap();
+    let err = client.recv().unwrap();
+    assert!(matches!(
+        err.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::UnsupportedVersion
+    ));
+
+    // Oversized line: typed error, stream stays synchronized.
+    let long = format!("{{\"v\":1,\"id\":1,\"op\":\"{}\"}}", "x".repeat(4096));
+    client.send_raw(&long).unwrap();
+    let err = client.recv().unwrap();
+    assert!(matches!(
+        err.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::Oversized
+    ));
+
+    // Invalid architecture dimensions: typed evaluation error.
+    let bad = EvalSpec {
+        variant: CrossLightVariant::OptTed,
+        dims: (150, 20, 100, 60), // K < N is rejected
+        resolution_bits: 16,
+        workload: crosslight::server::wire::WorkloadRef::Model(PaperModel::CnnCifar10),
+    };
+    let err = client.eval(11, &bad).unwrap();
+    assert_eq!(err.id, Some(11));
+    assert!(matches!(
+        err.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::Evaluation
+    ));
+
+    // A valid eval still works on the same connection, and stats reflect
+    // everything that happened.
+    let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::Lenet5SignMnist);
+    let ok = client.eval(12, &spec).unwrap();
+    let ResponseBody::Eval(frame) = &ok.body else {
+        panic!("expected eval frame, got {ok:?}");
+    };
+    assert_eq!(frame.report, serial_report(&spec));
+
+    let stats_response = client.stats(13).unwrap();
+    let ResponseBody::Stats(stats) = &stats_response.body else {
+        panic!("expected stats frame, got {stats_response:?}");
+    };
+    assert_eq!(stats.server.malformed_total, 2);
+    assert_eq!(stats.server.oversized_total, 1);
+    assert_eq!(stats.server.evals_ok, 1);
+    assert_eq!(stats.server.evals_failed, 1);
+    assert_eq!(stats.server.connections_active, 1);
+    assert_eq!(stats.runtime.completed, 1);
+
+    // An inline workload evaluates identically to its by-name twin.
+    let inline = EvalSpec {
+        workload: crosslight::server::wire::WorkloadRef::Inline(
+            NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap(),
+        ),
+        ..spec
+    };
+    let ok_inline = client.eval(14, &inline).unwrap();
+    let ResponseBody::Eval(frame_inline) = &ok_inline.body else {
+        panic!("expected eval frame, got {ok_inline:?}");
+    };
+    assert_eq!(frame_inline.report, frame.report);
+    // …and is a cache hit, because the exact-equality cache key compares
+    // workloads structurally, not by provenance.
+    assert!(frame_inline.cache_hit);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_closes_idle_connections_and_new_connects_fail() {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default().with_workers(1))
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+    let mut idle = Client::connect(addr).expect("connect");
+    // Shutdown with an idle connected client must not hang, and the
+    // client's next read must see EOF.
+    server.shutdown();
+    let outcome = idle.recv();
+    assert!(
+        outcome.is_err(),
+        "idle client must see EOF, got {outcome:?}"
+    );
+    // The listener is gone: new connections are refused (or reset).
+    assert!(Client::connect(addr).is_err());
+}
