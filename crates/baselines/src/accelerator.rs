@@ -2,7 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crosslight_core::simulator::{CrossLightSimulator, SimulationReport};
+use crosslight_core::error::{ArchitectureError, Result};
+use crosslight_core::simulator::{AverageMetrics, CrossLightSimulator, SimulationReport};
 use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::workload::NetworkWorkload;
 
@@ -43,31 +44,31 @@ impl AcceleratorReport {
         }
     }
 
-    /// Averages per-workload reports fieldwise, in slice order — the single
-    /// accumulation path shared by [`PhotonicAccelerator::evaluate_average`]
-    /// and the runtime-backed experiments.
+    /// Averages per-workload reports fieldwise, in slice order, through
+    /// [`AverageMetrics::column_mean`] — the same accumulation path
+    /// `AverageMetrics::from_reports` uses in the core crate, so the two
+    /// averaged tables agree bit-for-bit on how a mean is taken.
     ///
     /// All reports must come from the same accelerator: resolution and area
-    /// are workload-independent, so they are taken from the first report
-    /// (the same convention as `AverageMetrics::from_reports` in the core
-    /// crate).
+    /// are workload-independent, so they are taken from the first report.
     ///
     /// # Errors
     ///
     /// Errors on an empty report list.
-    pub fn average(reports: &[Self]) -> Result<Self, Box<dyn std::error::Error>> {
-        if reports.is_empty() {
-            return Err("cannot average over an empty report list".into());
-        }
-        let n = reports.len() as f64;
+    pub fn average(reports: &[Self]) -> Result<Self> {
+        let Some(first) = reports.first() else {
+            return Err(ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty report list".into(),
+            });
+        };
         Ok(Self {
-            power_watts: reports.iter().map(|r| r.power_watts).sum::<f64>() / n,
-            latency_s: reports.iter().map(|r| r.latency_s).sum::<f64>() / n,
-            fps: reports.iter().map(|r| r.fps).sum::<f64>() / n,
-            energy_per_bit_pj: reports.iter().map(|r| r.energy_per_bit_pj).sum::<f64>() / n,
-            kfps_per_watt: reports.iter().map(|r| r.kfps_per_watt).sum::<f64>() / n,
-            resolution_bits: reports[0].resolution_bits,
-            area_mm2: reports[0].area_mm2,
+            power_watts: AverageMetrics::column_mean(reports, |r| r.power_watts)?,
+            latency_s: AverageMetrics::column_mean(reports, |r| r.latency_s)?,
+            fps: AverageMetrics::column_mean(reports, |r| r.fps)?,
+            energy_per_bit_pj: AverageMetrics::column_mean(reports, |r| r.energy_per_bit_pj)?,
+            kfps_per_watt: AverageMetrics::column_mean(reports, |r| r.kfps_per_watt)?,
+            resolution_bits: first.resolution_bits,
+            area_mm2: first.area_mm2,
         })
     }
 }
@@ -84,29 +85,25 @@ pub trait PhotonicAccelerator {
     ///
     /// # Errors
     ///
-    /// Returns a boxed error if the underlying model fails (does not happen
-    /// for the built-in accelerators on valid workloads).
-    fn evaluate(
-        &self,
-        workload: &NetworkWorkload,
-    ) -> Result<AcceleratorReport, Box<dyn std::error::Error>>;
+    /// Returns a typed [`ArchitectureError`] if the underlying model fails
+    /// (does not happen for the built-in accelerators on valid workloads).
+    fn evaluate(&self, workload: &NetworkWorkload) -> Result<AcceleratorReport>;
 
     /// Evaluates several workloads and averages the headline metrics.
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors; errors on an empty workload list.
-    fn evaluate_average(
-        &self,
-        workloads: &[NetworkWorkload],
-    ) -> Result<AcceleratorReport, Box<dyn std::error::Error>> {
+    fn evaluate_average(&self, workloads: &[NetworkWorkload]) -> Result<AcceleratorReport> {
         if workloads.is_empty() {
-            return Err("cannot average over an empty workload list".into());
+            return Err(ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty workload list".into(),
+            });
         }
         let reports: Vec<AcceleratorReport> = workloads
             .iter()
             .map(|w| self.evaluate(w))
-            .collect::<Result<_, _>>()?;
+            .collect::<std::result::Result<_, _>>()?;
         AcceleratorReport::average(&reports)
     }
 }
@@ -136,10 +133,7 @@ impl PhotonicAccelerator for CrossLightAccelerator {
         self.variant.label().to_string()
     }
 
-    fn evaluate(
-        &self,
-        workload: &NetworkWorkload,
-    ) -> Result<AcceleratorReport, Box<dyn std::error::Error>> {
+    fn evaluate(&self, workload: &NetworkWorkload) -> Result<AcceleratorReport> {
         let simulator = CrossLightSimulator::new(self.variant.config());
         let report = simulator.evaluate(workload)?;
         Ok(AcceleratorReport::from_simulation(&report))

@@ -103,7 +103,7 @@ impl PhotonicAccelerator for DeapCnn {
     fn evaluate(
         &self,
         workload: &NetworkWorkload,
-    ) -> Result<AcceleratorReport, Box<dyn std::error::Error>> {
+    ) -> crosslight_core::error::Result<AcceleratorReport> {
         let power = accelerator_power(&self.config)?;
         let area = accelerator_area(&self.config);
         let metrics = inference_metrics(workload, &self.config, &power)?;

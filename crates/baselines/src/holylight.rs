@@ -89,6 +89,12 @@ impl HolyLight {
         }
     }
 
+    /// Number of dot-product units provisioned.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
     /// Resonant devices (microdisks) per unit: eight per weight cell plus
     /// eight per activation imprint cell.
     #[must_use]
@@ -160,6 +166,59 @@ impl HolyLight {
     pub fn area_mm2(&self) -> f64 {
         self.units as f64 * HOLYLIGHT_UNIT_AREA_MM2
     }
+
+    /// Itemised power breakdown in the core report layout.  The detection
+    /// column holds the photodetector/TIA receivers and the conversion
+    /// column the per-unit ADC/DAC lane — together they equal
+    /// [`detection_power`](Self::detection_power) up to float association.
+    #[must_use]
+    pub fn power_breakdown(&self) -> crosslight_core::power::AcceleratorPower {
+        let receivers = (photodetector().power + tia().power) * self.units as f64;
+        let sample_rate_gbps = 16.0 / self.pass_latency().value() / 1e9;
+        let conversion =
+            Transceiver::isscc2019().power_at_rate(sample_rate_gbps) * self.units as f64;
+        crosslight_core::power::AcceleratorPower {
+            laser: self.laser_power(),
+            tuning: self.tuning_power(),
+            detection: receivers,
+            conversion,
+            control: MilliWatts::new(HOLYLIGHT_CONTROL_MW),
+        }
+    }
+
+    /// Itemised area breakdown in the core report layout: the calibrated
+    /// per-unit area is all resonant devices, so it is reported as bank area.
+    #[must_use]
+    pub fn area_breakdown(&self) -> crosslight_core::area::AcceleratorArea {
+        use crosslight_photonics::units::SquareMillimeters;
+        crosslight_core::area::AcceleratorArea {
+            mr_banks: SquareMillimeters::new(self.area_mm2()),
+            arm_devices: SquareMillimeters::new(0.0),
+            unit_electronics: SquareMillimeters::new(0.0),
+        }
+    }
+
+    /// Bit-serial passes one layer list needs on the unit pool (each pass is
+    /// repeated for every 2-bit operand slice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposition errors (do not occur for valid dimensions).
+    pub fn phase_cycles(
+        &self,
+        layers: &[crosslight_neural::layers::DotProductWorkload],
+    ) -> crosslight_core::error::Result<u64> {
+        let mut cycles: u64 = 0;
+        for layer in layers {
+            cycles += sequential_passes(
+                layer.dot_length,
+                layer.dot_count,
+                self.unit_size,
+                self.units,
+            )?;
+        }
+        Ok(cycles * BIT_SERIAL_CYCLES)
+    }
 }
 
 impl Default for HolyLight {
@@ -176,19 +235,11 @@ impl PhotonicAccelerator for HolyLight {
     fn evaluate(
         &self,
         workload: &NetworkWorkload,
-    ) -> Result<AcceleratorReport, Box<dyn std::error::Error>> {
+    ) -> crosslight_core::error::Result<AcceleratorReport> {
         // All layers run on the single pool of small units; every pass is
         // repeated for each 2-bit operand slice (bit-serial operation).
-        let mut cycles: u64 = 0;
-        for layer in workload.conv_layers.iter().chain(workload.fc_layers.iter()) {
-            cycles += sequential_passes(
-                layer.dot_length,
-                layer.dot_count,
-                self.unit_size,
-                self.units,
-            )?;
-        }
-        cycles *= BIT_SERIAL_CYCLES;
+        let cycles =
+            self.phase_cycles(&workload.conv_layers)? + self.phase_cycles(&workload.fc_layers)?;
         let latency_s = self.pass_latency().value() * cycles as f64 * workload.towers as f64;
         let power_w = self.total_power().to_watts().value();
         let fps = 1.0 / latency_s;

@@ -13,9 +13,17 @@
 //! * [`electronic`] — literature reference numbers for the electronic
 //!   platforms of Fig. 7 / Table III (P100, Xeon Platinum 9282, Threadripper
 //!   3970x, DaDianNao, EdgeTPU, NullHop).
+//! * [`symmetric_crossbar`] — a symmetric add–drop MRR crossbar array
+//!   (after arXiv:2401.16072), parameterized by rows × cols × resolution.
+//! * [`litecon`] — LiteCON, an all-photonic accelerator that pays for
+//!   resolution in analog SNR instead of conversion (after arXiv:2206.13861).
 //! * [`accelerator`] — the common [`PhotonicAccelerator`](accelerator::PhotonicAccelerator)
 //!   trait and report type, plus an adapter for the CrossLight simulator so
 //!   all photonic accelerators can be evaluated uniformly.
+//! * [`arch`] — the architecture-generic [`ArchSpec`](arch::ArchSpec) zoo:
+//!   one enum describing every simulatable backend, with canonical cache
+//!   keys and full core simulation reports, so the runtime, server and
+//!   design-space layers can serve any architecture through one API.
 //!
 //! Both photonic baselines are analytical models built on the same
 //! photonics/tuning substrate as CrossLight itself (same Table II device
@@ -27,11 +35,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accelerator;
+pub mod arch;
 pub mod deap_cnn;
 pub mod electronic;
 pub mod holylight;
+pub mod litecon;
+pub mod symmetric_crossbar;
 
 pub use accelerator::{AcceleratorReport, PhotonicAccelerator};
+pub use arch::{AcceleratorModel, ArchSpec};
 pub use deap_cnn::DeapCnn;
 pub use electronic::ElectronicPlatform;
 pub use holylight::HolyLight;
+pub use litecon::LiteCon;
+pub use symmetric_crossbar::SymmetricCrossbar;

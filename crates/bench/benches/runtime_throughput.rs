@@ -39,7 +39,7 @@ fn bench_runtime_throughput(c: &mut Criterion) {
             let reports: Vec<_> = suite
                 .iter()
                 .map(|r| {
-                    CrossLightSimulator::new(r.config)
+                    CrossLightSimulator::new(r.config().expect("CrossLight request"))
                         .evaluate(&r.workload)
                         .expect("evaluation succeeds")
                 })

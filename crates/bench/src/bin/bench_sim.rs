@@ -142,6 +142,18 @@ fn main() {
         fig6_design_space::run_parallel(&candidates, workers).expect("sweep succeeds")
     }));
 
+    // --- cross-architecture zoo sweep over the union grid ------------------
+    let zoo = crosslight_experiments::arch_zoo::union_candidates();
+    results.push(measure("arch_zoo_sweep_46_streaming", window_ms, || {
+        crosslight_experiments::arch_zoo::run_streaming(
+            &zoo,
+            workers,
+            8,
+            crosslight_experiments::arch_zoo::DEFAULT_POWER_BUDGET_W,
+        )
+        .expect("sweep succeeds")
+    }));
+
     // --- dense streaming sweep (full mode only: ~58.5k candidates) ---------
     if !quick {
         let dense = fig6_design_space::dense_candidates();

@@ -80,6 +80,102 @@ impl ConfigKey {
     }
 }
 
+/// Canonical identity of a non-CrossLight backend: a small architecture tag
+/// plus up to four 64-bit parameter words (dimensions, resolution, platform
+/// index — each backend documents its own packing).  Everything a backend's
+/// report depends on must be folded into these words, so equal keys always
+/// mean bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BackendKey {
+    arch: u8,
+    params: [u64; 4],
+}
+
+impl BackendKey {
+    /// Packs an architecture tag and its parameter words into a key.
+    #[must_use]
+    pub const fn new(arch: u8, params: [u64; 4]) -> Self {
+        Self { arch, params }
+    }
+
+    /// The architecture tag this key was packed with.
+    #[must_use]
+    pub const fn arch_tag(&self) -> u8 {
+        self.arch
+    }
+
+    /// The raw parameter words this key was packed with.
+    #[must_use]
+    pub const fn params(&self) -> [u64; 4] {
+        self.params
+    }
+}
+
+/// Domain separator streamed ahead of every [`BackendKey`] so backend hash
+/// streams cannot shadow CrossLight ones (whose first word is a small unit
+/// size).  ASCII `"archzoo1"`.
+const BACKEND_DOMAIN: u64 = 0x6172_6368_7a6f_6f31;
+
+/// Architecture-generic canonical identity: either a full CrossLight
+/// [`ConfigKey`] or a packed [`BackendKey`] for any other accelerator.
+///
+/// The `Hash` impl is deliberately manual: the `CrossLight` arm streams
+/// **exactly** the bytes `ConfigKey` always has — no enum discriminant — so
+/// every fingerprint, cache shard and worker route computed before the
+/// architecture zoo existed is preserved bit-for-bit.  Equality stays
+/// structural, so the (astronomically unlikely) cross-arm stream collision
+/// can only ever cost a hash-bucket probe, never a wrong cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArchKey {
+    /// A CrossLight configuration, keyed exactly as it always was.
+    CrossLight(ConfigKey),
+    /// Any other backend, keyed by tag + parameter words.
+    Backend(BackendKey),
+}
+
+impl Hash for ArchKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            ArchKey::CrossLight(key) => key.hash(state),
+            ArchKey::Backend(key) => {
+                BACKEND_DOMAIN.hash(state);
+                key.hash(state);
+            }
+        }
+    }
+}
+
+impl From<ConfigKey> for ArchKey {
+    fn from(key: ConfigKey) -> Self {
+        ArchKey::CrossLight(key)
+    }
+}
+
+impl From<BackendKey> for ArchKey {
+    fn from(key: BackendKey) -> Self {
+        ArchKey::Backend(key)
+    }
+}
+
+impl ArchKey {
+    /// Platform-stable 64-bit routing hash (FNV-1a over the canonical
+    /// encoding).  For the `CrossLight` arm this equals
+    /// [`ConfigKey::fingerprint`] on the inner key, by construction.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(self)
+    }
+
+    /// The inner CrossLight key, if this identity is a CrossLight one.
+    #[must_use]
+    pub fn config_key(&self) -> Option<&ConfigKey> {
+        match self {
+            ArchKey::CrossLight(key) => Some(key),
+            ArchKey::Backend(_) => None,
+        }
+    }
+}
+
 fn compensation_tag(c: CrosstalkCompensation) -> u8 {
     match c {
         CrosstalkCompensation::Ted => 0,
@@ -313,6 +409,45 @@ mod tests {
         let mut bigger_fc = base;
         bigger_fc.fc_unit_size += 15;
         assert_ne!(ResolutionKey::from(&base), ResolutionKey::from(&bigger_fc));
+    }
+
+    #[test]
+    fn arch_keys_preserve_crosslight_fingerprints_exactly() {
+        for v in CrossLightVariant::all() {
+            let key = v.config().canonical_key();
+            assert_eq!(ArchKey::CrossLight(key).fingerprint(), key.fingerprint());
+            assert_eq!(ArchKey::from(key).fingerprint(), v.config().fingerprint());
+        }
+    }
+
+    #[test]
+    fn backend_keys_are_distinct_from_each_other_and_from_crosslight() {
+        use std::collections::HashSet;
+        let mut set: HashSet<ArchKey> = HashSet::new();
+        let mut fingerprints: HashSet<u64> = HashSet::new();
+        for v in CrossLightVariant::all() {
+            let key = ArchKey::CrossLight(v.config().canonical_key());
+            set.insert(key);
+            fingerprints.insert(key.fingerprint());
+        }
+        for arch in 0..4u8 {
+            for word in 0..3u64 {
+                let key = ArchKey::Backend(BackendKey::new(arch, [word, 16, 0, 0]));
+                assert!(key.config_key().is_none());
+                set.insert(key);
+                fingerprints.insert(key.fingerprint());
+            }
+        }
+        assert_eq!(set.len(), 16);
+        assert_eq!(fingerprints.len(), 16, "tag+params must alter the stream");
+    }
+
+    #[test]
+    fn backend_key_accessors_round_trip() {
+        let key = BackendKey::new(7, [1, 2, 3, 4]);
+        assert_eq!(key.arch_tag(), 7);
+        assert_eq!(key.params(), [1, 2, 3, 4]);
+        assert_eq!(ArchKey::from(key), ArchKey::Backend(key));
     }
 
     #[test]

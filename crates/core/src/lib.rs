@@ -57,7 +57,7 @@ pub mod variants;
 pub mod vdp;
 
 pub use cache::{ModelCache, ModelCacheStats};
-pub use canonical::ConfigKey;
+pub use canonical::{ArchKey, BackendKey, ConfigKey};
 pub use config::CrossLightConfig;
 pub use error::ArchitectureError;
 pub use simulator::{CrossLightSimulator, PreparedSimulator, SimulationReport};
@@ -66,7 +66,7 @@ pub use variants::CrossLightVariant;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::cache::{ModelCache, ModelCacheStats};
-    pub use crate::canonical::ConfigKey;
+    pub use crate::canonical::{ArchKey, BackendKey, ConfigKey};
     pub use crate::config::{CrossLightConfig, DesignChoices};
     pub use crate::simulator::{
         AverageMetrics, CrossLightSimulator, PreparedSimulator, SimulationReport,

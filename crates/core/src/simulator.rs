@@ -68,22 +68,35 @@ impl AverageMetrics {
                 reason: "cannot average over an empty workload set".into(),
             });
         };
-        let mut fps = 0.0;
-        let mut epb = 0.0;
-        let mut kfps_per_watt = 0.0;
-        for report in reports {
-            fps += report.metrics.fps;
-            epb += report.metrics.energy_per_bit_pj;
-            kfps_per_watt += report.metrics.kfps_per_watt;
-        }
-        let count = reports.len() as f64;
         Ok(Self {
-            fps: fps / count,
-            energy_per_bit_pj: epb / count,
-            kfps_per_watt: kfps_per_watt / count,
+            fps: Self::column_mean(reports, |r| r.metrics.fps)?,
+            energy_per_bit_pj: Self::column_mean(reports, |r| r.metrics.energy_per_bit_pj)?,
+            kfps_per_watt: Self::column_mean(reports, |r| r.metrics.kfps_per_watt)?,
             power: first.power.total_watts(),
             area: first.area.total(),
         })
+    }
+
+    /// Sums `column` over `rows` in slice order and divides once: the single
+    /// accumulation path behind every averaged table in the workspace
+    /// ([`from_reports`](Self::from_reports) here, `AcceleratorReport::average`
+    /// in the baselines crate), so all of them agree bit-for-bit on how a
+    /// mean is taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rows` is empty.
+    pub fn column_mean<T>(rows: &[T], column: impl Fn(&T) -> f64) -> Result<f64> {
+        if rows.is_empty() {
+            return Err(crate::error::ArchitectureError::MappingFailed {
+                reason: "cannot average over an empty workload set".into(),
+            });
+        }
+        let mut sum = 0.0;
+        for row in rows {
+            sum += column(row);
+        }
+        Ok(sum / rows.len() as f64)
     }
 }
 

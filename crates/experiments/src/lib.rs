@@ -15,10 +15,14 @@
 //! | [`fig7_power`] | Fig. 7 — power comparison across accelerators |
 //! | [`fig8_epb`] | Fig. 8 — per-model EPB of the photonic accelerators |
 //! | [`table3_summary`] | Table III — average EPB and kFPS/W of all platforms |
+//! | [`arch_zoo`] | Cross-architecture DSE over the [`ArchSpec`] backend zoo |
+//!
+//! [`ArchSpec`]: crosslight_baselines::ArchSpec
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arch_zoo;
 pub mod device_dse;
 pub mod fig4_crosstalk;
 pub mod fig5_accuracy;

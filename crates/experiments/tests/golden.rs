@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use crosslight_experiments::{device_dse, fig7_power, fig8_epb, resolution_analysis};
+use crosslight_experiments::{arch_zoo, device_dse, fig7_power, fig8_epb, resolution_analysis};
 
 /// Canonical rendering of one float: decimal (shortest round-trip) plus the
 /// exact bit pattern.  Only for values produced by IEEE-exact operations
@@ -121,6 +121,71 @@ fn device_dse_is_locked_for_the_reference_seed() {
     let _ = writeln!(out, "optimized={}", f(result.optimized_drift_nm));
     let _ = writeln!(out, "reduction={}", f(result.reduction));
     check("device_dse.txt", &out);
+}
+
+/// Canonical rendering of one zoo point, shared by the table and frontier
+/// goldens.
+fn zoo_point_line(p: &crosslight_experiments::arch_zoo::ZooPoint) -> String {
+    format!(
+        "{} arch={} bits={} fps={} epb={} kfps_per_w={} power_w={} area_mm2={} fom={} in_budget={}",
+        p.label,
+        p.arch,
+        p.resolution_bits,
+        f(p.avg_fps),
+        f(p.avg_epb_pj),
+        f(p.avg_kfps_per_watt),
+        f(p.power_w),
+        f(p.area_mm2),
+        f(p.fps_per_epb),
+        p.within_power_budget
+    )
+}
+
+#[test]
+fn arch_zoo_table_is_locked() {
+    // Table-III-style rows for every backend-family default: the golden
+    // coverage for the zoo backends' analytical models.
+    let rows = arch_zoo::table_rows().unwrap();
+    let mut out = String::from("arch_zoo_table/v1\n");
+    for row in &rows {
+        let _ = writeln!(out, "{}", zoo_point_line(row));
+    }
+    check("arch_zoo_table.txt", &out);
+}
+
+#[test]
+fn arch_zoo_frontier_is_locked() {
+    // The cross-architecture streaming frontier over the union grid, under
+    // the default power budget.  Worker count cannot matter (locked by the
+    // unit tests); the fixture locks the values themselves.
+    let frontier = arch_zoo::run_streaming(
+        &arch_zoo::union_candidates(),
+        3,
+        8,
+        arch_zoo::DEFAULT_POWER_BUDGET_W,
+    )
+    .unwrap();
+    let mut out = format!(
+        "arch_zoo_frontier/v1 top_k=8 budget_w={}\n",
+        f(frontier.power_budget_w)
+    );
+    let _ = writeln!(
+        out,
+        "evaluated={} in_budget={}",
+        frontier.evaluated, frontier.in_budget
+    );
+    let _ = writeln!(
+        out,
+        "best={}",
+        zoo_point_line(frontier.best.as_ref().unwrap())
+    );
+    for p in &frontier.top {
+        let _ = writeln!(out, "top {}", zoo_point_line(p));
+    }
+    for p in &frontier.pareto {
+        let _ = writeln!(out, "pareto {}", zoo_point_line(p));
+    }
+    check("arch_zoo_frontier.txt", &out);
 }
 
 #[test]

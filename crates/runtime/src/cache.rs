@@ -1,55 +1,77 @@
 //! Memoizing result cache, sharded to keep lock contention off the hot path.
 //!
 //! The cache key is *exact*: [`CacheKey`] pairs the bit-exact
-//! [`ConfigKey`](crosslight_core::canonical::ConfigKey) of the configuration
+//! [`ArchKey`](crosslight_core::canonical::ArchKey) of the architecture
 //! with the full workload (compared structurally on lookup), so a hit always
 //! returns the report the simulator would have computed — caching can change
 //! latency, never results.  Keys also expose a platform-stable
 //! [`fingerprint`](CacheKey::fingerprint) used both to pick a shard here and
 //! to pick a worker in the pool, so all requests for one key land on one
 //! worker and one shard deterministically.
+//!
+//! CrossLight keys hash exactly as they did before the architecture zoo
+//! existed ([`ArchKey`] streams a bare `ConfigKey` for the CrossLight arm),
+//! so fingerprints, shard indices and worker routes for CrossLight traffic
+//! are bit-identical to the pre-zoo runtime.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crosslight_core::canonical::ConfigKey;
+use crosslight_baselines::ArchSpec;
+use crosslight_core::canonical::{ArchKey, ConfigKey};
 use crosslight_core::config::CrossLightConfig;
 use crosslight_core::simulator::SimulationReport;
 use crosslight_neural::fingerprint::StableHasher;
 use crosslight_neural::workload::NetworkWorkload;
 
-/// Exact identity of one `(configuration, workload)` evaluation.
+/// Exact identity of one `(architecture, workload)` evaluation.
 ///
 /// The routing fingerprint is computed once at construction; the hot path
 /// (worker selection, shard selection, map lookups) only reads it.
 #[derive(Debug, Clone)]
 pub struct CacheKey {
-    config: ConfigKey,
+    arch: ArchKey,
     workload: Arc<NetworkWorkload>,
     fingerprint: u64,
 }
 
 impl CacheKey {
-    /// Builds the key for a configuration/workload pair.
+    /// Builds the key for a CrossLight configuration/workload pair.
     #[must_use]
     pub fn new(config: &CrossLightConfig, workload: Arc<NetworkWorkload>) -> Self {
-        let config = config.canonical_key();
+        Self::from_arch_key(ArchKey::CrossLight(config.canonical_key()), workload)
+    }
+
+    /// Builds the key for any architecture in the zoo.
+    #[must_use]
+    pub fn for_arch(arch: &ArchSpec, workload: Arc<NetworkWorkload>) -> Self {
+        Self::from_arch_key(arch.canonical_key(), workload)
+    }
+
+    fn from_arch_key(arch: ArchKey, workload: Arc<NetworkWorkload>) -> Self {
         let mut hasher = StableHasher::new();
-        config.hash(&mut hasher);
+        arch.hash(&mut hasher);
         workload.hash(&mut hasher);
         Self {
-            config,
+            arch,
             workload,
             fingerprint: hasher.finish(),
         }
     }
 
-    /// The canonical configuration component of the key.
+    /// The canonical architecture component of the key.
     #[must_use]
-    pub fn config_key(&self) -> ConfigKey {
-        self.config
+    pub fn arch_key(&self) -> &ArchKey {
+        &self.arch
+    }
+
+    /// The canonical CrossLight configuration component of the key, when the
+    /// key names a CrossLight design point.
+    #[must_use]
+    pub fn config_key(&self) -> Option<ConfigKey> {
+        self.arch.config_key().copied()
     }
 
     /// Platform-stable 64-bit routing hash of the key, identical across
@@ -64,7 +86,7 @@ impl CacheKey {
 impl PartialEq for CacheKey {
     fn eq(&self, other: &Self) -> bool {
         self.fingerprint == other.fingerprint
-            && self.config == other.config
+            && self.arch == other.arch
             && *self.workload == *other.workload
     }
 }
@@ -209,5 +231,46 @@ mod tests {
     fn zero_shards_is_clamped() {
         let cache = ShardedCache::new(0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn crosslight_keys_are_identical_to_their_pre_zoo_hash_stream() {
+        // `CacheKey::new` must keep producing the exact fingerprint the
+        // pre-zoo runtime computed (ConfigKey bytes then workload bytes), so
+        // shard indices and worker routes for CrossLight traffic never move.
+        let w = workload(PaperModel::SiameseOmniglot);
+        let config = CrossLightConfig::paper_best();
+        let via_config = CacheKey::new(&config, Arc::clone(&w));
+        let mut hasher = StableHasher::new();
+        config.canonical_key().hash(&mut hasher);
+        w.hash(&mut hasher);
+        assert_eq!(via_config.fingerprint(), hasher.finish());
+
+        // The arch-aware constructor agrees for the CrossLight arm.
+        let via_arch = CacheKey::for_arch(&ArchSpec::CrossLight(config), Arc::clone(&w));
+        assert_eq!(via_config, via_arch);
+        assert_eq!(via_config.fingerprint(), via_arch.fingerprint());
+        assert_eq!(via_arch.config_key(), Some(config.canonical_key()));
+    }
+
+    #[test]
+    fn zoo_backends_get_distinct_keys_per_workload() {
+        let w = workload(PaperModel::Lenet5SignMnist);
+        let mut fingerprints = std::collections::HashSet::new();
+        for spec in ArchSpec::zoo_defaults() {
+            let key = CacheKey::for_arch(&spec, Arc::clone(&w));
+            assert!(fingerprints.insert(key.fingerprint()), "{}", spec.label());
+            if spec.crosslight_config().is_none() {
+                assert_eq!(key.config_key(), None);
+            }
+        }
+        // Same backend, different workload → different key.
+        let a = CacheKey::for_arch(&ArchSpec::zoo_defaults()[1], Arc::clone(&w));
+        let b = CacheKey::for_arch(
+            &ArchSpec::zoo_defaults()[1],
+            workload(PaperModel::CnnCifar10),
+        );
+        assert_ne!(a, b);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

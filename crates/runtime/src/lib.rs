@@ -28,6 +28,15 @@
 //! evaluation for every worker count, batch partitioning and cache state.
 //! See `RUNTIME.md` at the repository root for the full design.
 //!
+//! Requests are architecture-generic: an
+//! [`EvalRequest`](request::EvalRequest) carries an
+//! [`ArchSpec`](crosslight_baselines::ArchSpec), so one pool serves
+//! CrossLight design points and every other backend in the architecture zoo
+//! (DEAP-CNN, HolyLight, electronic platforms, the symmetric MRR crossbar,
+//! LiteCON) through the same cache, routing and counters.  CrossLight-only
+//! traffic is unchanged: keys, fingerprints and reports are bit-identical to
+//! the CrossLight-specific runtime this layer generalizes.
+//!
 //! # Example
 //!
 //! ```

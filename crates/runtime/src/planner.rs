@@ -9,12 +9,18 @@
 //! times), so the same plan always produces the same stream and responses
 //! can be correlated by position or sequential id.
 //!
+//! Cross-architecture studies add a [`backends`](SweepPlanner::backends)
+//! axis: non-CrossLight [`ArchSpec`] backends appended *after* the CrossLight
+//! grid of each repeat (each backend crossed with the model axis), so a plan
+//! with no backends is byte-identical to a pre-zoo plan.
+//!
 //! Workloads are built once per model and shared across every request via
 //! `Arc`, so planning a thousand-point sweep costs one workload extraction
 //! per model, not per point.
 
 use std::sync::Arc;
 
+use crosslight_baselines::ArchSpec;
 use crosslight_core::config::CrossLightConfig;
 use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::workload::NetworkWorkload;
@@ -51,6 +57,7 @@ pub struct SweepPlanner {
     architectures: Vec<ArchDims>,
     resolutions: Vec<u32>,
     models: Vec<PaperModel>,
+    backends: Vec<ArchSpec>,
     repeats: usize,
 }
 
@@ -65,6 +72,7 @@ impl SweepPlanner {
             architectures: vec![crosslight_core::config::BEST_CONFIG],
             resolutions: vec![16],
             models: PaperModel::all().to_vec(),
+            backends: Vec::new(),
             repeats: 1,
         }
     }
@@ -97,6 +105,16 @@ impl SweepPlanner {
         self
     }
 
+    /// Sets the extra-backend axis: architecture-zoo specs appended after the
+    /// CrossLight grid of each repeat, each crossed with the model axis.  An
+    /// empty slice (the default) leaves the plan byte-identical to a
+    /// CrossLight-only sweep.
+    #[must_use]
+    pub fn backends(mut self, backends: &[ArchSpec]) -> Self {
+        self.backends = backends.to_vec();
+        self
+    }
+
     /// Replays the whole grid `repeats` times (≥ 1) — the shape of repeated
     /// production traffic, where everything after the first pass should hit
     /// the cache.
@@ -109,11 +127,9 @@ impl SweepPlanner {
     /// Number of requests [`SweepPlanner::plan`] will produce.
     #[must_use]
     pub fn request_count(&self) -> usize {
-        self.repeats
-            * self.architectures.len()
-            * self.variants.len()
-            * self.resolutions.len()
-            * self.models.len()
+        let crosslight_points =
+            self.architectures.len() * self.variants.len() * self.resolutions.len();
+        self.repeats * (crosslight_points + self.backends.len()) * self.models.len()
     }
 
     /// Expands the grid into requests with sequential ids, in the documented
@@ -161,6 +177,13 @@ impl SweepPlanner {
                                 .push(EvalRequest::new(config, Arc::clone(workload)).with_id(id));
                         }
                     }
+                }
+            }
+            for backend in &self.backends {
+                for workload in &workloads {
+                    let id = requests.len() as u64;
+                    requests
+                        .push(EvalRequest::for_arch(*backend, Arc::clone(workload)).with_id(id));
                 }
             }
         }
@@ -220,6 +243,35 @@ mod tests {
         let first = &plan[0].workload;
         let again = &plan[4].workload;
         assert!(Arc::ptr_eq(first, again));
+    }
+
+    #[test]
+    fn backends_extend_the_grid_after_the_crosslight_points() {
+        let zoo = ArchSpec::zoo_defaults();
+        let backends: Vec<ArchSpec> = zoo
+            .iter()
+            .filter(|s| s.crosslight_config().is_none())
+            .copied()
+            .collect();
+        let baseline = SweepPlanner::new().plan().unwrap();
+        let planner = SweepPlanner::new().backends(&backends).repeats(2);
+        let plan = planner.plan().unwrap();
+        // Per repeat: 4 CrossLight points + backends × 4 models.
+        let per_repeat = 4 + backends.len() * 4;
+        assert_eq!(plan.len(), 2 * per_repeat);
+        assert_eq!(plan.len(), planner.request_count());
+        assert!(plan.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        // The CrossLight prefix is unchanged by the backend axis.
+        for (a, b) in baseline.iter().zip(&plan) {
+            assert_eq!(a.key(), b.key());
+        }
+        // The appended points carry the zoo specs, models innermost.
+        assert_eq!(plan[4].arch, backends[0]);
+        assert_eq!(plan[4].workload.name, plan[0].workload.name);
+        // Repeats replay the whole extended grid.
+        for i in 0..per_repeat {
+            assert_eq!(plan[i].key(), plan[per_repeat + i].key());
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crosslight_baselines::ArchSpec;
 use crosslight_core::cache::ModelCache;
 use crosslight_core::simulator::CrossLightSimulator;
 
@@ -393,11 +394,18 @@ fn serve(
             worker,
         });
     }
-    // The pool-wide ModelCache shares the workload-independent breakdowns
-    // (and their sub-config unit reports) across all workers, so only the
-    // per-workload inference metrics remain per-request work.
-    let simulator = CrossLightSimulator::new(job.request.config).prepare_with(models)?;
-    let report = simulator.evaluate(&job.request.workload)?;
+    let report = match job.request.arch {
+        // The pool-wide ModelCache shares the workload-independent breakdowns
+        // (and their sub-config unit reports) across all workers, so only the
+        // per-workload inference metrics remain per-request work.
+        ArchSpec::CrossLight(config) => CrossLightSimulator::new(config)
+            .prepare_with(models)?
+            .evaluate(&job.request.workload)?,
+        // The zoo backends are closed-form analytical models; their
+        // workload-independent parts are cheap enough that the result cache
+        // alone carries the memoization.
+        spec => spec.simulate(&job.request.workload)?,
+    };
     cache.insert(job.key.clone(), report);
     Ok(EvalResponse {
         id: job.request.id,
@@ -432,7 +440,7 @@ mod tests {
         let serial: Vec<_> = requests
             .iter()
             .map(|r| {
-                CrossLightSimulator::new(r.config)
+                CrossLightSimulator::new(r.config().unwrap())
                     .evaluate(&r.workload)
                     .unwrap()
             })
@@ -526,7 +534,7 @@ mod tests {
         let serial: Vec<_> = requests
             .iter()
             .map(|r| {
-                CrossLightSimulator::new(r.config)
+                CrossLightSimulator::new(r.config().unwrap())
                     .evaluate(&r.workload)
                     .unwrap()
             })
@@ -570,6 +578,33 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.submitted, 0);
         assert!(stats.queue_depths.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn zoo_requests_are_served_identically_to_direct_simulation() {
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::CnnCifar10.spec()).unwrap());
+        let requests: Vec<EvalRequest> = ArchSpec::zoo_defaults()
+            .iter()
+            .map(|spec| EvalRequest::for_arch(*spec, Arc::clone(&workload)))
+            .collect();
+        let direct: Vec<_> = ArchSpec::zoo_defaults()
+            .iter()
+            .map(|spec| spec.simulate(&workload).unwrap())
+            .collect();
+        for workers in [1, 3] {
+            let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+            let responses = service.submit_batch(requests.clone()).unwrap();
+            assert_eq!(responses.len(), direct.len());
+            for (response, expected) in responses.iter().zip(&direct) {
+                assert_eq!(response.report, *expected);
+                assert!(!response.cache_hit);
+            }
+            // A replay of the mixed-architecture batch is all cache hits.
+            let again = service.submit_batch(requests.clone()).unwrap();
+            assert!(again.iter().all(|r| r.cache_hit));
+            service.shutdown();
+        }
     }
 
     #[test]

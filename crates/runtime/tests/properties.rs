@@ -151,7 +151,7 @@ proptest! {
         let serial: Vec<_> = universe
             .iter()
             .map(|r| {
-                CrossLightSimulator::new(r.config)
+                CrossLightSimulator::new(r.config().expect("CrossLight request"))
                     .evaluate(&r.workload)
                     .expect("serial evaluation succeeds")
             })

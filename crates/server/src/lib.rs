@@ -39,13 +39,16 @@ pub mod wire;
 
 pub use loadgen::{Client, LoadGenOptions, LoadReport};
 pub use server::{Server, ServerOptions, ServerStats};
-pub use wire::{ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody};
+pub use wire::{
+    ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
+};
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::loadgen::{Client, LoadGenOptions, LoadReport};
     pub use crate::server::{Server, ServerOptions, ServerStats};
     pub use crate::wire::{
-        ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody, WorkloadRef,
+        ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
+        WorkloadRef,
     };
 }

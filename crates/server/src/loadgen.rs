@@ -202,12 +202,12 @@ impl LoadGenOptions {
             for model in PaperModel::all() {
                 for dims in [crosslight_core::config::BEST_CONFIG, (10, 100, 50, 30)] {
                     for resolution_bits in [16u32, 8] {
-                        scenarios.push(EvalSpec {
+                        scenarios.push(EvalSpec::crosslight(
                             variant,
                             dims,
                             resolution_bits,
-                            workload: crate::wire::WorkloadRef::Model(model),
-                        });
+                            crate::wire::WorkloadRef::Model(model),
+                        ));
                     }
                 }
             }

@@ -10,6 +10,22 @@
 //! {"v":1,"id":9,"op":"ping"}
 //! ```
 //!
+//! The `config` object optionally names an architecture via `"arch"`; when
+//! absent the request is a CrossLight evaluation, so every version-1 frame
+//! from before the architecture zoo decodes (and answers) unchanged:
+//!
+//! ```text
+//! {"v":1,"id":10,"op":"eval","config":{"arch":"holylight","units":250},"model":"cnn_cifar10"}
+//! {"v":1,"id":11,"op":"eval","config":{"arch":"electronic","platform":"P100"},"model":"cnn_stl10"}
+//! {"v":1,"id":12,"op":"eval","config":{"arch":"symmetric-crossbar","dims":[64,64],
+//!   "resolution_bits":8},"model":"lenet5_sign_mnist"}
+//! ```
+//!
+//! Unknown architecture, variant or platform names are answered with a
+//! typed `unsupported` error frame (they are well-formed requests for
+//! backends this server does not simulate), while structurally bad frames
+//! stay `malformed`.
+//!
 //! Responses echo the id and carry either an `ok` payload or a typed `err`
 //! frame:
 //!
@@ -32,6 +48,16 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crosslight_baselines::holylight::HOLYLIGHT_UNITS;
+use crosslight_baselines::litecon::{
+    LITECON_DEFAULT_BITS, LITECON_DEFAULT_UNITS, LITECON_DEFAULT_UNIT_SIZE,
+};
+use crosslight_baselines::symmetric_crossbar::{
+    SYMMETRIC_DEFAULT_BITS, SYMMETRIC_DEFAULT_COLS, SYMMETRIC_DEFAULT_ROWS,
+};
+use crosslight_baselines::{
+    ArchSpec, DeapCnn, ElectronicPlatform, HolyLight, LiteCon, SymmetricCrossbar,
+};
 use crosslight_core::config::CrossLightConfig;
 use crosslight_core::performance::{InferenceLatency, InferenceMetrics};
 use crosslight_core::simulator::SimulationReport;
@@ -68,6 +94,10 @@ pub enum ErrorKind {
     Evaluation,
     /// The server is draining and no longer accepts new work.
     ShuttingDown,
+    /// The frame named an architecture, design variant or platform this
+    /// server does not simulate.  Distinct from [`ErrorKind::Malformed`]:
+    /// the frame itself was well-formed.
+    Unsupported,
 }
 
 impl ErrorKind {
@@ -81,6 +111,7 @@ impl ErrorKind {
             Self::Overloaded => "overloaded",
             Self::Evaluation => "evaluation",
             Self::ShuttingDown => "shutting_down",
+            Self::Unsupported => "unsupported",
         }
     }
 
@@ -94,6 +125,7 @@ impl ErrorKind {
             Self::Overloaded,
             Self::Evaluation,
             Self::ShuttingDown,
+            Self::Unsupported,
         ]
         .into_iter()
         .find(|k| k.as_str() == name)
@@ -122,6 +154,10 @@ impl ErrorFrame {
     fn malformed(detail: impl Into<String>) -> Self {
         Self::new(ErrorKind::Malformed, detail)
     }
+
+    fn unsupported(detail: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Unsupported, detail)
+    }
 }
 
 impl From<JsonError> for ErrorFrame {
@@ -140,17 +176,137 @@ pub enum WorkloadRef {
     Inline(NetworkWorkload),
 }
 
-/// The scenario named by one `eval` request: the same axes the
-/// [`SweepPlanner`](crosslight_runtime::SweepPlanner) expands — design
-/// variant, architecture dimensions, accounting resolution, workload.
+/// The architecture named by one `eval` request — the wire-level mirror of
+/// the [`ArchSpec`] zoo.  Name resolution (architecture, variant, platform)
+/// happens at decode time; numeric validation is deferred to
+/// [`ArchRequest::to_arch_spec`], so a well-formed frame for an invalid
+/// design point gets a typed `evaluation` error, not a decode failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArchRequest {
+    /// A CrossLight design point (the only architecture of protocol
+    /// version 1's original vocabulary; encoded without an `"arch"` field
+    /// so those frames stay byte-identical).
+    CrossLight {
+        /// Cross-layer design variant, transmitted by paper label.
+        variant: CrossLightVariant,
+        /// Architecture dimensions `(N, K, n, m)`.
+        dims: (usize, usize, usize, usize),
+        /// Energy-accounting resolution in bits.
+        resolution_bits: u32,
+    },
+    /// DEAP-CNN (fixed published design, no knobs).
+    DeapCnn,
+    /// HolyLight with an explicit microdisk-unit count.
+    HolyLight {
+        /// Number of dot-product units (`"units"`, defaults to the
+        /// published 250).
+        units: usize,
+    },
+    /// A literature electronic platform, by name (`"platform"`).
+    Electronic {
+        /// The platform's reference numbers.
+        platform: ElectronicPlatform,
+    },
+    /// The symmetric add–drop MRR crossbar.
+    SymmetricCrossbar {
+        /// Crossbar dimensions `(rows, cols)` (`"dims"`).
+        dims: (usize, usize),
+        /// Weight resolution in bits.
+        resolution_bits: u32,
+    },
+    /// LiteCON.
+    LiteCon {
+        /// Array dimensions `(units, unit_size)` (`"dims"`).
+        dims: (usize, usize),
+        /// Weight resolution in bits.
+        resolution_bits: u32,
+    },
+}
+
+impl ArchRequest {
+    /// The wire-level request naming an [`ArchSpec`], so in-process zoo
+    /// sweeps can be replayed over the wire verbatim.  Returns `None` only
+    /// for a CrossLight spec whose design choices match no named paper
+    /// variant (the wire transmits variants by label).
+    #[must_use]
+    pub fn for_spec(spec: &ArchSpec) -> Option<Self> {
+        Some(match spec {
+            ArchSpec::CrossLight(config) => {
+                let variant = CrossLightVariant::all()
+                    .into_iter()
+                    .find(|v| v.design() == config.design)?;
+                Self::CrossLight {
+                    variant,
+                    dims: (
+                        config.conv_unit_size,
+                        config.fc_unit_size,
+                        config.conv_units,
+                        config.fc_units,
+                    ),
+                    resolution_bits: config.resolution_bits,
+                }
+            }
+            ArchSpec::DeapCnn(_) => Self::DeapCnn,
+            ArchSpec::HolyLight(holylight) => Self::HolyLight {
+                units: holylight.units(),
+            },
+            ArchSpec::Electronic(platform) => Self::Electronic {
+                platform: *platform,
+            },
+            ArchSpec::SymmetricCrossbar(crossbar) => Self::SymmetricCrossbar {
+                dims: (crossbar.rows(), crossbar.cols()),
+                resolution_bits: crossbar.resolution_bits(),
+            },
+            ArchSpec::LiteCon(litecon) => Self::LiteCon {
+                dims: (litecon.units(), litecon.unit_size()),
+                resolution_bits: litecon.resolution_bits(),
+            },
+        })
+    }
+
+    /// Builds the validated [`ArchSpec`] this request names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErrorFrame`] of kind [`ErrorKind::Evaluation`] if the
+    /// parameters are architecturally invalid.
+    pub fn to_arch_spec(&self) -> Result<ArchSpec, ErrorFrame> {
+        let evaluation =
+            |err: &dyn std::fmt::Display| ErrorFrame::new(ErrorKind::Evaluation, err.to_string());
+        match *self {
+            Self::CrossLight {
+                variant,
+                dims: (n, k, conv_units, fc_units),
+                resolution_bits,
+            } => CrossLightConfig::new(n, k, conv_units, fc_units, variant.design())
+                .map(|c| ArchSpec::CrossLight(c.with_resolution_bits(resolution_bits)))
+                .map_err(|err| evaluation(&err)),
+            Self::DeapCnn => Ok(ArchSpec::DeapCnn(DeapCnn::new())),
+            Self::HolyLight { units } => Ok(ArchSpec::HolyLight(HolyLight::with_units(units))),
+            Self::Electronic { platform } => Ok(ArchSpec::Electronic(platform)),
+            Self::SymmetricCrossbar {
+                dims: (rows, cols),
+                resolution_bits,
+            } => SymmetricCrossbar::with_dims(rows, cols, resolution_bits)
+                .map(ArchSpec::SymmetricCrossbar)
+                .map_err(|err| evaluation(&err)),
+            Self::LiteCon {
+                dims: (units, unit_size),
+                resolution_bits,
+            } => LiteCon::with_dims(units, unit_size, resolution_bits)
+                .map(ArchSpec::LiteCon)
+                .map_err(|err| evaluation(&err)),
+        }
+    }
+}
+
+/// The scenario named by one `eval` request: an architecture (CrossLight
+/// design point or any zoo backend) applied to a workload — the same axes
+/// the [`SweepPlanner`](crosslight_runtime::SweepPlanner) expands.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalSpec {
-    /// Cross-layer design variant, transmitted by paper label.
-    pub variant: CrossLightVariant,
-    /// Architecture dimensions `(N, K, n, m)`.
-    pub dims: (usize, usize, usize, usize),
-    /// Energy-accounting resolution in bits.
-    pub resolution_bits: u32,
+    /// The architecture to evaluate.
+    pub arch: ArchRequest,
     /// The workload to evaluate.
     pub workload: WorkloadRef,
 }
@@ -160,25 +316,54 @@ impl EvalSpec {
     /// architecture at 16 bits.
     #[must_use]
     pub fn paper(variant: CrossLightVariant, model: PaperModel) -> Self {
-        Self {
+        Self::crosslight(
             variant,
-            dims: crosslight_core::config::BEST_CONFIG,
-            resolution_bits: 16,
-            workload: WorkloadRef::Model(model),
+            crosslight_core::config::BEST_CONFIG,
+            16,
+            WorkloadRef::Model(model),
+        )
+    }
+
+    /// A CrossLight spec with explicit dimensions and resolution.
+    #[must_use]
+    pub fn crosslight(
+        variant: CrossLightVariant,
+        dims: (usize, usize, usize, usize),
+        resolution_bits: u32,
+        workload: WorkloadRef,
+    ) -> Self {
+        Self {
+            arch: ArchRequest::CrossLight {
+                variant,
+                dims,
+                resolution_bits,
+            },
+            workload,
         }
     }
 
-    /// Builds the validated [`CrossLightConfig`] this spec names.
+    /// A spec for any architecture request.
+    #[must_use]
+    pub fn for_arch(arch: ArchRequest, workload: WorkloadRef) -> Self {
+        Self { arch, workload }
+    }
+
+    /// Builds the validated [`CrossLightConfig`] this spec names, when it
+    /// names a CrossLight design point.
     ///
     /// # Errors
     ///
     /// Returns an [`ErrorFrame`] of kind [`ErrorKind::Evaluation`] if the
-    /// dimensions are architecturally invalid.
+    /// dimensions are architecturally invalid or the spec names a
+    /// non-CrossLight backend.
     pub fn config(&self) -> Result<CrossLightConfig, ErrorFrame> {
-        let (n, k, conv_units, fc_units) = self.dims;
-        CrossLightConfig::new(n, k, conv_units, fc_units, self.variant.design())
-            .map(|c| c.with_resolution_bits(self.resolution_bits))
-            .map_err(|err| ErrorFrame::new(ErrorKind::Evaluation, err.to_string()))
+        match self.arch.to_arch_spec()? {
+            ArchSpec::CrossLight(config) => Ok(config),
+            other => Err(ErrorFrame::new(
+                ErrorKind::Evaluation,
+                format!("`{}` is not a CrossLight design point", other.label()),
+            )),
+        }
     }
 
     /// Resolves the spec into a runtime [`EvalRequest`], sharing prebuilt
@@ -187,13 +372,13 @@ impl EvalSpec {
     /// # Errors
     ///
     /// Returns an [`ErrorFrame`] of kind [`ErrorKind::Evaluation`] if the
-    /// dimensions are invalid.
+    /// architecture parameters are invalid.
     pub fn to_eval_request(
         &self,
         id: u64,
         table: &[Arc<NetworkWorkload>; 4],
     ) -> Result<EvalRequest, ErrorFrame> {
-        let config = self.config()?;
+        let arch = self.arch.to_arch_spec()?;
         let workload = match &self.workload {
             WorkloadRef::Model(model) => {
                 let index = PaperModel::all()
@@ -204,7 +389,7 @@ impl EvalSpec {
             }
             WorkloadRef::Inline(workload) => Arc::new(workload.clone()),
         };
-        Ok(EvalRequest::new(config, workload).with_id(id))
+        Ok(EvalRequest::for_arch(arch, workload).with_id(id))
     }
 }
 
@@ -432,6 +617,55 @@ fn encode_report_into(report: &SimulationReport, out: &mut String) {
     let _ = write!(out, "}},\"resolution_bits\":{}}}", report.resolution_bits);
 }
 
+/// Appends the `config` object of an eval request to the line being built.
+/// CrossLight requests are encoded exactly as protocol version 1 always
+/// encoded them (no `"arch"` field), so pre-zoo frames are byte-identical.
+fn encode_arch_request_into(arch: &ArchRequest, out: &mut String) {
+    match *arch {
+        ArchRequest::CrossLight {
+            variant,
+            dims: (n, k, conv_units, fc_units),
+            resolution_bits,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"variant\":\"{}\",\"dims\":[{n},{k},{conv_units},{fc_units}],\
+                 \"resolution_bits\":{resolution_bits}}}",
+                variant.label(),
+            );
+        }
+        ArchRequest::DeapCnn => out.push_str("{\"arch\":\"deap-cnn\"}"),
+        ArchRequest::HolyLight { units } => {
+            let _ = write!(out, "{{\"arch\":\"holylight\",\"units\":{units}}}");
+        }
+        ArchRequest::Electronic { platform } => {
+            out.push_str("{\"arch\":\"electronic\",\"platform\":");
+            json::push_string_literal(platform.name, out);
+            out.push('}');
+        }
+        ArchRequest::SymmetricCrossbar {
+            dims: (rows, cols),
+            resolution_bits,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"arch\":\"symmetric-crossbar\",\"dims\":[{rows},{cols}],\
+                 \"resolution_bits\":{resolution_bits}}}"
+            );
+        }
+        ArchRequest::LiteCon {
+            dims: (units, unit_size),
+            resolution_bits,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"arch\":\"litecon\",\"dims\":[{units},{unit_size}],\
+                 \"resolution_bits\":{resolution_bits}}}"
+            );
+        }
+    }
+}
+
 /// Encodes a request as one JSON line (no trailing newline).
 #[must_use]
 pub fn encode_request(request: &Request) -> String {
@@ -439,14 +673,8 @@ pub fn encode_request(request: &Request) -> String {
     let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION},\"id\":{}", request.id);
     match &request.body {
         RequestBody::Eval(spec) => {
-            let (n, k, conv_units, fc_units) = spec.dims;
-            let _ = write!(
-                out,
-                ",\"op\":\"eval\",\"config\":{{\"variant\":\"{}\",\"dims\":[{n},{k},{conv_units},\
-                 {fc_units}],\"resolution_bits\":{}}}",
-                spec.variant.label(),
-                spec.resolution_bits
-            );
+            out.push_str(",\"op\":\"eval\",\"config\":");
+            encode_arch_request_into(&spec.arch, &mut out);
             match &spec.workload {
                 WorkloadRef::Model(model) => {
                     let _ = write!(out, ",\"model\":\"{}\"", model.wire_name());
@@ -618,11 +846,10 @@ fn decode_workload(value: &Json) -> Result<NetworkWorkload, ErrorFrame> {
     })
 }
 
-fn decode_eval_spec(value: &Json) -> Result<EvalSpec, ErrorFrame> {
-    let config = field(value, "config")?;
+fn decode_crosslight_arch(config: &Json) -> Result<ArchRequest, ErrorFrame> {
     let label = str_field(config, "variant")?;
     let variant = CrossLightVariant::from_label(label)
-        .ok_or_else(|| ErrorFrame::malformed(format!("unknown variant `{label}`")))?;
+        .ok_or_else(|| ErrorFrame::unsupported(format!("unknown variant `{label}`")))?;
     let dims_json = field(config, "dims")?
         .as_array()
         .filter(|a| a.len() == 4)
@@ -637,6 +864,88 @@ fn decode_eval_spec(value: &Json) -> Result<EvalSpec, ErrorFrame> {
     }
     let resolution_bits = u32::try_from(u64_field(config, "resolution_bits")?)
         .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))?;
+    Ok(ArchRequest::CrossLight {
+        variant,
+        dims: (dims[0], dims[1], dims[2], dims[3]),
+        resolution_bits,
+    })
+}
+
+/// Decodes an optional `(a, b)` integer-pair field, falling back to the
+/// backend's published default when absent.
+fn decode_dims_pair(config: &Json, default: (usize, usize)) -> Result<(usize, usize), ErrorFrame> {
+    let Some(json) = config.get("dims") else {
+        return Ok(default);
+    };
+    let pair = json
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| ErrorFrame::malformed("field `dims` must be a 2-element array"))?;
+    let mut dims = [0usize; 2];
+    for (slot, item) in dims.iter_mut().zip(pair) {
+        *slot = usize_from(
+            item.as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("`dims` entries must be integers"))?,
+            "dims",
+        )?;
+    }
+    Ok((dims[0], dims[1]))
+}
+
+/// Decodes an optional `resolution_bits` field with a backend default.
+fn decode_resolution_bits(config: &Json, default: u32) -> Result<u32, ErrorFrame> {
+    if config.get("resolution_bits").is_none() {
+        return Ok(default);
+    }
+    u32::try_from(u64_field(config, "resolution_bits")?)
+        .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))
+}
+
+/// Decodes the `config` object of an eval request.  An absent `"arch"`
+/// field means CrossLight — the protocol's original vocabulary — so every
+/// pre-zoo frame decodes unchanged.
+fn decode_arch_request(config: &Json) -> Result<ArchRequest, ErrorFrame> {
+    let arch_name = match config.get("arch") {
+        None => return decode_crosslight_arch(config),
+        Some(json) => json
+            .as_str()
+            .ok_or_else(|| ErrorFrame::malformed("field `arch` must be a string"))?,
+    };
+    match arch_name {
+        "crosslight" => decode_crosslight_arch(config),
+        "deap-cnn" => Ok(ArchRequest::DeapCnn),
+        "holylight" => {
+            let units = match config.get("units") {
+                None => HOLYLIGHT_UNITS,
+                Some(_) => usize_from(u64_field(config, "units")?, "units")?,
+            };
+            Ok(ArchRequest::HolyLight { units })
+        }
+        "electronic" => {
+            let name = str_field(config, "platform")?;
+            let platform = crosslight_baselines::electronic::all_platforms()
+                .into_iter()
+                .find(|p| p.name == name)
+                .ok_or_else(|| ErrorFrame::unsupported(format!("unknown platform `{name}`")))?;
+            Ok(ArchRequest::Electronic { platform })
+        }
+        "symmetric-crossbar" => Ok(ArchRequest::SymmetricCrossbar {
+            dims: decode_dims_pair(config, (SYMMETRIC_DEFAULT_ROWS, SYMMETRIC_DEFAULT_COLS))?,
+            resolution_bits: decode_resolution_bits(config, SYMMETRIC_DEFAULT_BITS)?,
+        }),
+        "litecon" => Ok(ArchRequest::LiteCon {
+            dims: decode_dims_pair(config, (LITECON_DEFAULT_UNITS, LITECON_DEFAULT_UNIT_SIZE))?,
+            resolution_bits: decode_resolution_bits(config, LITECON_DEFAULT_BITS)?,
+        }),
+        other => Err(ErrorFrame::unsupported(format!(
+            "unknown architecture `{other}`"
+        ))),
+    }
+}
+
+fn decode_eval_spec(value: &Json) -> Result<EvalSpec, ErrorFrame> {
+    let config = field(value, "config")?;
+    let arch = decode_arch_request(config)?;
     let workload = match (value.get("model"), value.get("workload")) {
         (Some(model), None) => {
             let name = model
@@ -654,12 +963,7 @@ fn decode_eval_spec(value: &Json) -> Result<EvalSpec, ErrorFrame> {
             ))
         }
     };
-    Ok(EvalSpec {
-        variant,
-        dims: (dims[0], dims[1], dims[2], dims[3]),
-        resolution_bits,
-        workload,
-    })
+    Ok(EvalSpec { arch, workload })
 }
 
 /// Decodes one request line.
@@ -839,20 +1143,111 @@ mod tests {
             },
             Request {
                 id: 8,
-                body: RequestBody::Eval(EvalSpec {
-                    variant: CrossLightVariant::Base,
-                    dims: (10, 100, 50, 30),
-                    resolution_bits: 8,
-                    workload: WorkloadRef::Inline(
+                body: RequestBody::Eval(EvalSpec::crosslight(
+                    CrossLightVariant::Base,
+                    (10, 100, 50, 30),
+                    8,
+                    WorkloadRef::Inline(
                         NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap(),
                     ),
-                }),
+                )),
             },
         ];
         for request in requests {
             let line = encode_request(&request);
             assert_eq!(decode_request(&line).unwrap(), request, "{line}");
             assert_eq!(peek_id(&line), Some(request.id));
+        }
+    }
+
+    #[test]
+    fn zoo_arch_requests_round_trip_for_every_backend() {
+        for (id, spec) in ArchSpec::zoo_defaults().iter().enumerate() {
+            let arch = ArchRequest::for_spec(spec).expect("zoo specs use named variants");
+            let request = Request {
+                id: id as u64,
+                body: RequestBody::Eval(EvalSpec::for_arch(
+                    arch.clone(),
+                    WorkloadRef::Model(PaperModel::CnnCifar10),
+                )),
+            };
+            let line = encode_request(&request);
+            let decoded = decode_request(&line).unwrap();
+            assert_eq!(decoded, request, "{line}");
+            // The round-tripped request resolves back to the original spec.
+            match decoded.body {
+                RequestBody::Eval(decoded_spec) => {
+                    assert_eq!(decoded_spec.arch.to_arch_spec().unwrap(), *spec);
+                }
+                other => panic!("expected eval body, got {other:?}"),
+            }
+            // CrossLight requests never carry an `"arch"` key; zoo requests
+            // always do.
+            let has_arch_key = line.contains("\"arch\":");
+            assert_eq!(
+                has_arch_key,
+                !matches!(arch, ArchRequest::CrossLight { .. }),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_configs_decode_with_published_defaults_when_knobs_are_omitted() {
+        let cases = [
+            (
+                r#"{"v":1,"id":1,"op":"eval","config":{"arch":"holylight"},"model":"cnn_cifar10"}"#,
+                ArchRequest::HolyLight {
+                    units: HOLYLIGHT_UNITS,
+                },
+            ),
+            (
+                r#"{"v":1,"id":2,"op":"eval","config":{"arch":"symmetric-crossbar"},"model":"cnn_cifar10"}"#,
+                ArchRequest::SymmetricCrossbar {
+                    dims: (SYMMETRIC_DEFAULT_ROWS, SYMMETRIC_DEFAULT_COLS),
+                    resolution_bits: SYMMETRIC_DEFAULT_BITS,
+                },
+            ),
+            (
+                r#"{"v":1,"id":3,"op":"eval","config":{"arch":"litecon"},"model":"cnn_cifar10"}"#,
+                ArchRequest::LiteCon {
+                    dims: (LITECON_DEFAULT_UNITS, LITECON_DEFAULT_UNIT_SIZE),
+                    resolution_bits: LITECON_DEFAULT_BITS,
+                },
+            ),
+            (
+                r#"{"v":1,"id":4,"op":"eval","config":{"arch":"deap-cnn"},"model":"cnn_cifar10"}"#,
+                ArchRequest::DeapCnn,
+            ),
+        ];
+        for (line, expected) in cases {
+            match decode_request(line).unwrap().body {
+                RequestBody::Eval(spec) => assert_eq!(spec.arch, expected, "{line}"),
+                other => panic!("expected eval body, got {other:?}"),
+            }
+        }
+        // An explicit `"arch":"crosslight"` decodes like the implicit form.
+        let explicit = r#"{"v":1,"id":5,"op":"eval","config":{"arch":"crosslight","variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"cnn_cifar10"}"#;
+        let implicit = r#"{"v":1,"id":5,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"cnn_cifar10"}"#;
+        assert_eq!(
+            decode_request(explicit).unwrap(),
+            decode_request(implicit).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_names_in_well_formed_frames_are_unsupported_not_malformed() {
+        for line in [
+            // Unknown architecture family.
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":"quantum"},"model":"cnn_cifar10"}"#,
+            // Unknown CrossLight variant label (implicit and explicit arch).
+            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"nope","dims":[1,2,3,4],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":"crosslight","variant":"nope","dims":[1,2,3,4],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+            // Unknown electronic platform.
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":"electronic","platform":"Z80"},"model":"cnn_cifar10"}"#,
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Unsupported, "{line} → {err:?}");
         }
     }
 
@@ -937,7 +1332,9 @@ mod tests {
             r#"{"v":1,"id":1}"#,
             r#"{"v":1,"id":1,"op":"launch"}"#,
             r#"{"v":1,"id":1,"op":"eval"}"#,
-            r#"{"v":1,"id":1,"op":"eval","config":{"variant":"nope","dims":[1,2,3,4],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":7},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":"electronic"},"model":"cnn_cifar10"}"#,
+            r#"{"v":1,"id":1,"op":"eval","config":{"arch":"litecon","dims":[1,2,3]},"model":"cnn_cifar10"}"#,
             r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3],"resolution_bits":16},"model":"cnn_cifar10"}"#,
             r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3,4],"resolution_bits":16},"model":"vgg16"}"#,
             r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3,4],"resolution_bits":16}}"#,
@@ -956,15 +1353,27 @@ mod tests {
         let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::CnnStl10);
         let request = spec.to_eval_request(11, &workloads).unwrap();
         assert_eq!(request.id, 11);
-        assert_eq!(request.config, CrossLightConfig::paper_best());
+        assert_eq!(request.config().unwrap(), CrossLightConfig::paper_best());
         assert!(Arc::ptr_eq(&request.workload, &workloads[2]));
 
-        let invalid = EvalSpec {
-            dims: (150, 20, 100, 60), // K < N
-            ..spec
-        };
+        let invalid = EvalSpec::crosslight(
+            CrossLightVariant::OptTed,
+            (150, 20, 100, 60), // K < N
+            16,
+            WorkloadRef::Model(PaperModel::CnnStl10),
+        );
         let err = invalid.to_eval_request(0, &workloads).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Evaluation);
+
+        // A zoo spec resolves to a request with no CrossLight config.
+        let zoo = EvalSpec::for_arch(
+            ArchRequest::DeapCnn,
+            WorkloadRef::Model(PaperModel::CnnCifar10),
+        );
+        let request = zoo.to_eval_request(3, &workloads).unwrap();
+        assert!(request.config().is_none());
+        assert_eq!(request.arch.arch_name(), "deap-cnn");
+        assert_eq!(zoo.config().unwrap_err().kind, ErrorKind::Evaluation);
     }
 
     #[test]
@@ -976,6 +1385,7 @@ mod tests {
             ErrorKind::Overloaded,
             ErrorKind::Evaluation,
             ErrorKind::ShuttingDown,
+            ErrorKind::Unsupported,
         ] {
             assert_eq!(ErrorKind::from_wire_name(kind.as_str()), Some(kind));
         }

@@ -1,0 +1,132 @@
+//! Wire back-compat golden: version-1 request lines written **without** any
+//! architecture selector (the only form the protocol knew before the
+//! architecture-generic evaluation API) must keep producing byte-identical
+//! response lines forever.
+//!
+//! The fixture under `tests/golden/wire_v1_backcompat.txt` was generated
+//! against the pre-zoo wire/runtime code; every later protocol extension is
+//! required to leave these exact bytes unchanged, so any drift — a reordered
+//! key, a float formatting change, a default that stopped meaning
+//! "crosslight" — fails here.
+//!
+//! To regenerate after an *intentional* protocol change (which is a breaking
+//! change and should be treated as such):
+//!
+//! ```sh
+//! CROSSLIGHT_GOLDEN_BLESS=1 cargo test -p crosslight-server --test backcompat_golden
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::pool::{EvalService, RuntimeOptions};
+use crosslight_server::wire::{
+    decode_request, encode_response, peek_id, EvalFrame, Request, RequestBody, Response,
+    ResponseBody,
+};
+
+/// The frozen v1 request corpus: every line predates the `"arch"` field and
+/// must decode — and evaluate — exactly as it did before the field existed.
+const V1_LINES: &[&str] = &[
+    // Paper-best OptTed on each referenced Table I model.
+    r#"{"v":1,"id":0,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"lenet5_sign_mnist"}"#,
+    r#"{"v":1,"id":1,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+    // Every variant label round-trips.
+    r#"{"v":1,"id":2,"op":"eval","config":{"variant":"Cross_base","dims":[20,150,100,60],"resolution_bits":16},"model":"cnn_stl10"}"#,
+    r#"{"v":1,"id":3,"op":"eval","config":{"variant":"Cross_opt","dims":[20,150,100,60],"resolution_bits":16},"model":"siamese_omniglot"}"#,
+    r#"{"v":1,"id":4,"op":"eval","config":{"variant":"Cross_base_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"lenet5_sign_mnist"}"#,
+    // Non-default dims and resolution.
+    r#"{"v":1,"id":5,"op":"eval","config":{"variant":"Cross_base","dims":[10,100,50,30],"resolution_bits":8},"model":"cnn_cifar10"}"#,
+    // Inline workload with a name that needs escaping.
+    r#"{"v":1,"id":6,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"workload":{"name":"tiny \"net\"","towers":2,"conv_layers":[[9,1024],[25,256]],"fc_layers":[[128,10]]}}"#,
+    // Exact duplicate of id 0: must be answered from the cache.
+    r#"{"v":1,"id":7,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[20,150,100,60],"resolution_bits":16},"model":"lenet5_sign_mnist"}"#,
+    // Architecturally invalid dims (K < N): typed evaluation error.
+    r#"{"v":1,"id":8,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[150,20,100,60],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+    // Structurally broken frames: typed malformed errors.
+    r#"{"v":1,"id":9,"op":"eval","config":{"variant":"Cross_opt_TED","dims":[1,2,3],"resolution_bits":16},"model":"cnn_cifar10"}"#,
+    r#"{"v":1,"id":10,"op":"eval"}"#,
+    // Liveness probe.
+    r#"{"v":1,"id":11,"op":"ping"}"#,
+];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wire_v1_backcompat.txt")
+}
+
+/// Replays the corpus through decode → evaluate → encode exactly the way the
+/// server's read loop does, with a single-worker service so worker ids and
+/// hit/miss provenance are deterministic.
+fn serve_corpus() -> String {
+    let workloads: [Arc<NetworkWorkload>; 4] =
+        PaperModel::all().map(|m| Arc::new(NetworkWorkload::from_spec(&m.spec()).unwrap()));
+    let service = EvalService::new(RuntimeOptions {
+        workers: 1,
+        cache_shards: 1,
+    });
+    let mut out = String::from("wire_v1_backcompat/v1\n");
+    for line in V1_LINES {
+        let response = match decode_request(line) {
+            Ok(Request {
+                id,
+                body: RequestBody::Eval(spec),
+            }) => match spec.to_eval_request(id, &workloads) {
+                Ok(request) => {
+                    let answer = service.submit(request).expect("runtime alive");
+                    Response {
+                        id: Some(id),
+                        body: ResponseBody::Eval(EvalFrame {
+                            report: answer.report,
+                            cache_hit: answer.cache_hit,
+                            worker: answer.worker as u64,
+                        }),
+                    }
+                }
+                Err(frame) => Response::error(Some(id), frame),
+            },
+            Ok(Request {
+                id,
+                body: RequestBody::Ping,
+            }) => Response {
+                id: Some(id),
+                body: ResponseBody::Pong,
+            },
+            Ok(Request {
+                id,
+                body: RequestBody::Stats,
+            }) => panic!("corpus has no stats op (non-deterministic), got id {id}"),
+            Err(frame) => Response::error(peek_id(line), frame),
+        };
+        out.push_str(line);
+        out.push('\n');
+        out.push_str("→ ");
+        out.push_str(&encode_response(&response));
+        out.push('\n');
+    }
+    service.shutdown();
+    out
+}
+
+#[test]
+fn v1_frames_without_arch_produce_byte_identical_responses() {
+    let rendered = serve_corpus();
+    let path = fixture_path();
+    if std::env::var_os("CROSSLIGHT_GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden fixture {path:?} ({err}); run with CROSSLIGHT_GOLDEN_BLESS=1 to \
+             create it"
+        )
+    });
+    assert!(
+        rendered == expected,
+        "v1 back-compat drift: a pre-`arch` frame no longer produces the bytes it always \
+         has.\n--- expected ---\n{expected}\n--- actual ---\n{rendered}"
+    );
+}

@@ -32,12 +32,12 @@ fn spec_from(
     bits: u32,
     model: usize,
 ) -> EvalSpec {
-    EvalSpec {
-        variant: variant_from(variant),
+    EvalSpec::crosslight(
+        variant_from(variant),
         dims,
-        resolution_bits: bits,
-        workload: WorkloadRef::Model(model_from(model)),
-    }
+        bits,
+        WorkloadRef::Model(model_from(model)),
+    )
 }
 
 fn report_from(values: &[f64; 16], bits: u32) -> SimulationReport {
@@ -113,12 +113,12 @@ proptest! {
         };
         let request = Request {
             id,
-            body: RequestBody::Eval(EvalSpec {
-                variant: CrossLightVariant::OptTed,
-                dims: (20, 150, 100, 60),
-                resolution_bits: 16,
-                workload: WorkloadRef::Inline(workload),
-            }),
+            body: RequestBody::Eval(EvalSpec::crosslight(
+                CrossLightVariant::OptTed,
+                (20, 150, 100, 60),
+                16,
+                WorkloadRef::Inline(workload),
+            )),
         };
         let line = encode_request(&request);
         prop_assert_eq!(decode_request(&line).unwrap(), request);
@@ -169,7 +169,7 @@ proptest! {
     fn stats_and_error_responses_round_trip(
         counters in proptest::collection::vec(0u64..u64::MAX, 18),
         per_worker in proptest::collection::vec(0u64..1_000_000, 0..8),
-        kind in 0usize..6,
+        kind in 0usize..7,
         detail_tag in 0u32..1000,
     ) {
         let stats = Response {
@@ -209,6 +209,7 @@ proptest! {
             ErrorKind::Overloaded,
             ErrorKind::Evaluation,
             ErrorKind::ShuttingDown,
+            ErrorKind::Unsupported,
         ];
         let error = Response::error(
             None,
@@ -229,6 +230,38 @@ proptest! {
         let _ = decode_request(&line);
         let _ = decode_response(&line);
         let _ = Json::parse(&line);
+    }
+
+    /// Fuzz: a well-formed eval frame naming an unknown architecture,
+    /// variant or platform always decodes to a typed `unsupported` error —
+    /// never `malformed`, never a panic.  Known names are excluded by
+    /// construction (fuzzed names carry a `zz-` prefix no registered
+    /// architecture, variant or platform uses).
+    #[test]
+    fn unknown_arch_names_decode_to_unsupported(
+        id in 0u64..10_000,
+        tag in 0u32..100_000,
+        slot in 0usize..3,
+        model in 0usize..4,
+    ) {
+        let name = format!("zz-{tag}");
+        let model = model_from(model).wire_name();
+        let line = match slot {
+            // Unknown architecture family.
+            0 => format!(
+                r#"{{"v":1,"id":{id},"op":"eval","config":{{"arch":"{name}"}},"model":"{model}"}}"#
+            ),
+            // Unknown CrossLight variant label.
+            1 => format!(
+                r#"{{"v":1,"id":{id},"op":"eval","config":{{"variant":"{name}","dims":[20,150,100,60],"resolution_bits":16}},"model":"{model}"}}"#
+            ),
+            // Unknown electronic platform.
+            _ => format!(
+                r#"{{"v":1,"id":{id},"op":"eval","config":{{"arch":"electronic","platform":"{name}"}},"model":"{model}"}}"#
+            ),
+        };
+        let err = decode_request(&line).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::Unsupported, "{}", line);
     }
 
     /// Fuzz: printable JSON-ish soup (brackets, quotes, digits) never

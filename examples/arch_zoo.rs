@@ -1,0 +1,71 @@
+//! Cross-architecture design-space exploration over the accelerator zoo:
+//! evaluates the union grid — CrossLight variants × dimensions ×
+//! resolutions, HolyLight, DEAP-CNN, the symmetric MRR crossbar, LiteCON
+//! and the electronic reference platforms — and prints the Table-III-style
+//! comparison plus the top-K / Pareto frontier under a power budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example arch_zoo -- --workers 4 --budget 25
+//! ```
+//!
+//! The process exits non-zero (panics) if the streaming frontier differs
+//! across worker counts or from the runtime-service evaluation, so CI can
+//! use it as a smoke test of the architecture-generic API.
+
+use crosslight::experiments::arch_zoo;
+use crosslight::runtime::pool::{EvalService, RuntimeOptions};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got `{v}`"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let workers: usize = parse_flag(&args, "--workers", 4).max(1);
+    let budget: f64 = parse_flag(&args, "--budget", arch_zoo::DEFAULT_POWER_BUDGET_W);
+
+    println!("=== crosslight — cross-architecture design-space exploration ===\n");
+
+    println!("-- backend-family defaults (Table-III style) --");
+    println!("{}", arch_zoo::table()?.render());
+
+    let candidates = arch_zoo::union_candidates();
+    println!(
+        "-- union grid: {} candidates, top-8 under a {budget} W budget --",
+        candidates.len()
+    );
+    let frontier = arch_zoo::run_streaming(&candidates, workers, 8, budget)?;
+    println!("{}", frontier.table().render());
+    println!(
+        "evaluated {} candidates, {} in budget, {} on the (FPS, EPB, power) Pareto frontier",
+        frontier.evaluated,
+        frontier.in_budget,
+        frontier.pareto.len()
+    );
+    if let Some(best) = &frontier.best {
+        println!(
+            "best in budget: {} ({:.1} FPS/EPB at {:.2} W)",
+            best.label, best.fps_per_epb, best.power_w
+        );
+    }
+
+    // Determinism or bust: the frontier is identical for any worker count
+    // and identical when served by the runtime evaluation service.
+    let serial = arch_zoo::run_streaming(&candidates, 1, 8, budget)?;
+    assert_eq!(serial, frontier, "frontier must not depend on worker count");
+    let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+    let batched = arch_zoo::run_on(&service, &candidates, 8, budget)?;
+    assert_eq!(serial, batched, "runtime-served frontier must match");
+
+    println!("\nOK: frontier identical across worker counts and through the runtime service.");
+    Ok(())
+}

@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serial_start = Instant::now();
     let serial: Vec<SimulationReport> = requests
         .iter()
-        .map(|r| CrossLightSimulator::new(r.config).evaluate(&r.workload))
+        .map(|r| {
+            CrossLightSimulator::new(r.config().expect("CrossLight request")).evaluate(&r.workload)
+        })
         .collect::<Result<_, _>>()?;
     let serial_elapsed = serial_start.elapsed();
 

@@ -159,11 +159,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pipelined burst must overrun the capacity-1 admission queue.
     let mut burst = LoadGenOptions::paper_mix(clients, requests.max(32), 0xBEEF);
     burst.scenarios = (0..64)
-        .map(|i| EvalSpec {
-            variant: crosslight::core::variants::CrossLightVariant::all()[i % 4],
-            dims: (10 + i, 160 + i, 40 + i, 20 + i),
-            resolution_bits: 16,
-            workload: WorkloadRef::Model(PaperModel::all()[i % 4]),
+        .map(|i| {
+            EvalSpec::crosslight(
+                crosslight::core::variants::CrossLightVariant::all()[i % 4],
+                (10 + i, 160 + i, 40 + i, 20 + i),
+                16,
+                WorkloadRef::Model(PaperModel::all()[i % 4]),
+            )
         })
         .collect();
     let overload = loadgen::run(tiny.local_addr(), &burst)?;

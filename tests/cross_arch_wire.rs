@@ -1,0 +1,73 @@
+//! Acceptance test for the architecture-generic evaluation API, end to end
+//! through the facade: the cross-architecture DSE frontier over the union
+//! grid must be identical whether the reports are computed in-process
+//! (streaming sweep or runtime service) or collected over the wire protocol
+//! — and identical across worker counts on every path.
+
+use crosslight::baselines::ArchSpec;
+use crosslight::core::simulator::SimulationReport;
+use crosslight::experiments::arch_zoo;
+use crosslight::neural::zoo::PaperModel;
+use crosslight::runtime::pool::{EvalService, RuntimeOptions};
+use crosslight::server::loadgen::Client;
+use crosslight::server::server::{Server, ServerOptions};
+use crosslight::server::wire::{ArchRequest, EvalSpec, ResponseBody, WorkloadRef};
+
+/// Collects per-candidate report sets (one per Table I model) over the wire.
+fn wire_reports(addr: std::net::SocketAddr, candidates: &[ArchSpec]) -> Vec<Vec<SimulationReport>> {
+    let mut client = Client::connect(addr).expect("connect to loopback server");
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut id = 0u64;
+    for spec in candidates {
+        let arch = ArchRequest::for_spec(spec).expect("union grid uses named variants");
+        let mut set = Vec::with_capacity(4);
+        for model in PaperModel::all() {
+            let request = EvalSpec::for_arch(arch.clone(), WorkloadRef::Model(model));
+            let response = client.eval(id, &request).expect("eval round-trip");
+            assert_eq!(response.id, Some(id));
+            let ResponseBody::Eval(frame) = response.body else {
+                panic!("id {id}: expected eval frame, got {response:?}");
+            };
+            set.push(frame.report);
+            id += 1;
+        }
+        out.push(set);
+    }
+    out
+}
+
+#[test]
+fn wire_served_frontier_matches_in_process_evaluation_exactly() {
+    let candidates = arch_zoo::union_candidates();
+    let top_k = 6;
+    let budget = arch_zoo::DEFAULT_POWER_BUDGET_W;
+
+    // Reference: the in-process streaming sweep (worker-count independent).
+    let streaming = arch_zoo::run_streaming(&candidates, 3, top_k, budget).unwrap();
+
+    for workers in [1usize, 4] {
+        // In-process, through the runtime service.
+        let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+        let in_process = arch_zoo::run_on(&service, &candidates, top_k, budget).unwrap();
+        assert_eq!(streaming, in_process, "run_on, {workers} workers");
+
+        // Over the wire, through the TCP/JSON-lines server.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions::default()
+                .with_workers(workers)
+                .with_queue_capacity(1_000),
+        )
+        .expect("bind loopback server");
+        let reports = wire_reports(server.local_addr(), &candidates);
+        let wire = arch_zoo::frontier_from_reports(&candidates, &reports, top_k, budget).unwrap();
+        assert_eq!(streaming, wire, "wire, {workers} workers");
+        server.shutdown();
+    }
+
+    // The frontier is non-trivial: it found an in-budget winner and kept a
+    // full top-K.
+    assert!(streaming.best.is_some());
+    assert_eq!(streaming.top.len(), top_k);
+    assert_eq!(streaming.evaluated, candidates.len());
+}

@@ -18,7 +18,7 @@ fn four_worker_sweep_matches_serial_evaluation_bit_for_bit() {
     let serial: Vec<SimulationReport> = requests
         .iter()
         .map(|r| {
-            CrossLightSimulator::new(r.config)
+            CrossLightSimulator::new(r.config().expect("CrossLight request"))
                 .evaluate(&r.workload)
                 .expect("serial evaluation succeeds")
         })

@@ -215,12 +215,12 @@ fn protocol_errors_stats_and_ping_work_over_the_wire() {
     ));
 
     // Invalid architecture dimensions: typed evaluation error.
-    let bad = EvalSpec {
-        variant: CrossLightVariant::OptTed,
-        dims: (150, 20, 100, 60), // K < N is rejected
-        resolution_bits: 16,
-        workload: crosslight::server::wire::WorkloadRef::Model(PaperModel::CnnCifar10),
-    };
+    let bad = EvalSpec::crosslight(
+        CrossLightVariant::OptTed,
+        (150, 20, 100, 60), // K < N is rejected
+        16,
+        crosslight::server::wire::WorkloadRef::Model(PaperModel::CnnCifar10),
+    );
     let err = client.eval(11, &bad).unwrap();
     assert_eq!(err.id, Some(11));
     assert!(matches!(
