@@ -116,11 +116,49 @@ fn main() {
             .submit_batch(requests.clone())
             .expect("dispatch succeeds")
     });
+    let batch_per_req_ns = batch.ns_per_iter / requests.len() as f64;
     results.push(BenchResult {
         name: "direct_submit_batch_warm_per_req".to_string(),
-        ns_per_iter: batch.ns_per_iter / requests.len() as f64,
+        ns_per_iter: batch_per_req_ns,
         iterations: batch.iterations,
+        // Scaling a distribution by a constant scales its quantiles, so the
+        // batch percentiles divided by the mix size are the per-request ones.
+        p50_ns: batch.p50_ns.map(|p| p / requests.len() as f64),
+        p99_ns: batch.p99_ns.map(|p| p / requests.len() as f64),
     });
+
+    // ---- tracing-enabled-but-unsampled overhead ---------------------------
+    // A sampling period of u64::MAX arms the tracing machinery (the sampler
+    // runs on every submit) while never actually tracing a request — the
+    // steady-state cost every untraced request pays.  Its baseline is the
+    // tracing-off per-request figure from this same run, so the JSON's
+    // `speedup_vs_baseline` is the overhead ratio (≥ 0.98 ⇔ ≤ 2% overhead).
+    let traced_service = EvalService::new(
+        RuntimeOptions::default()
+            .with_workers(workers)
+            .with_trace_sampling(u64::MAX),
+    );
+    traced_service
+        .submit_batch(requests.clone())
+        .expect("warm-up succeeds");
+    let traced_batch = measure(
+        "direct_submit_batch_warm_mix_unsampled_trace",
+        window_ms,
+        || {
+            traced_service
+                .submit_batch(requests.clone())
+                .expect("dispatch succeeds")
+        },
+    );
+    let traced_per_req_ns = traced_batch.ns_per_iter / requests.len() as f64;
+    results.push(BenchResult {
+        name: "direct_submit_batch_warm_per_req_unsampled_trace".to_string(),
+        ns_per_iter: traced_per_req_ns,
+        iterations: traced_batch.iterations,
+        p50_ns: traced_batch.p50_ns.map(|p| p / requests.len() as f64),
+        p99_ns: traced_batch.p99_ns.map(|p| p / requests.len() as f64),
+    });
+    traced_service.shutdown();
 
     // ---- the same warm mix over loopback TCP ------------------------------
     let server = Server::bind(
@@ -160,6 +198,8 @@ fn main() {
         name: "server_loopback_warm_mix".to_string(),
         ns_per_iter: per_request_ns,
         iterations: loopback.iterations,
+        p50_ns: loopback.p50_ns.map(|p| p / specs.len() as f64),
+        p99_ns: loopback.p99_ns.map(|p| p / specs.len() as f64),
     });
 
     // Multi-connection aggregate throughput, reported for context.
@@ -177,14 +217,26 @@ fn main() {
     drop(client);
     server.shutdown();
 
-    // The acceptance ratio: loopback serving vs direct per-request dispatch.
-    // Recorded as the baseline of `server_loopback_warm_mix`, so
-    // `speedup_vs_baseline` in the JSON *is* the ratio (≥ 0.5 ⇔ within 2×).
-    let baselines: Vec<(&str, f64)> = vec![("server_loopback_warm_mix", direct_each_ns)];
+    // The acceptance ratios, both recorded as same-run baselines so the
+    // JSON's `speedup_vs_baseline` fields *are* the ratios: loopback vs
+    // direct dispatch (≥ 0.5 ⇔ within 2×), and unsampled-trace vs
+    // tracing-off dispatch (≥ 0.98 ⇔ ≤ 2% tracing overhead).
+    let baselines: Vec<(&str, f64)> = vec![
+        ("server_loopback_warm_mix", direct_each_ns),
+        (
+            "direct_submit_batch_warm_per_req_unsampled_trace",
+            batch_per_req_ns,
+        ),
+    ];
     let ratio = per_request_ns / direct_each_ns;
     println!(
         "\nserver loopback {per_request_ns:.0} ns/req vs direct dispatch {direct_each_ns:.0} \
          ns/req → {ratio:.2}× direct cost (acceptance bar: ≤ 2×)"
+    );
+    let overhead = traced_per_req_ns / batch_per_req_ns;
+    println!(
+        "unsampled tracing {traced_per_req_ns:.0} ns/req vs tracing off {batch_per_req_ns:.0} \
+         ns/req → {overhead:.3}× (acceptance bar: ≤ 1.02×)"
     );
 
     let json = render_trajectory_json(

@@ -23,6 +23,8 @@
 
 use std::time::Instant;
 
+use crosslight_telemetry::Histogram;
+
 /// Prints a named experiment table once, prefixed so it is easy to find in
 /// `cargo bench` output.
 pub fn print_table(title: &str, table: &crosslight_experiments::TextTable) {
@@ -39,30 +41,54 @@ pub struct BenchResult {
     pub ns_per_iter: f64,
     /// Number of timed iterations behind the mean.
     pub iterations: u64,
+    /// Median per-iteration nanoseconds, from the boundary-timing
+    /// histogram; `None` for single-iteration measurements.
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile per-iteration nanoseconds; `None` for
+    /// single-iteration measurements.
+    pub p99_ns: Option<f64>,
 }
 
 /// Warm-up twice, then run `routine` until `window_ms` of wall clock is
 /// filled — the shared measurement loop of the trajectory bins.
+///
+/// Per-iteration times come from *boundary timing*: the loop reads the
+/// clock once per iteration (exactly as many reads as the plain
+/// mean-only loop needed for its exit condition) and records successive
+/// deltas into a log-linear [`Histogram`], so the report carries p50/p99
+/// alongside the mean at zero extra clock cost.
 pub fn measure<O, F: FnMut() -> O>(name: &str, window_ms: u64, mut routine: F) -> BenchResult {
     for _ in 0..2 {
         std::hint::black_box(routine());
     }
     let window = std::time::Duration::from_millis(window_ms);
+    let histogram = Histogram::new();
     let start = Instant::now();
+    let mut previous = start;
     let mut iterations = 0u64;
-    while start.elapsed() < window {
+    let end = loop {
         std::hint::black_box(routine());
         iterations += 1;
-    }
-    let ns_per_iter = start.elapsed().as_nanos() as f64 / iterations as f64;
+        let now = Instant::now();
+        histogram
+            .record(u64::try_from(now.duration_since(previous).as_nanos()).unwrap_or(u64::MAX));
+        previous = now;
+        if now.duration_since(start) >= window {
+            break now;
+        }
+    };
+    let ns_per_iter = end.duration_since(start).as_nanos() as f64 / iterations as f64;
+    let snapshot = histogram.snapshot();
+    let (p50, p99) = (snapshot.p50(), snapshot.p99());
     println!(
-        "{name:<44} {:>14.1} ns/iter  ({iterations} iterations)",
-        ns_per_iter
+        "{name:<44} {ns_per_iter:>14.1} ns/iter  (p50 {p50}, p99 {p99}, {iterations} iterations)"
     );
     BenchResult {
         name: name.to_string(),
         ns_per_iter,
         iterations,
+        p50_ns: Some(p50 as f64),
+        p99_ns: Some(p99 as f64),
     }
 }
 
@@ -78,6 +104,8 @@ pub fn measure_once<O, F: FnOnce() -> O>(name: &str, routine: F) -> (BenchResult
             name: name.to_string(),
             ns_per_iter,
             iterations: 1,
+            p50_ns: None,
+            p99_ns: None,
         },
         output,
     )
@@ -118,6 +146,12 @@ pub fn render_trajectory_json(
         out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
         out.push_str(&format!("\"ns_per_iter\": {:.1}, ", r.ns_per_iter));
         out.push_str(&format!("\"iterations\": {}", r.iterations));
+        if let Some(p50) = r.p50_ns {
+            out.push_str(&format!(", \"p50_ns\": {p50:.1}"));
+        }
+        if let Some(p99) = r.p99_ns {
+            out.push_str(&format!(", \"p99_ns\": {p99:.1}"));
+        }
         if let Some(baseline) = baseline_for(baselines, &r.name) {
             out.push_str(&format!(", \"baseline_ns_per_iter\": {baseline:.1}"));
             out.push_str(&format!(
@@ -187,19 +221,35 @@ mod tests {
                 name: "with_baseline".into(),
                 ns_per_iter: 100.0,
                 iterations: 10,
+                p50_ns: Some(95.0),
+                p99_ns: Some(180.0),
             },
             BenchResult {
                 name: "fresh".into(),
                 ns_per_iter: 50.0,
                 iterations: 3,
+                p50_ns: None,
+                p99_ns: None,
             },
         ];
         let json = render_trajectory_json("s/v1", "quick", "abc123", &baselines, &results);
         assert!(json.contains("\"schema\": \"s/v1\""));
         assert!(json.contains("\"speedup_vs_baseline\": 2.00"));
         assert!(json.contains("\"name\": \"fresh\", \"ns_per_iter\": 50.0, \"iterations\": 3}"));
+        assert!(json.contains("\"p50_ns\": 95.0, \"p99_ns\": 180.0"));
         assert_eq!(json.matches("baseline_ns_per_iter").count(), 1);
+        // Percentiles appear only where the measurement recorded them.
+        assert_eq!(json.matches("p50_ns").count(), 1);
         assert_eq!(baseline_for(&baselines, "fresh"), None);
+    }
+
+    #[test]
+    fn measure_reports_percentiles_from_boundary_timing() {
+        let result = measure("smoke_measure", 5, || std::hint::black_box(3u64 + 4));
+        let (p50, p99) = (result.p50_ns.unwrap(), result.p99_ns.unwrap());
+        assert!(p50 > 0.0);
+        assert!(p99 >= p50);
+        assert!(result.iterations > 0);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crosslight_telemetry::Counter;
 
 use crosslight_baselines::ArchSpec;
 use crosslight_core::canonical::{ArchKey, ConfigKey};
@@ -103,11 +104,18 @@ impl Hash for CacheKey {
 }
 
 /// A sharded `CacheKey → SimulationReport` map with hit/miss counters.
+///
+/// The counters are telemetry [`Counter`] handles so the service can adopt
+/// them into its metrics registry without changing ownership; the cache
+/// stays the single writer.  `evictions` is registered alongside them and
+/// is always zero today — the cache never evicts — but reserves the family
+/// name for a future bounded-capacity policy.
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Vec<Mutex<HashMap<CacheKey, SimulationReport>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl ShardedCache {
@@ -117,8 +125,9 @@ impl ShardedCache {
         let shards = shards.max(1);
         Self {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
@@ -137,9 +146,9 @@ impl ShardedCache {
             .get(key)
             .copied();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
         found
     }
 
@@ -169,13 +178,31 @@ impl ShardedCache {
     /// Lookups served from the cache so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that missed and required evaluation.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// The live hit counter, for adoption into a metrics registry.
+    #[must_use]
+    pub fn hit_counter(&self) -> &Counter {
+        &self.hits
+    }
+
+    /// The live miss counter, for adoption into a metrics registry.
+    #[must_use]
+    pub fn miss_counter(&self) -> &Counter {
+        &self.misses
+    }
+
+    /// The live eviction counter (always zero today; see the type docs).
+    #[must_use]
+    pub fn eviction_counter(&self) -> &Counter {
+        &self.evictions
     }
 }
 

@@ -21,14 +21,18 @@
 //! are bit-identical to serial `CrossLightSimulator::evaluate` calls
 //! regardless of worker count, batch partitioning, or hit pattern.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crosslight_baselines::ArchSpec;
 use crosslight_core::cache::ModelCache;
 use crosslight_core::simulator::CrossLightSimulator;
+use crosslight_telemetry::{
+    Counter, Gauge, Histogram, Phase, Registry, RegistrySnapshot, RequestTrace, SpanRing,
+    TraceSampler,
+};
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::error::{Result, RuntimeError};
@@ -41,6 +45,11 @@ pub struct RuntimeOptions {
     pub workers: usize,
     /// Number of independent cache shards (clamped to at least 1).
     pub cache_shards: usize,
+    /// Trace every `n`-th batch-submitted request's phase timeline
+    /// (`0` disables sampling, `1` traces everything).  Detached
+    /// submissions via `submit_traced` carry their own traces and ignore
+    /// this knob.
+    pub trace_sample_every: u64,
 }
 
 impl RuntimeOptions {
@@ -57,16 +66,25 @@ impl RuntimeOptions {
         self.cache_shards = cache_shards;
         self
     }
+
+    /// Returns a copy with a different trace sampling period.
+    #[must_use]
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        self.trace_sample_every = every;
+        self
+    }
 }
 
 impl Default for RuntimeOptions {
-    /// One worker per available core (falling back to 4) and 16 cache shards.
+    /// One worker per available core (falling back to 4), 16 cache shards,
+    /// trace sampling off.
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             cache_shards: 16,
+            trace_sample_every: 0,
         }
     }
 }
@@ -119,14 +137,155 @@ struct Job {
     key: CacheKey,
     request: EvalRequest,
     reply: Sender<(u64, Result<EvalResponse>)>,
+    /// Present only for sampled requests; untraced jobs pay one `None`.
+    trace: Option<Box<TracedJob>>,
 }
 
+/// A trace travelling with a job, plus the enqueue instant the worker needs
+/// to close the queue-wait span.
+struct TracedJob {
+    trace: RequestTrace,
+    enqueued: Instant,
+}
+
+/// The service's metric handles, registered once at construction; the hot
+/// paths touch only the lock-free handles, never the registry.
 #[derive(Debug)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    per_worker: Vec<AtomicU64>,
-    queued: Vec<AtomicU64>,
+struct Telemetry {
+    registry: Arc<Registry>,
+    submitted: Counter,
+    completed: Counter,
+    per_worker: Vec<Counter>,
+    queued: Vec<Gauge>,
+    worker_busy_ns: Vec<Counter>,
+    queue_wait_ns: Histogram,
+    cache_lookup_hit_ns: Histogram,
+    cache_lookup_miss_ns: Histogram,
+    prepare_ns: Histogram,
+    evaluate_ns: Histogram,
+    traces_sampled: Counter,
+    // Scrape-time mirrors of state owned by layers without registry access
+    // (see `EvalService::telemetry_snapshot`).
+    result_cache_entries: Gauge,
+    model_cache_hits: Counter,
+    model_cache_misses: Counter,
+    model_cache_entries: Gauge,
+    spans_dropped: Counter,
+    sampler: TraceSampler,
+    spans: SpanRing,
+}
+
+impl Telemetry {
+    fn new(workers: usize, cache: &ShardedCache, options: &RuntimeOptions) -> Self {
+        let registry = Arc::new(Registry::new());
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut queued = Vec::with_capacity(workers);
+        let mut worker_busy_ns = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let label = worker.to_string();
+            per_worker.push(registry.counter_with(
+                "runtime_worker_completed_total",
+                "Requests answered by each worker.",
+                &[("worker", &label)],
+            ));
+            queued.push(registry.gauge_with(
+                "runtime_queue_depth",
+                "Jobs dispatched to each worker's channel but not yet picked up.",
+                &[("worker", &label)],
+            ));
+            worker_busy_ns.push(registry.counter_with(
+                "runtime_worker_busy_ns_total",
+                "Nanoseconds each worker spent serving traced requests.",
+                &[("worker", &label)],
+            ));
+        }
+        registry
+            .register_counter(
+                "runtime_result_cache_hits_total",
+                "Result-cache lookups answered from the cache.",
+                &[],
+                cache.hit_counter(),
+            )
+            .expect("static metric registration is infallible");
+        registry
+            .register_counter(
+                "runtime_result_cache_misses_total",
+                "Result-cache lookups that required a fresh evaluation.",
+                &[],
+                cache.miss_counter(),
+            )
+            .expect("static metric registration is infallible");
+        registry
+            .register_counter(
+                "runtime_result_cache_evictions_total",
+                "Result-cache evictions (always zero: the cache is unbounded today).",
+                &[],
+                cache.eviction_counter(),
+            )
+            .expect("static metric registration is infallible");
+        registry
+            .gauge("runtime_workers", "Number of worker threads.")
+            .set(workers as i64);
+        Self {
+            submitted: registry.counter(
+                "runtime_submitted_total",
+                "Requests accepted by submit, submit_batch or submit_detached.",
+            ),
+            completed: registry.counter("runtime_completed_total", "Requests fully answered."),
+            per_worker,
+            queued,
+            worker_busy_ns,
+            queue_wait_ns: registry.histogram(
+                "runtime_queue_wait_ns",
+                "Time traced requests spent waiting in a worker's queue.",
+            ),
+            cache_lookup_hit_ns: registry.histogram_with(
+                "runtime_cache_lookup_ns",
+                "Result-cache probe latency for traced requests, split by outcome.",
+                &[("outcome", "hit")],
+            ),
+            cache_lookup_miss_ns: registry.histogram_with(
+                "runtime_cache_lookup_ns",
+                "Result-cache probe latency for traced requests, split by outcome.",
+                &[("outcome", "miss")],
+            ),
+            prepare_ns: registry.histogram(
+                "runtime_prepare_ns",
+                "Analytical-model preparation time for traced cache misses.",
+            ),
+            evaluate_ns: registry.histogram(
+                "runtime_evaluate_ns",
+                "Simulator evaluation time for traced cache misses.",
+            ),
+            traces_sampled: registry.counter(
+                "runtime_traces_sampled_total",
+                "Batch-submitted requests that carried a sampled trace.",
+            ),
+            result_cache_entries: registry.gauge(
+                "runtime_result_cache_entries",
+                "Distinct (architecture, workload) reports currently cached.",
+            ),
+            model_cache_hits: registry.counter(
+                "runtime_model_cache_hits_total",
+                "Model-cache hits (mirrored from the core ModelCache at scrape time).",
+            ),
+            model_cache_misses: registry.counter(
+                "runtime_model_cache_misses_total",
+                "Model-cache misses (mirrored from the core ModelCache at scrape time).",
+            ),
+            model_cache_entries: registry.gauge(
+                "runtime_model_cache_entries",
+                "Distinct configurations with memoized analytical models.",
+            ),
+            spans_dropped: registry.counter(
+                "runtime_trace_spans_dropped_total",
+                "Trace exports evicted from the runtime span ring before being drained.",
+            ),
+            sampler: TraceSampler::new(options.trace_sample_every),
+            spans: SpanRing::default(),
+            registry,
+        }
+    }
 }
 
 /// The concurrent batched evaluation service.
@@ -165,7 +324,7 @@ pub struct EvalService {
     handles: Vec<JoinHandle<()>>,
     cache: Arc<ShardedCache>,
     model_cache: Arc<ModelCache>,
-    counters: Arc<Counters>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl EvalService {
@@ -182,22 +341,17 @@ impl EvalService {
     pub fn with_model_cache(options: RuntimeOptions, model_cache: Arc<ModelCache>) -> Self {
         let workers = options.workers.max(1);
         let cache = Arc::new(ShardedCache::new(options.cache_shards));
-        let counters = Arc::new(Counters {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            queued: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-        });
+        let telemetry = Arc::new(Telemetry::new(workers, &cache, &options));
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             let (tx, rx) = mpsc::channel::<Job>();
             let cache = Arc::clone(&cache);
             let models = Arc::clone(&model_cache);
-            let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
             let handle = std::thread::Builder::new()
                 .name(format!("crosslight-runtime-{worker}"))
-                .spawn(move || worker_loop(worker, &rx, &cache, &models, &counters))
+                .spawn(move || worker_loop(worker, &rx, &cache, &models, &telemetry))
                 .expect("spawning a runtime worker thread succeeds");
             senders.push(tx);
             handles.push(handle);
@@ -207,7 +361,7 @@ impl EvalService {
             handles,
             cache,
             model_cache,
-            counters,
+            telemetry,
         }
     }
 
@@ -256,7 +410,11 @@ impl EvalService {
         }
         let (reply_tx, reply_rx) = mpsc::channel();
         for (index, request) in requests.into_iter().enumerate() {
-            self.submit_detached(index as u64, request, &reply_tx)?;
+            let trace = self.telemetry.sampler.sample().then(|| {
+                self.telemetry.traces_sampled.inc();
+                Box::new(RequestTrace::new(request.id))
+            });
+            self.dispatch(index as u64, request, &reply_tx, trace)?;
         }
         drop(reply_tx);
 
@@ -269,10 +427,18 @@ impl EvalService {
         if received != expected {
             return Err(RuntimeError::WorkerLost);
         }
-        Ok(responses
+        let responses: Vec<EvalResponse> = responses
             .into_iter()
             .map(|r| r.expect("every index answered exactly once"))
-            .collect())
+            .collect();
+        // Export the sampled timelines; batch callers rarely look at the
+        // traces on the responses themselves.
+        for response in &responses {
+            if let Some(trace) = &response.trace {
+                self.telemetry.spans.push(trace.to_json_line());
+            }
+        }
+        Ok(responses)
     }
 
     /// Routes one request to its fingerprint-sharded worker without waiting
@@ -294,6 +460,36 @@ impl EvalService {
         request: EvalRequest,
         reply: &Sender<(u64, Result<EvalResponse>)>,
     ) -> Result<()> {
+        self.dispatch(tag, request, reply, None)
+    }
+
+    /// Like [`EvalService::submit_detached`], but the request carries a
+    /// caller-built [`RequestTrace`]: the workers close queue-wait,
+    /// cache-lookup, prepare and evaluate spans on it (also feeding the
+    /// runtime phase histograms) and hand it back on the response's
+    /// `trace` field.  This is the hook the network front-end uses to time
+    /// requests end to end across both processes' thread hops.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalService::submit_detached`]; on error the trace is dropped.
+    pub fn submit_traced(
+        &self,
+        tag: u64,
+        request: EvalRequest,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+        trace: Box<RequestTrace>,
+    ) -> Result<()> {
+        self.dispatch(tag, request, reply, Some(trace))
+    }
+
+    fn dispatch(
+        &self,
+        tag: u64,
+        request: EvalRequest,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+        trace: Option<Box<RequestTrace>>,
+    ) -> Result<()> {
         if self.senders.is_empty() {
             // The pool has been shut down in place; there is no worker to
             // route to.
@@ -306,41 +502,85 @@ impl EvalService {
             key,
             request,
             reply: reply.clone(),
+            trace: trace.map(|trace| {
+                Box::new(TracedJob {
+                    trace: *trace,
+                    enqueued: Instant::now(),
+                })
+            }),
         };
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        self.counters.queued[worker].fetch_add(1, Ordering::Relaxed);
+        self.telemetry.submitted.inc();
+        self.telemetry.queued[worker].add(1);
         self.senders[worker].send(job).map_err(|_| {
             // The job never reached a worker: roll the counters back so the
             // gauges cannot drift on a dying pool.
-            self.counters.queued[worker].fetch_sub(1, Ordering::Relaxed);
-            self.counters.submitted.fetch_sub(1, Ordering::Relaxed);
+            self.telemetry.queued[worker].sub(1);
+            self.telemetry.submitted.sub(1);
             RuntimeError::WorkerLost
         })
     }
 
     /// Snapshot of the service counters.
+    ///
+    /// The snapshot is *ordered*: `completed` is read before `submitted`.
+    /// A request increments `completed` only after its `submitted`
+    /// increment (program order on the submitting thread, then the job
+    /// channel's happens-before edge to the worker), and counter reads are
+    /// `Acquire`, so the later `submitted` read observes at least every
+    /// submission whose completion was already counted — live-traffic
+    /// snapshots always satisfy `submitted >= completed`, not just
+    /// quiescent ones.
     #[must_use]
     pub fn stats(&self) -> RuntimeStats {
+        let completed = self.telemetry.completed.get();
+        let submitted = self.telemetry.submitted.get();
         RuntimeStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
+            submitted,
+            completed,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cached_entries: self.cache.len(),
             prepared_configs: self.model_cache.stats().prepared_configs,
-            per_worker: self
-                .counters
-                .per_worker
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            per_worker: self.telemetry.per_worker.iter().map(Counter::get).collect(),
             queue_depths: self
-                .counters
+                .telemetry
                 .queued
                 .iter()
-                .map(|c| c.load(Ordering::Relaxed))
+                .map(|gauge| gauge.get().max(0) as u64)
                 .collect(),
         }
+    }
+
+    /// The runtime's metrics registry (live handles; see
+    /// [`EvalService::telemetry_snapshot`] for the scrape path).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.telemetry.registry
+    }
+
+    /// The ring of sampled trace exports from batch submissions.
+    #[must_use]
+    pub fn span_ring(&self) -> &SpanRing {
+        &self.telemetry.spans
+    }
+
+    /// Scrape-consistent snapshot of every runtime metric family.
+    ///
+    /// Before snapshotting, the mirrors for state owned outside the
+    /// registry (result-cache entry count, core `ModelCache` totals, span
+    /// ring drops) are synced, so a scrape always sees current values.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        let telemetry = &self.telemetry;
+        telemetry.result_cache_entries.set(self.cache.len() as i64);
+        let model_stats = self.model_cache.stats();
+        telemetry.model_cache_hits.store(model_stats.hits);
+        telemetry.model_cache_misses.store(model_stats.misses);
+        telemetry
+            .model_cache_entries
+            .set(model_stats.prepared_configs as i64);
+        telemetry.spans_dropped.store(telemetry.spans.dropped());
+        telemetry.registry.snapshot()
     }
 
     /// Stops the workers and waits for them to exit.
@@ -367,44 +607,112 @@ fn worker_loop(
     jobs: &Receiver<Job>,
     cache: &ShardedCache,
     models: &ModelCache,
-    counters: &Counters,
+    telemetry: &Telemetry,
 ) {
-    while let Ok(job) = jobs.recv() {
-        counters.queued[worker].fetch_sub(1, Ordering::Relaxed);
-        let outcome = serve(worker, &job, cache, models);
-        counters.per_worker[worker].fetch_add(1, Ordering::Relaxed);
-        counters.completed.fetch_add(1, Ordering::Relaxed);
+    while let Ok(mut job) = jobs.recv() {
+        telemetry.queued[worker].sub(1);
+        // Untraced jobs never read the clock: the trace check is the only
+        // per-job overhead on the hot path.
+        let picked_up = job.trace.as_ref().map(|_| Instant::now());
+        if let (Some(traced), Some(now)) = (job.trace.as_mut(), picked_up) {
+            telemetry
+                .queue_wait_ns
+                .record(now.saturating_duration_since(traced.enqueued).as_nanos() as u64);
+            traced.trace.record(Phase::Queue, traced.enqueued, now);
+        }
+        let outcome = serve(worker, &mut job, cache, models, telemetry);
+        if let Some(picked_up) = picked_up {
+            telemetry.worker_busy_ns[worker].add(picked_up.elapsed().as_nanos() as u64);
+        }
+        telemetry.per_worker[worker].inc();
+        telemetry.completed.inc();
         // A send error means the batch collector gave up (error fast-path);
         // the remaining jobs still drain so the channel empties.
         let _ = job.reply.send((job.tag, outcome));
     }
 }
 
+/// Moves the finished trace out of the job and into the response.
+fn take_trace(job: &mut Job) -> Option<Box<RequestTrace>> {
+    job.trace.take().map(|traced| Box::new(traced.trace))
+}
+
 fn serve(
     worker: usize,
-    job: &Job,
+    job: &mut Job,
     cache: &ShardedCache,
     models: &ModelCache,
+    telemetry: &Telemetry,
 ) -> Result<EvalResponse> {
-    if let Some(report) = cache.get(&job.key) {
+    let lookup_start = job.trace.as_ref().map(|_| Instant::now());
+    let cached = cache.get(&job.key);
+    if let Some(start) = lookup_start {
+        let end = Instant::now();
+        let lookup_ns = end.saturating_duration_since(start).as_nanos() as u64;
+        if cached.is_some() {
+            telemetry.cache_lookup_hit_ns.record(lookup_ns);
+        } else {
+            telemetry.cache_lookup_miss_ns.record(lookup_ns);
+        }
+        if let Some(traced) = job.trace.as_mut() {
+            traced.trace.record(Phase::CacheLookup, start, end);
+        }
+    }
+    if let Some(report) = cached {
         return Ok(EvalResponse {
             id: job.request.id,
             report,
             cache_hit: true,
             worker,
+            trace: take_trace(job),
         });
     }
     let report = match job.request.arch {
         // The pool-wide ModelCache shares the workload-independent breakdowns
         // (and their sub-config unit reports) across all workers, so only the
         // per-workload inference metrics remain per-request work.
-        ArchSpec::CrossLight(config) => CrossLightSimulator::new(config)
-            .prepare_with(models)?
-            .evaluate(&job.request.workload)?,
+        ArchSpec::CrossLight(config) => {
+            let prepare_start = job.trace.as_ref().map(|_| Instant::now());
+            let prepared = CrossLightSimulator::new(config).prepare_with(models)?;
+            let evaluate_start = prepare_start.map(|start| {
+                let end = Instant::now();
+                telemetry
+                    .prepare_ns
+                    .record(end.saturating_duration_since(start).as_nanos() as u64);
+                if let Some(traced) = job.trace.as_mut() {
+                    traced.trace.record(Phase::Prepare, start, end);
+                }
+                end
+            });
+            let report = prepared.evaluate(&job.request.workload)?;
+            if let Some(start) = evaluate_start {
+                let end = Instant::now();
+                telemetry
+                    .evaluate_ns
+                    .record(end.saturating_duration_since(start).as_nanos() as u64);
+                if let Some(traced) = job.trace.as_mut() {
+                    traced.trace.record(Phase::Evaluate, start, end);
+                }
+            }
+            report
+        }
         // The zoo backends are closed-form analytical models; their
         // workload-independent parts are cheap enough that the result cache
         // alone carries the memoization.
-        spec => spec.simulate(&job.request.workload)?,
+        spec => {
+            let evaluate_start = job.trace.as_ref().map(|_| Instant::now());
+            let report = spec.simulate(&job.request.workload)?;
+            if let Some(start) = evaluate_start {
+                let end = Instant::now();
+                telemetry
+                    .evaluate_ns
+                    .record(end.saturating_duration_since(start).as_nanos() as u64);
+                if let Some(traced) = job.trace.as_mut() {
+                    traced.trace.record(Phase::Evaluate, start, end);
+                }
+            }
+            report
+        }
     };
     cache.insert(job.key.clone(), report);
     Ok(EvalResponse {
@@ -412,6 +720,7 @@ fn serve(
         report,
         cache_hit: false,
         worker,
+        trace: take_trace(job),
     })
 }
 
@@ -608,10 +917,101 @@ mod tests {
     }
 
     #[test]
+    fn sampled_traces_cover_the_worker_phases_and_feed_the_registry() {
+        let service = EvalService::new(
+            RuntimeOptions::default()
+                .with_workers(2)
+                .with_trace_sampling(1),
+        );
+        let requests = paper_requests();
+        let first = service.submit_batch(requests.clone()).unwrap();
+        let second = service.submit_batch(requests).unwrap();
+        // Every response carries a trace; misses add prepare/evaluate spans.
+        for response in first.iter().chain(&second) {
+            let trace = response.trace.as_ref().expect("sampling every request");
+            assert!(trace.phase_ns(Phase::Queue).is_some());
+            assert!(trace.phase_ns(Phase::CacheLookup).is_some());
+            assert_eq!(
+                trace.phase_ns(Phase::Evaluate).is_some(),
+                !response.cache_hit
+            );
+        }
+        let snapshot = service.telemetry_snapshot();
+        let histogram_count = |name: &str| match snapshot.value(name) {
+            Some(crosslight_telemetry::SeriesValue::Histogram(h)) => h.count(),
+            other => panic!("{name}: unexpected {other:?}"),
+        };
+        assert_eq!(histogram_count("runtime_queue_wait_ns"), 32);
+        assert_eq!(histogram_count("runtime_evaluate_ns"), 16);
+        assert_eq!(histogram_count("runtime_prepare_ns"), 16);
+        // The hit/miss lookup split matches the cache counters.
+        let lookups = snapshot.family("runtime_cache_lookup_ns").unwrap();
+        let by_outcome: Vec<(String, u64)> = lookups
+            .series
+            .iter()
+            .map(|s| match &s.value {
+                crosslight_telemetry::SeriesValue::Histogram(h) => {
+                    (s.labels[0].1.clone(), h.count())
+                }
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(by_outcome, [("hit".into(), 16), ("miss".into(), 16)]);
+        match snapshot.value("runtime_result_cache_hits_total") {
+            Some(crosslight_telemetry::SeriesValue::Counter(16)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Every sampled trace was exported to the ring.
+        assert_eq!(service.span_ring().len(), 32);
+        let line = service.span_ring().drain().remove(0);
+        assert!(line.contains("\"phase\":\"queue\""));
+        // Traced and untraced results are the same reports.
+        let untraced = EvalService::new(RuntimeOptions::default().with_workers(2));
+        let plain = untraced.submit_batch(paper_requests()).unwrap();
+        assert_eq!(first, plain);
+        assert!(plain.iter().all(|r| r.trace.is_none()));
+    }
+
+    #[test]
+    fn stats_order_keeps_submitted_ahead_of_completed_under_load() {
+        let service = Arc::new(EvalService::new(RuntimeOptions::default().with_workers(2)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let submitter = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let workload = Arc::new(
+                    NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap(),
+                );
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let batch: Vec<EvalRequest> = (0..8)
+                        .map(|_| {
+                            EvalRequest::new(CrossLightConfig::paper_best(), Arc::clone(&workload))
+                        })
+                        .collect();
+                    service.submit_batch(batch).unwrap();
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            let stats = service.stats();
+            assert!(
+                stats.submitted >= stats.completed,
+                "snapshot went backwards: {} submitted < {} completed",
+                stats.submitted,
+                stats.completed
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        submitter.join().unwrap();
+    }
+
+    #[test]
     fn zero_workers_is_clamped_to_one() {
         let service = EvalService::new(RuntimeOptions {
             workers: 0,
             cache_shards: 0,
+            trace_sample_every: 0,
         });
         assert_eq!(service.workers(), 1);
         let workload = Arc::new(NetworkWorkload::from_spec(&PaperModel::CnnStl10.spec()).unwrap());

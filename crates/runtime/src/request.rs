@@ -16,6 +16,7 @@ use crosslight_baselines::ArchSpec;
 use crosslight_core::config::CrossLightConfig;
 use crosslight_core::simulator::SimulationReport;
 use crosslight_neural::workload::NetworkWorkload;
+use crosslight_telemetry::RequestTrace;
 
 use crate::cache::CacheKey;
 
@@ -71,7 +72,7 @@ impl EvalRequest {
 }
 
 /// The service's answer to one [`EvalRequest`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EvalResponse {
     /// Correlation id copied from the request.
     pub id: u64,
@@ -83,6 +84,22 @@ pub struct EvalResponse {
     pub cache_hit: bool,
     /// Index of the worker that served the request.
     pub worker: usize,
+    /// The sampled phase timeline, present only when the submitter attached
+    /// a trace (see `EvalService::submit_traced`).  Boxed so the untraced
+    /// common case pays one pointer of space.
+    pub trace: Option<Box<RequestTrace>>,
+}
+
+impl PartialEq for EvalResponse {
+    /// Traces are timing provenance, not part of the result: two responses
+    /// compare equal when the simulation outcome does, which keeps
+    /// "traced == untraced" equivalence assertions meaningful.
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.report == other.report
+            && self.cache_hit == other.cache_hit
+            && self.worker == other.worker
+    }
 }
 
 #[cfg(test)]

@@ -22,9 +22,11 @@ use rand::{Rng, SeedableRng};
 
 use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::zoo::PaperModel;
+use crosslight_telemetry::{Histogram, HistogramSnapshot};
 
 use crate::wire::{
-    self, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
+    self, ErrorFrame, ErrorKind, EvalSpec, MetricsFormat, Request, RequestBody, Response,
+    ResponseBody,
 };
 
 /// A blocking JSON-lines client over one TCP connection.
@@ -152,6 +154,19 @@ impl Client {
         })
     }
 
+    /// Sugar: scrapes the server's merged metric registries in the given
+    /// format (JSON snapshot, Prometheus-style text, or trace spans).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn metrics(&mut self, id: u64, format: MetricsFormat) -> std::io::Result<Response> {
+        self.call(&Request {
+            id,
+            body: RequestBody::Metrics { format },
+        })
+    }
+
     /// Pipelines a whole mix of specs (ids `base_id + index`) and collects
     /// every response, in **arrival order** — pipelined responses complete
     /// out of order, so callers correlate by [`Response::id`].
@@ -164,6 +179,23 @@ impl Client {
         specs: &[EvalSpec],
         base_id: u64,
     ) -> std::io::Result<Vec<Response>> {
+        let latency = Histogram::new();
+        self.eval_pipelined_timed(specs, base_id, &latency)
+    }
+
+    /// [`Client::eval_pipelined`], recording each response's
+    /// client-observed latency — elapsed time from the pipeline flush to
+    /// that response's arrival — into `latency`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn eval_pipelined_timed(
+        &mut self,
+        specs: &[EvalSpec],
+        base_id: u64,
+        latency: &Histogram,
+    ) -> std::io::Result<Vec<Response>> {
         for (index, spec) in specs.iter().enumerate() {
             self.send(&Request {
                 id: base_id + index as u64,
@@ -171,9 +203,12 @@ impl Client {
             })?;
         }
         self.flush()?;
+        let flushed = Instant::now();
         let mut responses = Vec::with_capacity(specs.len());
         for _ in 0..specs.len() {
-            responses.push(self.recv()?);
+            let response = self.recv()?;
+            latency.record(u64::try_from(flushed.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            responses.push(response);
         }
         Ok(responses)
     }
@@ -250,6 +285,10 @@ pub struct LoadReport {
     pub errors: Vec<(ErrorKind, u64)>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
+    /// Client-observed response latencies (flush-to-arrival, nanoseconds)
+    /// merged across all clients — the demand side of the latency story,
+    /// complementing the server's own `server_request_ns`.
+    pub latency: HistogramSnapshot,
     /// Every `(id, response)` pair for responses that carried an id,
     /// sorted by id.  Id-less error frames are counted in
     /// [`LoadReport::errors`] only.
@@ -280,30 +319,37 @@ impl LoadReport {
 /// Panics if a client thread itself panicked.
 pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadReport> {
     let start = Instant::now();
-    let outcomes: Vec<std::io::Result<Vec<Response>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..options.clients)
-            .map(|client| {
-                scope.spawn(move || {
-                    let specs = options.client_specs(client);
-                    let base_id = options.request_id(client, 0);
-                    let mut connection = Client::connect(addr)?;
-                    connection.eval_pipelined(&specs, base_id)
+    let outcomes: Vec<std::io::Result<(Vec<Response>, HistogramSnapshot)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..options.clients)
+                .map(|client| {
+                    scope.spawn(move || {
+                        let specs = options.client_specs(client);
+                        let base_id = options.request_id(client, 0);
+                        let mut connection = Client::connect(addr)?;
+                        let latency = Histogram::new();
+                        let responses =
+                            connection.eval_pipelined_timed(&specs, base_id, &latency)?;
+                        Ok((responses, latency.snapshot()))
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load-generator client panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("load-generator client panicked"))
+                .collect()
+        });
     let elapsed = start.elapsed();
 
     let mut ok = 0u64;
     let mut shed = 0u64;
     let mut errors: Vec<(ErrorKind, u64)> = Vec::new();
     let mut responses: Vec<(u64, Response)> = Vec::new();
+    let mut latency = HistogramSnapshot::empty();
     for outcome in outcomes {
-        for response in outcome? {
+        let (client_responses, client_latency) = outcome?;
+        latency = latency.merge(&client_latency);
+        for response in client_responses {
             match &response.body {
                 ResponseBody::Eval(_) => ok += 1,
                 ResponseBody::Error(ErrorFrame {
@@ -335,6 +381,7 @@ pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadRe
         shed,
         errors,
         elapsed,
+        latency,
         responses,
     })
 }
@@ -367,8 +414,10 @@ mod tests {
             shed: 0,
             errors: vec![],
             elapsed: Duration::ZERO,
+            latency: HistogramSnapshot::empty(),
             responses: vec![],
         };
         assert_eq!(report.throughput_rps(), 0.0);
+        assert_eq!(report.latency.count(), 0);
     }
 }

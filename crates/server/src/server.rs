@@ -41,20 +41,25 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
 use crosslight_runtime::pool::{EvalService, RuntimeOptions, RuntimeStats};
 use crosslight_runtime::request::EvalResponse;
+use crosslight_telemetry::{
+    render_text, Counter, Gauge, Histogram, Phase, Registry, RegistrySnapshot, RequestTrace,
+    SpanRing, TraceSampler,
+};
 
 use crate::wire::{
-    self, ErrorFrame, ErrorKind, EvalFrame, RequestBody, Response, ResponseBody, StatsFrame,
-    WireRuntimeStats, WireServerStats, DEFAULT_MAX_LINE_BYTES,
+    self, ErrorFrame, ErrorKind, EvalFrame, MetricsFormat, MetricsFrame, RequestBody, Response,
+    ResponseBody, StatsFrame, WireMetricsSnapshot, WireRuntimeStats, WireServerStats,
+    DEFAULT_MAX_LINE_BYTES,
 };
 
 /// Tuning knobs of the server.
@@ -73,6 +78,11 @@ pub struct ServerOptions {
     /// down — the bound that keeps a non-reading client from wedging the
     /// writer (and therefore shutdown) forever.
     pub write_timeout: Duration,
+    /// Trace one eval request in every `trace_sample_every` per connection
+    /// through the full phase pipeline (read → decode → admission → queue →
+    /// cache lookup → prepare → evaluate → serialize → write queue → write).
+    /// `0` disables tracing entirely; `1` (the default) traces everything.
+    pub trace_sample_every: u64,
 }
 
 impl ServerOptions {
@@ -103,11 +113,19 @@ impl ServerOptions {
         self.write_timeout = write_timeout;
         self
     }
+
+    /// Returns a copy with a different phase-trace sampling period
+    /// (`0` = off, `1` = every request, `n` = one in `n`).
+    #[must_use]
+    pub fn with_trace_sampling(mut self, trace_sample_every: u64) -> Self {
+        self.trace_sample_every = trace_sample_every;
+        self
+    }
 }
 
 impl Default for ServerOptions {
     /// Default runtime options, 256 admitted evals, 64 KiB lines, 30 s
-    /// write-stall bound.
+    /// write-stall bound, every request traced.
     fn default() -> Self {
         let runtime = RuntimeOptions::default();
         Self {
@@ -116,6 +134,7 @@ impl Default for ServerOptions {
             queue_capacity: 256,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             write_timeout: Duration::from_secs(30),
+            trace_sample_every: 1,
         }
     }
 }
@@ -133,7 +152,8 @@ pub struct ServerStats {
 struct Admission {
     capacity: usize,
     in_flight: AtomicUsize,
-    shed: AtomicU64,
+    /// Registered with the server registry as `server_shed_total`.
+    shed: Counter,
 }
 
 impl Admission {
@@ -141,7 +161,7 @@ impl Admission {
         let mut current = self.in_flight.load(Ordering::Relaxed);
         loop {
             if current >= self.capacity {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.shed.inc();
                 return false;
             }
             match self.in_flight.compare_exchange_weak(
@@ -161,15 +181,150 @@ impl Admission {
     }
 }
 
-#[derive(Debug, Default)]
-struct FrontendCounters {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    requests_total: AtomicU64,
-    evals_ok: AtomicU64,
-    evals_failed: AtomicU64,
-    malformed_total: AtomicU64,
-    oversized_total: AtomicU64,
+/// The front-end's metric handles, registered once at bind time under the
+/// `server_` name prefix.  The runtime registers its own families under
+/// `runtime_`, so [`Shared::metrics_snapshot`] can merge the two registries
+/// into one scrape without collisions.
+#[derive(Debug)]
+struct ServerTelemetry {
+    registry: Registry,
+    requests_total: Counter,
+    evals_ok: Counter,
+    evals_failed: Counter,
+    malformed_total: Counter,
+    oversized_total: Counter,
+    connections_accepted: Counter,
+    connections_active: Gauge,
+    connections_drained: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    /// Encoded response lines sitting in per-connection write queues.
+    write_queue_depth: Gauge,
+    /// Scrape-time mirrors of the admission semaphore.
+    admission_in_flight: Gauge,
+    admission_capacity: Gauge,
+    /// Per-phase latency histograms, indexed by [`Phase::index`].
+    phase_ns: Vec<Histogram>,
+    /// End-to-end latency of traced requests: decode start (the first
+    /// phase whose cost the server controls — `read` waits on the client)
+    /// to the post-flush instant of the response write.
+    request_ns: Histogram,
+    traces_sampled: Counter,
+    /// Scrape-time mirror of the span ring's drop count.
+    spans_dropped: Counter,
+    sampler: TraceSampler,
+    spans: SpanRing,
+}
+
+impl ServerTelemetry {
+    fn new(options: &ServerOptions, shed: &Counter) -> Self {
+        let registry = Registry::new();
+        registry
+            .register_counter(
+                "server_shed_total",
+                "Eval requests refused by admission control.",
+                &[],
+                shed,
+            )
+            .expect("the server metric vocabulary has no duplicates");
+        let telemetry = Self {
+            requests_total: registry.counter(
+                "server_requests_total",
+                "Request frames received, including malformed and shed ones.",
+            ),
+            evals_ok: registry.counter(
+                "server_evals_ok_total",
+                "Eval requests answered with a report.",
+            ),
+            evals_failed: registry.counter(
+                "server_evals_failed_total",
+                "Eval requests answered with an error frame.",
+            ),
+            malformed_total: registry.counter(
+                "server_malformed_total",
+                "Lines rejected as invalid JSON, UTF-8, or protocol frames.",
+            ),
+            oversized_total: registry.counter(
+                "server_oversized_total",
+                "Lines rejected for exceeding the configured length limit.",
+            ),
+            connections_accepted: registry.counter(
+                "server_connections_accepted_total",
+                "TCP connections accepted since startup.",
+            ),
+            connections_active: registry
+                .gauge("server_connections_active", "Currently open connections."),
+            connections_drained: registry.counter(
+                "server_connections_drained_total",
+                "Connections that finished and were fully drained.",
+            ),
+            bytes_read: registry.counter(
+                "server_bytes_read_total",
+                "Bytes of accepted request lines, including newlines.",
+            ),
+            bytes_written: registry.counter(
+                "server_bytes_written_total",
+                "Bytes of response lines written, including newlines.",
+            ),
+            write_queue_depth: registry.gauge(
+                "server_write_queue_depth",
+                "Encoded response lines waiting in per-connection write queues.",
+            ),
+            admission_in_flight: registry.gauge(
+                "server_admission_in_flight",
+                "Admission permits currently held by in-flight evals.",
+            ),
+            admission_capacity: registry.gauge(
+                "server_admission_capacity",
+                "Total admission permits (the queue_capacity option).",
+            ),
+            phase_ns: Phase::ALL
+                .iter()
+                .map(|phase| {
+                    registry.histogram_with(
+                        "server_phase_ns",
+                        "Per-phase latency of traced requests, in nanoseconds.",
+                        &[("phase", phase.as_str())],
+                    )
+                })
+                .collect(),
+            request_ns: registry.histogram(
+                "server_request_ns",
+                "End-to-end latency of traced requests (decode start to \
+                 response flush), in nanoseconds.",
+            ),
+            traces_sampled: registry.counter(
+                "server_traces_sampled_total",
+                "Requests that carried a phase trace.",
+            ),
+            spans_dropped: registry.counter(
+                "server_trace_spans_dropped_total",
+                "Trace timelines evicted from the span ring before export.",
+            ),
+            sampler: TraceSampler::new(options.trace_sample_every),
+            spans: SpanRing::default(),
+            registry,
+        };
+        telemetry
+            .admission_capacity
+            .set(options.queue_capacity.max(1) as i64);
+        telemetry
+    }
+
+    /// Folds a completed per-request timeline into the phase and
+    /// end-to-end histograms and queues its JSON line for span export.
+    fn finish_trace(&self, trace: &RequestTrace) {
+        for phase in Phase::ALL {
+            if let Some(ns) = trace.phase_ns(phase) {
+                self.phase_ns[phase.index()].record(ns);
+            }
+        }
+        if let Some(start) = trace.first_start_ns(Phase::Decode) {
+            self.request_ns
+                .record(trace.latest_end_ns().saturating_sub(start));
+        }
+        self.spans.push(trace.to_json_line());
+    }
 }
 
 #[derive(Debug)]
@@ -177,7 +332,7 @@ struct Shared {
     service: EvalService,
     options: ServerOptions,
     admission: Admission,
-    counters: FrontendCounters,
+    telemetry: ServerTelemetry,
     shutting_down: AtomicBool,
     /// Read-half handles of live connections, so shutdown can interrupt
     /// blocked readers.
@@ -188,21 +343,49 @@ struct Shared {
 
 impl Shared {
     fn snapshot(&self) -> ServerStats {
+        let telemetry = &self.telemetry;
+        // Read outcome counters before their causes: each outcome counter
+        // increments strictly after the `requests_total` increment of the
+        // same request, so reading outcomes first and the total last keeps
+        // `requests_total >= evals_ok + evals_failed + shed + malformed +
+        // oversized` true in every live snapshot (the same discipline the
+        // runtime uses for `submitted >= completed`).
+        let evals_ok = telemetry.evals_ok.get();
+        let evals_failed = telemetry.evals_failed.get();
+        let shed_total = self.admission.shed.get();
+        let malformed_total = telemetry.malformed_total.get();
+        let oversized_total = telemetry.oversized_total.get();
+        let requests_total = telemetry.requests_total.get();
         ServerStats {
             server: WireServerStats {
-                connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
-                connections_active: self.counters.connections_active.load(Ordering::Relaxed),
-                requests_total: self.counters.requests_total.load(Ordering::Relaxed),
-                evals_ok: self.counters.evals_ok.load(Ordering::Relaxed),
-                evals_failed: self.counters.evals_failed.load(Ordering::Relaxed),
-                shed_total: self.admission.shed.load(Ordering::Relaxed),
-                malformed_total: self.counters.malformed_total.load(Ordering::Relaxed),
-                oversized_total: self.counters.oversized_total.load(Ordering::Relaxed),
+                connections_accepted: telemetry.connections_accepted.get(),
+                connections_active: telemetry.connections_active.get().max(0) as u64,
+                requests_total,
+                evals_ok,
+                evals_failed,
+                shed_total,
+                malformed_total,
+                oversized_total,
                 queue_capacity: self.admission.capacity as u64,
                 in_flight: self.admission.in_flight.load(Ordering::Relaxed) as u64,
             },
             runtime: self.service.stats(),
         }
+    }
+
+    /// One merged scrape of the server and runtime registries, with the
+    /// scrape-time mirror gauges synchronized first.
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let telemetry = &self.telemetry;
+        telemetry
+            .admission_in_flight
+            .set(self.admission.in_flight.load(Ordering::Acquire) as i64);
+        telemetry.spans_dropped.store(telemetry.spans.dropped());
+        RegistrySnapshot::merged(vec![
+            telemetry.registry.snapshot(),
+            self.service.telemetry_snapshot(),
+        ])
+        .expect("the server_ and runtime_ metric prefixes are disjoint")
     }
 }
 
@@ -254,19 +437,22 @@ impl Server {
                 .with_workers(options.workers)
                 .with_cache_shards(options.cache_shards),
         );
+        let options = ServerOptions {
+            queue_capacity: options.queue_capacity.max(1),
+            max_line_bytes: options.max_line_bytes.max(1024),
+            ..options
+        };
+        let admission = Admission {
+            capacity: options.queue_capacity,
+            in_flight: AtomicUsize::new(0),
+            shed: Counter::new(),
+        };
+        let telemetry = ServerTelemetry::new(&options, &admission.shed);
         let shared = Arc::new(Shared {
             service,
-            options: ServerOptions {
-                queue_capacity: options.queue_capacity.max(1),
-                max_line_bytes: options.max_line_bytes.max(1024),
-                ..options
-            },
-            admission: Admission {
-                capacity: options.queue_capacity.max(1),
-                in_flight: AtomicUsize::new(0),
-                shed: AtomicU64::new(0),
-            },
-            counters: FrontendCounters::default(),
+            options,
+            admission,
+            telemetry,
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(HashMap::new()),
             workloads,
@@ -298,6 +484,13 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         self.shared.snapshot()
+    }
+
+    /// One merged scrape of the server and runtime metric registries —
+    /// the in-process equivalent of the `metrics` wire op.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared.metrics_snapshot()
     }
 
     /// Stops accepting connections, drains every in-flight request, joins
@@ -375,14 +568,8 @@ fn accept_loop(
             .retain(|handle| !handle.is_finished());
         let connection_id = next_id;
         next_id += 1;
-        shared
-            .counters
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
-        shared
-            .counters
-            .connections_active
-            .fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.connections_accepted.inc();
+        shared.telemetry.connections_active.add(1);
         if let Ok(read_half) = stream.try_clone() {
             shared
                 .connections
@@ -400,10 +587,8 @@ fn accept_loop(
                     .lock()
                     .expect("connection registry lock poisoned")
                     .remove(&connection_id);
-                shared
-                    .counters
-                    .connections_active
-                    .fetch_sub(1, Ordering::Relaxed);
+                shared.telemetry.connections_active.sub(1);
+                shared.telemetry.connections_drained.inc();
             })
             .expect("spawning a connection thread succeeds");
         threads
@@ -481,6 +666,34 @@ fn read_line_limited<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineRead {
     }
 }
 
+/// One unit of writer work: an encoded response line, plus — for the
+/// sampled requests — the trace to finish once the line reaches the socket.
+struct Outgoing {
+    line: String,
+    /// The request's phase timeline and the instant it entered the write
+    /// queue; `None` for every untraced response.
+    trace: Option<(Box<RequestTrace>, Instant)>,
+}
+
+impl Outgoing {
+    fn plain(line: String) -> Self {
+        Self { line, trace: None }
+    }
+}
+
+/// Sends one line to the (bounded) writer, keeping the queue-depth gauge
+/// in step.  Returns `false` when the writer is gone — i.e. the connection
+/// is dead and the caller should stop.
+fn enqueue_line(telemetry: &ServerTelemetry, lines: &SyncSender<Outgoing>, out: Outgoing) -> bool {
+    telemetry.write_queue_depth.add(1);
+    if lines.send(out).is_ok() {
+        true
+    } else {
+        telemetry.write_queue_depth.sub(1);
+        false
+    }
+}
+
 fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     let write_half = match stream.try_clone() {
         Ok(clone) => clone,
@@ -490,11 +703,14 @@ fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>
     // Writer: owns the socket write half; exits when every Sender is gone.
     // The channel is bounded so a client that stops reading back-pressures
     // the responder/reader instead of buffering responses without limit.
-    let (line_tx, line_rx) = mpsc::sync_channel::<String>(WRITE_QUEUE_LINES);
-    let writer = std::thread::Builder::new()
-        .name(format!("crosslight-conn-{connection_id}-write"))
-        .spawn(move || write_loop(write_half, &line_rx))
-        .expect("spawning a connection writer succeeds");
+    let (line_tx, line_rx) = mpsc::sync_channel::<Outgoing>(WRITE_QUEUE_LINES);
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("crosslight-conn-{connection_id}-write"))
+            .spawn(move || write_loop(write_half, &line_rx, &shared.telemetry))
+            .expect("spawning a connection writer succeeds")
+    };
 
     // Responder: turns pool completions into response lines and releases
     // admission permits; exits when the reader and all in-flight jobs have
@@ -522,9 +738,9 @@ fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn write_loop(stream: TcpStream, lines: &Receiver<String>) {
+fn write_loop(stream: TcpStream, lines: &Receiver<Outgoing>, telemetry: &ServerTelemetry) {
     let mut writer = BufWriter::new(stream);
-    pump_lines(&mut writer, lines);
+    pump_lines(&mut writer, lines, telemetry);
     // Whether the channel closed normally or the socket write failed (or
     // timed out on a non-reading client), tear the whole connection down:
     // this unblocks the reader immediately, so the server cannot keep
@@ -533,32 +749,73 @@ fn write_loop(stream: TcpStream, lines: &Receiver<String>) {
     let _ = writer.get_ref().shutdown(Shutdown::Both);
 }
 
-fn pump_lines(writer: &mut BufWriter<TcpStream>, lines: &Receiver<String>) {
-    while let Ok(line) = lines.recv() {
-        if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+fn pump_lines(
+    writer: &mut BufWriter<TcpStream>,
+    lines: &Receiver<Outgoing>,
+    telemetry: &ServerTelemetry,
+) {
+    // Traces whose lines are buffered but not yet flushed; their `write`
+    // phase ends at the flush that actually puts them on the wire.
+    let mut pending: Vec<(Box<RequestTrace>, Instant)> = Vec::new();
+    while let Ok(out) = lines.recv() {
+        if !write_one(writer, out, telemetry, &mut pending) {
             return;
         }
         // Batch whatever is already queued before paying for a flush.
         while let Ok(more) = lines.try_recv() {
-            if writer.write_all(more.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            if !write_one(writer, more, telemetry, &mut pending) {
                 return;
             }
         }
         if writer.flush().is_err() {
             return;
         }
+        if !pending.is_empty() {
+            let flushed = Instant::now();
+            for (mut trace, write_start) in pending.drain(..) {
+                trace.record(Phase::Write, write_start, flushed);
+                telemetry.finish_trace(&trace);
+            }
+        }
     }
+}
+
+/// Writes one queued line into the buffered writer, timing the traced
+/// ones.  Returns `false` on socket failure (the trace of a failed write
+/// is dropped — error paths are not part of the latency story).
+fn write_one(
+    writer: &mut BufWriter<TcpStream>,
+    out: Outgoing,
+    telemetry: &ServerTelemetry,
+    pending: &mut Vec<(Box<RequestTrace>, Instant)>,
+) -> bool {
+    telemetry.write_queue_depth.sub(1);
+    let trace = out.trace.map(|(mut trace, enqueued)| {
+        let write_start = Instant::now();
+        trace.record(Phase::WriteQueue, enqueued, write_start);
+        (trace, write_start)
+    });
+    if writer.write_all(out.line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        return false;
+    }
+    telemetry.bytes_written.add(out.line.len() as u64 + 1);
+    if let Some(traced) = trace {
+        pending.push(traced);
+    }
+    true
 }
 
 fn respond_loop(
     shared: &Shared,
     completions: &Receiver<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
-    lines: &SyncSender<String>,
+    lines: &SyncSender<Outgoing>,
 ) {
     while let Ok((tag, outcome)) = completions.recv() {
+        let mut trace: Option<Box<RequestTrace>> = None;
         let response = match outcome {
-            Ok(eval) => {
-                shared.counters.evals_ok.fetch_add(1, Ordering::Relaxed);
+            Ok(mut eval) => {
+                shared.telemetry.evals_ok.inc();
+                trace = eval.trace.take();
                 Response {
                     id: Some(tag),
                     body: ResponseBody::Eval(EvalFrame {
@@ -569,17 +826,32 @@ fn respond_loop(
                 }
             }
             Err(err) => {
-                shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
+                // The runtime reports failures without the response object,
+                // so a failed eval's trace ends here — error paths are not
+                // part of the latency story.
+                shared.telemetry.evals_failed.inc();
                 Response::error(
                     Some(tag),
                     ErrorFrame::new(ErrorKind::Evaluation, err.to_string()),
                 )
             }
         };
+        let serialize_start = trace.as_ref().map(|_| Instant::now());
+        let line = wire::encode_response(&response);
+        let out = match (trace, serialize_start) {
+            (Some(mut trace), Some(start)) => {
+                trace.record_since(Phase::Serialize, start);
+                Outgoing {
+                    line,
+                    trace: Some((trace, Instant::now())),
+                }
+            }
+            _ => Outgoing::plain(line),
+        };
         // Hand the line to the (bounded) writer before releasing the
         // admission permit: a non-reading client therefore caps both the
         // write queue and the number of evals in flight.
-        let _ = lines.send(wire::encode_response(&response));
+        let _ = enqueue_line(&shared.telemetry, lines, out);
         shared.admission.release();
     }
 }
@@ -587,7 +859,7 @@ fn respond_loop(
 fn read_loop(
     shared: &Arc<Shared>,
     stream: &TcpStream,
-    lines: &SyncSender<String>,
+    lines: &SyncSender<Outgoing>,
     completions: &Sender<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
 ) {
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -595,45 +867,38 @@ fn read_loop(
         Err(_) => return,
     });
     let max_bytes = shared.options.max_line_bytes;
+    let telemetry = &shared.telemetry;
     loop {
+        // Decide up front whether this request is traced: an untraced
+        // request must never read the clock, so the sampling decision has
+        // to precede the `read` phase it would time.
+        let read_start = if telemetry.sampler.sample() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let line = match read_line_limited(&mut reader, max_bytes) {
             LineRead::Line(line) => line,
             LineRead::Oversized => {
-                shared
-                    .counters
-                    .requests_total
-                    .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .counters
-                    .oversized_total
-                    .fetch_add(1, Ordering::Relaxed);
+                telemetry.requests_total.inc();
+                telemetry.oversized_total.inc();
                 let frame = ErrorFrame::new(
                     ErrorKind::Oversized,
                     format!("line exceeds {max_bytes} bytes"),
                 );
-                if lines
-                    .send(wire::encode_response(&Response::error(None, frame)))
-                    .is_err()
-                {
+                let out = Outgoing::plain(wire::encode_response(&Response::error(None, frame)));
+                if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;
                 }
                 continue;
             }
             LineRead::InvalidUtf8 => {
-                shared
-                    .counters
-                    .requests_total
-                    .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .counters
-                    .malformed_total
-                    .fetch_add(1, Ordering::Relaxed);
+                telemetry.requests_total.inc();
+                telemetry.malformed_total.inc();
                 let frame = ErrorFrame::new(ErrorKind::Malformed, "line is not valid UTF-8");
-                if lines
-                    .send(wire::encode_response(&Response::error(None, frame)))
-                    .is_err()
-                {
+                let out = Outgoing::plain(wire::encode_response(&Response::error(None, frame)));
+                if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;
                 }
@@ -644,22 +909,18 @@ fn read_loop(
         if line.trim().is_empty() {
             continue;
         }
-        shared
-            .counters
-            .requests_total
-            .fetch_add(1, Ordering::Relaxed);
+        // The `read` phase ends when the whole line is in memory; decoding
+        // starts here.  The boundary instant serves as both span edges.
+        let read_end = read_start.map(|_| Instant::now());
+        telemetry.bytes_read.add(line.len() as u64 + 1);
+        telemetry.requests_total.inc();
         let request = match wire::decode_request(&line) {
             Ok(request) => request,
             Err(frame) => {
-                shared
-                    .counters
-                    .malformed_total
-                    .fetch_add(1, Ordering::Relaxed);
+                telemetry.malformed_total.inc();
                 let id = wire::peek_id(&line);
-                if lines
-                    .send(wire::encode_response(&Response::error(id, frame)))
-                    .is_err()
-                {
+                let out = Outgoing::plain(wire::encode_response(&Response::error(id, frame)));
+                if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;
                 }
@@ -668,29 +929,51 @@ fn read_loop(
         };
         match request.body {
             RequestBody::Ping => {
-                if lines
-                    .send(wire::encode_response(&Response {
-                        id: Some(request.id),
-                        body: ResponseBody::Pong,
-                    }))
-                    .is_err()
-                {
+                let out = Outgoing::plain(wire::encode_response(&Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Pong,
+                }));
+                if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;
                 }
             }
             RequestBody::Stats => {
                 let stats = shared.snapshot();
-                if lines
-                    .send(wire::encode_response(&Response {
-                        id: Some(request.id),
-                        body: ResponseBody::Stats(StatsFrame {
-                            server: stats.server,
-                            runtime: WireRuntimeStats::from(&stats.runtime),
-                        }),
-                    }))
-                    .is_err()
-                {
+                let out = Outgoing::plain(wire::encode_response(&Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Stats(StatsFrame {
+                        server: stats.server,
+                        runtime: WireRuntimeStats::from(&stats.runtime),
+                    }),
+                }));
+                if !enqueue_line(telemetry, lines, out) {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+            }
+            RequestBody::Metrics { format } => {
+                let frame = match format {
+                    MetricsFormat::Json => MetricsFrame::Snapshot(WireMetricsSnapshot::from(
+                        &shared.metrics_snapshot(),
+                    )),
+                    MetricsFormat::Text => {
+                        MetricsFrame::Text(render_text(&shared.metrics_snapshot()))
+                    }
+                    MetricsFormat::Spans => {
+                        // Draining hands each exported timeline to exactly
+                        // one scraper; server and runtime rings append into
+                        // one page.
+                        let mut spans = telemetry.spans.drain();
+                        spans.extend(shared.service.span_ring().drain());
+                        MetricsFrame::Spans(spans)
+                    }
+                };
+                let out = Outgoing::plain(wire::encode_response(&Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Metrics(frame),
+                }));
+                if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;
                 }
@@ -698,13 +981,11 @@ fn read_loop(
             RequestBody::Eval(spec) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     let frame = ErrorFrame::new(ErrorKind::ShuttingDown, "server is draining");
-                    if lines
-                        .send(wire::encode_response(&Response::error(
-                            Some(request.id),
-                            frame,
-                        )))
-                        .is_err()
-                    {
+                    let out = Outgoing::plain(wire::encode_response(&Response::error(
+                        Some(request.id),
+                        frame,
+                    )));
+                    if !enqueue_line(telemetry, lines, out) {
                         // The writer is gone; the connection is dead.
                         return;
                     }
@@ -713,20 +994,30 @@ fn read_loop(
                 let eval_request = match spec.to_eval_request(request.id, &shared.workloads) {
                     Ok(eval_request) => eval_request,
                     Err(frame) => {
-                        shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
-                        if lines
-                            .send(wire::encode_response(&Response::error(
-                                Some(request.id),
-                                frame,
-                            )))
-                            .is_err()
-                        {
+                        telemetry.evals_failed.inc();
+                        let out = Outgoing::plain(wire::encode_response(&Response::error(
+                            Some(request.id),
+                            frame,
+                        )));
+                        if !enqueue_line(telemetry, lines, out) {
                             // The writer is gone; the connection is dead.
                             return;
                         }
                         continue;
                     }
                 };
+                // Only successfully decoded evals grow into full traces;
+                // `decode` covers frame parsing plus spec resolution.
+                let mut trace = match (read_start, read_end) {
+                    (Some(start), Some(end)) => {
+                        let mut trace = Box::new(RequestTrace::with_origin(request.id, start));
+                        trace.record(Phase::Read, start, end);
+                        trace.record_since(Phase::Decode, end);
+                        Some(trace)
+                    }
+                    _ => None,
+                };
+                let admission_start = trace.as_ref().map(|_| Instant::now());
                 if !shared.admission.try_acquire() {
                     let frame = ErrorFrame::new(
                         ErrorKind::Overloaded,
@@ -735,33 +1026,39 @@ fn read_loop(
                             shared.admission.capacity
                         ),
                     );
-                    if lines
-                        .send(wire::encode_response(&Response::error(
-                            Some(request.id),
-                            frame,
-                        )))
-                        .is_err()
-                    {
+                    let out = Outgoing::plain(wire::encode_response(&Response::error(
+                        Some(request.id),
+                        frame,
+                    )));
+                    if !enqueue_line(telemetry, lines, out) {
                         // The writer is gone; the connection is dead.
                         return;
                     }
                     continue;
                 }
-                if let Err(err) =
-                    shared
+                if let (Some(trace), Some(start)) = (trace.as_mut(), admission_start) {
+                    trace.record_since(Phase::Admission, start);
+                }
+                let submitted = match trace {
+                    Some(trace) => {
+                        telemetry.traces_sampled.inc();
+                        shared
+                            .service
+                            .submit_traced(request.id, eval_request, completions, trace)
+                    }
+                    None => shared
                         .service
-                        .submit_detached(request.id, eval_request, completions)
-                {
+                        .submit_detached(request.id, eval_request, completions),
+                };
+                if let Err(err) = submitted {
                     shared.admission.release();
-                    shared.counters.evals_failed.fetch_add(1, Ordering::Relaxed);
+                    telemetry.evals_failed.inc();
                     let frame = ErrorFrame::new(ErrorKind::Evaluation, err.to_string());
-                    if lines
-                        .send(wire::encode_response(&Response::error(
-                            Some(request.id),
-                            frame,
-                        )))
-                        .is_err()
-                    {
+                    let out = Outgoing::plain(wire::encode_response(&Response::error(
+                        Some(request.id),
+                        frame,
+                    )));
+                    if !enqueue_line(telemetry, lines, out) {
                         // The writer is gone; the connection is dead.
                         return;
                     }
@@ -834,13 +1131,13 @@ mod tests {
         let admission = Admission {
             capacity: 2,
             in_flight: AtomicUsize::new(0),
-            shed: AtomicU64::new(0),
+            shed: Counter::new(),
         };
         assert!(admission.try_acquire());
         assert!(admission.try_acquire());
         assert!(!admission.try_acquire());
         assert!(!admission.try_acquire());
-        assert_eq!(admission.shed.load(Ordering::Relaxed), 2);
+        assert_eq!(admission.shed.get(), 2);
         admission.release();
         assert!(admission.try_acquire());
         assert_eq!(admission.in_flight.load(Ordering::Relaxed), 2);

@@ -68,11 +68,18 @@ use crosslight_neural::zoo::PaperModel;
 use crosslight_photonics::units::{MilliWatts, Picojoules, Seconds, SquareMillimeters, Watts};
 use crosslight_runtime::pool::RuntimeStats;
 use crosslight_runtime::request::EvalRequest;
+use crosslight_telemetry::{
+    FamilySnapshot, HistogramSnapshot, MetricKind, RegistrySnapshot, SeriesSnapshot, SeriesValue,
+};
 
 use crate::json::{self, Json, JsonError};
 
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Schema tag carried by every structured `metrics` snapshot, so scrapers
+/// can detect vocabulary changes without diffing family lists.
+pub const METRICS_SCHEMA: &str = "crosslight-metrics/v1";
 
 /// Default maximum accepted line length (bytes, excluding the newline).
 pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
@@ -411,6 +418,46 @@ pub enum RequestBody {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Scrape the merged server + runtime metric registries.
+    Metrics {
+        /// Requested payload shape.
+        format: MetricsFormat,
+    },
+}
+
+/// The payload shape of one `metrics` scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MetricsFormat {
+    /// Structured JSON snapshot (the default when `format` is absent).
+    #[default]
+    Json,
+    /// Prometheus-style text exposition page.
+    Text,
+    /// Drain the sampled trace-span rings as raw JSON lines.
+    Spans,
+}
+
+impl MetricsFormat {
+    /// The stable wire name of the format.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Json => "json",
+            Self::Text => "text",
+            Self::Spans => "spans",
+        }
+    }
+
+    /// Parses a wire name back into the format.
+    #[must_use]
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(Self::Json),
+            "text" => Some(Self::Text),
+            "spans" => Some(Self::Spans),
+            _ => None,
+        }
+    }
 }
 
 /// Server-side counters exposed by the `stats` endpoint.
@@ -484,6 +531,162 @@ pub struct StatsFrame {
     pub runtime: WireRuntimeStats,
 }
 
+/// One histogram distribution in wire form: occupied buckets as
+/// `(inclusive upper bound, occupancy)` pairs plus the scalar moments —
+/// exactly what [`HistogramSnapshot::le_buckets`] produces, so decoded
+/// snapshots rebuild losslessly via [`HistogramSnapshot::from_le_buckets`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Total recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (absent when empty).
+    pub min: Option<u64>,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Occupied `(upper bound, occupancy)` buckets, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl From<&HistogramSnapshot> for WireHistogram {
+    fn from(snapshot: &HistogramSnapshot) -> Self {
+        Self {
+            count: snapshot.count(),
+            sum: snapshot.sum(),
+            min: snapshot.min(),
+            max: snapshot.max().unwrap_or(0),
+            buckets: snapshot.le_buckets().collect(),
+        }
+    }
+}
+
+impl WireHistogram {
+    /// Rebuilds the in-process snapshot form.
+    #[must_use]
+    pub fn to_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::from_le_buckets(&self.buckets, self.sum, self.min, self.max)
+    }
+}
+
+/// One series value in wire form, interpreted by the family's kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading (signed).
+    Gauge(i64),
+    /// A histogram distribution.
+    Histogram(WireHistogram),
+}
+
+/// One `(labels, value)` series of a family in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMetricSeries {
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: WireMetricValue,
+}
+
+/// One metric family in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMetricFamily {
+    /// Family name (e.g. `server_request_ns`).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Metric kind (`counter`/`gauge`/`histogram`).
+    pub kind: MetricKind,
+    /// All label series of the family.
+    pub series: Vec<WireMetricSeries>,
+}
+
+/// The structured payload of a `metrics` scrape in `json` format: a
+/// lossless wire view of a (merged) [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMetricsSnapshot {
+    /// Always [`METRICS_SCHEMA`] for this protocol version.
+    pub schema: String,
+    /// Families sorted by name.
+    pub families: Vec<WireMetricFamily>,
+}
+
+impl From<&RegistrySnapshot> for WireMetricsSnapshot {
+    fn from(snapshot: &RegistrySnapshot) -> Self {
+        Self {
+            schema: METRICS_SCHEMA.to_string(),
+            families: snapshot
+                .families
+                .iter()
+                .map(|family| WireMetricFamily {
+                    name: family.name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series: family
+                        .series
+                        .iter()
+                        .map(|series| WireMetricSeries {
+                            labels: series.labels.clone(),
+                            value: match &series.value {
+                                SeriesValue::Counter(v) => WireMetricValue::Counter(*v),
+                                SeriesValue::Gauge(v) => WireMetricValue::Gauge(*v),
+                                SeriesValue::Histogram(h) => {
+                                    WireMetricValue::Histogram(WireHistogram::from(h))
+                                }
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl WireMetricsSnapshot {
+    /// Rebuilds the in-process snapshot form (quantiles, merging and text
+    /// rendering all work on the result).
+    #[must_use]
+    pub fn to_registry_snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            families: self
+                .families
+                .iter()
+                .map(|family| FamilySnapshot {
+                    name: family.name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series: family
+                        .series
+                        .iter()
+                        .map(|series| SeriesSnapshot {
+                            labels: series.labels.clone(),
+                            value: match &series.value {
+                                WireMetricValue::Counter(v) => SeriesValue::Counter(*v),
+                                WireMetricValue::Gauge(v) => SeriesValue::Gauge(*v),
+                                WireMetricValue::Histogram(h) => {
+                                    SeriesValue::Histogram(h.to_snapshot())
+                                }
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The payload of a successful `metrics` response, by requested format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricsFrame {
+    /// Structured snapshot (`json` format).
+    Snapshot(WireMetricsSnapshot),
+    /// Prometheus-style exposition page (`text` format).
+    Text(String),
+    /// Drained trace-span JSON lines (`spans` format).
+    Spans(Vec<String>),
+}
+
 /// The payload of a successful `eval` response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalFrame {
@@ -511,6 +714,8 @@ pub enum ResponseBody {
     Eval(EvalFrame),
     /// A stats snapshot.
     Stats(StatsFrame),
+    /// A metrics scrape.
+    Metrics(MetricsFrame),
     /// Answer to `ping`.
     Pong,
     /// A typed error.
@@ -687,9 +892,86 @@ pub fn encode_request(request: &Request) -> String {
         }
         RequestBody::Stats => out.push_str(",\"op\":\"stats\""),
         RequestBody::Ping => out.push_str(",\"op\":\"ping\""),
+        RequestBody::Metrics { format } => {
+            out.push_str(",\"op\":\"metrics\"");
+            // The default format is omitted, mirroring the implicit
+            // CrossLight `"arch"`: a plain `{"op":"metrics"}` frame scrapes
+            // the JSON snapshot.
+            if *format != MetricsFormat::Json {
+                let _ = write!(out, ",\"format\":\"{}\"", format.as_str());
+            }
+        }
     }
     out.push('}');
     out
+}
+
+fn encode_wire_histogram(histogram: &WireHistogram) -> Json {
+    let mut members = vec![
+        ("count", Json::Uint(histogram.count)),
+        ("sum", Json::Uint(histogram.sum)),
+    ];
+    if let Some(min) = histogram.min {
+        members.push(("min", Json::Uint(min)));
+    }
+    members.push(("max", Json::Uint(histogram.max)));
+    members.push((
+        "buckets",
+        Json::Array(
+            histogram
+                .buckets
+                .iter()
+                .map(|&(le, n)| Json::Array(vec![Json::Uint(le), Json::Uint(n)]))
+                .collect(),
+        ),
+    ));
+    obj(members)
+}
+
+fn encode_metrics_snapshot(snapshot: &WireMetricsSnapshot) -> Json {
+    let families = snapshot
+        .families
+        .iter()
+        .map(|family| {
+            let series = family
+                .series
+                .iter()
+                .map(|series| {
+                    let labels = Json::Object(
+                        series
+                            .labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                            .collect(),
+                    );
+                    let value = match &series.value {
+                        WireMetricValue::Counter(v) => Json::Uint(*v),
+                        WireMetricValue::Gauge(v) => match u64::try_from(*v) {
+                            Ok(unsigned) => Json::Uint(unsigned),
+                            Err(_) => Json::Int(*v),
+                        },
+                        WireMetricValue::Histogram(h) => encode_wire_histogram(h),
+                    };
+                    obj(vec![("labels", labels), ("value", value)])
+                })
+                .collect();
+            obj(vec![
+                ("name", Json::Str(family.name.clone())),
+                ("help", Json::Str(family.help.clone())),
+                ("kind", Json::Str(family.kind.as_str().to_string())),
+                ("series", Json::Array(series)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("type", Json::Str("metrics".to_string())),
+        (
+            "format",
+            Json::Str(MetricsFormat::Json.as_str().to_string()),
+        ),
+        ("schema", Json::Str(snapshot.schema.clone())),
+        ("families", Json::Array(families)),
+    ])
 }
 
 fn encode_server_stats(stats: &WireServerStats) -> Json {
@@ -749,6 +1031,32 @@ pub fn encode_response(response: &Response) -> String {
                 ("server", encode_server_stats(&frame.server)),
                 ("runtime", encode_runtime_stats(&frame.runtime)),
             ]);
+            out.push_str(&body.encode());
+        }
+        ResponseBody::Metrics(frame) => {
+            out.push_str(",\"ok\":");
+            let body = match frame {
+                MetricsFrame::Snapshot(snapshot) => encode_metrics_snapshot(snapshot),
+                MetricsFrame::Text(page) => obj(vec![
+                    ("type", Json::Str("metrics".to_string())),
+                    (
+                        "format",
+                        Json::Str(MetricsFormat::Text.as_str().to_string()),
+                    ),
+                    ("page", Json::Str(page.clone())),
+                ]),
+                MetricsFrame::Spans(lines) => obj(vec![
+                    ("type", Json::Str("metrics".to_string())),
+                    (
+                        "format",
+                        Json::Str(MetricsFormat::Spans.as_str().to_string()),
+                    ),
+                    (
+                        "spans",
+                        Json::Array(lines.iter().map(|l| Json::Str(l.clone())).collect()),
+                    ),
+                ]),
+            };
             out.push_str(&body.encode());
         }
         ResponseBody::Pong => out.push_str(",\"ok\":{\"type\":\"pong\"}"),
@@ -980,6 +1288,17 @@ pub fn decode_request(line: &str) -> Result<Request, ErrorFrame> {
         "eval" => RequestBody::Eval(decode_eval_spec(&value)?),
         "stats" => RequestBody::Stats,
         "ping" => RequestBody::Ping,
+        "metrics" => RequestBody::Metrics {
+            format: match value.get("format") {
+                None => MetricsFormat::Json,
+                Some(_) => {
+                    let name = str_field(&value, "format")?;
+                    MetricsFormat::from_wire_name(name).ok_or_else(|| {
+                        ErrorFrame::unsupported(format!("unknown metrics format `{name}`"))
+                    })?
+                }
+            },
+        },
         other => return Err(ErrorFrame::malformed(format!("unknown op `{other}`"))),
     };
     Ok(Request { id, body })
@@ -1036,6 +1355,132 @@ fn decode_counts(value: &Json, key: &str) -> Result<Vec<u64>, ErrorFrame> {
                 .ok_or_else(|| ErrorFrame::malformed(format!("`{key}` entries must be integers")))
         })
         .collect()
+}
+
+fn i64_field(value: &Json, key: &str) -> Result<i64, ErrorFrame> {
+    let json = field(value, key)?;
+    match *json {
+        Json::Uint(v) => i64::try_from(v)
+            .map_err(|_| ErrorFrame::malformed(format!("field `{key}` out of range"))),
+        Json::Int(v) => Ok(v),
+        _ => Err(ErrorFrame::malformed(format!(
+            "field `{key}` must be an integer"
+        ))),
+    }
+}
+
+fn decode_wire_histogram(value: &Json) -> Result<WireHistogram, ErrorFrame> {
+    let buckets = field(value, "buckets")?
+        .as_array()
+        .ok_or_else(|| ErrorFrame::malformed("field `buckets` must be an array"))?
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                ErrorFrame::malformed("histogram buckets must be [upper_bound, count] pairs")
+            })?;
+            let le = pair[0]
+                .as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("bucket bounds must be integers"))?;
+            let n = pair[1]
+                .as_u64()
+                .ok_or_else(|| ErrorFrame::malformed("bucket counts must be integers"))?;
+            Ok((le, n))
+        })
+        .collect::<Result<Vec<(u64, u64)>, ErrorFrame>>()?;
+    Ok(WireHistogram {
+        count: u64_field(value, "count")?,
+        sum: u64_field(value, "sum")?,
+        min: match value.get("min") {
+            None => None,
+            Some(_) => Some(u64_field(value, "min")?),
+        },
+        max: u64_field(value, "max")?,
+        buckets,
+    })
+}
+
+fn decode_metric_series(kind: MetricKind, value: &Json) -> Result<WireMetricSeries, ErrorFrame> {
+    let labels = match field(value, "labels")? {
+        Json::Object(members) => members
+            .iter()
+            .map(|(key, v)| {
+                Ok((
+                    key.clone(),
+                    v.as_str()
+                        .ok_or_else(|| ErrorFrame::malformed("label values must be strings"))?
+                        .to_string(),
+                ))
+            })
+            .collect::<Result<Vec<(String, String)>, ErrorFrame>>()?,
+        _ => return Err(ErrorFrame::malformed("field `labels` must be an object")),
+    };
+    let value = match kind {
+        MetricKind::Counter => WireMetricValue::Counter(u64_field(value, "value")?),
+        MetricKind::Gauge => WireMetricValue::Gauge(i64_field(value, "value")?),
+        MetricKind::Histogram => {
+            WireMetricValue::Histogram(decode_wire_histogram(field(value, "value")?)?)
+        }
+    };
+    Ok(WireMetricSeries { labels, value })
+}
+
+fn decode_metrics_snapshot(value: &Json) -> Result<WireMetricsSnapshot, ErrorFrame> {
+    let schema = str_field(value, "schema")?;
+    if schema != METRICS_SCHEMA {
+        return Err(ErrorFrame::unsupported(format!(
+            "unknown metrics schema `{schema}` (this client speaks {METRICS_SCHEMA})"
+        )));
+    }
+    let families = field(value, "families")?
+        .as_array()
+        .ok_or_else(|| ErrorFrame::malformed("field `families` must be an array"))?
+        .iter()
+        .map(|family| {
+            let kind_name = str_field(family, "kind")?;
+            let kind = MetricKind::from_wire_name(kind_name).ok_or_else(|| {
+                ErrorFrame::malformed(format!("unknown metric kind `{kind_name}`"))
+            })?;
+            let series = field(family, "series")?
+                .as_array()
+                .ok_or_else(|| ErrorFrame::malformed("field `series` must be an array"))?
+                .iter()
+                .map(|s| decode_metric_series(kind, s))
+                .collect::<Result<Vec<WireMetricSeries>, ErrorFrame>>()?;
+            Ok(WireMetricFamily {
+                name: str_field(family, "name")?.to_string(),
+                help: str_field(family, "help")?.to_string(),
+                kind,
+                series,
+            })
+        })
+        .collect::<Result<Vec<WireMetricFamily>, ErrorFrame>>()?;
+    Ok(WireMetricsSnapshot {
+        schema: schema.to_string(),
+        families,
+    })
+}
+
+fn decode_metrics_frame(ok: &Json) -> Result<MetricsFrame, ErrorFrame> {
+    let format_name = str_field(ok, "format")?;
+    let format = MetricsFormat::from_wire_name(format_name)
+        .ok_or_else(|| ErrorFrame::malformed(format!("unknown metrics format `{format_name}`")))?;
+    Ok(match format {
+        MetricsFormat::Json => MetricsFrame::Snapshot(decode_metrics_snapshot(ok)?),
+        MetricsFormat::Text => MetricsFrame::Text(str_field(ok, "page")?.to_string()),
+        MetricsFormat::Spans => MetricsFrame::Spans(
+            field(ok, "spans")?
+                .as_array()
+                .ok_or_else(|| ErrorFrame::malformed("field `spans` must be an array"))?
+                .iter()
+                .map(|line| {
+                    Ok(line
+                        .as_str()
+                        .ok_or_else(|| ErrorFrame::malformed("span lines must be strings"))?
+                        .to_string())
+                })
+                .collect::<Result<Vec<String>, ErrorFrame>>()?,
+        ),
+    })
 }
 
 fn decode_server_stats(value: &Json) -> Result<WireServerStats, ErrorFrame> {
@@ -1095,6 +1540,7 @@ pub fn decode_response(line: &str) -> Result<Response, ErrorFrame> {
                 server: decode_server_stats(field(ok, "server")?)?,
                 runtime: decode_runtime_stats(field(ok, "runtime")?)?,
             }),
+            "metrics" => ResponseBody::Metrics(decode_metrics_frame(ok)?),
             "pong" => ResponseBody::Pong,
             other => return Err(ErrorFrame::malformed(format!("unknown ok type `{other}`"))),
         },
@@ -1374,6 +1820,100 @@ mod tests {
         assert!(request.config().is_none());
         assert_eq!(request.arch.arch_name(), "deap-cnn");
         assert_eq!(zoo.config().unwrap_err().kind, ErrorKind::Evaluation);
+    }
+
+    #[test]
+    fn metrics_request_frames_round_trip_and_default_to_json() {
+        for format in [
+            MetricsFormat::Json,
+            MetricsFormat::Text,
+            MetricsFormat::Spans,
+        ] {
+            let request = Request {
+                id: 3,
+                body: RequestBody::Metrics { format },
+            };
+            let line = encode_request(&request);
+            assert_eq!(decode_request(&line).unwrap(), request, "{line}");
+            // The default format is implicit on the wire.
+            assert_eq!(
+                line.contains("\"format\""),
+                format != MetricsFormat::Json,
+                "{line}"
+            );
+        }
+        // A bare metrics frame means the JSON snapshot.
+        let bare = decode_request(r#"{"v":1,"id":4,"op":"metrics"}"#).unwrap();
+        assert_eq!(
+            bare.body,
+            RequestBody::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        // Unknown formats are well-formed but unsupported.
+        let err = decode_request(r#"{"v":1,"id":4,"op":"metrics","format":"xml"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn metrics_snapshot_responses_round_trip_losslessly() {
+        use crosslight_telemetry::Registry;
+
+        let registry = Registry::new();
+        registry
+            .counter("server_requests_total", "Frames received.")
+            .add(41);
+        registry
+            .gauge("server_write_queue_depth", "Queued lines.")
+            .set(-2);
+        let latency = registry.histogram("server_request_ns", "End-to-end latency.");
+        for v in [5u64, 120, 120, 7_000, 1 << 33] {
+            latency.record(v);
+        }
+        let snapshot = registry.snapshot();
+
+        let response = Response {
+            id: Some(9),
+            body: ResponseBody::Metrics(MetricsFrame::Snapshot(WireMetricsSnapshot::from(
+                &snapshot,
+            ))),
+        };
+        let line = encode_response(&response);
+        let decoded = decode_response(&line).unwrap();
+        assert_eq!(decoded, response, "{line}");
+
+        // The decoded wire form rebuilds the registry snapshot exactly:
+        // quantiles, moments and bucket occupancy all survive the wire.
+        match decoded.body {
+            ResponseBody::Metrics(MetricsFrame::Snapshot(wire)) => {
+                assert_eq!(wire.schema, METRICS_SCHEMA);
+                assert_eq!(wire.to_registry_snapshot(), snapshot);
+            }
+            other => panic!("expected a metrics snapshot, got {other:?}"),
+        }
+
+        // Text and spans payloads round-trip too (including escaping).
+        for frame in [
+            MetricsFrame::Text("# TYPE a counter\na 1\n".to_string()),
+            MetricsFrame::Spans(vec![
+                "{\"id\":7,\"spans\":[]}".to_string(),
+                "{\"id\":8,\"spans\":[]}".to_string(),
+            ]),
+        ] {
+            let response = Response {
+                id: Some(10),
+                body: ResponseBody::Metrics(frame),
+            };
+            let line = encode_response(&response);
+            assert_eq!(decode_response(&line).unwrap(), response, "{line}");
+        }
+
+        // A snapshot from a foreign schema is rejected as unsupported.
+        let foreign = line.replace(METRICS_SCHEMA, "crosslight-metrics/v9");
+        assert_eq!(
+            decode_response(&foreign).unwrap_err().kind,
+            ErrorKind::Unsupported
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn serve_corpus() -> String {
     let service = EvalService::new(RuntimeOptions {
         workers: 1,
         cache_shards: 1,
+        trace_sample_every: 0,
     });
     let mut out = String::from("wire_v1_backcompat/v1\n");
     for line in V1_LINES {
@@ -95,8 +96,8 @@ fn serve_corpus() -> String {
             },
             Ok(Request {
                 id,
-                body: RequestBody::Stats,
-            }) => panic!("corpus has no stats op (non-deterministic), got id {id}"),
+                body: RequestBody::Stats | RequestBody::Metrics { .. },
+            }) => panic!("corpus has no stats/metrics ops (non-deterministic), got id {id}"),
             Err(frame) => Response::error(peek_id(line), frame),
         };
         out.push_str(line);

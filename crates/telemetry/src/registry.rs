@@ -1,0 +1,493 @@
+//! The metric registry: stable names + labels → lock-free handles, and
+//! deterministic plain-data snapshots.
+//!
+//! Registration happens at service construction time under a mutex; the
+//! handles handed back are the same lock-free primitives from
+//! [`crate::metrics`], so the instrumented hot paths never touch the
+//! registry lock again.  Existing detached handles can also be *adopted*
+//! (e.g. the result-cache hit/miss counters owned by `ShardedCache`), which
+//! is how layers that predate the registry surface their counters without
+//! changing ownership.
+//!
+//! Snapshots sort families by name and series by label set, so two
+//! snapshots of the same state render identically — the property the
+//! golden exposition fixture locks.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// The three metric kinds of the exposition format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Instantaneous signed value.
+    Gauge,
+    /// Log-linear bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition-format kind name (`counter`/`gauge`/`histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// Parses an exposition-format kind name.
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// Why a registration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Family or label name violates the `[a-zA-Z_][a-zA-Z0-9_]*` charset.
+    InvalidName(String),
+    /// The exact (family, label set) series is already registered.
+    DuplicateSeries(String),
+    /// The family exists with a different kind or help text.
+    KindMismatch(String),
+    /// Two snapshots being merged both contain the family.
+    DuplicateFamily(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidName(name) => write!(f, "invalid metric name `{name}`"),
+            RegistryError::DuplicateSeries(name) => {
+                write!(f, "duplicate metric series `{name}`")
+            }
+            RegistryError::KindMismatch(name) => {
+                write!(
+                    f,
+                    "metric family `{name}` re-registered with a different kind/help"
+                )
+            }
+            RegistryError::DuplicateFamily(name) => {
+                write!(
+                    f,
+                    "metric family `{name}` present in more than one merged snapshot"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registered handle (the registry keeps a clone; the caller keeps the
+/// hot-path clone).
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    fn read(&self) -> SeriesValue {
+        match self {
+            Handle::Counter(counter) => SeriesValue::Counter(counter.get()),
+            Handle::Gauge(gauge) => SeriesValue::Gauge(gauge.get()),
+            Handle::Histogram(histogram) => SeriesValue::Histogram(histogram.snapshot()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<(Vec<(String, String)>, Handle)>,
+}
+
+/// A set of named metric families.
+///
+/// The registry itself is only touched at registration and snapshot time;
+/// all recording goes through the returned handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn series_display(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{name}{{{}}}", pairs.join(","))
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Handle,
+    ) -> Result<(), RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        for (key, _) in labels {
+            if !valid_name(key) {
+                return Err(RegistryError::InvalidName(format!("{name}{{{key}}}")));
+            }
+        }
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry lock poisoned");
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if family.kind != handle.kind() || family.help != help {
+                return Err(RegistryError::KindMismatch(name.to_string()));
+            }
+            if family.series.iter().any(|(l, _)| *l == owned) {
+                return Err(RegistryError::DuplicateSeries(series_display(name, labels)));
+            }
+            family.series.push((owned, handle));
+        } else {
+            families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind: handle.kind(),
+                series: vec![(owned, handle)],
+            });
+        }
+        Ok(())
+    }
+
+    /// Adopts an existing counter under `name` with no labels.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) -> Result<(), RegistryError> {
+        self.register(name, help, labels, Handle::Counter(counter.clone()))
+    }
+
+    /// Adopts an existing gauge under `name`.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        gauge: &Gauge,
+    ) -> Result<(), RegistryError> {
+        self.register(name, help, labels, Handle::Gauge(gauge.clone()))
+    }
+
+    /// Adopts an existing histogram under `name`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: &Histogram,
+    ) -> Result<(), RegistryError> {
+        self.register(name, help, labels, Handle::Histogram(histogram.clone()))
+    }
+
+    /// Creates and registers an unlabeled counter.
+    ///
+    /// # Panics
+    /// On invalid or duplicate names — registration happens at service
+    /// construction with compile-time-constant names, so failures are bugs.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Creates and registers a labeled counter series.
+    ///
+    /// # Panics
+    /// See [`Self::counter`].
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let counter = Counter::new();
+        self.register_counter(name, help, labels, &counter)
+            .expect("static metric registration is infallible");
+        counter
+    }
+
+    /// Creates and registers an unlabeled gauge.
+    ///
+    /// # Panics
+    /// See [`Self::counter`].
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Creates and registers a labeled gauge series.
+    ///
+    /// # Panics
+    /// See [`Self::counter`].
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let gauge = Gauge::new();
+        self.register_gauge(name, help, labels, &gauge)
+            .expect("static metric registration is infallible");
+        gauge
+    }
+
+    /// Creates and registers an unlabeled histogram.
+    ///
+    /// # Panics
+    /// See [`Self::counter`].
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Creates and registers a labeled histogram series.
+    ///
+    /// # Panics
+    /// See [`Self::counter`].
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let histogram = Histogram::new();
+        self.register_histogram(name, help, labels, &histogram)
+            .expect("static metric registration is infallible");
+        histogram
+    }
+
+    /// Reads every registered series into a deterministic plain-data
+    /// snapshot (families sorted by name, series by label set).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("registry lock poisoned");
+        let mut out: Vec<FamilySnapshot> = families
+            .iter()
+            .map(|family| {
+                let mut series: Vec<SeriesSnapshot> = family
+                    .series
+                    .iter()
+                    .map(|(labels, handle)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: handle.read(),
+                    })
+                    .collect();
+                series.sort_by(|a, b| a.labels.cmp(&b.labels));
+                FamilySnapshot {
+                    name: family.name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot { families: out }
+    }
+}
+
+/// The value of one series at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(labels, value)` pair of a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SeriesValue,
+}
+
+/// One metric family: name, help, kind and all label series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (e.g. `runtime_queue_wait_ns`).
+    pub name: String,
+    /// Help text for the `# HELP` line.
+    pub help: String,
+    /// Kind for the `# TYPE` line.
+    pub kind: MetricKind,
+    /// Series, sorted by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// A deterministic point-in-time view of a whole registry (or several
+/// merged ones).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The value of the unlabeled (or single) series of `name`, if present.
+    pub fn value(&self, name: &str) -> Option<&SeriesValue> {
+        self.family(name)
+            .and_then(|f| f.series.first())
+            .map(|s| &s.value)
+    }
+
+    /// Merges snapshots from independent registries (e.g. the server's and
+    /// the runtime's) into one scrape.  Family names must be disjoint —
+    /// the `server_`/`runtime_` prefixes guarantee this in practice.
+    pub fn merged(parts: Vec<RegistrySnapshot>) -> Result<RegistrySnapshot, RegistryError> {
+        let mut families: Vec<FamilySnapshot> = Vec::new();
+        for part in parts {
+            for family in part.families {
+                if families.iter().any(|f| f.name == family.name) {
+                    return Err(RegistryError::DuplicateFamily(family.name));
+                }
+                families.push(family);
+            }
+        }
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(RegistrySnapshot { families })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_orders_families_and_series() {
+        let registry = Registry::new();
+        registry.counter("zeta_total", "Last alphabetically.");
+        registry.counter_with("alpha_total", "First.", &[("worker", "1")]);
+        registry.counter_with("alpha_total", "First.", &[("worker", "0")]);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha_total", "zeta_total"]);
+        let labels: Vec<&str> = snapshot.families[0]
+            .series
+            .iter()
+            .map(|s| s.labels[0].1.as_str())
+            .collect();
+        assert_eq!(labels, ["0", "1"]);
+    }
+
+    #[test]
+    fn handles_feed_the_snapshot() {
+        let registry = Registry::new();
+        let counter = registry.counter("reg_counter_total", "c");
+        let gauge = registry.gauge("reg_gauge", "g");
+        let histogram = registry.histogram("reg_hist_ns", "h");
+        counter.add(3);
+        gauge.set(-2);
+        histogram.record(100);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.value("reg_counter_total"),
+            Some(&SeriesValue::Counter(3))
+        );
+        assert_eq!(snapshot.value("reg_gauge"), Some(&SeriesValue::Gauge(-2)));
+        match snapshot.value("reg_hist_ns") {
+            Some(SeriesValue::Histogram(h)) => assert_eq!(h.count(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adoption_shares_the_live_cell() {
+        let registry = Registry::new();
+        let detached = Counter::new();
+        detached.add(5);
+        registry
+            .register_counter("adopted_total", "Adopted after the fact.", &[], &detached)
+            .unwrap();
+        detached.add(2);
+        assert_eq!(
+            registry.snapshot().value("adopted_total"),
+            Some(&SeriesValue::Counter(7))
+        );
+    }
+
+    #[test]
+    fn invalid_and_duplicate_registrations_are_rejected() {
+        let registry = Registry::new();
+        let counter = Counter::new();
+        assert_eq!(
+            registry.register_counter("bad name", "x", &[], &counter),
+            Err(RegistryError::InvalidName("bad name".to_string()))
+        );
+        assert_eq!(
+            registry.register_counter("1leading", "x", &[], &counter),
+            Err(RegistryError::InvalidName("1leading".to_string()))
+        );
+        registry
+            .register_counter("dup_total", "x", &[], &counter)
+            .unwrap();
+        assert_eq!(
+            registry.register_counter("dup_total", "x", &[], &counter),
+            Err(RegistryError::DuplicateSeries("dup_total".to_string()))
+        );
+        // Same family, different labels: allowed.
+        registry
+            .register_counter("dup_total", "x", &[("worker", "0")], &counter)
+            .unwrap();
+        // Same family, different kind: rejected.
+        assert_eq!(
+            registry.register_gauge("dup_total", "x", &[("worker", "1")], &Gauge::new()),
+            Err(RegistryError::KindMismatch("dup_total".to_string()))
+        );
+    }
+
+    #[test]
+    fn merged_rejects_family_collisions() {
+        let left = Registry::new();
+        left.counter("server_requests_total", "x");
+        let right = Registry::new();
+        right.counter("runtime_submitted_total", "y");
+        let merged = RegistrySnapshot::merged(vec![left.snapshot(), right.snapshot()]).unwrap();
+        assert_eq!(merged.families.len(), 2);
+        assert_eq!(merged.families[0].name, "runtime_submitted_total");
+
+        let clash = Registry::new();
+        clash.counter("server_requests_total", "x");
+        assert_eq!(
+            RegistrySnapshot::merged(vec![left.snapshot(), clash.snapshot()]),
+            Err(RegistryError::DuplicateFamily(
+                "server_requests_total".to_string()
+            ))
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden-fixture test of the Prometheus-style text exposition: a fully
+//! deterministic registry (fixed counter/gauge values, histogram samples
+//! chosen to land in distinct log-linear buckets) is rendered and compared
+//! byte-for-byte against the committed fixture, so any change to the
+//! exposition format — ordering, escaping, bucket bounds, formatting — is
+//! an explicit, reviewed diff.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```sh
+//! CROSSLIGHT_GOLDEN_BLESS=1 cargo test -p crosslight-telemetry --test exposition_golden
+//! ```
+
+use std::path::PathBuf;
+
+use crosslight_telemetry::{render_text, validate_text, Registry};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exposition.txt")
+}
+
+/// A registry exercising every metric kind, label shapes, escaping, and
+/// the histogram's sub-16 / log-linear / saturating bucket regimes.
+fn deterministic_registry() -> Registry {
+    let registry = Registry::new();
+
+    let requests = registry.counter("demo_requests_total", "Requests served.");
+    requests.add(1234);
+
+    let hits = registry.counter_with(
+        "demo_cache_events_total",
+        "Cache events by outcome.",
+        &[("outcome", "hit")],
+    );
+    hits.add(900);
+    let misses = registry.counter_with(
+        "demo_cache_events_total",
+        "Cache events by outcome.",
+        &[("outcome", "miss")],
+    );
+    misses.add(100);
+
+    let depth = registry.gauge("demo_queue_depth", "Jobs waiting in the queue.");
+    depth.set(-3);
+
+    let escaped = registry.gauge_with(
+        "demo_annotated",
+        "Help with a \\ backslash and\na newline.",
+        &[("path", "a\"b\\c\nd")],
+    );
+    escaped.set(7);
+
+    let latency = registry.histogram("demo_latency_ns", "Synthetic latency distribution.");
+    // One sample per regime: exact sub-16 buckets, a few log-linear
+    // octaves, and a very large value.
+    for sample in [0, 1, 15, 16, 17, 100, 1_000, 65_536, 1_000_000, 1 << 40] {
+        latency.record(sample);
+    }
+
+    registry
+}
+
+#[test]
+fn exposition_text_matches_the_committed_fixture() {
+    let rendered = render_text(&deterministic_registry().snapshot());
+    // The fixture must itself be a valid exposition page.
+    validate_text(&rendered).expect("rendered exposition validates");
+
+    let path = fixture_path();
+    if std::env::var_os("CROSSLIGHT_GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden fixture {path:?} ({err}); run with CROSSLIGHT_GOLDEN_BLESS=1 to \
+             create it"
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "exposition text drifted from {path:?}; if intentional, regenerate with \
+         CROSSLIGHT_GOLDEN_BLESS=1 and review the fixture diff"
+    );
+}

@@ -1,0 +1,107 @@
+//! Property tests of the log-linear histogram: structural invariants that
+//! must hold for *any* sequence of recorded values — bucket occupancies
+//! account for every sample, percentiles are monotone and bounded by the
+//! observed extremes, merging two histograms equals recording their
+//! concatenation, and empty snapshots are safe everywhere.
+
+use proptest::prelude::*;
+
+use crosslight_telemetry::{Histogram, HistogramSnapshot};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = Histogram::new();
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn buckets_account_for_every_sample(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let snapshot = snapshot_of(&values);
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        let bucket_total: u64 = snapshot.le_buckets().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        let sum: u64 = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snapshot.sum(), sum);
+        prop_assert_eq!(snapshot.min(), values.iter().copied().min());
+        prop_assert_eq!(snapshot.max(), values.iter().copied().max());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 1..200),
+    ) {
+        let snapshot = snapshot_of(&values);
+        let quantiles: Vec<u64> = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&q| snapshot.quantile(q))
+            .collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {quantiles:?}");
+        }
+        // Bucket estimates can overshoot a value by the bucket's relative
+        // width but never past the recorded maximum, and never under the
+        // recorded minimum.
+        let min = snapshot.min().unwrap();
+        let max = snapshot.max().unwrap();
+        for &q in &quantiles {
+            prop_assert!(q >= min, "quantile {q} below recorded min {min}");
+            prop_assert!(q <= max, "quantile {q} above recorded max {max}");
+        }
+        prop_assert_eq!(snapshot.quantile(1.0), max);
+    }
+
+    #[test]
+    fn merge_equals_concatenation(
+        left in proptest::collection::vec(0u64..u64::MAX, 0..120),
+        right in proptest::collection::vec(0u64..u64::MAX, 0..120),
+    ) {
+        let merged = snapshot_of(&left).merge(&snapshot_of(&right));
+        let concatenated: Vec<u64> =
+            left.iter().chain(right.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&concatenated));
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..150),
+    ) {
+        let snapshot = snapshot_of(&values);
+        let buckets: Vec<(u64, u64)> = snapshot.le_buckets().collect();
+        let rebuilt = HistogramSnapshot::from_le_buckets(
+            &buckets,
+            snapshot.sum(),
+            snapshot.min(),
+            snapshot.max().unwrap_or(0),
+        );
+        prop_assert_eq!(rebuilt, snapshot);
+    }
+}
+
+#[test]
+fn empty_snapshots_are_safe_everywhere() {
+    let empty = Histogram::new().snapshot();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.sum(), 0);
+    assert_eq!(empty.min(), None);
+    assert_eq!(empty.max(), None);
+    assert_eq!(empty.mean(), 0.0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), 0);
+    }
+    assert_eq!(empty.le_buckets().count(), 0);
+    // Merging with empty is the identity in both directions.
+    let loaded = {
+        let histogram = Histogram::new();
+        histogram.record(42);
+        histogram.record(7_000_000);
+        histogram.snapshot()
+    };
+    assert_eq!(empty.merge(&loaded), loaded);
+    assert_eq!(loaded.merge(&empty), loaded);
+    assert_eq!(empty.merge(&HistogramSnapshot::empty()), empty);
+}

@@ -17,6 +17,7 @@
 //! | [`core`] | `crosslight-core` | the CrossLight architecture: VDP units, power/area/latency models, simulator |
 //! | [`runtime`] | `crosslight-runtime` | concurrent batched evaluation service: worker pool, result cache, sweep planner |
 //! | [`server`] | `crosslight-server` | load-shedding TCP/JSON-lines front-end over the runtime, plus the reference client/loadgen |
+//! | [`telemetry`] | `crosslight-telemetry` | lock-free metrics registry, Prometheus-style exposition, sampled request tracing |
 //! | [`baselines`] | `crosslight-baselines` | DEAP-CNN, HolyLight, electronic platform references |
 //! | [`experiments`] | `crosslight-experiments` | one module per paper figure/table |
 //!
@@ -52,4 +53,5 @@ pub use crosslight_neural as neural;
 pub use crosslight_photonics as photonics;
 pub use crosslight_runtime as runtime;
 pub use crosslight_server as server;
+pub use crosslight_telemetry as telemetry;
 pub use crosslight_tuning as tuning;

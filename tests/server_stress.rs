@@ -11,7 +11,10 @@ use crosslight::neural::workload::NetworkWorkload;
 use crosslight::neural::zoo::PaperModel;
 use crosslight::server::loadgen::{self, Client, LoadGenOptions};
 use crosslight::server::server::{Server, ServerOptions};
-use crosslight::server::wire::{ErrorKind, EvalSpec, Request, RequestBody, ResponseBody};
+use crosslight::server::wire::{
+    ErrorKind, EvalSpec, MetricsFormat, MetricsFrame, Request, RequestBody, ResponseBody,
+};
+use crosslight::telemetry::{validate_text, SeriesValue};
 
 /// Serially evaluates the spec a response answered, for equivalence checks.
 fn serial_report(spec: &EvalSpec) -> SimulationReport {
@@ -263,6 +266,158 @@ fn protocol_errors_stats_and_ping_work_over_the_wire() {
     // …and is a cache hit, because the exact-equality cache key compares
     // workloads structurally, not by provenance.
     assert!(frame_inline.cache_hit);
+
+    server.shutdown();
+}
+
+#[test]
+fn live_stats_snapshots_are_order_consistent_under_load() {
+    // Counter snapshots taken *while* traffic is in flight must respect
+    // causality: a request is counted as submitted before it can complete,
+    // and received before any outcome counter moves.  The stats path reads
+    // outcome counters first and causes last, so every live snapshot — not
+    // just the quiescent final one — satisfies the invariants.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(4)
+            .with_queue_capacity(10_000),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let options = LoadGenOptions::paper_mix(6, 48, 0x57A75);
+    let (report, polls) = std::thread::scope(|scope| {
+        let load = scope.spawn(|| loadgen::run(addr, &options).expect("load run succeeds"));
+        let mut polls = 0u64;
+        while !load.is_finished() {
+            let stats = server.stats();
+            assert!(
+                stats.runtime.submitted >= stats.runtime.completed,
+                "live snapshot saw completed ({}) ahead of submitted ({})",
+                stats.runtime.completed,
+                stats.runtime.submitted
+            );
+            let outcomes = stats.server.evals_ok
+                + stats.server.evals_failed
+                + stats.server.shed_total
+                + stats.server.malformed_total
+                + stats.server.oversized_total;
+            assert!(
+                stats.server.requests_total >= outcomes,
+                "live snapshot saw {} outcomes ahead of {} received requests",
+                outcomes,
+                stats.server.requests_total
+            );
+            polls += 1;
+        }
+        (load.join().expect("load thread panicked"), polls)
+    });
+    assert_eq!(report.ok, report.sent);
+    assert!(polls > 0, "the poller must observe live traffic");
+
+    let stats = server.stats();
+    assert_eq!(stats.runtime.submitted, stats.runtime.completed);
+    assert_eq!(stats.server.evals_ok, report.sent);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_op_exposes_consistent_scrapes_over_the_wire() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(2)
+            .with_queue_capacity(1_000),
+    )
+    .expect("bind loopback server");
+    let options = LoadGenOptions::paper_mix(3, 24, 0xABBA);
+    let report = loadgen::run(server.local_addr(), &options).expect("load run succeeds");
+    assert_eq!(report.ok, report.sent);
+    // The load generator's client-side latency histogram covers every
+    // response it received.
+    assert_eq!(report.latency.count(), report.sent);
+    assert!(report.latency.p50() <= report.latency.p99());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // JSON scrape: one merged registry with both the server_ and runtime_
+    // vocabularies, consistent with the stats op.
+    let response = client.metrics(1, MetricsFormat::Json).unwrap();
+    let ResponseBody::Metrics(MetricsFrame::Snapshot(snapshot)) = &response.body else {
+        panic!("expected a metrics snapshot, got {response:?}");
+    };
+    let scrape = snapshot.to_registry_snapshot();
+    for family in [
+        "server_requests_total",
+        "server_evals_ok_total",
+        "server_phase_ns",
+        "server_request_ns",
+        "runtime_submitted_total",
+        "runtime_completed_total",
+        "runtime_evaluate_ns",
+    ] {
+        assert!(
+            scrape.family(family).is_some(),
+            "scrape is missing {family}"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(
+        scrape.value("server_evals_ok_total"),
+        Some(&SeriesValue::Counter(stats.server.evals_ok))
+    );
+    assert_eq!(
+        scrape.value("runtime_workers"),
+        Some(&SeriesValue::Gauge(2))
+    );
+    let Some(SeriesValue::Counter(submitted)) = scrape.value("runtime_submitted_total") else {
+        panic!("runtime_submitted_total missing");
+    };
+    assert_eq!(*submitted, report.sent);
+
+    // Text scrape: a valid exposition page with the same families.
+    let response = client.metrics(2, MetricsFormat::Text).unwrap();
+    let ResponseBody::Metrics(MetricsFrame::Text(page)) = &response.body else {
+        panic!("expected a text page, got {response:?}");
+    };
+    validate_text(page).expect("exposition page validates");
+    assert!(page.contains("# TYPE server_request_ns histogram"));
+    assert!(page.contains("runtime_completed_total"));
+
+    // Span export drains: a second scrape gets only what arrived since.
+    let response = client.metrics(3, MetricsFormat::Spans).unwrap();
+    let ResponseBody::Metrics(MetricsFrame::Spans(spans)) = &response.body else {
+        panic!("expected span lines, got {response:?}");
+    };
+    assert!(!spans.is_empty(), "1:1 sampling must export timelines");
+    assert!(spans.iter().all(|line| line.starts_with("{\"id\":")));
+    let response = client.metrics(4, MetricsFormat::Spans).unwrap();
+    let ResponseBody::Metrics(MetricsFrame::Spans(drained)) = &response.body else {
+        panic!("expected span lines, got {response:?}");
+    };
+    assert!(
+        drained.len() < spans.len(),
+        "draining must hand each timeline to exactly one scraper"
+    );
+
+    // An unknown format is a typed error, and the connection stays usable.
+    client
+        .send_raw("{\"v\":1,\"id\":9,\"op\":\"metrics\",\"format\":\"xml\"}")
+        .unwrap();
+    let err = client.recv().unwrap();
+    assert_eq!(err.id, Some(9));
+    assert!(matches!(
+        err.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::Unsupported
+    ));
+    let pong = client
+        .call(&Request {
+            id: 10,
+            body: RequestBody::Ping,
+        })
+        .unwrap();
+    assert!(matches!(pong.body, ResponseBody::Pong));
 
     server.shutdown();
 }
