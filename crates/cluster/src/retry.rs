@@ -1,0 +1,184 @@
+//! Retry policy and retry budget for the cluster router.
+//!
+//! Two guards keep retries from amplifying an outage:
+//!
+//! * [`RetryPolicy`] bounds *per-request* retries: a capped attempt count
+//!   and exponential backoff with deterministic half-jitter, so replays of
+//!   a seeded chaos run schedule identically.
+//! * [`RetryBudget`] bounds *cluster-wide* retries: a token bucket
+//!   refilled by successful requests (one tenth of a token each) and
+//!   drained by retries (one token each).  When every backend is failing,
+//!   the budget empties and the router degrades to explicit `unavailable`
+//!   shedding instead of hammering dead peers — the retry-storm brake.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crosslight_neural::fingerprint::fingerprint;
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total I/O attempts per request, first try included (min 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the backoff between any two attempts.
+    pub max_backoff: Duration,
+    /// Seed of the per-(request, attempt) jitter — fixed seed, fixed
+    /// schedule, so chaos runs replay bit-identically.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 5 ms base, 200 ms cap.
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            jitter_seed: 0x0c10_5732,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (1-based; attempt 1 is the first
+    /// *retry*) of request `request_id`: half the capped exponential step
+    /// plus a deterministic jitter drawn from the other half — the classic
+    /// equal-jitter scheme, but replayable.
+    #[must_use]
+    pub fn backoff(&self, request_id: u64, attempt: u32) -> Duration {
+        let exponent = attempt.saturating_sub(1).min(16);
+        let step = self
+            .base_backoff
+            .saturating_mul(1u32 << exponent)
+            .min(self.max_backoff);
+        let half = step / 2;
+        let spread = half.as_nanos() as u64;
+        if spread == 0 {
+            return step;
+        }
+        let jitter = fingerprint(&(self.jitter_seed, request_id, attempt)) % (spread + 1);
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// Token-bucket brake on cluster-wide retry volume, in tenths of a token.
+///
+/// Starts full.  [`deposit`](Self::deposit) (called per successful
+/// request) adds a tenth; [`try_withdraw`](Self::try_withdraw) (called per
+/// retry) takes a whole token or refuses.  Sustained retries therefore
+/// cannot exceed ~10% of sustained successes once the initial burst
+/// capacity is spent.
+#[derive(Debug)]
+pub struct RetryBudget {
+    tenths: AtomicU64,
+    capacity_tenths: u64,
+}
+
+impl RetryBudget {
+    /// A full budget of `capacity` tokens (clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        let capacity_tenths = capacity.max(1).saturating_mul(10);
+        Self {
+            tenths: AtomicU64::new(capacity_tenths),
+            capacity_tenths,
+        }
+    }
+
+    /// Credits one tenth of a token, saturating at capacity.
+    pub fn deposit(&self) {
+        let mut current = self.tenths.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity_tenths {
+                return;
+            }
+            match self.tenths.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Takes one token if available; `false` means the retry must not
+    /// happen and the request degrades to `unavailable`.
+    pub fn try_withdraw(&self) -> bool {
+        let mut current = self.tenths.load(Ordering::Relaxed);
+        loop {
+            if current < 10 {
+                return false;
+            }
+            match self.tenths.compare_exchange_weak(
+                current,
+                current - 10,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current balance in tenths of a token (a telemetry gauge feed).
+    #[must_use]
+    pub fn balance_tenths(&self) -> u64 {
+        self.tenths.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jittered_deterministically() {
+        let policy = RetryPolicy::default();
+        // Deterministic: same (request, attempt) → same delay.
+        assert_eq!(policy.backoff(42, 1), policy.backoff(42, 1));
+        // Jitter separates requests on the same attempt number.
+        assert!((0..32).any(|id| policy.backoff(id, 1) != policy.backoff(id + 32, 1)));
+        for attempt in 1..=10 {
+            let delay = policy.backoff(7, attempt);
+            // Equal-jitter bounds: [step/2, step] with step capped.
+            let step = policy
+                .base_backoff
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(policy.max_backoff);
+            assert!(
+                delay >= step / 2 && delay <= step,
+                "attempt {attempt}: {delay:?}"
+            );
+            assert!(delay <= policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn budget_refills_by_tenths_and_withdraws_whole_tokens() {
+        let budget = RetryBudget::new(2);
+        assert_eq!(budget.balance_tenths(), 20);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        // Empty: no retry allowed.
+        assert!(!budget.try_withdraw());
+        // Nine successes are not enough for one retry; the tenth is.
+        for _ in 0..9 {
+            budget.deposit();
+        }
+        assert!(!budget.try_withdraw());
+        budget.deposit();
+        assert!(budget.try_withdraw());
+        // Deposits saturate at capacity.
+        for _ in 0..1000 {
+            budget.deposit();
+        }
+        assert_eq!(budget.balance_tenths(), 20);
+    }
+}

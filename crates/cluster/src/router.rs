@@ -1,0 +1,1579 @@
+//! The cluster router: a wire-compatible front-end over N backend servers.
+//!
+//! # Thread model
+//!
+//! One **acceptor** owns the client listener.  Each client connection gets
+//! a **reader** (decode, route, answer local ops) and a **writer** (owns
+//! the socket write half behind a bounded channel).  Each backend gets
+//! `backend_connections` **exchange workers** pulling from one bounded
+//! per-backend queue, plus one **health prober**.  A single **retry
+//! timer** holds backed-off jobs until they are due.
+//!
+//! # Bit-identical forwarding
+//!
+//! The router never re-encodes evaluation traffic.  A client's `eval`
+//! line is decoded once — to validate it and derive the routing
+//! fingerprint — but the *original bytes* travel to the backend, and the
+//! backend's response line travels back verbatim.  Locally answered ops
+//! (`ping`, decode errors, spec errors) go through the same `wire`
+//! encoder a single [`Server`](crosslight_server::server::Server) uses.
+//! A cluster is therefore byte-indistinguishable from one server on every
+//! answered request, which the chaos suite asserts multiset-exactly.
+//!
+//! # Failure policy
+//!
+//! Every hop is bounded: connects, reads and writes time out, and every
+//! request carries an end-to-end deadline.  A transport fault (dead
+//! connection, timeout, garbled or mismatched response) records a breaker
+//! failure and *fails over* — the job is re-dispatched to the next
+//! replica, which is safe because evaluations are pure and idempotent.
+//! Retries consume a bounded, cluster-wide [`RetryBudget`] and back off
+//! exponentially with deterministic jitter.  When no replica is usable
+//! and the budget, attempts or deadline run out, the request is shed with
+//! an explicit retryable `unavailable` error — never a hang, never a
+//! silent wrong answer.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crosslight_neural::workload::NetworkWorkload;
+use crosslight_neural::zoo::PaperModel;
+use crosslight_server::loadgen::{Client, ClientOptions};
+use crosslight_server::server::{read_line_limited, LineRead};
+use crosslight_server::wire::{
+    self, ErrorFrame, ErrorKind, MetricsFormat, MetricsFrame, Request, RequestBody, Response,
+    ResponseBody, StatsFrame, WireMetricsSnapshot, WireRuntimeStats, WireServerStats,
+    DEFAULT_MAX_LINE_BYTES,
+};
+use crosslight_telemetry::{render_text, Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+
+use crate::backend::{rendezvous_order, BackendState, CircuitState, Transition};
+use crate::faultpoint::{FaultAction, FaultPlan, FaultPoint};
+use crate::retry::{RetryBudget, RetryPolicy};
+
+/// Routing state is a `u64` bitmask of tried backends, so a cluster is
+/// capped at 64 backends — far beyond the deployment sizes this tier
+/// models.
+pub const MAX_BACKENDS: usize = 64;
+
+/// Tuning knobs of the router.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Replicas per shard: how many backends (in rendezvous order) may
+    /// serve a given fingerprint (clamped to `1..=backends`).
+    pub replication: usize,
+    /// Concurrent exchange connections per backend.
+    pub backend_connections: usize,
+    /// Queued jobs per backend before dispatch spills to the next replica.
+    pub queue_capacity: usize,
+    /// Bound on dialing a backend.
+    pub connect_timeout: Duration,
+    /// Bound on one request/response exchange with a backend.
+    pub request_timeout: Duration,
+    /// End-to-end deadline of one client request, covering every retry
+    /// and backoff; expiry sheds the request with `unavailable`.
+    pub request_deadline: Duration,
+    /// Period of per-backend health probes.
+    pub health_interval: Duration,
+    /// Bound on one health probe (connect + ping + pong).
+    pub health_timeout: Duration,
+    /// How long an open breaker cools down before half-open probing.
+    pub open_cooldown: Duration,
+    /// Consecutive failures that trip a backend's breaker.
+    pub failure_threshold: u32,
+    /// Per-request retry schedule.
+    pub retry: RetryPolicy,
+    /// Cluster-wide retry budget, in tokens (see [`RetryBudget`]).
+    pub retry_budget: u64,
+    /// Maximum accepted line length in bytes (clamped to at least 1 KiB).
+    pub max_line_bytes: usize,
+    /// Bound on a stalled client-socket write.
+    pub write_timeout: Duration,
+    /// Fault-injection plan; [`FaultPlan::none`] in production.
+    pub faults: Arc<FaultPlan>,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            replication: 2,
+            backend_connections: 2,
+            queue_capacity: 256,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(15),
+            health_interval: Duration::from_millis(50),
+            health_timeout: Duration::from_millis(500),
+            open_cooldown: Duration::from_millis(250),
+            failure_threshold: 3,
+            retry: RetryPolicy::default(),
+            retry_budget: 128,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            write_timeout: Duration::from_secs(30),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl RouterOptions {
+    /// Returns a copy with a different replication factor.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Returns a copy with a different per-backend exchange-connection
+    /// fan.  Each exchange occupies one connection for a full round trip,
+    /// so this bounds a backend's concurrent in-flight requests.
+    #[must_use]
+    pub fn with_backend_connections(mut self, backend_connections: usize) -> Self {
+        self.backend_connections = backend_connections;
+        self
+    }
+
+    /// Returns a copy with a different end-to-end request deadline.
+    #[must_use]
+    pub fn with_request_deadline(mut self, request_deadline: Duration) -> Self {
+        self.request_deadline = request_deadline;
+        self
+    }
+
+    /// Returns a copy with a different per-exchange timeout.
+    #[must_use]
+    pub fn with_request_timeout(mut self, request_timeout: Duration) -> Self {
+        self.request_timeout = request_timeout;
+        self
+    }
+
+    /// Returns a copy with different health-check timings.
+    #[must_use]
+    pub fn with_health(
+        mut self,
+        health_interval: Duration,
+        health_timeout: Duration,
+        open_cooldown: Duration,
+    ) -> Self {
+        self.health_interval = health_interval;
+        self.health_timeout = health_timeout;
+        self.open_cooldown = open_cooldown;
+        self
+    }
+
+    /// Returns a copy with a different breaker threshold.
+    #[must_use]
+    pub fn with_failure_threshold(mut self, failure_threshold: u32) -> Self {
+        self.failure_threshold = failure_threshold;
+        self
+    }
+
+    /// Returns a copy with a different retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns a copy with a different retry budget.
+    #[must_use]
+    pub fn with_retry_budget(mut self, retry_budget: u64) -> Self {
+        self.retry_budget = retry_budget;
+        self
+    }
+
+    /// Returns a copy executing the given fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Why a request was shed instead of answered with a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShedReason {
+    /// The end-to-end deadline elapsed (or would elapse during backoff).
+    Deadline,
+    /// Every I/O attempt the policy allows has failed.
+    Attempts,
+    /// The cluster-wide retry budget is empty.
+    Budget,
+    /// The router is draining.
+    Shutdown,
+}
+
+/// Counter handles of the router, registered under the `cluster_` prefix.
+#[derive(Debug)]
+struct ClusterTelemetry {
+    registry: Registry,
+    requests_total: Counter,
+    evals_routed: Counter,
+    evals_ok: Counter,
+    evals_failed: Counter,
+    failovers: Counter,
+    retries: Counter,
+    shed_deadline: Counter,
+    shed_attempts: Counter,
+    shed_budget: Counter,
+    shed_shutdown: Counter,
+    malformed_total: Counter,
+    oversized_total: Counter,
+    connections_accepted: Counter,
+    connections_active: Gauge,
+    connections_drained: Counter,
+    retry_budget_tenths: Gauge,
+    faults_injected: Counter,
+    hop_ns: Histogram,
+    forwarded: Vec<Counter>,
+    backend_failures: Vec<Counter>,
+    backend_state: Vec<Gauge>,
+    circuit_opened: Vec<Counter>,
+    readmitted: Vec<Counter>,
+    probes_ok: Vec<Counter>,
+    probes_failed: Vec<Counter>,
+    queue_depth: Vec<Gauge>,
+}
+
+impl ClusterTelemetry {
+    fn new(backends: usize) -> Self {
+        let registry = Registry::new();
+        let shed_help = "Requests answered with an explicit shed error instead of a report.";
+        let per_backend = |f: &dyn Fn(&str) -> Counter| -> Vec<Counter> {
+            (0..backends).map(|b| f(&b.to_string())).collect()
+        };
+        Self {
+            requests_total: registry.counter(
+                "cluster_requests_total",
+                "Request frames received from clients, including malformed ones.",
+            ),
+            evals_routed: registry.counter(
+                "cluster_evals_routed_total",
+                "Eval requests accepted for routing to a backend.",
+            ),
+            evals_ok: registry.counter(
+                "cluster_evals_ok_total",
+                "Eval requests answered with a forwarded backend report.",
+            ),
+            evals_failed: registry.counter(
+                "cluster_evals_failed_total",
+                "Eval requests answered with an error frame (local or forwarded).",
+            ),
+            failovers: registry.counter(
+                "cluster_failovers_total",
+                "Jobs re-dispatched away from a failed or tripped backend.",
+            ),
+            retries: registry.counter(
+                "cluster_retries_total",
+                "Retry attempts that consumed a retry-budget token.",
+            ),
+            shed_deadline: registry.counter_with(
+                "cluster_shed_total",
+                shed_help,
+                &[("reason", "deadline")],
+            ),
+            shed_attempts: registry.counter_with(
+                "cluster_shed_total",
+                shed_help,
+                &[("reason", "attempts")],
+            ),
+            shed_budget: registry.counter_with(
+                "cluster_shed_total",
+                shed_help,
+                &[("reason", "budget")],
+            ),
+            shed_shutdown: registry.counter_with(
+                "cluster_shed_total",
+                shed_help,
+                &[("reason", "shutdown")],
+            ),
+            malformed_total: registry.counter(
+                "cluster_malformed_total",
+                "Lines rejected as invalid JSON, UTF-8, or protocol frames.",
+            ),
+            oversized_total: registry.counter(
+                "cluster_oversized_total",
+                "Lines rejected for exceeding the configured length limit.",
+            ),
+            connections_accepted: registry.counter(
+                "cluster_connections_accepted_total",
+                "Client connections accepted since startup.",
+            ),
+            connections_active: registry.gauge(
+                "cluster_connections_active",
+                "Currently open client connections.",
+            ),
+            connections_drained: registry.counter(
+                "cluster_connections_drained_total",
+                "Client connections that finished and were fully drained.",
+            ),
+            retry_budget_tenths: registry.gauge(
+                "cluster_retry_budget_tenths",
+                "Remaining retry budget, in tenths of a token.",
+            ),
+            faults_injected: registry.counter(
+                "cluster_faults_injected_total",
+                "Faults fired by the configured fault plan.",
+            ),
+            hop_ns: registry.histogram(
+                "cluster_hop_ns",
+                "Latency of one successful backend exchange, in nanoseconds.",
+            ),
+            forwarded: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_forwarded_total",
+                    "Jobs handed to a backend queue.",
+                    &[("backend", b)],
+                )
+            }),
+            backend_failures: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_backend_failures_total",
+                    "Transport faults observed talking to a backend.",
+                    &[("backend", b)],
+                )
+            }),
+            backend_state: (0..backends)
+                .map(|b| {
+                    registry.gauge_with(
+                        "cluster_backend_state",
+                        "Circuit state per backend: 0 closed, 1 open, 2 half-open.",
+                        &[("backend", &b.to_string())],
+                    )
+                })
+                .collect(),
+            circuit_opened: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_circuit_opened_total",
+                    "Times a backend's circuit breaker tripped open.",
+                    &[("backend", b)],
+                )
+            }),
+            readmitted: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_backend_readmitted_total",
+                    "Times a backend passed half-open probing and rejoined.",
+                    &[("backend", b)],
+                )
+            }),
+            probes_ok: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_health_probes_total",
+                    "Health probes by outcome.",
+                    &[("backend", b), ("outcome", "ok")],
+                )
+            }),
+            probes_failed: per_backend(&|b| {
+                registry.counter_with(
+                    "cluster_health_probes_total",
+                    "Health probes by outcome.",
+                    &[("backend", b), ("outcome", "failed")],
+                )
+            }),
+            queue_depth: (0..backends)
+                .map(|b| {
+                    registry.gauge_with(
+                        "cluster_queue_depth",
+                        "Jobs waiting in a backend's dispatch queue.",
+                        &[("backend", &b.to_string())],
+                    )
+                })
+                .collect(),
+            registry,
+        }
+    }
+
+    fn sync_state_gauge(&self, backend: usize, state: CircuitState) {
+        self.backend_state[backend].set(state.as_gauge());
+    }
+}
+
+/// One admitted eval in flight through the cluster: the client's raw
+/// line, its routing key, and the reply lane back to the client's writer.
+#[derive(Debug)]
+struct ForwardJob {
+    id: u64,
+    line: Arc<String>,
+    fingerprint: u64,
+    /// Failed I/O attempts so far (the in-progress attempt not included).
+    attempts: u32,
+    /// Bitmask of backends tried since the last backoff, so a failover
+    /// never ping-pongs between two dying replicas without progress.
+    tried: u64,
+    deadline: Instant,
+    reply: SyncSender<String>,
+}
+
+#[derive(Debug)]
+struct ClusterShared {
+    options: RouterOptions,
+    backends: Vec<BackendState>,
+    queues: Vec<SyncSender<ForwardJob>>,
+    /// Lane to the retry timer; `None` once shutdown drained it.
+    retry_tx: Mutex<Option<Sender<(Instant, ForwardJob)>>>,
+    telemetry: ClusterTelemetry,
+    budget: RetryBudget,
+    shutting_down: AtomicBool,
+    /// Read-half handles of live client connections, for shutdown.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    /// Prebuilt Table I workloads, indexed as [`PaperModel::all`].
+    workloads: [Arc<NetworkWorkload>; 4],
+}
+
+impl ClusterShared {
+    fn faults(&self) -> &FaultPlan {
+        &self.options.faults
+    }
+
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let telemetry = &self.telemetry;
+        telemetry
+            .retry_budget_tenths
+            .set(self.budget.balance_tenths() as i64);
+        telemetry.faults_injected.store(self.faults().injected());
+        for backend in &self.backends {
+            telemetry.sync_state_gauge(backend.index, backend.state());
+        }
+        telemetry.registry.snapshot()
+    }
+}
+
+/// Point-in-time router counters, for tests and operators.  The full
+/// metric surface (per-backend families, histograms) is on the `metrics`
+/// wire op and [`Router::metrics_snapshot`]; this struct carries the
+/// headline numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Request frames received from clients.
+    pub requests_total: u64,
+    /// Eval requests accepted for routing.
+    pub evals_routed: u64,
+    /// Evals answered with a forwarded backend report.
+    pub evals_ok: u64,
+    /// Evals answered with an error frame.
+    pub evals_failed: u64,
+    /// Jobs re-dispatched away from a failed or tripped backend.
+    pub failovers: u64,
+    /// Retries that consumed a budget token.
+    pub retries: u64,
+    /// Requests shed with an explicit error, summed over reasons.
+    pub shed_total: u64,
+    /// Faults fired by the configured fault plan.
+    pub faults_injected: u64,
+    /// Circuit state per backend.
+    pub backend_states: Vec<CircuitState>,
+    /// Readmissions (half-open probe success) per backend.
+    pub readmitted: Vec<u64>,
+}
+
+/// Upper bound on encoded response lines queued per client connection.
+const WRITE_QUEUE_LINES: usize = 1024;
+
+/// Poll period of the worker/retry/prober loops when idle; bounds how
+/// long shutdown waits for them to notice the flag.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+/// The fault-tolerant cluster router.
+///
+/// # Example
+///
+/// ```
+/// use crosslight_cluster::router::{Router, RouterOptions};
+/// use crosslight_server::loadgen::Client;
+/// use crosslight_server::server::{Server, ServerOptions};
+/// use crosslight_server::wire::{EvalSpec, ResponseBody};
+/// use crosslight_core::variants::CrossLightVariant;
+/// use crosslight_neural::zoo::PaperModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let backend = Server::bind("127.0.0.1:0", ServerOptions::default().with_workers(2))?;
+/// let router = Router::bind("127.0.0.1:0", &[backend.local_addr()], RouterOptions::default())?;
+/// let mut client = Client::connect(router.local_addr())?;
+/// let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::Lenet5SignMnist);
+/// let response = client.eval(7, &spec)?;
+/// assert!(matches!(response.body, ResponseBody::Eval(_)));
+/// router.shutdown();
+/// backend.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Router {
+    local_addr: SocketAddr,
+    shared: Arc<ClusterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    prober_threads: Vec<JoinHandle<()>>,
+    retry_thread: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the client listener and spawns the routing machinery over
+    /// the given backend addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects an empty backend list and more
+    /// than [`MAX_BACKENDS`] backends as `InvalidInput`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: &[SocketAddr],
+        options: RouterOptions,
+    ) -> std::io::Result<Self> {
+        if backends.is_empty() || backends.len() > MAX_BACKENDS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("backend count must be 1..={MAX_BACKENDS}"),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let options = RouterOptions {
+            replication: options.replication.clamp(1, backends.len()),
+            backend_connections: options.backend_connections.max(1),
+            queue_capacity: options.queue_capacity.max(1),
+            max_line_bytes: options.max_line_bytes.max(1024),
+            ..options
+        };
+        let workloads = PaperModel::all().map(|model| {
+            Arc::new(
+                NetworkWorkload::from_spec(&model.spec()).expect("the Table I workloads are valid"),
+            )
+        });
+        let backend_states: Vec<BackendState> = backends
+            .iter()
+            .enumerate()
+            .map(|(index, &addr)| {
+                BackendState::new(
+                    index,
+                    addr,
+                    options.failure_threshold,
+                    options.open_cooldown,
+                )
+            })
+            .collect();
+        let mut queues = Vec::with_capacity(backends.len());
+        let mut receivers = Vec::with_capacity(backends.len());
+        for _ in backends {
+            let (tx, rx) = mpsc::sync_channel::<ForwardJob>(options.queue_capacity);
+            queues.push(tx);
+            receivers.push(Arc::new(Mutex::new(rx)));
+        }
+        let (retry_tx, retry_rx) = mpsc::channel::<(Instant, ForwardJob)>();
+        let retry_budget = options.retry_budget;
+        let shared = Arc::new(ClusterShared {
+            telemetry: ClusterTelemetry::new(backends.len()),
+            budget: RetryBudget::new(retry_budget),
+            options,
+            backends: backend_states,
+            queues,
+            retry_tx: Mutex::new(Some(retry_tx)),
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            workloads,
+        });
+        let mut worker_threads = Vec::new();
+        for (index, rx) in receivers.into_iter().enumerate() {
+            for conn in 0..shared.options.backend_connections {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                worker_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("crosslight-cluster-b{index}-x{conn}"))
+                        .spawn(move || backend_worker(&shared, index, &rx))
+                        .expect("spawning a backend worker succeeds"),
+                );
+            }
+        }
+        let prober_threads = (0..shared.backends.len())
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("crosslight-cluster-probe-{index}"))
+                    .spawn(move || prober_loop(&shared, index))
+                    .expect("spawning a health prober succeeds")
+            })
+            .collect();
+        let retry_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("crosslight-cluster-retry".to_string())
+                .spawn(move || retry_loop(&shared, &retry_rx))
+                .expect("spawning the retry timer succeeds")
+        };
+        let connection_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let threads = Arc::clone(&connection_threads);
+            std::thread::Builder::new()
+                .name("crosslight-cluster-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &threads))
+                .expect("spawning the acceptor thread succeeds")
+        };
+        Ok(Self {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            connection_threads,
+            worker_threads,
+            prober_threads,
+            retry_thread: Some(retry_thread),
+        })
+    }
+
+    /// The bound client-facing address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Repoints backend `index` at a new address — the restart path: a
+    /// backend that comes back on a fresh ephemeral port keeps its shard
+    /// assignment and is readmitted through half-open probing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn update_backend_addr(&self, index: usize, addr: SocketAddr) {
+        self.shared.backends[index].set_addr(addr);
+    }
+
+    /// Headline router counters.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        let telemetry = &self.shared.telemetry;
+        RouterStats {
+            requests_total: telemetry.requests_total.get(),
+            evals_routed: telemetry.evals_routed.get(),
+            evals_ok: telemetry.evals_ok.get(),
+            evals_failed: telemetry.evals_failed.get(),
+            failovers: telemetry.failovers.get(),
+            retries: telemetry.retries.get(),
+            shed_total: telemetry.shed_deadline.get()
+                + telemetry.shed_attempts.get()
+                + telemetry.shed_budget.get()
+                + telemetry.shed_shutdown.get(),
+            faults_injected: self.shared.faults().injected(),
+            backend_states: self
+                .shared
+                .backends
+                .iter()
+                .map(BackendState::state)
+                .collect(),
+            readmitted: telemetry.readmitted.iter().map(Counter::get).collect(),
+        }
+    }
+
+    /// One scrape of the `cluster_` metric registry, mirrors synchronized.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Stops accepting clients, answers or sheds everything in flight,
+    /// and joins every router thread.  Bounded: nothing in the router
+    /// waits without a timeout.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake and join the acceptor.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Half-close client reads: readers stop taking input and their
+        // in-flight jobs resolve (answered, failed over, or shed) while
+        // the workers and the retry timer are still running.
+        {
+            let connections = self
+                .shared
+                .connections
+                .lock()
+                .expect("connection registry lock poisoned");
+            for stream in connections.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self
+                .connection_threads
+                .lock()
+                .expect("connection thread registry lock poisoned");
+            threads.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // No unresolved job exists now; retire the retry timer, then the
+        // (idle) workers and probers.
+        drop(
+            self.shared
+                .retry_tx
+                .lock()
+                .expect("retry lane lock poisoned")
+                .take(),
+        );
+        if let Some(handle) = self.retry_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.prober_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and shedding
+// ---------------------------------------------------------------------------
+
+/// Routes a job to the first untried, closed-circuit backend in its
+/// shard's rendezvous order; with none usable, schedules a backed-off
+/// retry (waiting for capacity or readmission costs no attempt or budget
+/// token — only failed I/O does).
+fn dispatch(shared: &Arc<ClusterShared>, mut job: ForwardJob) {
+    if Instant::now() >= job.deadline {
+        shed(
+            shared,
+            &job,
+            ShedReason::Deadline,
+            "request deadline exceeded",
+        );
+        return;
+    }
+    let order = rendezvous_order(job.fingerprint, shared.backends.len());
+    for &backend in &order[..shared.options.replication] {
+        if job.tried & (1u64 << backend) != 0 || !shared.backends[backend].available() {
+            continue;
+        }
+        match shared.queues[backend].try_send(job) {
+            Ok(()) => {
+                shared.telemetry.forwarded[backend].inc();
+                shared.telemetry.queue_depth[backend].add(1);
+                return;
+            }
+            Err(TrySendError::Full(returned)) | Err(TrySendError::Disconnected(returned)) => {
+                job = returned;
+            }
+        }
+    }
+    schedule_retry(shared, job);
+}
+
+/// Parks a job until its backoff elapses, clearing its tried-set so the
+/// next round may revisit every replica.
+fn schedule_retry(shared: &Arc<ClusterShared>, mut job: ForwardJob) {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shed(shared, &job, ShedReason::Shutdown, "router is draining");
+        return;
+    }
+    job.tried = 0;
+    let delay = shared.options.retry.backoff(job.id, job.attempts.max(1));
+    let due = Instant::now() + delay;
+    if due >= job.deadline {
+        shed(
+            shared,
+            &job,
+            ShedReason::Deadline,
+            "request deadline would elapse during backoff",
+        );
+        return;
+    }
+    let lane = shared.retry_tx.lock().expect("retry lane lock poisoned");
+    match lane.as_ref().map(|tx| tx.send((due, job))) {
+        Some(Ok(())) => {}
+        Some(Err(mpsc::SendError((_, job)))) => {
+            shed(shared, &job, ShedReason::Shutdown, "router is draining");
+        }
+        None => { /* unreachable: the lane is only taken after jobs resolve */ }
+    }
+}
+
+/// Books a failed I/O attempt (or a backend's retryable refusal) against
+/// the job and fails over; exhaustion delivers `fallback` when the last
+/// backend answered with a retryable error frame, else sheds.
+fn retry_after_failure(
+    shared: &Arc<ClusterShared>,
+    backend: usize,
+    mut job: ForwardJob,
+    fallback: Option<String>,
+    detail: &str,
+) {
+    job.tried |= 1u64 << backend;
+    job.attempts += 1;
+    if job.attempts >= shared.options.retry.max_attempts.max(1) {
+        exhaust(shared, &job, fallback, ShedReason::Attempts, detail);
+        return;
+    }
+    if !shared.budget.try_withdraw() {
+        exhaust(shared, &job, fallback, ShedReason::Budget, detail);
+        return;
+    }
+    shared.telemetry.retries.inc();
+    shared.telemetry.failovers.inc();
+    dispatch(shared, job);
+}
+
+/// Final answer for a job whose retries ran out: forward the backend's
+/// own (retryable) error line when one exists, else shed `unavailable`.
+fn exhaust(
+    shared: &Arc<ClusterShared>,
+    job: &ForwardJob,
+    fallback: Option<String>,
+    reason: ShedReason,
+    detail: &str,
+) {
+    match fallback {
+        Some(line) => {
+            shared.telemetry.evals_failed.inc();
+            let _ = job.reply.send(line);
+        }
+        None => {
+            let reason_name = match reason {
+                ShedReason::Attempts => "retry attempts exhausted",
+                ShedReason::Budget => "retry budget exhausted",
+                ShedReason::Deadline => "request deadline exceeded",
+                ShedReason::Shutdown => "router is draining",
+            };
+            shed(shared, job, reason, &format!("{reason_name}: {detail}"));
+        }
+    }
+}
+
+/// Answers a job with an explicit typed error — the never-hang guarantee.
+/// Shutdown sheds speak `shutting_down`; everything else is the retryable
+/// `unavailable`.
+fn shed(shared: &Arc<ClusterShared>, job: &ForwardJob, reason: ShedReason, detail: &str) {
+    let (kind, counter) = match reason {
+        ShedReason::Deadline => (ErrorKind::Unavailable, &shared.telemetry.shed_deadline),
+        ShedReason::Attempts => (ErrorKind::Unavailable, &shared.telemetry.shed_attempts),
+        ShedReason::Budget => (ErrorKind::Unavailable, &shared.telemetry.shed_budget),
+        ShedReason::Shutdown => (ErrorKind::ShuttingDown, &shared.telemetry.shed_shutdown),
+    };
+    counter.inc();
+    shared.telemetry.evals_failed.inc();
+    let response = Response::error(Some(job.id), ErrorFrame::new(kind, detail));
+    let _ = job.reply.send(wire::encode_response(&response));
+}
+
+// ---------------------------------------------------------------------------
+// Backend exchange workers
+// ---------------------------------------------------------------------------
+
+/// One persistent exchange connection to a backend.
+#[derive(Debug)]
+struct BackendConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn open_conn(addr: SocketAddr, options: &RouterOptions) -> std::io::Result<BackendConn> {
+    let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(options.request_timeout))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok(BackendConn { stream, reader })
+}
+
+/// What one backend exchange produced.
+enum Exchange {
+    /// A response line to forward to the client verbatim.
+    Deliver(String),
+    /// The backend refused with a retryable error frame (overloaded,
+    /// draining): fail over without blaming the backend's health, and
+    /// forward this line if retries run out.
+    SoftRetry(String),
+    /// A transport fault: connection dead, timeout, garbled or mismatched
+    /// response.  Blames the backend's breaker and fails over.
+    Fault(String),
+}
+
+fn backend_worker(shared: &Arc<ClusterShared>, backend: usize, rx: &Mutex<Receiver<ForwardJob>>) {
+    let mut conn: Option<BackendConn> = None;
+    loop {
+        let received = {
+            let rx = rx.lock().expect("backend queue lock poisoned");
+            rx.recv_timeout(IDLE_POLL)
+        };
+        match received {
+            Ok(job) => {
+                shared.telemetry.queue_depth[backend].sub(1);
+                process_job(shared, backend, &mut conn, job);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // Shutdown joins client connections (and therefore
+                    // resolves every job) before joining workers, so an
+                    // idle poll here means the queue stays empty.
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn process_job(
+    shared: &Arc<ClusterShared>,
+    backend: usize,
+    conn: &mut Option<BackendConn>,
+    mut job: ForwardJob,
+) {
+    if Instant::now() >= job.deadline {
+        shed(
+            shared,
+            &job,
+            ShedReason::Deadline,
+            "request deadline exceeded",
+        );
+        return;
+    }
+    // The breaker may have tripped while the job sat in the queue; requeue
+    // costs nothing (no I/O happened).
+    if !shared.backends[backend].available() {
+        job.tried |= 1u64 << backend;
+        shared.telemetry.failovers.inc();
+        dispatch(shared, job);
+        return;
+    }
+    let started = Instant::now();
+    match exchange(shared, backend, conn, &job) {
+        Exchange::Deliver(line) => {
+            shared
+                .telemetry
+                .hop_ns
+                .record(started.elapsed().as_nanos() as u64);
+            let transition = shared.backends[backend].record_success();
+            if transition == Transition::Readmitted {
+                shared.telemetry.readmitted[backend].inc();
+            }
+            shared
+                .telemetry
+                .sync_state_gauge(backend, shared.backends[backend].state());
+            shared.budget.deposit();
+            shared.telemetry.evals_ok.inc();
+            let _ = job.reply.send(line);
+        }
+        Exchange::SoftRetry(line) => {
+            let detail = "backend refused with a retryable error";
+            retry_after_failure(shared, backend, job, Some(line), detail);
+        }
+        Exchange::Fault(detail) => {
+            *conn = None;
+            shared.telemetry.backend_failures[backend].inc();
+            if shared.backends[backend].record_failure() == Transition::Opened {
+                shared.telemetry.circuit_opened[backend].inc();
+            }
+            shared
+                .telemetry
+                .sync_state_gauge(backend, shared.backends[backend].state());
+            retry_after_failure(shared, backend, job, None, &detail);
+        }
+    }
+}
+
+/// One request/response exchange with a backend, every step bounded by
+/// the per-hop timeout and the job's remaining deadline.
+fn exchange(
+    shared: &Arc<ClusterShared>,
+    backend: usize,
+    conn: &mut Option<BackendConn>,
+    job: &ForwardJob,
+) -> Exchange {
+    let options = &shared.options;
+    let mut send_garbled = false;
+    match shared.faults().check(FaultPoint::BackendSend, backend) {
+        Some(FaultAction::Kill) => {
+            *conn = None;
+            return Exchange::Fault("injected: connection killed at backend.send".to_string());
+        }
+        Some(FaultAction::Stall(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            *conn = None;
+            return Exchange::Fault("injected: stall at backend.send".to_string());
+        }
+        Some(FaultAction::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Garble) => send_garbled = true,
+        None => {}
+    }
+    if conn.is_none() {
+        match open_conn(shared.backends[backend].addr(), options) {
+            Ok(fresh) => *conn = Some(fresh),
+            Err(err) => return Exchange::Fault(format!("connect: {err}")),
+        }
+    }
+    let active = conn.as_mut().expect("connection was just established");
+    let remaining = job.deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Exchange::Fault("request deadline exceeded before send".to_string());
+    }
+    let hop_budget = options.request_timeout.min(remaining);
+    if active.stream.set_read_timeout(Some(hop_budget)).is_err() {
+        *conn = None;
+        return Exchange::Fault("socket configuration failed".to_string());
+    }
+    let garbled_line;
+    let outgoing: &str = if send_garbled {
+        garbled_line = FaultPlan::garble_line(&job.line);
+        &garbled_line
+    } else {
+        &job.line
+    };
+    let wrote = active
+        .stream
+        .write_all(outgoing.as_bytes())
+        .and_then(|()| active.stream.write_all(b"\n"))
+        .and_then(|()| active.stream.flush());
+    if let Err(err) = wrote {
+        *conn = None;
+        return Exchange::Fault(format!("write: {err}"));
+    }
+    let mut line = match read_line_limited(&mut active.reader, options.max_line_bytes) {
+        LineRead::Line(line) => line,
+        LineRead::Eof => {
+            *conn = None;
+            return Exchange::Fault("backend closed the connection mid-exchange".to_string());
+        }
+        LineRead::Oversized => {
+            *conn = None;
+            return Exchange::Fault("backend response exceeded the line limit".to_string());
+        }
+        LineRead::InvalidUtf8 => {
+            *conn = None;
+            return Exchange::Fault("backend response is not valid UTF-8".to_string());
+        }
+        LineRead::Error => {
+            *conn = None;
+            return Exchange::Fault("read: socket error or per-hop timeout".to_string());
+        }
+    };
+    match shared.faults().check(FaultPoint::BackendRecv, backend) {
+        Some(FaultAction::Kill) => {
+            *conn = None;
+            return Exchange::Fault("injected: connection killed at backend.recv".to_string());
+        }
+        Some(FaultAction::Stall(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            *conn = None;
+            return Exchange::Fault("injected: stall at backend.recv".to_string());
+        }
+        Some(FaultAction::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Garble) => line = FaultPlan::garble_line(&line),
+        None => {}
+    }
+    match wire::decode_response(&line) {
+        Ok(response) if response.id == Some(job.id) => match &response.body {
+            ResponseBody::Error(frame) if frame.kind.retryable() => Exchange::SoftRetry(line),
+            ResponseBody::Eval(_) | ResponseBody::Error(_) => Exchange::Deliver(line),
+            _ => {
+                *conn = None;
+                Exchange::Fault("protocol violation: unexpected response body".to_string())
+            }
+        },
+        Ok(response) => {
+            *conn = None;
+            Exchange::Fault(format!(
+                "response id {:?} does not match request id {}",
+                response.id, job.id
+            ))
+        }
+        Err(_) => {
+            *conn = None;
+            Exchange::Fault("undecodable response line".to_string())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry timer
+// ---------------------------------------------------------------------------
+
+/// A parked job ordered by due time (earliest first out).
+#[derive(Debug)]
+struct Parked {
+    due: Instant,
+    seq: u64,
+    job: ForwardJob,
+}
+
+fn retry_loop(shared: &Arc<ClusterShared>, rx: &Receiver<(Instant, ForwardJob)>) {
+    let mut parked: Vec<Parked> = Vec::new();
+    let mut seq: u64 = 0;
+    loop {
+        let now = Instant::now();
+        let wait = parked
+            .iter()
+            .map(|entry| entry.due.saturating_duration_since(now))
+            .min()
+            .unwrap_or(IDLE_POLL)
+            .min(IDLE_POLL);
+        match rx.recv_timeout(wait) {
+            Ok((due, job)) => {
+                parked.push(Parked { due, seq, job });
+                seq += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: the lane is gone; nothing new can arrive.
+                fire_due(shared, &mut parked, true);
+                return;
+            }
+        }
+        // During shutdown, waiting out backoffs would stall the drain;
+        // fire everything immediately (dispatch still answers each job).
+        let fire_all = shared.shutting_down.load(Ordering::SeqCst);
+        fire_due(shared, &mut parked, fire_all);
+    }
+}
+
+/// Dispatches every parked job that is due (or all of them), oldest
+/// first so retry order is deterministic.
+fn fire_due(shared: &Arc<ClusterShared>, parked: &mut Vec<Parked>, fire_all: bool) {
+    let now = Instant::now();
+    let mut due: Vec<Parked> = Vec::new();
+    let mut index = 0;
+    while index < parked.len() {
+        if fire_all || parked[index].due <= now {
+            due.push(parked.swap_remove(index));
+        } else {
+            index += 1;
+        }
+    }
+    due.sort_by_key(|entry| (entry.due, entry.seq));
+    for entry in due {
+        dispatch(shared, entry.job);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health probing
+// ---------------------------------------------------------------------------
+
+fn prober_loop(shared: &Arc<ClusterShared>, backend: usize) {
+    loop {
+        // Sleep one health interval in short slices so shutdown is never
+        // blocked behind a long interval.
+        let mut remaining = shared.options.health_interval;
+        while !remaining.is_zero() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = remaining.min(IDLE_POLL);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.backends[backend].tick_probation() == Transition::Probation {
+            shared
+                .telemetry
+                .sync_state_gauge(backend, CircuitState::HalfOpen);
+        }
+        // Open circuits cool down untouched; closed ones get a liveness
+        // watch and half-open ones a readmission trial.
+        if shared.backends[backend].state() == CircuitState::Open {
+            continue;
+        }
+        if probe(shared, backend) {
+            shared.telemetry.probes_ok[backend].inc();
+            if shared.backends[backend].record_success() == Transition::Readmitted {
+                shared.telemetry.readmitted[backend].inc();
+            }
+        } else {
+            shared.telemetry.probes_failed[backend].inc();
+            if shared.backends[backend].record_failure() == Transition::Opened {
+                shared.telemetry.circuit_opened[backend].inc();
+            }
+        }
+        shared
+            .telemetry
+            .sync_state_gauge(backend, shared.backends[backend].state());
+    }
+}
+
+/// One ping/pong with a deadline; `false` on any deviation.
+fn probe(shared: &Arc<ClusterShared>, backend: usize) -> bool {
+    let timeout = shared.options.health_timeout;
+    let mut garble = false;
+    match shared.faults().check(FaultPoint::HealthProbe, backend) {
+        Some(FaultAction::Kill) => return false,
+        Some(FaultAction::Stall(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            return false;
+        }
+        Some(FaultAction::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Garble) => garble = true,
+        None => {}
+    }
+    let addr = shared.backends[backend].addr();
+    let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return false;
+    }
+    let mut ping = wire::encode_request(&Request {
+        id: 0,
+        body: RequestBody::Ping,
+    });
+    if garble {
+        ping = FaultPlan::garble_line(&ping);
+    }
+    let mut stream = stream;
+    if stream
+        .write_all(ping.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    let LineRead::Line(line) = read_line_limited(&mut reader, shared.options.max_line_bytes) else {
+        return false;
+    };
+    matches!(
+        wire::decode_response(&line),
+        Ok(Response {
+            id: Some(0),
+            body: ResponseBody::Pong,
+        })
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ClusterShared>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(shared.options.write_timeout));
+        // Reap finished connection handles so long-lived routers do not
+        // accumulate one dead JoinHandle per historical connection.
+        threads
+            .lock()
+            .expect("connection thread registry lock poisoned")
+            .retain(|handle| !handle.is_finished());
+        let connection_id = next_id;
+        next_id += 1;
+        shared.telemetry.connections_accepted.inc();
+        shared.telemetry.connections_active.add(1);
+        if let Ok(read_half) = stream.try_clone() {
+            shared
+                .connections
+                .lock()
+                .expect("connection registry lock poisoned")
+                .insert(connection_id, read_half);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("crosslight-cluster-conn-{connection_id}"))
+            .spawn(move || {
+                handle_client(connection_id, stream, &shared);
+                shared
+                    .connections
+                    .lock()
+                    .expect("connection registry lock poisoned")
+                    .remove(&connection_id);
+                shared.telemetry.connections_active.sub(1);
+                shared.telemetry.connections_drained.inc();
+            })
+            .expect("spawning a client connection thread succeeds");
+        threads
+            .lock()
+            .expect("connection thread registry lock poisoned")
+            .push(handle);
+    }
+}
+
+fn handle_client(connection_id: u64, stream: TcpStream, shared: &Arc<ClusterShared>) {
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let (line_tx, line_rx) = mpsc::sync_channel::<String>(WRITE_QUEUE_LINES);
+    let writer = std::thread::Builder::new()
+        .name(format!("crosslight-cluster-conn-{connection_id}-write"))
+        .spawn(move || client_write_loop(write_half, &line_rx))
+        .expect("spawning a client writer succeeds");
+    client_read_loop(shared, &stream, &line_tx);
+    // EOF or shutdown: drop our sender; the writer exits once every
+    // in-flight job has resolved and dropped its clone — the drain.
+    drop(line_tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn client_write_loop(stream: TcpStream, lines: &Receiver<String>) {
+    let mut writer = BufWriter::new(stream);
+    'pump: while let Ok(line) = lines.recv() {
+        if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break 'pump;
+        }
+        while let Ok(more) = lines.try_recv() {
+            if writer.write_all(more.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                break 'pump;
+            }
+        }
+        if writer.flush().is_err() {
+            break 'pump;
+        }
+    }
+    // Clean drain or socket failure: either way tear the connection down
+    // so the reader unblocks; pending reply sends fail harmlessly.
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Sends one locally produced response line to the client's writer.
+/// Returns `false` when the writer is gone (the connection is dead).
+fn answer(lines: &SyncSender<String>, response: &Response) -> bool {
+    lines.send(wire::encode_response(response)).is_ok()
+}
+
+fn client_read_loop(shared: &Arc<ClusterShared>, stream: &TcpStream, lines: &SyncSender<String>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let max_bytes = shared.options.max_line_bytes;
+    let telemetry = &shared.telemetry;
+    loop {
+        let line = match read_line_limited(&mut reader, max_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Oversized => {
+                telemetry.requests_total.inc();
+                telemetry.oversized_total.inc();
+                let frame = ErrorFrame::new(
+                    ErrorKind::Oversized,
+                    format!("line exceeds {max_bytes} bytes"),
+                );
+                if !answer(lines, &Response::error(None, frame)) {
+                    return;
+                }
+                continue;
+            }
+            LineRead::InvalidUtf8 => {
+                telemetry.requests_total.inc();
+                telemetry.malformed_total.inc();
+                let frame = ErrorFrame::new(ErrorKind::Malformed, "line is not valid UTF-8");
+                if !answer(lines, &Response::error(None, frame)) {
+                    return;
+                }
+                continue;
+            }
+            LineRead::Eof | LineRead::Error => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        telemetry.requests_total.inc();
+        let request = match wire::decode_request(&line) {
+            Ok(request) => request,
+            Err(frame) => {
+                telemetry.malformed_total.inc();
+                let id = wire::peek_id(&line);
+                if !answer(lines, &Response::error(id, frame)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request.body {
+            RequestBody::Ping => {
+                let pong = Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Pong,
+                };
+                if !answer(lines, &pong) {
+                    return;
+                }
+            }
+            RequestBody::Stats => {
+                let response = aggregate_stats(shared, request.id);
+                if !answer(lines, &response) {
+                    return;
+                }
+            }
+            RequestBody::Metrics { format } => {
+                let frame = match format {
+                    MetricsFormat::Json => MetricsFrame::Snapshot(WireMetricsSnapshot::from(
+                        &shared.metrics_snapshot(),
+                    )),
+                    MetricsFormat::Text => {
+                        MetricsFrame::Text(render_text(&shared.metrics_snapshot()))
+                    }
+                    // The router itself samples no phase traces; spans live
+                    // on the backends' own metrics endpoints.
+                    MetricsFormat::Spans => MetricsFrame::Spans(Vec::new()),
+                };
+                let response = Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Metrics(frame),
+                };
+                if !answer(lines, &response) {
+                    return;
+                }
+            }
+            RequestBody::Eval(spec) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    let frame = ErrorFrame::new(ErrorKind::ShuttingDown, "router is draining");
+                    if !answer(lines, &Response::error(Some(request.id), frame)) {
+                        return;
+                    }
+                    continue;
+                }
+                // Decode once for validation and the routing key; the raw
+                // line is what travels to the backend.
+                let eval_request = match spec.to_eval_request(request.id, &shared.workloads) {
+                    Ok(eval_request) => eval_request,
+                    Err(frame) => {
+                        telemetry.evals_failed.inc();
+                        if !answer(lines, &Response::error(Some(request.id), frame)) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                telemetry.evals_routed.inc();
+                let job = ForwardJob {
+                    id: request.id,
+                    line: Arc::new(line),
+                    fingerprint: eval_request.key().fingerprint(),
+                    attempts: 0,
+                    tried: 0,
+                    deadline: Instant::now() + shared.options.request_deadline,
+                    reply: lines.clone(),
+                };
+                dispatch(shared, job);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats aggregation
+// ---------------------------------------------------------------------------
+
+/// Fans a `stats` request out to every backend (bounded by the health
+/// timeout each) and sums the answers; per-worker vectors concatenate in
+/// backend order.  With zero reachable backends the op itself degrades
+/// to `unavailable`.
+fn aggregate_stats(shared: &Arc<ClusterShared>, id: u64) -> Response {
+    let mut merged: Option<StatsFrame> = None;
+    for backend in &shared.backends {
+        let Some(frame) = stats_from(backend.addr(), shared.options.health_timeout) else {
+            continue;
+        };
+        merged = Some(match merged {
+            None => frame,
+            Some(mut total) => {
+                merge_server_stats(&mut total.server, &frame.server);
+                merge_runtime_stats(&mut total.runtime, &frame.runtime);
+                total
+            }
+        });
+    }
+    match merged {
+        Some(frame) => Response {
+            id: Some(id),
+            body: ResponseBody::Stats(frame),
+        },
+        None => Response::error(
+            Some(id),
+            ErrorFrame::new(ErrorKind::Unavailable, "no backend reachable for stats"),
+        ),
+    }
+}
+
+fn stats_from(addr: SocketAddr, timeout: Duration) -> Option<StatsFrame> {
+    let mut client = Client::connect_with(addr, ClientOptions::with_deadline(timeout)).ok()?;
+    let response = client.stats(0).ok()?;
+    match response.body {
+        ResponseBody::Stats(frame) => Some(frame),
+        _ => None,
+    }
+}
+
+fn merge_server_stats(total: &mut WireServerStats, part: &WireServerStats) {
+    total.connections_accepted += part.connections_accepted;
+    total.connections_active += part.connections_active;
+    total.requests_total += part.requests_total;
+    total.evals_ok += part.evals_ok;
+    total.evals_failed += part.evals_failed;
+    total.shed_total += part.shed_total;
+    total.malformed_total += part.malformed_total;
+    total.oversized_total += part.oversized_total;
+    total.queue_capacity += part.queue_capacity;
+    total.in_flight += part.in_flight;
+}
+
+fn merge_runtime_stats(total: &mut WireRuntimeStats, part: &WireRuntimeStats) {
+    total.submitted += part.submitted;
+    total.completed += part.completed;
+    total.cache_hits += part.cache_hits;
+    total.cache_misses += part.cache_misses;
+    total.cached_entries += part.cached_entries;
+    total.prepared_configs += part.prepared_configs;
+    total.per_worker.extend_from_slice(&part.per_worker);
+    total.queue_depths.extend_from_slice(&part.queue_depths);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_clamp_to_sane_bounds() {
+        let options = RouterOptions::default()
+            .with_replication(100)
+            .with_failure_threshold(0);
+        let result = Router::bind("127.0.0.1:0", &[], options.clone());
+        assert!(result.is_err(), "an empty backend list is rejected");
+        let too_many: Vec<SocketAddr> = (0..(MAX_BACKENDS + 1))
+            .map(|i| format!("127.0.0.1:{}", 1000 + i).parse().unwrap())
+            .collect();
+        assert!(Router::bind("127.0.0.1:0", &too_many, options).is_err());
+    }
+
+    #[test]
+    fn shed_reasons_map_to_wire_vocabulary() {
+        // `unavailable` must be retryable so clients know to try again,
+        // and shutdown sheds must speak the existing drain vocabulary.
+        assert!(ErrorKind::Unavailable.retryable());
+        assert!(ErrorKind::ShuttingDown.retryable());
+        assert_eq!(ErrorKind::Unavailable.as_str(), "unavailable");
+    }
+}

@@ -17,6 +17,9 @@ pub enum RuntimeError {
     /// A worker thread disappeared before answering (only possible if a
     /// worker panicked).
     WorkerLost,
+    /// The request's [`CancelToken`](crate::pool::CancelToken) was cancelled
+    /// before a worker picked the job up; the evaluation was skipped.
+    Cancelled,
 }
 
 impl fmt::Display for RuntimeError {
@@ -25,6 +28,7 @@ impl fmt::Display for RuntimeError {
             Self::Evaluation(err) => write!(f, "evaluation failed: {err}"),
             Self::Scenario(reason) => write!(f, "invalid sweep scenario: {reason}"),
             Self::WorkerLost => write!(f, "a runtime worker exited before answering"),
+            Self::Cancelled => write!(f, "the request was cancelled before evaluation"),
         }
     }
 }
@@ -61,5 +65,7 @@ mod tests {
         assert!(RuntimeError::Scenario("empty".into())
             .to_string()
             .contains("empty"));
+        assert!(RuntimeError::Cancelled.to_string().contains("cancelled"));
+        assert!(RuntimeError::Cancelled.source().is_none());
     }
 }

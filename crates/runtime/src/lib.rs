@@ -69,7 +69,7 @@ pub mod request;
 pub use cache::{CacheKey, ShardedCache};
 pub use error::RuntimeError;
 pub use planner::SweepPlanner;
-pub use pool::{EvalService, RuntimeOptions, RuntimeStats};
+pub use pool::{CancelToken, EvalService, RuntimeOptions, RuntimeStats};
 pub use request::{EvalRequest, EvalResponse};
 
 /// Convenient re-exports for downstream users.
@@ -77,6 +77,6 @@ pub mod prelude {
     pub use crate::cache::CacheKey;
     pub use crate::error::RuntimeError;
     pub use crate::planner::SweepPlanner;
-    pub use crate::pool::{EvalService, RuntimeOptions, RuntimeStats};
+    pub use crate::pool::{CancelToken, EvalService, RuntimeOptions, RuntimeStats};
     pub use crate::request::{EvalRequest, EvalResponse};
 }

@@ -21,6 +21,7 @@
 //! are bit-identical to serial `CrossLightSimulator::evaluate` calls
 //! regardless of worker count, batch partitioning, or hit pattern.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -132,6 +133,38 @@ impl RuntimeStats {
     }
 }
 
+/// A shared cancellation flag travelling with detached submissions.
+///
+/// Cancellation is *advisory and queue-level*: a worker checks the token
+/// once, at pickup.  A cancelled job is answered with
+/// [`RuntimeError::Cancelled`] instead of being evaluated — the hook the
+/// network front-end uses to stop burning worker time on requests whose
+/// connection already died, and the cluster router's failover path uses to
+/// drop re-routed work.  A job that a worker already started is never
+/// interrupted (evaluations are short and side-effect-free), so results
+/// remain bit-identical whether or not a token races the worker.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flags every job carrying this token for cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 struct Job {
     tag: u64,
     key: CacheKey,
@@ -139,6 +172,8 @@ struct Job {
     reply: Sender<(u64, Result<EvalResponse>)>,
     /// Present only for sampled requests; untraced jobs pay one `None`.
     trace: Option<Box<TracedJob>>,
+    /// Present only for cancellable detached submissions.
+    cancel: Option<CancelToken>,
 }
 
 /// A trace travelling with a job, plus the enqueue instant the worker needs
@@ -155,6 +190,7 @@ struct Telemetry {
     registry: Arc<Registry>,
     submitted: Counter,
     completed: Counter,
+    cancelled: Counter,
     per_worker: Vec<Counter>,
     queued: Vec<Gauge>,
     worker_busy_ns: Vec<Counter>,
@@ -232,6 +268,10 @@ impl Telemetry {
                 "Requests accepted by submit, submit_batch or submit_detached.",
             ),
             completed: registry.counter("runtime_completed_total", "Requests fully answered."),
+            cancelled: registry.counter(
+                "runtime_cancelled_total",
+                "Jobs answered with Cancelled because their token fired before pickup.",
+            ),
             per_worker,
             queued,
             worker_busy_ns,
@@ -414,7 +454,7 @@ impl EvalService {
                 self.telemetry.traces_sampled.inc();
                 Box::new(RequestTrace::new(request.id))
             });
-            self.dispatch(index as u64, request, &reply_tx, trace)?;
+            self.dispatch(index as u64, request, &reply_tx, trace, None)?;
         }
         drop(reply_tx);
 
@@ -460,7 +500,27 @@ impl EvalService {
         request: EvalRequest,
         reply: &Sender<(u64, Result<EvalResponse>)>,
     ) -> Result<()> {
-        self.dispatch(tag, request, reply, None)
+        self.dispatch(tag, request, reply, None, None)
+    }
+
+    /// Like [`EvalService::submit_detached`], but the job carries a
+    /// [`CancelToken`]: if the token is cancelled before a worker picks the
+    /// job up, the job is answered with [`RuntimeError::Cancelled`] instead
+    /// of being evaluated.  The front-end uses one token per connection so
+    /// queued work for a dead peer is skipped, and the cluster router's
+    /// failover path uses it to abandon re-routed duplicates.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalService::submit_detached`].
+    pub fn submit_cancellable(
+        &self,
+        tag: u64,
+        request: EvalRequest,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+        cancel: CancelToken,
+    ) -> Result<()> {
+        self.dispatch(tag, request, reply, None, Some(cancel))
     }
 
     /// Like [`EvalService::submit_detached`], but the request carries a
@@ -480,7 +540,24 @@ impl EvalService {
         reply: &Sender<(u64, Result<EvalResponse>)>,
         trace: Box<RequestTrace>,
     ) -> Result<()> {
-        self.dispatch(tag, request, reply, Some(trace))
+        self.dispatch(tag, request, reply, Some(trace), None)
+    }
+
+    /// [`EvalService::submit_traced`] with a [`CancelToken`] attached (see
+    /// [`EvalService::submit_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalService::submit_detached`]; on error the trace is dropped.
+    pub fn submit_traced_cancellable(
+        &self,
+        tag: u64,
+        request: EvalRequest,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+        trace: Box<RequestTrace>,
+        cancel: CancelToken,
+    ) -> Result<()> {
+        self.dispatch(tag, request, reply, Some(trace), Some(cancel))
     }
 
     fn dispatch(
@@ -489,6 +566,7 @@ impl EvalService {
         request: EvalRequest,
         reply: &Sender<(u64, Result<EvalResponse>)>,
         trace: Option<Box<RequestTrace>>,
+        cancel: Option<CancelToken>,
     ) -> Result<()> {
         if self.senders.is_empty() {
             // The pool has been shut down in place; there is no worker to
@@ -508,6 +586,7 @@ impl EvalService {
                     enqueued: Instant::now(),
                 })
             }),
+            cancel,
         };
         self.telemetry.submitted.inc();
         self.telemetry.queued[worker].add(1);
@@ -611,6 +690,17 @@ fn worker_loop(
 ) {
     while let Ok(mut job) = jobs.recv() {
         telemetry.queued[worker].sub(1);
+        // Cancellation is checked exactly once, at pickup: queued work for
+        // a peer that already vanished is skipped without touching the
+        // simulator, and the (cheap) answer still flows through the normal
+        // reply channel so completion accounting stays exact.
+        if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            telemetry.cancelled.inc();
+            telemetry.per_worker[worker].inc();
+            telemetry.completed.inc();
+            let _ = job.reply.send((job.tag, Err(RuntimeError::Cancelled)));
+            continue;
+        }
         // Untraced jobs never read the clock: the trace check is the only
         // per-job overhead on the hot path.
         let picked_up = job.trace.as_ref().map(|_| Instant::now());
@@ -1004,6 +1094,63 @@ mod tests {
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         submitter.join().unwrap();
+    }
+
+    #[test]
+    fn cancelled_tokens_skip_queued_jobs_and_keep_accounting_exact() {
+        let service = EvalService::new(RuntimeOptions::default().with_workers(1));
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap());
+        let request = EvalRequest::new(CrossLightConfig::paper_best(), Arc::clone(&workload));
+        let (reply_tx, reply_rx) = mpsc::channel();
+
+        // A pre-cancelled token: every job carrying it is answered with
+        // Cancelled, never evaluated.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(cancelled.is_cancelled());
+        for tag in 0..4 {
+            service
+                .submit_cancellable(tag, request.clone(), &reply_tx, cancelled.clone())
+                .unwrap();
+        }
+        // A live token evaluates normally.
+        let live = CancelToken::new();
+        service
+            .submit_cancellable(99, request.clone(), &reply_tx, live.clone())
+            .unwrap();
+        drop(reply_tx);
+
+        let mut cancelled_seen = 0;
+        let mut ok_seen = 0;
+        while let Ok((tag, outcome)) = reply_rx.recv() {
+            match outcome {
+                Err(RuntimeError::Cancelled) => {
+                    assert!(tag < 4);
+                    cancelled_seen += 1;
+                }
+                Ok(response) => {
+                    assert_eq!(tag, 99);
+                    assert_eq!(
+                        response.report,
+                        CrossLightSimulator::new(CrossLightConfig::paper_best())
+                            .evaluate(&workload)
+                            .unwrap()
+                    );
+                    ok_seen += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert_eq!((cancelled_seen, ok_seen), (4, 1));
+        assert!(!live.is_cancelled());
+        let stats = service.stats();
+        // Cancelled jobs still count as completed, so in_flight settles.
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.in_flight(), 0);
+        // Nothing cancelled ever touched the caches.
+        assert_eq!(stats.cache_misses, 1);
     }
 
     #[test]

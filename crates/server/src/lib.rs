@@ -37,7 +37,7 @@ pub mod loadgen;
 pub mod server;
 pub mod wire;
 
-pub use loadgen::{Client, LoadGenOptions, LoadReport};
+pub use loadgen::{Client, ClientOptions, LoadGenOptions, LoadReport};
 pub use server::{Server, ServerOptions, ServerStats};
 pub use wire::{
     ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
@@ -45,7 +45,7 @@ pub use wire::{
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
-    pub use crate::loadgen::{Client, LoadGenOptions, LoadReport};
+    pub use crate::loadgen::{Client, ClientOptions, LoadGenOptions, LoadReport};
     pub use crate::server::{Server, ServerOptions, ServerStats};
     pub use crate::wire::{
         ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,

@@ -29,27 +29,97 @@ use crate::wire::{
     ResponseBody,
 };
 
+/// Socket-deadline knobs of a [`Client`].  The defaults (`None`
+/// everywhere) preserve the original fully-blocking behaviour; any bound
+/// turns the corresponding blocking call into a typed
+/// [`std::io::ErrorKind::WouldBlock`]/[`std::io::ErrorKind::TimedOut`]
+/// error instead of an indefinite hang on a vanished or wedged peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (one response line may span several).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientOptions {
+    /// One bound for connect, read and write alike — the common case.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
+    }
+}
+
 /// A blocking JSON-lines client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
+    options: ClientOptions,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with no socket deadlines (a vanished peer can
+    /// block reads indefinitely; use [`Client::connect_with`] to bound
+    /// every socket operation).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects to a server with explicit connect/read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a connect that exceeds
+    /// `options.connect_timeout` fails with a timeout error.
+    pub fn connect_with(addr: SocketAddr, options: ClientOptions) -> std::io::Result<Self> {
+        let stream = match options.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
+            addr,
+            options,
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// The address this client dialed (and [`Client::reconnect`] redials).
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Tears the current connection down and dials the same address again
+    /// with the same [`ClientOptions`] — the recovery path after a read
+    /// timeout or a peer that died mid-conversation.  Any responses still
+    /// in flight on the old connection are lost; callers re-send what they
+    /// still need (safe: evals are idempotent and errors are typed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the fresh dial; on error the client
+    /// keeps the (dead) old connection so a later retry can try again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let fresh = Self::connect_with(self.addr, self.options)?;
+        *self = fresh;
+        Ok(())
     }
 
     /// Sends one request without waiting for the response (pipelining).
@@ -99,15 +169,23 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns an I/O error on EOF/socket failure; a decode failure is
-    /// returned as a typed [`ErrorFrame`] response so callers see exactly
-    /// what the server sent.
+    /// Returns an I/O error on EOF/socket failure — including a peer that
+    /// closes **mid-frame** (bytes arrived but the line never terminated),
+    /// which is a transport fault, not a server answer; a decode failure
+    /// on a *complete* line is returned as a typed [`ErrorFrame`]
+    /// response so callers see exactly what the server sent.
     pub fn recv(&mut self) -> std::io::Result<Response> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
+            ));
+        }
+        if !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-frame",
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
@@ -225,6 +303,13 @@ pub struct LoadGenOptions {
     pub seed: u64,
     /// The scenario pool each client draws from uniformly.
     pub scenarios: Vec<EvalSpec>,
+    /// How many times a response whose error frame is
+    /// [retryable](ErrorKind::retryable) is re-sent (0 disables the retry
+    /// loop; non-retryable errors are never re-sent).
+    pub retries: u32,
+    /// Base delay between retry rounds; round `n` (1-based) waits
+    /// `retry_backoff * n` — linear backoff, bounded by `retries`.
+    pub retry_backoff: Duration,
 }
 
 impl LoadGenOptions {
@@ -252,7 +337,18 @@ impl LoadGenOptions {
             requests_per_client: requests_per_client.max(1),
             seed,
             scenarios,
+            retries: 0,
+            retry_backoff: Duration::from_millis(10),
         }
+    }
+
+    /// Returns a copy that retries retryable error responses up to
+    /// `retries` times with linear `retry_backoff` between rounds.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32, retry_backoff: Duration) -> Self {
+        self.retries = retries;
+        self.retry_backoff = retry_backoff;
+        self
     }
 
     /// The deterministic spec sequence of one client (what [`run`] sends).
@@ -280,6 +376,9 @@ pub struct LoadReport {
     pub ok: u64,
     /// Responses shed with `overloaded`.
     pub shed: u64,
+    /// Individual re-sends performed by the retry loop (0 when
+    /// [`LoadGenOptions::retries`] is 0 or nothing needed retrying).
+    pub retried: u64,
     /// Any other error responses (by kind name), including id-less error
     /// frames (e.g. `oversized` rejections, which cannot echo an id).
     pub errors: Vec<(ErrorKind, u64)>,
@@ -319,7 +418,7 @@ impl LoadReport {
 /// Panics if a client thread itself panicked.
 pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadReport> {
     let start = Instant::now();
-    let outcomes: Vec<std::io::Result<(Vec<Response>, HistogramSnapshot)>> =
+    let outcomes: Vec<std::io::Result<(Vec<Response>, HistogramSnapshot, u64)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..options.clients)
                 .map(|client| {
@@ -328,9 +427,16 @@ pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadRe
                         let base_id = options.request_id(client, 0);
                         let mut connection = Client::connect(addr)?;
                         let latency = Histogram::new();
-                        let responses =
+                        let mut responses =
                             connection.eval_pipelined_timed(&specs, base_id, &latency)?;
-                        Ok((responses, latency.snapshot()))
+                        let retried = retry_retryable(
+                            &mut connection,
+                            &specs,
+                            base_id,
+                            &mut responses,
+                            options,
+                        )?;
+                        Ok((responses, latency.snapshot(), retried))
                     })
                 })
                 .collect();
@@ -343,12 +449,14 @@ pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadRe
 
     let mut ok = 0u64;
     let mut shed = 0u64;
+    let mut retried = 0u64;
     let mut errors: Vec<(ErrorKind, u64)> = Vec::new();
     let mut responses: Vec<(u64, Response)> = Vec::new();
     let mut latency = HistogramSnapshot::empty();
     for outcome in outcomes {
-        let (client_responses, client_latency) = outcome?;
+        let (client_responses, client_latency, client_retried) = outcome?;
         latency = latency.merge(&client_latency);
+        retried += client_retried;
         for response in client_responses {
             match &response.body {
                 ResponseBody::Eval(_) => ok += 1,
@@ -379,11 +487,63 @@ pub fn run(addr: SocketAddr, options: &LoadGenOptions) -> std::io::Result<LoadRe
         sent: (options.clients * options.requests_per_client) as u64,
         ok,
         shed,
+        retried,
         errors,
         elapsed,
         latency,
         responses,
     })
+}
+
+/// The client-side retry loop: re-sends every response whose error frame
+/// is [retryable](ErrorKind::retryable) — and only those — for up to
+/// `options.retries` rounds with linear backoff, replacing the failed
+/// response in place.  Returns how many individual re-sends happened.
+/// A connection that died in the meantime is re-established through
+/// [`Client::reconnect`].
+fn retry_retryable(
+    connection: &mut Client,
+    specs: &[EvalSpec],
+    base_id: u64,
+    responses: &mut [Response],
+    options: &LoadGenOptions,
+) -> std::io::Result<u64> {
+    let mut retried = 0u64;
+    for round in 1..=options.retries {
+        // Correlate by id (pipelined responses arrive out of order); only
+        // id-carrying retryable error frames can be mapped back to a spec.
+        let pending: Vec<usize> = responses
+            .iter()
+            .enumerate()
+            .filter_map(|(index, response)| match (&response.body, response.id) {
+                (ResponseBody::Error(frame), Some(id)) if frame.kind.retryable() => {
+                    let offset = id.checked_sub(base_id)?;
+                    (offset < specs.len() as u64).then_some(index)
+                }
+                _ => None,
+            })
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        std::thread::sleep(options.retry_backoff * round);
+        for index in pending {
+            let id = responses[index].id.expect("filtered on id presence");
+            let spec = &specs[(id - base_id) as usize];
+            retried += 1;
+            let replacement = match connection.eval(id, spec) {
+                Ok(response) => response,
+                Err(_) => {
+                    // The peer vanished mid-retry: dial again, then re-send
+                    // (evals are idempotent, so a duplicate is harmless).
+                    connection.reconnect()?;
+                    connection.eval(id, spec)?
+                }
+            };
+            responses[index] = replacement;
+        }
+    }
+    Ok(retried)
 }
 
 #[cfg(test)]
@@ -412,6 +572,7 @@ mod tests {
             sent: 0,
             ok: 0,
             shed: 0,
+            retried: 0,
             errors: vec![],
             elapsed: Duration::ZERO,
             latency: HistogramSnapshot::empty(),

@@ -49,8 +49,9 @@ use std::time::{Duration, Instant};
 
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
-use crosslight_runtime::pool::{EvalService, RuntimeOptions, RuntimeStats};
+use crosslight_runtime::pool::{CancelToken, EvalService, RuntimeOptions, RuntimeStats};
 use crosslight_runtime::request::EvalResponse;
+use crosslight_runtime::RuntimeError;
 use crosslight_telemetry::{
     render_text, Counter, Gauge, Histogram, Phase, Registry, RegistrySnapshot, RequestTrace,
     SpanRing, TraceSampler,
@@ -191,6 +192,8 @@ struct ServerTelemetry {
     requests_total: Counter,
     evals_ok: Counter,
     evals_failed: Counter,
+    /// Admitted evals skipped because their connection died first.
+    evals_cancelled: Counter,
     malformed_total: Counter,
     oversized_total: Counter,
     connections_accepted: Counter,
@@ -239,6 +242,11 @@ impl ServerTelemetry {
             evals_failed: registry.counter(
                 "server_evals_failed_total",
                 "Eval requests answered with an error frame.",
+            ),
+            evals_cancelled: registry.counter(
+                "server_evals_cancelled_total",
+                "Admitted evals skipped because their connection died before \
+                 a worker picked them up.",
             ),
             malformed_total: registry.counter(
                 "server_malformed_total",
@@ -604,7 +612,11 @@ fn accept_loop(
 const WRITE_QUEUE_LINES: usize = 1024;
 
 /// Outcome of reading one length-limited line.
-enum LineRead {
+///
+/// Public so other front-ends speaking the same protocol (the cluster
+/// router) share one line discipline instead of re-deriving it.
+#[derive(Debug)]
+pub enum LineRead {
     /// A complete line (without the newline).
     Line(String),
     /// The line exceeded the limit; the rest of it was discarded.
@@ -619,7 +631,7 @@ enum LineRead {
 
 /// Reads one `\n`-terminated line of at most `max_bytes`, discarding the
 /// remainder of over-long lines so the stream stays line-synchronized.
-fn read_line_limited<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineRead {
+pub fn read_line_limited<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineRead {
     let mut buf: Vec<u8> = Vec::new();
     let mut oversized = false;
     loop {
@@ -700,15 +712,21 @@ fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>
         Err(_) => return,
     };
 
+    // One cancel token per connection: when the writer tears down because
+    // the socket died (not on a clean drain), queued evaluations whose
+    // responses could never be delivered are skipped instead of computed.
+    let cancel = CancelToken::new();
+
     // Writer: owns the socket write half; exits when every Sender is gone.
     // The channel is bounded so a client that stops reading back-pressures
     // the responder/reader instead of buffering responses without limit.
     let (line_tx, line_rx) = mpsc::sync_channel::<Outgoing>(WRITE_QUEUE_LINES);
     let writer = {
         let shared = Arc::clone(shared);
+        let cancel = cancel.clone();
         std::thread::Builder::new()
             .name(format!("crosslight-conn-{connection_id}-write"))
-            .spawn(move || write_loop(write_half, &line_rx, &shared.telemetry))
+            .spawn(move || write_loop(write_half, &line_rx, &shared.telemetry, &cancel))
             .expect("spawning a connection writer succeeds")
     };
 
@@ -726,7 +744,7 @@ fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>
             .expect("spawning a connection responder succeeds")
     };
 
-    read_loop(shared, &stream, &line_tx, &done_tx);
+    read_loop(shared, &stream, &line_tx, &done_tx, &cancel);
 
     // EOF (or shutdown): drop our channel ends so responder and writer
     // drain and exit once in-flight work completes — the graceful part of
@@ -738,37 +756,50 @@ fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn write_loop(stream: TcpStream, lines: &Receiver<Outgoing>, telemetry: &ServerTelemetry) {
+fn write_loop(
+    stream: TcpStream,
+    lines: &Receiver<Outgoing>,
+    telemetry: &ServerTelemetry,
+    cancel: &CancelToken,
+) {
     let mut writer = BufWriter::new(stream);
-    pump_lines(&mut writer, lines, telemetry);
-    // Whether the channel closed normally or the socket write failed (or
-    // timed out on a non-reading client), tear the whole connection down:
-    // this unblocks the reader immediately, so the server cannot keep
-    // admitting and evaluating requests whose responses can never be
-    // delivered.
+    if !pump_lines(&mut writer, lines, telemetry) {
+        // The socket failed (or timed out on a non-reading client): no
+        // response can ever be delivered again, so queued evaluations for
+        // this connection are pure waste — cancel them.  A clean drain
+        // (channel closed after EOF) must NOT cancel: in-flight work is
+        // still answered through the socket, which is alive.
+        cancel.cancel();
+    }
+    // Whether the channel closed normally or the socket write failed, tear
+    // the whole connection down: this unblocks the reader immediately, so
+    // the server cannot keep admitting and evaluating requests whose
+    // responses can never be delivered.
     let _ = writer.get_ref().shutdown(Shutdown::Both);
 }
 
+/// Returns `true` when the channel drained normally, `false` on socket
+/// failure.
 fn pump_lines(
     writer: &mut BufWriter<TcpStream>,
     lines: &Receiver<Outgoing>,
     telemetry: &ServerTelemetry,
-) {
+) -> bool {
     // Traces whose lines are buffered but not yet flushed; their `write`
     // phase ends at the flush that actually puts them on the wire.
     let mut pending: Vec<(Box<RequestTrace>, Instant)> = Vec::new();
     while let Ok(out) = lines.recv() {
         if !write_one(writer, out, telemetry, &mut pending) {
-            return;
+            return false;
         }
         // Batch whatever is already queued before paying for a flush.
         while let Ok(more) = lines.try_recv() {
             if !write_one(writer, more, telemetry, &mut pending) {
-                return;
+                return false;
             }
         }
         if writer.flush().is_err() {
-            return;
+            return false;
         }
         if !pending.is_empty() {
             let flushed = Instant::now();
@@ -778,6 +809,7 @@ fn pump_lines(
             }
         }
     }
+    true
 }
 
 /// Writes one queued line into the buffered writer, timing the traced
@@ -813,6 +845,15 @@ fn respond_loop(
     while let Ok((tag, outcome)) = completions.recv() {
         let mut trace: Option<Box<RequestTrace>> = None;
         let response = match outcome {
+            // A cancelled job means this connection's writer already died:
+            // there is nowhere to send a response, so just release the
+            // permit and account for the skip.  Not an eval failure — the
+            // request was never evaluated.
+            Err(RuntimeError::Cancelled) => {
+                shared.telemetry.evals_cancelled.inc();
+                shared.admission.release();
+                continue;
+            }
             Ok(mut eval) => {
                 shared.telemetry.evals_ok.inc();
                 trace = eval.trace.take();
@@ -861,6 +902,7 @@ fn read_loop(
     stream: &TcpStream,
     lines: &SyncSender<Outgoing>,
     completions: &Sender<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
+    cancel: &CancelToken,
 ) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
@@ -1042,13 +1084,20 @@ fn read_loop(
                 let submitted = match trace {
                     Some(trace) => {
                         telemetry.traces_sampled.inc();
-                        shared
-                            .service
-                            .submit_traced(request.id, eval_request, completions, trace)
+                        shared.service.submit_traced_cancellable(
+                            request.id,
+                            eval_request,
+                            completions,
+                            trace,
+                            cancel.clone(),
+                        )
                     }
-                    None => shared
-                        .service
-                        .submit_detached(request.id, eval_request, completions),
+                    None => shared.service.submit_cancellable(
+                        request.id,
+                        eval_request,
+                        completions,
+                        cancel.clone(),
+                    ),
                 };
                 if let Err(err) = submitted {
                     shared.admission.release();

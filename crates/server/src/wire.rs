@@ -105,6 +105,11 @@ pub enum ErrorKind {
     /// server does not simulate.  Distinct from [`ErrorKind::Malformed`]:
     /// the frame itself was well-formed.
     Unsupported,
+    /// No backend able to serve the request is currently reachable (every
+    /// replica of the request's shard is down, the retry budget ran out, or
+    /// the request's deadline expired first).  The request was *not*
+    /// evaluated; retrying later is safe and expected.
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -119,6 +124,7 @@ impl ErrorKind {
             Self::Evaluation => "evaluation",
             Self::ShuttingDown => "shutting_down",
             Self::Unsupported => "unsupported",
+            Self::Unavailable => "unavailable",
         }
     }
 
@@ -133,9 +139,26 @@ impl ErrorKind {
             Self::Evaluation,
             Self::ShuttingDown,
             Self::Unsupported,
+            Self::Unavailable,
         ]
         .into_iter()
         .find(|k| k.as_str() == name)
+    }
+
+    /// Whether a client may safely retry the request.  Retryable kinds are
+    /// transient serving-capacity conditions (`overloaded`,
+    /// `shutting_down`, `unavailable`): the request was never evaluated, so
+    /// resending it cannot change any answer.  Content errors (`malformed`,
+    /// `evaluation`, …) are deterministic and retrying them is useless.
+    ///
+    /// Encoded as `"retryable":true` on error frames of these kinds only —
+    /// non-retryable frames stay byte-identical to every earlier v1 build.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            Self::Overloaded | Self::ShuttingDown | Self::Unavailable
+        )
     }
 }
 
@@ -1067,6 +1090,11 @@ pub fn encode_response(response: &Response) -> String {
                 frame.kind.as_str()
             );
             json::push_string_literal(&frame.detail, &mut out);
+            // Only retryable kinds carry the flag: frames of every kind the
+            // committed backcompat corpus contains stay byte-identical.
+            if frame.kind.retryable() {
+                out.push_str(",\"retryable\":true");
+            }
             out.push('}');
         }
     }
@@ -1549,6 +1577,14 @@ pub fn decode_response(line: &str) -> Result<Response, ErrorFrame> {
             let kind = ErrorKind::from_wire_name(kind_name).ok_or_else(|| {
                 ErrorFrame::malformed(format!("unknown error kind `{kind_name}`"))
             })?;
+            // `retryable` is derived from the kind, never stored: the field
+            // is validated when present (it must be a bool) and otherwise
+            // ignored, so frames with and without it decode identically.
+            if let Some(flag) = err.get("retryable") {
+                if flag.as_bool().is_none() {
+                    return Err(ErrorFrame::malformed("field `retryable` must be a bool"));
+                }
+            }
             ResponseBody::Error(ErrorFrame::new(kind, str_field(err, "detail")?))
         }
         _ => {
@@ -1916,19 +1952,62 @@ mod tests {
         );
     }
 
+    const ALL_ERROR_KINDS: [ErrorKind; 8] = [
+        ErrorKind::Malformed,
+        ErrorKind::UnsupportedVersion,
+        ErrorKind::Oversized,
+        ErrorKind::Overloaded,
+        ErrorKind::Evaluation,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Unsupported,
+        ErrorKind::Unavailable,
+    ];
+
     #[test]
     fn error_kind_names_round_trip() {
-        for kind in [
-            ErrorKind::Malformed,
-            ErrorKind::UnsupportedVersion,
-            ErrorKind::Oversized,
-            ErrorKind::Overloaded,
-            ErrorKind::Evaluation,
-            ErrorKind::ShuttingDown,
-            ErrorKind::Unsupported,
-        ] {
+        for kind in ALL_ERROR_KINDS {
             assert_eq!(ErrorKind::from_wire_name(kind.as_str()), Some(kind));
         }
         assert_eq!(ErrorKind::from_wire_name("panic"), None);
+    }
+
+    #[test]
+    fn retryable_flag_is_encoded_only_for_retryable_kinds_and_round_trips() {
+        for kind in ALL_ERROR_KINDS {
+            let response = Response::error(Some(3), ErrorFrame::new(kind, "detail"));
+            let line = encode_response(&response);
+            assert_eq!(
+                line.contains("\"retryable\":true"),
+                kind.retryable(),
+                "{line}"
+            );
+            // Non-retryable frames carry no flag at all, so every frame the
+            // frozen backcompat corpus contains is unchanged.
+            assert_eq!(line.contains("retryable"), kind.retryable(), "{line}");
+            assert_eq!(decode_response(&line).unwrap(), response, "{line}");
+        }
+        // Frames without the flag (older servers) decode identically.
+        let bare = r#"{"v":1,"id":3,"err":{"kind":"unavailable","detail":"d"}}"#;
+        let decoded = decode_response(bare).unwrap();
+        assert_eq!(
+            decoded.body,
+            ResponseBody::Error(ErrorFrame::new(ErrorKind::Unavailable, "d"))
+        );
+        // A present-but-ill-typed flag is malformed.
+        let bad = r#"{"v":1,"id":3,"err":{"kind":"overloaded","detail":"d","retryable":"yes"}}"#;
+        assert_eq!(decode_response(bad).unwrap_err().kind, ErrorKind::Malformed);
+        // The retryable set is exactly the transient-capacity kinds.
+        let retryable: Vec<ErrorKind> = ALL_ERROR_KINDS
+            .into_iter()
+            .filter(|k| k.retryable())
+            .collect();
+        assert_eq!(
+            retryable,
+            [
+                ErrorKind::Overloaded,
+                ErrorKind::ShuttingDown,
+                ErrorKind::Unavailable
+            ]
+        );
     }
 }

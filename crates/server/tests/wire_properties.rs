@@ -292,6 +292,43 @@ proptest! {
             );
         }
     }
+
+    /// The same totality holds on the response side: a peer that dies
+    /// mid-write hands the reader a prefix of a valid eval response, and
+    /// every such prefix decodes to a typed malformed error, never a
+    /// panic and never a silently wrong frame.
+    #[test]
+    fn truncated_responses_decode_to_typed_errors(
+        id in 0u64..10_000,
+        mantissas in proptest::collection::vec(-1.0f64..1.0, 16),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut values = [0.0f64; 16];
+        for (slot, mantissa) in values.iter_mut().zip(&mantissas) {
+            *slot = mantissa * 1e3;
+        }
+        let response = Response {
+            id: Some(id),
+            body: ResponseBody::Eval(EvalFrame {
+                report: report_from(&values, 16),
+                cache_hit: false,
+                worker: 3,
+            }),
+        };
+        let line = encode_response(&response);
+        let cut = cut_permille * line.len() / 1000;
+        let truncated = &line[..cut];
+        if cut == line.len() {
+            prop_assert_eq!(decode_response(truncated).unwrap(), response);
+        } else {
+            let err = decode_response(truncated).unwrap_err();
+            prop_assert!(
+                matches!(err.kind, ErrorKind::Malformed),
+                "truncated response must be malformed, got {:?}",
+                err
+            );
+        }
+    }
 }
 
 #[test]

@@ -17,6 +17,7 @@
 //! | [`core`] | `crosslight-core` | the CrossLight architecture: VDP units, power/area/latency models, simulator |
 //! | [`runtime`] | `crosslight-runtime` | concurrent batched evaluation service: worker pool, result cache, sweep planner |
 //! | [`server`] | `crosslight-server` | load-shedding TCP/JSON-lines front-end over the runtime, plus the reference client/loadgen |
+//! | [`cluster`] | `crosslight-cluster` | fault-tolerant router over N servers: fingerprint sharding, health-checked failover, circuit breakers, fault injection |
 //! | [`telemetry`] | `crosslight-telemetry` | lock-free metrics registry, Prometheus-style exposition, sampled request tracing |
 //! | [`baselines`] | `crosslight-baselines` | DEAP-CNN, HolyLight, electronic platform references |
 //! | [`experiments`] | `crosslight-experiments` | one module per paper figure/table |
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use crosslight_baselines as baselines;
+pub use crosslight_cluster as cluster;
 pub use crosslight_core as core;
 pub use crosslight_experiments as experiments;
 pub use crosslight_neural as neural;

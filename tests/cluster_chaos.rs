@@ -1,0 +1,519 @@
+//! Chaos acceptance suite for the fault-tolerant cluster tier.
+//!
+//! Every test routes real wire traffic through a loopback [`Router`] over
+//! in-process backend [`Server`]s and holds the cluster to the same
+//! transparency bar as every other serving layer in this workspace:
+//! reports are **bit-identical** to one in-process [`EvalService`] — the
+//! canonical re-encoding of each report must match byte for byte — no
+//! matter which backends die, stall, or garble mid-sweep.  The multiset
+//! comparison (sorted canonical lines) absorbs the reordering failover
+//! legitimately introduces.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crosslight::cluster::{
+    CircuitState, FaultAction, FaultPlan, FaultPoint, FaultRule, RetryPolicy, Router, RouterOptions,
+};
+use crosslight::experiments::arch_zoo;
+use crosslight::neural::workload::NetworkWorkload;
+use crosslight::neural::zoo::PaperModel;
+use crosslight::runtime::pool::{EvalService, RuntimeOptions};
+use crosslight::server::loadgen::{Client, ClientOptions};
+use crosslight::server::server::{Server, ServerOptions};
+use crosslight::server::wire::{
+    self, ArchRequest, ErrorKind, EvalFrame, EvalSpec, Request, RequestBody, Response,
+    ResponseBody, WireMetricsSnapshot, WorkloadRef,
+};
+
+fn workload_table() -> [Arc<NetworkWorkload>; 4] {
+    PaperModel::all().map(|model| {
+        Arc::new(NetworkWorkload::from_spec(&model.spec()).expect("Table I workloads are valid"))
+    })
+}
+
+/// A deterministic mixed arch-zoo sweep: the union grid's architectures
+/// cycled across the Table I models until `len` specs exist.
+fn mixed_sweep(len: usize) -> Vec<EvalSpec> {
+    let candidates = arch_zoo::union_candidates();
+    let mut specs = Vec::with_capacity(len);
+    'fill: loop {
+        for candidate in &candidates {
+            let arch = ArchRequest::for_spec(candidate).expect("union grid uses named variants");
+            for model in PaperModel::all() {
+                specs.push(EvalSpec::for_arch(arch.clone(), WorkloadRef::Model(model)));
+                if specs.len() == len {
+                    break 'fill;
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// The canonical byte encoding of an answered eval, with the serving
+/// metadata (cache hit, worker index) normalized away: those legitimately
+/// differ between one service and a cluster, the report must not.
+fn canonical_line(id: u64, report: crosslight::core::simulator::SimulationReport) -> String {
+    wire::encode_response(&Response {
+        id: Some(id),
+        body: ResponseBody::Eval(EvalFrame {
+            report,
+            cache_hit: false,
+            worker: 0,
+        }),
+    })
+}
+
+/// Reference answers from one in-process `EvalService`, ids = indices.
+fn reference_lines(specs: &[EvalSpec]) -> Vec<String> {
+    let table = workload_table();
+    let service = EvalService::new(RuntimeOptions::default().with_workers(4));
+    let requests = specs
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| {
+            spec.to_eval_request(id as u64, &table)
+                .expect("sweep specs are valid")
+        })
+        .collect();
+    let responses = service
+        .submit_batch(requests)
+        .expect("reference batch evaluates");
+    responses
+        .into_iter()
+        .enumerate()
+        .map(|(id, response)| canonical_line(id as u64, response.report))
+        .collect()
+}
+
+/// Pipelines the sweep through one client connection and returns the
+/// canonicalized answers in arrival order; panics on any non-eval answer.
+fn cluster_lines(client: &mut Client, specs: &[EvalSpec]) -> Vec<String> {
+    for (id, spec) in specs.iter().enumerate() {
+        client
+            .send(&Request {
+                id: id as u64,
+                body: RequestBody::Eval(spec.clone()),
+            })
+            .expect("pipelined send");
+    }
+    client.flush().expect("pipelined flush");
+    (0..specs.len()).map(|_| recv_eval(client)).collect()
+}
+
+fn recv_eval(client: &mut Client) -> String {
+    let response = client.recv().expect("every accepted request is answered");
+    let id = response.id.expect("eval answers carry the request id");
+    match response.body {
+        ResponseBody::Eval(frame) => canonical_line(id, frame.report),
+        other => panic!("id {id}: expected a report, got {other:?}"),
+    }
+}
+
+fn sorted(mut lines: Vec<String>) -> Vec<String> {
+    lines.sort_unstable();
+    lines
+}
+
+fn bind_backend() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(2)
+            .with_trace_sampling(0),
+    )
+    .expect("bind a loopback backend")
+}
+
+fn chaos_options() -> RouterOptions {
+    RouterOptions::default()
+        .with_health(
+            Duration::from_millis(20),
+            Duration::from_millis(250),
+            Duration::from_millis(100),
+        )
+        .with_failure_threshold(2)
+        .with_retry(RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0xC1A05,
+        })
+        .with_retry_budget(1_000)
+        .with_request_deadline(Duration::from_secs(30))
+}
+
+/// Sums one counter family (over all label sets) out of a metrics scrape.
+fn family_total(snapshot: &WireMetricsSnapshot, name: &str) -> u64 {
+    use crosslight::server::wire::WireMetricValue;
+    snapshot
+        .families
+        .iter()
+        .filter(|family| family.name == name)
+        .flat_map(|family| &family.series)
+        .map(|series| match series.value {
+            WireMetricValue::Counter(value) => value,
+            WireMetricValue::Gauge(value) => value.max(0) as u64,
+            WireMetricValue::Histogram(ref h) => h.count,
+        })
+        .sum()
+}
+
+fn wait_for(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn three_backend_cluster_is_bit_identical_to_one_eval_service() {
+    let backends = [bind_backend(), bind_backend(), bind_backend()];
+    let addrs: Vec<SocketAddr> = backends.iter().map(Server::local_addr).collect();
+    let router = Router::bind("127.0.0.1:0", &addrs, chaos_options()).expect("bind router");
+
+    let specs = mixed_sweep(96);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    let served = cluster_lines(&mut client, &specs);
+    assert_eq!(sorted(served), sorted(reference_lines(&specs)));
+
+    let stats = router.stats();
+    assert_eq!(stats.evals_routed, 96);
+    assert_eq!(stats.evals_ok, 96);
+    assert_eq!(stats.evals_failed, 0);
+    assert_eq!(stats.shed_total, 0);
+
+    // The healthy path also exposes its telemetry vocabulary.
+    let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+    assert_eq!(family_total(&scrape, "cluster_evals_ok_total"), 96);
+    assert!(family_total(&scrape, "cluster_forwarded_total") >= 96);
+    // A fast sweep can outrun the first prober tick; probes are periodic,
+    // so they must show up shortly regardless.
+    wait_for("the first health probe", Duration::from_secs(10), || {
+        let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+        family_total(&scrape, "cluster_health_probes_total") > 0
+    });
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_backend_mid_sweep_loses_zero_accepted_requests() {
+    let mut backends: Vec<Option<Server>> = (0..3).map(|_| Some(bind_backend())).collect();
+    let addrs: Vec<SocketAddr> = backends
+        .iter()
+        .map(|backend| backend.as_ref().unwrap().local_addr())
+        .collect();
+    // A long cooldown keeps the killed backend from rejoining mid-test.
+    let options = chaos_options().with_health(
+        Duration::from_millis(20),
+        Duration::from_millis(250),
+        Duration::from_secs(600),
+    );
+    let router = Router::bind("127.0.0.1:0", &addrs, options).expect("bind router");
+
+    let specs = mixed_sweep(120);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    for (id, spec) in specs.iter().enumerate() {
+        client
+            .send(&Request {
+                id: id as u64,
+                body: RequestBody::Eval(spec.clone()),
+            })
+            .expect("pipelined send");
+    }
+    client.flush().expect("pipelined flush");
+
+    // Take a few answers to prove the sweep is in flight, then kill a
+    // backend with ~110 requests outstanding across the cluster.
+    let mut served: Vec<String> = (0..8).map(|_| recv_eval(&mut client)).collect();
+    backends[1].take().unwrap().shutdown();
+    served.extend((8..specs.len()).map(|_| recv_eval(&mut client)));
+
+    // Zero lost, zero shed, bit-identical — and the failover machinery
+    // demonstrably did the saving.
+    assert_eq!(sorted(served), sorted(reference_lines(&specs)));
+    let stats = router.stats();
+    assert_eq!(stats.evals_ok, 120);
+    assert_eq!(stats.shed_total, 0);
+    assert!(
+        stats.failovers >= 1,
+        "the kill must force at least one re-route, got {stats:?}"
+    );
+    let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+    assert!(
+        family_total(&scrape, "cluster_backend_failures_total") >= 1,
+        "transport faults against the killed backend must be counted"
+    );
+
+    router.shutdown();
+    for backend in backends.into_iter().flatten() {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn restarted_backend_is_readmitted_through_half_open_probing() {
+    let healthy = bind_backend();
+    let doomed = bind_backend();
+    let addrs = vec![healthy.local_addr(), doomed.local_addr()];
+    let router = Router::bind("127.0.0.1:0", &addrs, chaos_options().with_replication(2))
+        .expect("bind router");
+
+    doomed.shutdown();
+    // The prober notices within a couple of intervals and trips the breaker.
+    wait_for("the breaker to open", Duration::from_secs(10), || {
+        router.stats().backend_states[1] == CircuitState::Open
+    });
+
+    // One live replica still serves the whole keyspace.
+    let specs = mixed_sweep(16);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    assert_eq!(
+        sorted(cluster_lines(&mut client, &specs)),
+        sorted(reference_lines(&specs))
+    );
+
+    // Restart on a fresh ephemeral port: same routing identity, new addr.
+    let reborn = bind_backend();
+    router.update_backend_addr(1, reborn.local_addr());
+    wait_for("readmission via half-open", Duration::from_secs(10), || {
+        let stats = router.stats();
+        stats.backend_states[1] == CircuitState::Closed && stats.readmitted[1] >= 1
+    });
+    let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+    assert!(family_total(&scrape, "cluster_backend_readmitted_total") >= 1);
+
+    // The readmitted backend carries real traffic again: replication 2
+    // puts it back in every shard's replica set, and the sweep stays
+    // bit-identical.
+    let before = family_total(
+        &WireMetricsSnapshot::from(&router.metrics_snapshot()),
+        "cluster_forwarded_total",
+    );
+    let specs = mixed_sweep(32);
+    assert_eq!(
+        sorted(cluster_lines(&mut client, &specs)),
+        sorted(reference_lines(&specs))
+    );
+    let after = family_total(
+        &WireMetricsSnapshot::from(&router.metrics_snapshot()),
+        "cluster_forwarded_total",
+    );
+    assert!(after >= before + 32);
+
+    router.shutdown();
+    healthy.shutdown();
+    reborn.shutdown();
+}
+
+#[test]
+fn all_backends_down_degrades_to_bounded_retryable_unavailable() {
+    // Bind-then-drop three listeners: live addresses nobody answers on.
+    let addrs: Vec<SocketAddr> = (0..3)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind throwaway listener");
+            listener.local_addr().expect("throwaway listener addr")
+        })
+        .collect();
+    let options = chaos_options()
+        .with_request_deadline(Duration::from_secs(2))
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0xC1A05,
+        });
+    let router = Router::bind("127.0.0.1:0", &addrs, options).expect("bind router");
+
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(30)),
+    )
+    .expect("connect to router");
+
+    // Health ops keep working with zero live backends.
+    let pong = client
+        .call(&Request {
+            id: 9,
+            body: RequestBody::Ping,
+        })
+        .expect("ping is answered locally");
+    assert!(matches!(pong.body, ResponseBody::Pong));
+
+    // An eval is answered — with the explicit retryable shed, within the
+    // deadline, never a hang.
+    let spec = &mixed_sweep(1)[0];
+    let start = Instant::now();
+    let response = client
+        .eval(7, spec)
+        .expect("the shed is an answer, not a hang");
+    let elapsed = start.elapsed();
+    let ResponseBody::Error(frame) = response.body else {
+        panic!("expected a shed, got {response:?}");
+    };
+    assert_eq!(frame.kind, ErrorKind::Unavailable);
+    assert!(frame.kind.retryable(), "unavailable must invite a retry");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "the shed must arrive promptly, took {elapsed:?}"
+    );
+
+    // Stats aggregation degrades the same way.
+    let stats_response = client.stats(8).expect("stats op is answered");
+    assert!(matches!(
+        stats_response.body,
+        ResponseBody::Error(ref frame) if frame.kind == ErrorKind::Unavailable
+    ));
+
+    let stats = router.stats();
+    assert!(
+        stats.shed_total >= 1,
+        "the shed must be observable: {stats:?}"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn seeded_fault_plan_chaos_sweep_stays_bit_identical() {
+    let faults = FaultPlan::new(vec![
+        FaultRule::periodic_seeded(
+            FaultPoint::BackendSend,
+            None,
+            13,
+            0xC1A05,
+            FaultAction::Kill,
+        ),
+        FaultRule::periodic_seeded(
+            FaultPoint::BackendRecv,
+            None,
+            11,
+            0xC1A05,
+            FaultAction::Garble,
+        ),
+        FaultRule::periodic_seeded(
+            FaultPoint::BackendSend,
+            Some(2),
+            17,
+            0xC1A05,
+            FaultAction::Slow(1),
+        ),
+    ]);
+    let backends = [bind_backend(), bind_backend(), bind_backend()];
+    let addrs: Vec<SocketAddr> = backends.iter().map(Server::local_addr).collect();
+    let router = Router::bind(
+        "127.0.0.1:0",
+        &addrs,
+        chaos_options().with_faults(Arc::clone(&faults)),
+    )
+    .expect("bind router");
+
+    let specs = mixed_sweep(96);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    let served = cluster_lines(&mut client, &specs);
+    assert_eq!(sorted(served), sorted(reference_lines(&specs)));
+
+    let stats = router.stats();
+    assert_eq!(stats.evals_ok, 96, "every request answered with a report");
+    assert_eq!(stats.shed_total, 0);
+    assert!(
+        faults.injected() > 0,
+        "the plan must actually have fired: {stats:?}"
+    );
+    assert_eq!(stats.faults_injected, faults.injected());
+    assert!(
+        stats.failovers >= 1,
+        "killed/garbled exchanges must be re-routed: {stats:?}"
+    );
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn mid_frame_client_disconnects_leave_the_router_clean() {
+    let backend = bind_backend();
+    let router =
+        Router::bind("127.0.0.1:0", &[backend.local_addr()], chaos_options()).expect("bind router");
+
+    // A client that dies halfway through a request line: no answer is
+    // owed, nothing leaks, nothing panics.
+    {
+        let mut stream = TcpStream::connect(router.local_addr()).expect("connect raw");
+        let full = wire::encode_request(&Request {
+            id: 1,
+            body: RequestBody::Ping,
+        });
+        stream
+            .write_all(&full.as_bytes()[..full.len() / 2])
+            .expect("write half a frame");
+        stream.flush().expect("flush the fragment");
+    } // dropped mid-frame, no newline ever sent
+
+    // A client that sends a full eval and vanishes before reading the
+    // response: the router's reply send fails harmlessly.
+    {
+        let mut stream = TcpStream::connect(router.local_addr()).expect("connect raw");
+        let line = wire::encode_request(&Request {
+            id: 2,
+            body: RequestBody::Eval(mixed_sweep(1)[0].clone()),
+        });
+        stream.write_all(line.as_bytes()).expect("write eval");
+        stream.write_all(b"\n").expect("terminate eval");
+        stream.flush().expect("flush eval");
+    } // dropped with the response in flight
+
+    // Every connection drains; the handle registry ends empty.
+    wait_for(
+        "router connections to drain",
+        Duration::from_secs(10),
+        || {
+            let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+            family_total(&scrape, "cluster_connections_active") == 0
+                && family_total(&scrape, "cluster_connections_drained_total") >= 2
+        },
+    );
+
+    // And the router still serves correctly afterwards.
+    let specs = mixed_sweep(8);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    assert_eq!(
+        sorted(cluster_lines(&mut client, &specs)),
+        sorted(reference_lines(&specs))
+    );
+
+    router.shutdown();
+    backend.shutdown();
+}

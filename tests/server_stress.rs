@@ -423,6 +423,150 @@ fn metrics_op_exposes_consistent_scrapes_over_the_wire() {
 }
 
 #[test]
+fn mid_frame_request_disconnects_drain_cleanly_at_every_split_point() {
+    use std::io::Write as _;
+
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default().with_workers(1))
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // Peers that die halfway through a request line — cut after the first
+    // byte, mid-header, mid-spec, and one byte short of the newline — owe
+    // the server nothing and must not wedge, panic, or leak a handle.
+    let line = crosslight::server::wire::encode_request(&Request {
+        id: 77,
+        body: RequestBody::Eval(EvalSpec::paper(
+            CrossLightVariant::OptTed,
+            PaperModel::Lenet5SignMnist,
+        )),
+    });
+    let cuts = [1, line.len() / 4, line.len() / 2, line.len() - 1];
+    for cut in cuts {
+        let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
+        stream
+            .write_all(&line.as_bytes()[..cut])
+            .expect("write a frame fragment");
+        stream.flush().expect("flush the fragment");
+        drop(stream); // close with the frame incomplete: EOF mid-line
+    }
+
+    // Every fragment connection is reaped: the active gauge returns to
+    // zero and all accepts are accounted for.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.server.connections_active == 0
+            && stats.server.connections_accepted >= cuts.len() as u64
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mid-frame disconnects were not reaped: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // No fragment produced an answer or an eval: the partial lines died
+    // in the reader without reaching the runtime.
+    let stats = server.stats();
+    assert_eq!(stats.server.evals_ok, 0);
+    assert_eq!(stats.server.evals_failed, 0);
+    assert_eq!(stats.runtime.submitted, 0);
+
+    // The server still serves the exact request whose fragments it just
+    // survived.
+    let mut client = Client::connect(addr).expect("connect");
+    client.send_raw(&line).expect("send the full line");
+    let response = client.recv().expect("full frame is answered");
+    assert_eq!(response.id, Some(77));
+    assert!(matches!(response.body, ResponseBody::Eval(_)));
+    server.shutdown();
+}
+
+#[test]
+fn truncated_response_is_a_typed_client_error_and_reconnect_recovers() {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    // A wire-shaped impostor that truncates its first response mid-line
+    // and closes, then behaves on later connections — the shape of a
+    // backend crashing while writing and coming back.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind impostor");
+    let addr = listener.local_addr().expect("impostor addr");
+    let fake = std::thread::spawn(move || {
+        for (connection, stream) in listener.incoming().enumerate() {
+            let stream = stream.expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            let mut line = String::new();
+            while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                let id = crosslight::server::wire::peek_id(line.trim_end());
+                let full = crosslight::server::wire::encode_response(
+                    &crosslight::server::wire::Response {
+                        id,
+                        body: ResponseBody::Pong,
+                    },
+                );
+                if connection == 0 {
+                    // Die halfway through the frame: no newline ever comes.
+                    writer
+                        .write_all(&full.as_bytes()[..full.len() / 2])
+                        .expect("write half a response");
+                    writer.flush().expect("flush the half");
+                    break; // drop the socket with the frame incomplete
+                }
+                writer.write_all(full.as_bytes()).expect("write response");
+                writer.write_all(b"\n").expect("terminate response");
+                writer.flush().expect("flush response");
+                line.clear();
+            }
+            if connection == 1 {
+                break; // two connections are all this test dials
+            }
+        }
+    });
+
+    // The read deadline bounds the truncated read; the failure surfaces
+    // as a typed io::Error, never a hang or a panic.
+    let mut client = Client::connect_with(
+        addr,
+        crosslight::server::loadgen::ClientOptions::with_deadline(std::time::Duration::from_secs(
+            5,
+        )),
+    )
+    .expect("connect to impostor");
+    client
+        .send(&Request {
+            id: 21,
+            body: RequestBody::Ping,
+        })
+        .expect("send ping");
+    client.flush().expect("flush ping");
+    let err = client.recv().expect_err("a truncated response is an error");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+        ),
+        "mid-frame close must surface as a typed transport error, got {err:?}"
+    );
+
+    // One `reconnect()` later the same client object completes the call.
+    client.reconnect().expect("redial the impostor");
+    let pong = client
+        .call(&Request {
+            id: 22,
+            body: RequestBody::Ping,
+        })
+        .expect("the fresh connection serves");
+    assert_eq!(pong.id, Some(22));
+    assert!(matches!(pong.body, ResponseBody::Pong));
+    drop(client);
+    fake.join().expect("impostor thread exits cleanly");
+}
+
+#[test]
 fn shutdown_closes_idle_connections_and_new_connects_fail() {
     let server = Server::bind("127.0.0.1:0", ServerOptions::default().with_workers(1))
         .expect("bind loopback server");
