@@ -28,7 +28,7 @@
 //! shards it owned before.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -43,26 +43,32 @@ pub enum CircuitState {
     Open,
     /// Probation: excluded from routing, but health probes may readmit it.
     HalfOpen,
+    /// Probe succeeded and a warm-state handoff is in flight: still
+    /// excluded from routing until the handoff completes (or falls back
+    /// cold), so the first readmitted request never races the restore.
+    Warming,
 }
 
 impl CircuitState {
-    /// Stable wire/metric name (`closed`, `open`, `half_open`).
+    /// Stable wire/metric name (`closed`, `open`, `half_open`, `warming`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Self::Closed => "closed",
             Self::Open => "open",
             Self::HalfOpen => "half_open",
+            Self::Warming => "warming",
         }
     }
 
-    /// Gauge encoding: closed = 0, open = 1, half-open = 2.
+    /// Gauge encoding: closed = 0, open = 1, half-open = 2, warming = 3.
     #[must_use]
     pub fn as_gauge(self) -> i64 {
         match self {
             Self::Closed => 0,
             Self::Open => 1,
             Self::HalfOpen => 2,
+            Self::Warming => 3,
         }
     }
 
@@ -70,6 +76,7 @@ impl CircuitState {
         match value {
             1 => Self::Open,
             2 => Self::HalfOpen,
+            3 => Self::Warming,
             _ => Self::Closed,
         }
     }
@@ -101,6 +108,11 @@ pub struct BackendState {
     consecutive_failures: AtomicU32,
     /// Instant the breaker last opened; meaningful only while open.
     opened_at: Mutex<Instant>,
+    /// Connection epoch: bumped when the breaker opens or the address
+    /// changes, so exchange workers drop pooled connections minted before
+    /// the outage instead of blaming the recovered backend for writes to
+    /// a socket its dead predecessor owned.
+    generation: AtomicU64,
     failure_threshold: u32,
     open_cooldown: Duration,
 }
@@ -120,6 +132,7 @@ impl BackendState {
             state: AtomicU8::new(0),
             consecutive_failures: AtomicU32::new(0),
             opened_at: Mutex::new(Instant::now()),
+            generation: AtomicU64::new(0),
             failure_threshold: failure_threshold.max(1),
             open_cooldown,
         }
@@ -137,6 +150,15 @@ impl BackendState {
     /// probing rather than trusted immediately.
     pub fn set_addr(&self, addr: SocketAddr) {
         *self.addr.lock().expect("backend addr lock poisoned") = addr;
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The current connection epoch.  A pooled connection stamped with an
+    /// older generation predates the last outage or re-address and must
+    /// be discarded, not written to.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The breaker's current state.
@@ -159,26 +181,23 @@ impl BackendState {
     pub fn record_failure(&self) -> Transition {
         let failures = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
         match self.state() {
-            CircuitState::Closed if failures >= self.failure_threshold => {
-                self.set_state(CircuitState::Open);
-                *self
-                    .opened_at
-                    .lock()
-                    .expect("backend opened_at lock poisoned") = Instant::now();
-                Transition::Opened
-            }
-            // A half-open backend that fails its probe goes straight back
-            // to open and restarts the cooldown.
-            CircuitState::HalfOpen => {
-                self.set_state(CircuitState::Open);
-                *self
-                    .opened_at
-                    .lock()
-                    .expect("backend opened_at lock poisoned") = Instant::now();
-                Transition::Opened
-            }
+            CircuitState::Closed if failures >= self.failure_threshold => self.open(),
+            // A half-open backend that fails its probe — or a warming one
+            // whose handoff collapsed under it — goes straight back to
+            // open and restarts the cooldown.
+            CircuitState::HalfOpen | CircuitState::Warming => self.open(),
             _ => Transition::None,
         }
+    }
+
+    fn open(&self) -> Transition {
+        self.set_state(CircuitState::Open);
+        *self
+            .opened_at
+            .lock()
+            .expect("backend opened_at lock poisoned") = Instant::now();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Transition::Opened
     }
 
     /// Records a successful exchange (request answered or probe ponged).
@@ -191,6 +210,41 @@ impl BackendState {
             }
             _ => Transition::None,
         }
+    }
+
+    /// Claims a successful half-open probe for a warm handoff: half-open
+    /// becomes warming, and the backend keeps taking no traffic until
+    /// [`BackendState::complete_warming`].  Returns `false` if the
+    /// breaker was not half-open (e.g. a concurrent probe already
+    /// readmitted it).
+    pub fn begin_warming(&self) -> bool {
+        self.state
+            .compare_exchange(
+                CircuitState::HalfOpen.as_gauge() as u8,
+                CircuitState::Warming.as_gauge() as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Completes a warm handoff (whether the state transfer succeeded or
+    /// fell back cold): a warming backend closes and takes traffic again.
+    pub fn complete_warming(&self) -> Transition {
+        if self
+            .state
+            .compare_exchange(
+                CircuitState::Warming.as_gauge() as u8,
+                CircuitState::Closed.as_gauge() as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.consecutive_failures.store(0, Ordering::Release);
+            return Transition::Readmitted;
+        }
+        Transition::None
     }
 
     /// Moves an open breaker whose cooldown has elapsed into half-open;
@@ -280,6 +334,49 @@ mod tests {
             assert_eq!(backend.record_success(), Transition::None);
         }
         assert_eq!(backend.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn generation_bumps_on_open_and_readdress_but_not_on_recovery() {
+        let backend = test_backend(1, Duration::from_millis(0));
+        let initial = backend.generation();
+        assert_eq!(backend.record_failure(), Transition::Opened);
+        assert_eq!(
+            backend.generation(),
+            initial + 1,
+            "opening the breaker must invalidate pooled connections"
+        );
+        assert_eq!(backend.tick_probation(), Transition::Probation);
+        assert_eq!(backend.record_success(), Transition::Readmitted);
+        assert_eq!(
+            backend.generation(),
+            initial + 1,
+            "readmission itself mints no new epoch — fresh dials already \
+             carry the post-outage generation"
+        );
+        backend.set_addr("127.0.0.1:2".parse().unwrap());
+        assert_eq!(backend.generation(), initial + 2);
+    }
+
+    #[test]
+    fn warming_walks_half_open_to_closed_exactly_once() {
+        let backend = test_backend(1, Duration::from_millis(0));
+        assert_eq!(backend.record_failure(), Transition::Opened);
+        assert_eq!(backend.tick_probation(), Transition::Probation);
+        assert!(backend.begin_warming());
+        assert!(!backend.begin_warming(), "warming is claimed exactly once");
+        assert_eq!(backend.state(), CircuitState::Warming);
+        assert!(!backend.available(), "warming backends take no traffic");
+        assert_eq!(backend.complete_warming(), Transition::Readmitted);
+        assert_eq!(backend.complete_warming(), Transition::None);
+        assert!(backend.available());
+        // A handoff that collapses mid-warming re-opens the breaker.
+        assert_eq!(backend.record_failure(), Transition::Opened);
+        assert_eq!(backend.tick_probation(), Transition::Probation);
+        assert!(backend.begin_warming());
+        assert_eq!(backend.record_failure(), Transition::Opened);
+        assert_eq!(backend.complete_warming(), Transition::None);
+        assert_eq!(backend.state(), CircuitState::Open);
     }
 
     #[test]

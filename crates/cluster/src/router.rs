@@ -32,8 +32,22 @@
 //! and the budget, attempts or deadline run out, the request is shed with
 //! an explicit retryable `unavailable` error — never a hang, never a
 //! silent wrong answer.
+//!
+//! # Warm recovery and hedging
+//!
+//! A backend readmitted through half-open probing can receive a **warm
+//! handoff** (`RouterOptions::handoff`, on by default): while the breaker
+//! sits in the `warming` state — still excluded from routing — the router
+//! pulls `snapshot` streams from the surviving replicas, keeps the
+//! entries whose shard includes the rejoining backend (plus all
+//! shard-agnostic model-cache entries), and `restore`s them, so the first
+//! routed request already hits a warm cache.  Any handoff failure
+//! degrades to the old cold readmission.  Optional **hedged requests**
+//! ([`HedgePolicy`]) launch a second attempt on the next replica after a
+//! delay derived from the observed per-hop p99; the first answer wins
+//! exactly once and the loser is cancelled or discarded, never delivered.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,12 +58,13 @@ use std::time::{Duration, Instant};
 
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
+use crosslight_runtime::cache::CacheKey;
 use crosslight_server::loadgen::{Client, ClientOptions};
 use crosslight_server::server::{read_line_limited, LineRead};
 use crosslight_server::wire::{
     self, ErrorFrame, ErrorKind, MetricsFormat, MetricsFrame, Request, RequestBody, Response,
-    ResponseBody, StatsFrame, WireMetricsSnapshot, WireRuntimeStats, WireServerStats,
-    DEFAULT_MAX_LINE_BYTES,
+    ResponseBody, SnapshotEntry, StatsFrame, WireMetricsSnapshot, WireRuntimeStats,
+    WireServerStats, DEFAULT_MAX_LINE_BYTES,
 };
 use crosslight_telemetry::{render_text, Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 
@@ -95,8 +110,61 @@ pub struct RouterOptions {
     pub max_line_bytes: usize,
     /// Bound on a stalled client-socket write.
     pub write_timeout: Duration,
+    /// Whether a readmitted backend gets a warm-state handoff (snapshot
+    /// pulled from surviving replicas and restored before it takes
+    /// traffic).  Off, readmission is cold — exactly the pre-handoff
+    /// behavior.
+    pub handoff: bool,
+    /// Hedged-request policy; disabled by default.
+    pub hedge: HedgePolicy,
     /// Fault-injection plan; [`FaultPlan::none`] in production.
     pub faults: Arc<FaultPlan>,
+}
+
+/// When and how the router hedges a slow eval with a second attempt on
+/// another replica.  The hedge fires after a delay derived from the
+/// observed per-hop p99, first answer wins exactly once, and the loser
+/// is accounted (won / cancelled / wasted) — never delivered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Master switch; `false` routes every request exactly once.
+    pub enabled: bool,
+    /// The hedge fires after `p99(cluster_hop_ns) * p99_multiplier`.
+    pub p99_multiplier: f64,
+    /// Lower clamp on the hedge delay (also used before any p99 exists).
+    pub min_delay: Duration,
+    /// Upper clamp on the hedge delay.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            p99_multiplier: 1.5,
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// The enabled policy with default timing knobs.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// The delay before the hedge fires, given the current per-hop p99 in
+    /// nanoseconds (0 when no exchange has completed yet).
+    #[must_use]
+    pub fn delay(&self, p99_ns: u64) -> Duration {
+        let scaled = (p99_ns as f64 * self.p99_multiplier.max(0.0)) as u64;
+        Duration::from_nanos(scaled).clamp(self.min_delay, self.max_delay)
+    }
 }
 
 impl Default for RouterOptions {
@@ -116,6 +184,8 @@ impl Default for RouterOptions {
             retry_budget: 128,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             write_timeout: Duration::from_secs(30),
+            handoff: true,
+            hedge: HedgePolicy::default(),
             faults: FaultPlan::none(),
         }
     }
@@ -187,6 +257,20 @@ impl RouterOptions {
         self
     }
 
+    /// Returns a copy with warm-state handoff on readmission toggled.
+    #[must_use]
+    pub fn with_handoff(mut self, handoff: bool) -> Self {
+        self.handoff = handoff;
+        self
+    }
+
+    /// Returns a copy with a different hedged-request policy.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
     /// Returns a copy executing the given fault plan.
     #[must_use]
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
@@ -230,6 +314,15 @@ struct ClusterTelemetry {
     retry_budget_tenths: Gauge,
     faults_injected: Counter,
     hop_ns: Histogram,
+    handoff_snapshots_sent: Counter,
+    handoff_restored: Counter,
+    handoff_entries: Counter,
+    handoff_failed: Counter,
+    handoff_warmup_ns: Histogram,
+    hedges_launched: Counter,
+    hedges_won: Counter,
+    hedges_cancelled: Counter,
+    hedges_wasted: Counter,
     forwarded: Vec<Counter>,
     backend_failures: Vec<Counter>,
     backend_state: Vec<Gauge>,
@@ -324,6 +417,42 @@ impl ClusterTelemetry {
                 "cluster_hop_ns",
                 "Latency of one successful backend exchange, in nanoseconds.",
             ),
+            handoff_snapshots_sent: registry.counter(
+                "cluster_handoff_snapshots_sent_total",
+                "Warm-state snapshots pulled from donor backends during handoff.",
+            ),
+            handoff_restored: registry.counter(
+                "cluster_handoff_restored_total",
+                "Warm-state restores applied to rejoining backends.",
+            ),
+            handoff_entries: registry.counter(
+                "cluster_handoff_entries_total",
+                "Cache entries transferred into rejoining backends.",
+            ),
+            handoff_failed: registry.counter(
+                "cluster_handoff_failed_total",
+                "Handoffs that fell back to a cold readmission.",
+            ),
+            handoff_warmup_ns: registry.histogram(
+                "cluster_handoff_warmup_ns",
+                "Duration of one warm-state handoff attempt, in nanoseconds.",
+            ),
+            hedges_launched: registry.counter(
+                "cluster_hedges_launched_total",
+                "Hedge attempts parked behind the p99-derived delay.",
+            ),
+            hedges_won: registry.counter(
+                "cluster_hedges_won_total",
+                "Hedge attempts that answered the client first.",
+            ),
+            hedges_cancelled: registry.counter(
+                "cluster_hedges_cancelled_total",
+                "Hedge attempts cancelled before doing I/O (primary answered).",
+            ),
+            hedges_wasted: registry.counter(
+                "cluster_hedges_wasted_total",
+                "Hedge or primary attempts whose outcome lost the race and was discarded.",
+            ),
             forwarded: per_backend(&|b| {
                 registry.counter_with(
                     "cluster_forwarded_total",
@@ -342,7 +471,7 @@ impl ClusterTelemetry {
                 .map(|b| {
                     registry.gauge_with(
                         "cluster_backend_state",
-                        "Circuit state per backend: 0 closed, 1 open, 2 half-open.",
+                        "Circuit state per backend: 0 closed, 1 open, 2 half-open, 3 warming.",
                         &[("backend", &b.to_string())],
                     )
                 })
@@ -395,7 +524,9 @@ impl ClusterTelemetry {
 
 /// One admitted eval in flight through the cluster: the client's raw
 /// line, its routing key, and the reply lane back to the client's writer.
-#[derive(Debug)]
+/// A hedged request is two clones of the same job sharing one `delivered`
+/// cell; whichever resolves first claims the cell and answers.
+#[derive(Debug, Clone)]
 struct ForwardJob {
     id: u64,
     line: Arc<String>,
@@ -406,7 +537,26 @@ struct ForwardJob {
     /// never ping-pongs between two dying replicas without progress.
     tried: u64,
     deadline: Instant,
+    /// Whether this copy is the hedge (second) attempt.  A hedge may win
+    /// with a report but never answers with an error — failure reporting
+    /// belongs to the primary, so a hedge that cannot even dispatch can
+    /// never shed a request whose primary is still in flight.
+    hedge: bool,
+    /// First-answer-wins cell shared by the primary and its hedge.
+    delivered: Arc<AtomicBool>,
     reply: SyncSender<String>,
+}
+
+impl ForwardJob {
+    /// Claims the exactly-once answer slot; `true` for the first caller.
+    fn claim(&self) -> bool {
+        !self.delivered.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether some copy of this request has already answered the client.
+    fn is_claimed(&self) -> bool {
+        self.delivered.load(Ordering::SeqCst)
+    }
 }
 
 #[derive(Debug)]
@@ -751,6 +901,10 @@ impl Drop for Router {
 /// retry (waiting for capacity or readmission costs no attempt or budget
 /// token — only failed I/O does).
 fn dispatch(shared: &Arc<ClusterShared>, mut job: ForwardJob) {
+    if job.hedge && job.is_claimed() {
+        shared.telemetry.hedges_cancelled.inc();
+        return;
+    }
     if Instant::now() >= job.deadline {
         shed(
             shared,
@@ -808,6 +962,41 @@ fn schedule_retry(shared: &Arc<ClusterShared>, mut job: ForwardJob) {
     }
 }
 
+/// Builds the hedge copy of a freshly admitted job, when the policy
+/// allows one.  The hedge pre-marks the primary's preferred replica as
+/// tried, so with replication > 1 the two attempts land on different
+/// backends.
+fn hedge_copy(shared: &Arc<ClusterShared>, job: &ForwardJob) -> Option<ForwardJob> {
+    if !shared.options.hedge.enabled || shared.options.replication < 2 {
+        return None;
+    }
+    let mut copy = job.clone();
+    copy.hedge = true;
+    let order = rendezvous_order(copy.fingerprint, shared.backends.len());
+    copy.tried = 1u64 << order[0];
+    Some(copy)
+}
+
+/// Parks a hedge on the retry timer until its p99-derived delay elapses.
+/// A hedge that cannot be parked (deadline too close, router draining) is
+/// cancelled — it never answers the client.
+fn park_hedge(shared: &Arc<ClusterShared>, job: ForwardJob) {
+    let delay = shared
+        .options
+        .hedge
+        .delay(shared.telemetry.hop_ns.snapshot().p99());
+    let due = Instant::now() + delay;
+    if due >= job.deadline || shared.shutting_down.load(Ordering::SeqCst) {
+        shared.telemetry.hedges_cancelled.inc();
+        return;
+    }
+    let lane = shared.retry_tx.lock().expect("retry lane lock poisoned");
+    match lane.as_ref().map(|tx| tx.send((due, job))) {
+        Some(Ok(())) => shared.telemetry.hedges_launched.inc(),
+        _ => shared.telemetry.hedges_cancelled.inc(),
+    }
+}
+
 /// Books a failed I/O attempt (or a backend's retryable refusal) against
 /// the job and fails over; exhaustion delivers `fallback` when the last
 /// backend answered with a retryable error frame, else sheds.
@@ -844,6 +1033,13 @@ fn exhaust(
 ) {
     match fallback {
         Some(line) => {
+            if job.hedge {
+                shared.telemetry.hedges_wasted.inc();
+                return;
+            }
+            if !job.claim() {
+                return;
+            }
             shared.telemetry.evals_failed.inc();
             let _ = job.reply.send(line);
         }
@@ -863,6 +1059,16 @@ fn exhaust(
 /// Shutdown sheds speak `shutting_down`; everything else is the retryable
 /// `unavailable`.
 fn shed(shared: &Arc<ClusterShared>, job: &ForwardJob, reason: ShedReason, detail: &str) {
+    // A hedge is an optimization, not a second chance to fail: its own
+    // exhaustion is discarded while the primary still owns the request.
+    if job.hedge {
+        shared.telemetry.hedges_wasted.inc();
+        return;
+    }
+    // The hedge already answered: the primary's late failure is moot.
+    if !job.claim() {
+        return;
+    }
     let (kind, counter) = match reason {
         ShedReason::Deadline => (ErrorKind::Unavailable, &shared.telemetry.shed_deadline),
         ShedReason::Attempts => (ErrorKind::Unavailable, &shared.telemetry.shed_attempts),
@@ -879,19 +1085,33 @@ fn shed(shared: &Arc<ClusterShared>, job: &ForwardJob, reason: ShedReason, detai
 // Backend exchange workers
 // ---------------------------------------------------------------------------
 
-/// One persistent exchange connection to a backend.
+/// One persistent exchange connection to a backend, stamped with the
+/// backend's connection generation at dial time.  The generation bumps
+/// whenever the breaker opens or the address changes, so a stale stamp
+/// means this socket belongs to a previous incarnation of the backend —
+/// writing to it would blame the *recovered* process for its dead
+/// predecessor's corpse and could re-trip a freshly closed breaker.
 #[derive(Debug)]
 struct BackendConn {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    generation: u64,
 }
 
-fn open_conn(addr: SocketAddr, options: &RouterOptions) -> std::io::Result<BackendConn> {
+fn open_conn(
+    addr: SocketAddr,
+    options: &RouterOptions,
+    generation: u64,
+) -> std::io::Result<BackendConn> {
     let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(options.request_timeout))?;
     let reader = BufReader::new(stream.try_clone()?);
-    Ok(BackendConn { stream, reader })
+    Ok(BackendConn {
+        stream,
+        reader,
+        generation,
+    })
 }
 
 /// What one backend exchange produced.
@@ -938,6 +1158,11 @@ fn process_job(
     conn: &mut Option<BackendConn>,
     mut job: ForwardJob,
 ) {
+    // A queued hedge whose primary already answered does no I/O at all.
+    if job.hedge && job.is_claimed() {
+        shared.telemetry.hedges_cancelled.inc();
+        return;
+    }
     if Instant::now() >= job.deadline {
         shed(
             shared,
@@ -970,8 +1195,17 @@ fn process_job(
                 .telemetry
                 .sync_state_gauge(backend, shared.backends[backend].state());
             shared.budget.deposit();
-            shared.telemetry.evals_ok.inc();
-            let _ = job.reply.send(line);
+            if job.claim() {
+                if job.hedge {
+                    shared.telemetry.hedges_won.inc();
+                }
+                shared.telemetry.evals_ok.inc();
+                let _ = job.reply.send(line);
+            } else {
+                // The other copy answered first; this exchange's work is
+                // sunk cost (the backend bookkeeping above still counts).
+                shared.telemetry.hedges_wasted.inc();
+            }
         }
         Exchange::SoftRetry(line) => {
             let detail = "backend refused with a retryable error";
@@ -1015,8 +1249,15 @@ fn exchange(
         Some(FaultAction::Garble) => send_garbled = true,
         None => {}
     }
+    // A pooled connection from before the backend's last outage (or
+    // re-address) is a socket to a dead incarnation: drop it and redial
+    // rather than letting its write error count against the live process.
+    let generation = shared.backends[backend].generation();
+    if conn.as_ref().is_some_and(|c| c.generation != generation) {
+        *conn = None;
+    }
     if conn.is_none() {
-        match open_conn(shared.backends[backend].addr(), options) {
+        match open_conn(shared.backends[backend].addr(), options, generation) {
             Ok(fresh) => *conn = Some(fresh),
             Err(err) => return Exchange::Fault(format!("connect: {err}")),
         }
@@ -1196,7 +1437,23 @@ fn prober_loop(shared: &Arc<ClusterShared>, backend: usize) {
         }
         if probe(shared, backend) {
             shared.telemetry.probes_ok[backend].inc();
-            if shared.backends[backend].record_success() == Transition::Readmitted {
+            if shared.options.handoff
+                && shared.backends[backend].state() == CircuitState::HalfOpen
+                && shared.backends[backend].begin_warming()
+            {
+                // Readmission with warm state: the backend stays out of
+                // the routing set (warming) while surviving replicas'
+                // snapshots are restored into it, so its first routed
+                // request already hits a warm cache.  Any handoff failure
+                // degrades to the plain cold readmission below.
+                shared
+                    .telemetry
+                    .sync_state_gauge(backend, CircuitState::Warming);
+                attempt_handoff(shared, backend);
+                if shared.backends[backend].complete_warming() == Transition::Readmitted {
+                    shared.telemetry.readmitted[backend].inc();
+                }
+            } else if shared.backends[backend].record_success() == Transition::Readmitted {
                 shared.telemetry.readmitted[backend].inc();
             }
         } else {
@@ -1262,6 +1519,164 @@ fn probe(shared: &Arc<ClusterShared>, backend: usize) -> bool {
             body: ResponseBody::Pong,
         })
     )
+}
+
+// ---------------------------------------------------------------------------
+// Warm-state handoff
+// ---------------------------------------------------------------------------
+
+/// One warm-state handoff into a rejoining backend, with telemetry: pull
+/// snapshots from the surviving replicas, keep the entries the rejoining
+/// backend is responsible for, restore them, and time the whole thing.
+/// Failure is never fatal — the backend is readmitted cold.
+fn attempt_handoff(shared: &Arc<ClusterShared>, backend: usize) {
+    let started = Instant::now();
+    let outcome = run_handoff(shared, backend);
+    shared
+        .telemetry
+        .handoff_warmup_ns
+        .record(started.elapsed().as_nanos() as u64);
+    match outcome {
+        Ok(0) => {}
+        Ok(entries) => {
+            shared.telemetry.handoff_restored.inc();
+            shared.telemetry.handoff_entries.add(entries);
+        }
+        Err(_detail) => shared.telemetry.handoff_failed.inc(),
+    }
+}
+
+/// The fallible body of a handoff; returns the number of entries the
+/// rejoining backend acknowledged (0 when there was nothing to move).
+fn run_handoff(shared: &Arc<ClusterShared>, backend: usize) -> Result<u64, String> {
+    let mut garble = false;
+    match shared.faults().check(FaultPoint::Handoff, backend) {
+        Some(FaultAction::Kill) => return Err("injected: handoff killed".to_string()),
+        Some(FaultAction::Stall(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            return Err("injected: stall during handoff".to_string());
+        }
+        Some(FaultAction::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Garble) => garble = true,
+        None => {}
+    }
+    let entries = pull_warm_state(shared, backend)?;
+    if entries.is_empty() {
+        return Ok(0);
+    }
+    push_warm_state(shared, backend, entries, garble)
+}
+
+/// Pulls one snapshot from every closed (healthy) replica except the
+/// rejoining backend and keeps, deduplicated by canonical encoding:
+/// result entries whose shard includes the rejoining backend, and every
+/// model-cache entry (model state is shard-agnostic physics).
+fn pull_warm_state(
+    shared: &Arc<ClusterShared>,
+    backend: usize,
+) -> Result<Vec<SnapshotEntry>, String> {
+    let replication = shared.options.replication;
+    let backends = shared.backends.len();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut collected: Vec<SnapshotEntry> = Vec::new();
+    let mut donors = 0usize;
+    let mut pulled = 0usize;
+    for donor in &shared.backends {
+        if donor.index == backend || donor.state() != CircuitState::Closed {
+            continue;
+        }
+        donors += 1;
+        let Ok(mut client) = Client::connect_with(
+            donor.addr(),
+            ClientOptions::with_deadline(shared.options.request_timeout),
+        ) else {
+            continue;
+        };
+        let Ok(entries) = client.snapshot_entries(0) else {
+            continue;
+        };
+        pulled += 1;
+        shared.telemetry.handoff_snapshots_sent.inc();
+        for entry in entries {
+            let keep = match &entry {
+                SnapshotEntry::Result { arch, workload, .. } => {
+                    let fingerprint =
+                        CacheKey::from_parts(*arch, Arc::new(workload.clone())).fingerprint();
+                    rendezvous_order(fingerprint, backends)[..replication].contains(&backend)
+                }
+                SnapshotEntry::Model(_) => true,
+            };
+            if keep && seen.insert(wire::encode_snapshot_entry(&entry)) {
+                collected.push(entry);
+            }
+        }
+    }
+    if donors > 0 && pulled == 0 {
+        return Err("no donor replica delivered a snapshot".to_string());
+    }
+    Ok(collected)
+}
+
+/// Streams a restore into the rejoining backend.  The frames are built
+/// here (not via [`Client::restore_entries`]) so the `Garble` fault can
+/// corrupt a line in flight — the backend must then answer with a typed
+/// rejection, which surfaces as a handoff failure and a cold fallback.
+fn push_warm_state(
+    shared: &Arc<ClusterShared>,
+    backend: usize,
+    entries: Vec<SnapshotEntry>,
+    garble: bool,
+) -> Result<u64, String> {
+    let options = &shared.options;
+    let budget = (options.max_line_bytes.saturating_mul(3) / 4).max(1);
+    let checksum = wire::snapshot_checksum(&entries);
+    let total = entries.len() as u64;
+    let chunks = wire::chunk_snapshot_entries(entries, budget);
+    let mut client = Client::connect_with(
+        shared.backends[backend].addr(),
+        ClientOptions::with_deadline(options.request_timeout),
+    )
+    .map_err(|err| format!("connect to rejoining backend: {err}"))?;
+    let chunk_count = chunks.len() as u64;
+    for (index, chunk) in chunks.into_iter().enumerate() {
+        let mut line = wire::encode_request(&Request {
+            id: 0,
+            body: RequestBody::Restore(chunk),
+        });
+        if garble && index == 0 {
+            line = FaultPlan::garble_line(&line);
+        }
+        client
+            .send_raw(&line)
+            .map_err(|err| format!("send restore chunk: {err}"))?;
+    }
+    let end = wire::encode_request(&Request {
+        id: 0,
+        body: RequestBody::RestoreEnd(wire::SnapshotEnd {
+            chunks: chunk_count,
+            entries: total,
+            checksum,
+        }),
+    });
+    client
+        .send_raw(&end)
+        .map_err(|err| format!("send restore end: {err}"))?;
+    match client.recv() {
+        Ok(Response {
+            body: ResponseBody::Restored(frame),
+            ..
+        }) => Ok(frame.entries),
+        Ok(Response {
+            body: ResponseBody::Error(frame),
+            ..
+        }) => Err(format!(
+            "rejoining backend rejected the restore ({}): {}",
+            frame.kind.as_str(),
+            frame.detail
+        )),
+        Ok(_) => Err("unexpected frame answering the restore stream".to_string()),
+        Err(err) => Err(format!("read restore acknowledgement: {err}")),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1429,12 +1844,10 @@ fn client_read_loop(shared: &Arc<ClusterShared>, stream: &TcpStream, lines: &Syn
             }
             RequestBody::Metrics { format } => {
                 let frame = match format {
-                    MetricsFormat::Json => MetricsFrame::Snapshot(WireMetricsSnapshot::from(
-                        &shared.metrics_snapshot(),
-                    )),
-                    MetricsFormat::Text => {
-                        MetricsFrame::Text(render_text(&shared.metrics_snapshot()))
+                    MetricsFormat::Json => {
+                        MetricsFrame::Snapshot(WireMetricsSnapshot::from(&cluster_scrape(shared)))
                     }
+                    MetricsFormat::Text => MetricsFrame::Text(render_text(&cluster_scrape(shared))),
                     // The router itself samples no phase traces; spans live
                     // on the backends' own metrics endpoints.
                     MetricsFormat::Spans => MetricsFrame::Spans(Vec::new()),
@@ -1444,6 +1857,18 @@ fn client_read_loop(shared: &Arc<ClusterShared>, stream: &TcpStream, lines: &Syn
                     body: ResponseBody::Metrics(frame),
                 };
                 if !answer(lines, &response) {
+                    return;
+                }
+            }
+            // The router holds no caches of its own: warm state lives on the
+            // backends, and the router moves it between them during handoff.
+            // Clients wanting a snapshot talk to a backend directly.
+            RequestBody::Snapshot | RequestBody::Restore(_) | RequestBody::RestoreEnd(_) => {
+                let frame = ErrorFrame::new(
+                    ErrorKind::Unsupported,
+                    "snapshot/restore are backend ops; the router holds no cache state",
+                );
+                if !answer(lines, &Response::error(Some(request.id), frame)) {
                     return;
                 }
             }
@@ -1475,11 +1900,54 @@ fn client_read_loop(shared: &Arc<ClusterShared>, stream: &TcpStream, lines: &Syn
                     attempts: 0,
                     tried: 0,
                     deadline: Instant::now() + shared.options.request_deadline,
+                    hedge: false,
+                    delivered: Arc::new(AtomicBool::new(false)),
                     reply: lines.clone(),
                 };
+                let hedge = hedge_copy(shared, &job);
                 dispatch(shared, job);
+                if let Some(copy) = hedge {
+                    park_hedge(shared, copy);
+                }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics aggregation
+// ---------------------------------------------------------------------------
+
+/// One cluster-wide scrape: the router's own `cluster_*` families merged
+/// with the `server_*`/`runtime_*` families of every healthy backend,
+/// summed across backends (counters/gauges add, histograms merge).  With
+/// no backend reachable the router's own families still answer.
+fn cluster_scrape(shared: &Arc<ClusterShared>) -> RegistrySnapshot {
+    let own = shared.metrics_snapshot();
+    let parts: Vec<RegistrySnapshot> = shared
+        .backends
+        .iter()
+        .filter(|backend| backend.state() == CircuitState::Closed)
+        .filter_map(|backend| metrics_from(backend.addr(), shared.options.health_timeout))
+        .collect();
+    if parts.is_empty() {
+        return own;
+    }
+    let aggregated = RegistrySnapshot::aggregated(parts);
+    // The `cluster_` prefix is disjoint from the backends' families by
+    // construction; a collision would mean a misconfigured peer, in which
+    // case the router's own surface wins.
+    RegistrySnapshot::merged(vec![own, aggregated]).unwrap_or_else(|_| shared.metrics_snapshot())
+}
+
+fn metrics_from(addr: SocketAddr, timeout: Duration) -> Option<RegistrySnapshot> {
+    let mut client = Client::connect_with(addr, ClientOptions::with_deadline(timeout)).ok()?;
+    let response = client.metrics(0, MetricsFormat::Json).ok()?;
+    match response.body {
+        ResponseBody::Metrics(MetricsFrame::Snapshot(snapshot)) => {
+            Some(snapshot.to_registry_snapshot())
+        }
+        _ => None,
     }
 }
 

@@ -25,6 +25,8 @@ pub mod strategy;
 
 pub mod collection;
 
+pub mod num;
+
 /// Number of random cases each property runs, from `PROPTEST_CASES` (default
 /// 64).
 pub fn cases() -> u32 {

@@ -1,0 +1,33 @@
+//! Full-range numeric strategies, mirroring `proptest::num`.
+//!
+//! `proptest::num::u64::ANY` samples the type's *entire* range — the way a
+//! property reaches every `f64` bit pattern (NaNs, infinities, subnormals)
+//! through `f64::from_bits`, which range strategies cannot express.
+
+macro_rules! any_strategy {
+    ($($mod_name:ident => $t:ty),* $(,)?) => {$(
+        /// Full-range strategies over this integer type.
+        pub mod $mod_name {
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Uniform over the type's full range, mirroring
+            /// `proptest::num::*::Any`.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// The full-range strategy, mirroring `proptest::num::*::ANY`.
+            pub const ANY: Any = Any;
+
+            impl crate::strategy::Strategy for Any {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+
+any_strategy!(u8 => u8, u16 => u16, u32 => u32, u64 => u64);

@@ -51,6 +51,15 @@ impl CacheKey {
         Self::from_arch_key(arch.canonical_key(), workload)
     }
 
+    /// Builds the key from its canonical parts: an already-projected
+    /// [`ArchKey`] plus the workload.  This is the restore-side constructor
+    /// for cache snapshots — the fingerprint is recomputed from the parts,
+    /// so a transported key can never carry a forged route.
+    #[must_use]
+    pub fn from_parts(arch: ArchKey, workload: Arc<NetworkWorkload>) -> Self {
+        Self::from_arch_key(arch, workload)
+    }
+
     fn from_arch_key(arch: ArchKey, workload: Arc<NetworkWorkload>) -> Self {
         let mut hasher = StableHasher::new();
         arch.hash(&mut hasher);
@@ -66,6 +75,12 @@ impl CacheKey {
     #[must_use]
     pub fn arch_key(&self) -> &ArchKey {
         &self.arch
+    }
+
+    /// The workload component of the key.
+    #[must_use]
+    pub fn workload(&self) -> &Arc<NetworkWorkload> {
+        &self.workload
     }
 
     /// The canonical CrossLight configuration component of the key, when the
@@ -204,6 +219,48 @@ impl ShardedCache {
     pub fn eviction_counter(&self) -> &Counter {
         &self.evictions
     }
+
+    /// Exports every cached `(key, report)` pair in a deterministic order
+    /// (by routing fingerprint, ties broken by the architecture key's total
+    /// order), independent of shard count and insertion order, so snapshot
+    /// checksums are reproducible across replicas.
+    #[must_use]
+    pub fn export(&self) -> Vec<(CacheKey, SimulationReport)> {
+        let mut entries: Vec<(CacheKey, SimulationReport)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("cache shard lock poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| {
+            a.fingerprint
+                .cmp(&b.fingerprint)
+                .then_with(|| a.arch.cmp(&b.arch))
+        });
+        entries
+    }
+
+    /// Restores exported entries.  Existing entries win over imported ones
+    /// for equal keys, and none of the hit/miss/eviction counters move — a
+    /// restore is invisible to cache statistics except for `len`.  Returns
+    /// the number of entries newly inserted.
+    pub fn import(&self, entries: Vec<(CacheKey, SimulationReport)>) -> usize {
+        let mut inserted = 0;
+        for (key, report) in entries {
+            let mut shard = self.shard(&key).lock().expect("cache shard lock poisoned");
+            if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
+                slot.insert(report);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +309,48 @@ mod tests {
         assert_eq!(cache.get(&key), Some(report));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn export_import_is_bit_identical_counter_neutral_and_shard_agnostic() {
+        let warm = ShardedCache::new(4);
+        for variant in CrossLightVariant::all() {
+            let config = variant.config();
+            let report = CrossLightSimulator::new(config)
+                .evaluate(&workload(PaperModel::CnnCifar10))
+                .unwrap();
+            warm.insert(
+                CacheKey::new(&config, workload(PaperModel::CnnCifar10)),
+                report,
+            );
+        }
+        let exported = warm.export();
+        assert_eq!(exported.len(), 4);
+        assert_eq!(exported, warm.export(), "export must be deterministic");
+
+        // Restore into a cache with a *different* shard count: same
+        // contents, untouched counters, identical re-export.
+        let restored = ShardedCache::new(7);
+        assert_eq!(restored.import(exported.clone()), 4);
+        assert_eq!(restored.export(), exported);
+        assert_eq!((restored.hits(), restored.misses()), (0, 0));
+        // Idempotent: a second import inserts nothing and changes nothing.
+        assert_eq!(restored.import(exported.clone()), 0);
+        assert_eq!(restored.export(), exported);
+
+        for (key, report) in &exported {
+            assert_eq!(restored.get(key), Some(*report));
+        }
+    }
+
+    #[test]
+    fn from_parts_recomputes_the_route_and_matches_the_organic_key() {
+        let w = workload(PaperModel::CnnStl10);
+        let config = CrossLightConfig::paper_best();
+        let organic = CacheKey::new(&config, Arc::clone(&w));
+        let transported = CacheKey::from_parts(*organic.arch_key(), Arc::clone(organic.workload()));
+        assert_eq!(transported, organic);
+        assert_eq!(transported.fingerprint(), organic.fingerprint());
     }
 
     #[test]

@@ -417,6 +417,14 @@ impl EvalService {
         &self.model_cache
     }
 
+    /// The pool-wide memoized result cache.  Exposed so serving layers can
+    /// snapshot it for warm-state handoff and restore a transported
+    /// snapshot into a freshly started service.
+    #[must_use]
+    pub fn result_cache(&self) -> &Arc<ShardedCache> {
+        &self.cache
+    }
+
     /// Number of worker threads.
     #[must_use]
     pub fn workers(&self) -> usize {

@@ -41,6 +41,7 @@ pub use loadgen::{Client, ClientOptions, LoadGenOptions, LoadReport};
 pub use server::{Server, ServerOptions, ServerStats};
 pub use wire::{
     ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
+    RestoredFrame, SnapshotChunk, SnapshotEnd, SnapshotEntry,
 };
 
 /// Convenient re-exports for downstream users.
@@ -49,6 +50,6 @@ pub mod prelude {
     pub use crate::server::{Server, ServerOptions, ServerStats};
     pub use crate::wire::{
         ArchRequest, ErrorFrame, ErrorKind, EvalSpec, Request, RequestBody, Response, ResponseBody,
-        WorkloadRef,
+        RestoredFrame, SnapshotChunk, SnapshotEnd, SnapshotEntry, WorkloadRef,
     };
 }

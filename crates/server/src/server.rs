@@ -57,10 +57,12 @@ use crosslight_telemetry::{
     SpanRing, TraceSampler,
 };
 
+use crosslight_runtime::cache::CacheKey;
+
 use crate::wire::{
     self, ErrorFrame, ErrorKind, EvalFrame, MetricsFormat, MetricsFrame, RequestBody, Response,
-    ResponseBody, StatsFrame, WireMetricsSnapshot, WireRuntimeStats, WireServerStats,
-    DEFAULT_MAX_LINE_BYTES,
+    ResponseBody, SnapshotEnd, SnapshotEntry, StatsFrame, WireMetricsSnapshot, WireRuntimeStats,
+    WireServerStats, DEFAULT_MAX_LINE_BYTES,
 };
 
 /// Tuning knobs of the server.
@@ -213,6 +215,17 @@ struct ServerTelemetry {
     /// to the post-flush instant of the response write.
     request_ns: Histogram,
     traces_sampled: Counter,
+    /// Snapshot streams served (one per `snapshot` op).
+    snapshots_total: Counter,
+    /// Cache entries exported across all served snapshots.
+    snapshot_entries_total: Counter,
+    /// Restore streams validated and applied.
+    restores_total: Counter,
+    /// Cache entries received in validated restore streams.
+    restore_entries_total: Counter,
+    /// Restore streams rejected (truncated, out of sequence, corrupt, or
+    /// carrying invalid entries).
+    restore_failed_total: Counter,
     /// Scrape-time mirror of the span ring's drop count.
     spans_dropped: Counter,
     sampler: TraceSampler,
@@ -305,6 +318,26 @@ impl ServerTelemetry {
                 "server_traces_sampled_total",
                 "Requests that carried a phase trace.",
             ),
+            snapshots_total: registry.counter(
+                "server_snapshots_total",
+                "Warm-state snapshot streams served.",
+            ),
+            snapshot_entries_total: registry.counter(
+                "server_snapshot_entries_total",
+                "Cache entries exported across all served snapshots.",
+            ),
+            restores_total: registry.counter(
+                "server_restores_total",
+                "Warm-state restore streams validated and applied.",
+            ),
+            restore_entries_total: registry.counter(
+                "server_restore_entries_total",
+                "Cache entries received in validated restore streams.",
+            ),
+            restore_failed_total: registry.counter(
+                "server_restore_failed_total",
+                "Restore streams rejected as truncated, corrupt, or invalid.",
+            ),
             spans_dropped: registry.counter(
                 "server_trace_spans_dropped_total",
                 "Trace timelines evicted from the span ring before export.",
@@ -395,6 +428,120 @@ impl Shared {
         ])
         .expect("the server_ and runtime_ metric prefixes are disjoint")
     }
+
+    /// Exports both warm caches as one deterministic snapshot stream:
+    /// result-cache entries first (sorted by key), then model-cache
+    /// entries — the same order every replica produces for the same
+    /// contents, so the terminal checksum is comparable across servers.
+    fn collect_snapshot(&self) -> Vec<SnapshotEntry> {
+        let mut entries: Vec<SnapshotEntry> = self
+            .service
+            .result_cache()
+            .export()
+            .into_iter()
+            .map(|(key, report)| SnapshotEntry::Result {
+                arch: *key.arch_key(),
+                workload: (**key.workload()).clone(),
+                report,
+            })
+            .collect();
+        entries.extend(
+            self.service
+                .model_cache()
+                .export()
+                .into_iter()
+                .map(SnapshotEntry::Model),
+        );
+        entries
+    }
+
+    /// Reuses the prebuilt Table I workload [`Arc`]s for transported
+    /// workloads that match them, so restored result-cache keys share
+    /// storage with organically-warmed ones instead of duplicating the
+    /// layer tables per entry.
+    fn intern_workload(&self, workload: NetworkWorkload) -> Arc<NetworkWorkload> {
+        for known in &self.workloads {
+            if **known == workload {
+                return Arc::clone(known);
+            }
+        }
+        Arc::new(workload)
+    }
+
+    /// Validates a completed restore stream against its terminal frame and
+    /// applies it to the caches.  Model-cache entries are imported first
+    /// (that import validates before touching the cache), so a rejected
+    /// stream leaves both caches untouched.
+    fn apply_restore(
+        &self,
+        entries: Vec<SnapshotEntry>,
+        chunks: u64,
+        end: &SnapshotEnd,
+    ) -> Result<wire::RestoredFrame, ErrorFrame> {
+        if chunks != end.chunks || entries.len() as u64 != end.entries {
+            return Err(ErrorFrame::new(
+                ErrorKind::Malformed,
+                format!(
+                    "truncated restore stream: got {chunks} chunks / {} entries, \
+                     terminal frame promised {} / {}",
+                    entries.len(),
+                    end.chunks,
+                    end.entries
+                ),
+            ));
+        }
+        if wire::snapshot_checksum(&entries) != end.checksum {
+            return Err(ErrorFrame::new(
+                ErrorKind::Malformed,
+                "restore stream checksum mismatch",
+            ));
+        }
+        let total = entries.len() as u64;
+        let mut results = Vec::new();
+        let mut model = Vec::new();
+        for entry in entries {
+            match entry {
+                SnapshotEntry::Result {
+                    arch,
+                    workload,
+                    report,
+                } => {
+                    let workload = self.intern_workload(workload);
+                    results.push((CacheKey::from_parts(arch, workload), report));
+                }
+                SnapshotEntry::Model(entry) => model.push(entry),
+            }
+        }
+        let inserted_model = self.service.model_cache().import(&model).map_err(|err| {
+            ErrorFrame::new(
+                ErrorKind::Malformed,
+                format!("invalid snapshot entry: {err}"),
+            )
+        })?;
+        let inserted_results = self.service.result_cache().import(results);
+        Ok(wire::RestoredFrame {
+            entries: total,
+            results: inserted_results as u64,
+            model: inserted_model as u64,
+        })
+    }
+}
+
+/// Per-connection restore-stream state.  Chunks are accumulated silently
+/// (one response per *stream*, at `restore_end` — answering every chunk
+/// would desynchronize pipelined response correlation); a mid-stream
+/// violation poisons the session and surfaces as the terminal response.
+enum RestoreSession {
+    /// No stream in progress.
+    Idle,
+    /// Chunks 0..next_seq received and buffered.
+    Active {
+        next_seq: u64,
+        entries: Vec<SnapshotEntry>,
+    },
+    /// The stream violated the protocol; the error is held until the
+    /// terminal frame so the response stream stays aligned.
+    Poisoned { frame: ErrorFrame },
 }
 
 /// The JSON-lines evaluation server.
@@ -910,6 +1057,7 @@ fn read_loop(
     });
     let max_bytes = shared.options.max_line_bytes;
     let telemetry = &shared.telemetry;
+    let mut restore = RestoreSession::Idle;
     loop {
         // Decide up front whether this request is traced: an untraced
         // request must never read the clock, so the sampling decision has
@@ -1015,6 +1163,124 @@ fn read_loop(
                     id: Some(request.id),
                     body: ResponseBody::Metrics(frame),
                 }));
+                if !enqueue_line(telemetry, lines, out) {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+            }
+            RequestBody::Snapshot => {
+                telemetry.snapshots_total.inc();
+                let entries = shared.collect_snapshot();
+                telemetry.snapshot_entries_total.add(entries.len() as u64);
+                let total = entries.len() as u64;
+                let checksum = wire::snapshot_checksum(&entries);
+                // Keep every encoded chunk line comfortably under the peer's
+                // line limit: the entries array gets 3/4 of our own budget,
+                // leaving headroom for the response envelope.
+                let budget = (max_bytes.saturating_mul(3) / 4).max(1);
+                let chunks = wire::chunk_snapshot_entries(entries, budget);
+                let chunk_count = chunks.len() as u64;
+                for chunk in chunks {
+                    let out = Outgoing::plain(wire::encode_response(&Response {
+                        id: Some(request.id),
+                        body: ResponseBody::Snapshot(chunk),
+                    }));
+                    if !enqueue_line(telemetry, lines, out) {
+                        // The writer is gone; the connection is dead.
+                        return;
+                    }
+                }
+                let out = Outgoing::plain(wire::encode_response(&Response {
+                    id: Some(request.id),
+                    body: ResponseBody::SnapshotEnd(SnapshotEnd {
+                        chunks: chunk_count,
+                        entries: total,
+                        checksum,
+                    }),
+                }));
+                if !enqueue_line(telemetry, lines, out) {
+                    // The writer is gone; the connection is dead.
+                    return;
+                }
+            }
+            RequestBody::Restore(chunk) => {
+                // Chunks are acknowledged only by the terminal frame; see
+                // `RestoreSession`.  Sequence 0 always starts a fresh
+                // stream, so a client can retry on a surviving connection.
+                if chunk.seq == 0 {
+                    restore = RestoreSession::Active {
+                        next_seq: 1,
+                        entries: chunk.entries,
+                    };
+                } else {
+                    match &mut restore {
+                        RestoreSession::Active { next_seq, entries } if chunk.seq == *next_seq => {
+                            *next_seq += 1;
+                            entries.extend(chunk.entries);
+                        }
+                        RestoreSession::Poisoned { .. } => {}
+                        RestoreSession::Active { next_seq, .. } => {
+                            let frame = ErrorFrame::new(
+                                ErrorKind::Malformed,
+                                format!(
+                                    "restore chunk out of sequence: expected {next_seq}, \
+                                     got {}",
+                                    chunk.seq
+                                ),
+                            );
+                            restore = RestoreSession::Poisoned { frame };
+                        }
+                        RestoreSession::Idle => {
+                            let frame = ErrorFrame::new(
+                                ErrorKind::Malformed,
+                                format!("restore stream must start at chunk 0, got {}", chunk.seq),
+                            );
+                            restore = RestoreSession::Poisoned { frame };
+                        }
+                    }
+                }
+            }
+            RequestBody::RestoreEnd(end) => {
+                let session = std::mem::replace(&mut restore, RestoreSession::Idle);
+                // An empty stream (0 chunks) is a legal snapshot of an
+                // empty cache, so Idle folds into an empty Active session.
+                let response = match session {
+                    RestoreSession::Poisoned { frame } => {
+                        telemetry.restore_failed_total.inc();
+                        Response::error(Some(request.id), frame)
+                    }
+                    RestoreSession::Idle => match shared.apply_restore(Vec::new(), 0, &end) {
+                        Ok(frame) => {
+                            telemetry.restores_total.inc();
+                            Response {
+                                id: Some(request.id),
+                                body: ResponseBody::Restored(frame),
+                            }
+                        }
+                        Err(frame) => {
+                            telemetry.restore_failed_total.inc();
+                            Response::error(Some(request.id), frame)
+                        }
+                    },
+                    RestoreSession::Active { next_seq, entries } => {
+                        let received = entries.len() as u64;
+                        match shared.apply_restore(entries, next_seq, &end) {
+                            Ok(frame) => {
+                                telemetry.restores_total.inc();
+                                telemetry.restore_entries_total.add(received);
+                                Response {
+                                    id: Some(request.id),
+                                    body: ResponseBody::Restored(frame),
+                                }
+                            }
+                            Err(frame) => {
+                                telemetry.restore_failed_total.inc();
+                                Response::error(Some(request.id), frame)
+                            }
+                        }
+                    }
+                };
+                let out = Outgoing::plain(wire::encode_response(&response));
                 if !enqueue_line(telemetry, lines, out) {
                     // The writer is gone; the connection is dead.
                     return;

@@ -58,10 +58,17 @@ use crosslight_baselines::symmetric_crossbar::{
 use crosslight_baselines::{
     ArchSpec, DeapCnn, ElectronicPlatform, HolyLight, LiteCon, SymmetricCrossbar,
 };
+use crosslight_core::cache::ModelCacheEntry;
+use crosslight_core::canonical::{
+    ArchKey, BackendKey, ConfigKey, ResolutionKey, VdpUnitKey, CONFIG_KEY_WORDS,
+    RESOLUTION_KEY_WORDS, VDP_UNIT_KEY_WORDS,
+};
 use crosslight_core::config::CrossLightConfig;
 use crosslight_core::performance::{InferenceLatency, InferenceMetrics};
 use crosslight_core::simulator::SimulationReport;
 use crosslight_core::variants::CrossLightVariant;
+use crosslight_core::vdp::VdpUnitReport;
+use crosslight_neural::fingerprint::StableHasher;
 use crosslight_neural::layers::DotProductWorkload;
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
@@ -83,6 +90,11 @@ pub const METRICS_SCHEMA: &str = "crosslight-metrics/v1";
 
 /// Default maximum accepted line length (bytes, excluding the newline).
 pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Schema tag carried by every cache-snapshot frame (`snapshot` chunks and
+/// `restore` streams), so a restore can reject snapshots produced by an
+/// incompatible cache export format.
+pub const SNAPSHOT_SCHEMA: &str = "crosslight-snapshot/v1";
 
 /// The typed error kinds of the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -446,6 +458,18 @@ pub enum RequestBody {
         /// Requested payload shape.
         format: MetricsFormat,
     },
+    /// Export the full warm state (result + model caches) as a chunked
+    /// snapshot stream: `snapshot` chunk responses followed by one
+    /// `snapshot_end` frame.
+    Snapshot,
+    /// One chunk of a restore stream.  Chunks must arrive in sequence on
+    /// one connection, starting at 0; the server only answers at
+    /// `restore_end`.
+    Restore(SnapshotChunk),
+    /// Terminates a restore stream; the server validates the totals and
+    /// checksum, applies the entries, and answers `restored` or a typed
+    /// error.
+    RestoreEnd(SnapshotEnd),
 }
 
 /// The payload shape of one `metrics` scrape.
@@ -721,6 +745,64 @@ pub struct EvalFrame {
     pub worker: u64,
 }
 
+/// One exported cache entry in wire form: either a result-cache entry (the
+/// full `(architecture, workload) → report` pair) or a model-cache entry.
+/// Keys travel as their canonical `u64` words, values as the same exact-f64
+/// encodings every other frame uses, so a restored entry is bit-identical
+/// to the organically-computed one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotEntry {
+    /// One runtime result-cache entry.
+    Result {
+        /// Canonical architecture identity (fingerprint is recomputed on
+        /// restore, never transported).
+        arch: ArchKey,
+        /// The full workload component of the key.
+        workload: NetworkWorkload,
+        /// The memoized report.
+        report: SimulationReport,
+    },
+    /// One core model-cache entry.
+    Model(ModelCacheEntry),
+}
+
+/// One numbered chunk of a snapshot stream.  Chunks are sized under the
+/// transport's line limit by [`chunk_snapshot_entries`] and carry
+/// consecutive sequence numbers starting at 0, so a receiver detects any
+/// truncation or reordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotChunk {
+    /// 0-based chunk sequence number.
+    pub seq: u64,
+    /// The entries of this chunk, in stream order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// The terminal frame of a snapshot stream: totals plus a checksum over
+/// every entry's canonical encoding (see [`snapshot_checksum`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEnd {
+    /// Number of chunks that preceded this frame.
+    pub chunks: u64,
+    /// Total entries across all chunks.
+    pub entries: u64,
+    /// FNV-1a checksum of the concatenated canonical entry encodings.
+    pub checksum: u64,
+}
+
+/// The payload of a successful `restore_end` response: how many transported
+/// entries were applied to each cache (entries already present on the
+/// receiver are counted as applied — the caches converge either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoredFrame {
+    /// Total entries in the validated stream.
+    pub entries: u64,
+    /// Result-cache entries newly inserted.
+    pub results: u64,
+    /// Model-cache entries newly inserted.
+    pub model: u64,
+}
+
 /// One response frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -739,6 +821,12 @@ pub enum ResponseBody {
     Stats(StatsFrame),
     /// A metrics scrape.
     Metrics(MetricsFrame),
+    /// One chunk of a snapshot stream.
+    Snapshot(SnapshotChunk),
+    /// The terminal frame of a snapshot stream.
+    SnapshotEnd(SnapshotEnd),
+    /// A completed restore.
+    Restored(RestoredFrame),
     /// Answer to `ping`.
     Pong,
     /// A typed error.
@@ -790,6 +878,32 @@ fn encode_workload_into(workload: &NetworkWorkload, out: &mut String) {
     out.push('}');
 }
 
+/// Appends the power object (`{"laser":…,…,"control":…}`) to the line.
+fn encode_power_into(power: &crosslight_core::power::AcceleratorPower, out: &mut String) {
+    let f = |label: &str, value: f64, out: &mut String| {
+        out.push_str(label);
+        json::push_f64(value, out);
+    };
+    f("{\"laser\":", power.laser.value(), out);
+    f(",\"tuning\":", power.tuning.value(), out);
+    f(",\"detection\":", power.detection.value(), out);
+    f(",\"conversion\":", power.conversion.value(), out);
+    f(",\"control\":", power.control.value(), out);
+    out.push('}');
+}
+
+/// Appends the area object (`{"mr_banks":…,…}`) to the line.
+fn encode_area_into(area: &crosslight_core::area::AcceleratorArea, out: &mut String) {
+    let f = |label: &str, value: f64, out: &mut String| {
+        out.push_str(label);
+        json::push_f64(value, out);
+    };
+    f("{\"mr_banks\":", area.mr_banks.value(), out);
+    f(",\"arm_devices\":", area.arm_devices.value(), out);
+    f(",\"unit_electronics\":", area.unit_electronics.value(), out);
+    out.push('}');
+}
+
 /// Appends the report object to the line being built.  Frames are encoded by
 /// direct string writing (not via a [`Json`] tree) because this runs once
 /// per response on the serving hot path.
@@ -798,24 +912,12 @@ fn encode_report_into(report: &SimulationReport, out: &mut String) {
         out.push_str(label);
         json::push_f64(value, out);
     };
-    f("{\"power_mw\":{\"laser\":", report.power.laser.value(), out);
-    f(",\"tuning\":", report.power.tuning.value(), out);
-    f(",\"detection\":", report.power.detection.value(), out);
-    f(",\"conversion\":", report.power.conversion.value(), out);
-    f(",\"control\":", report.power.control.value(), out);
+    out.push_str("{\"power_mw\":");
+    encode_power_into(&report.power, out);
+    out.push_str(",\"area_mm2\":");
+    encode_area_into(&report.area, out);
     f(
-        "},\"area_mm2\":{\"mr_banks\":",
-        report.area.mr_banks.value(),
-        out,
-    );
-    f(",\"arm_devices\":", report.area.arm_devices.value(), out);
-    f(
-        ",\"unit_electronics\":",
-        report.area.unit_electronics.value(),
-        out,
-    );
-    f(
-        "},\"metrics\":{\"conv_time_s\":",
+        ",\"metrics\":{\"conv_time_s\":",
         report.metrics.latency.conv_time.value(),
         out,
     );
@@ -894,6 +996,178 @@ fn encode_arch_request_into(arch: &ArchRequest, out: &mut String) {
     }
 }
 
+/// Appends a canonical-word array (`[w0,w1,…]`) to the line.
+fn encode_words_into(words: &[u64], out: &mut String) {
+    out.push('[');
+    for (i, word) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{word}");
+    }
+    out.push(']');
+}
+
+/// Appends a canonical architecture key to the line.
+fn encode_arch_key_into(arch: &ArchKey, out: &mut String) {
+    match arch {
+        ArchKey::CrossLight(key) => {
+            out.push_str("{\"kind\":\"crosslight\",\"words\":");
+            encode_words_into(&key.to_words(), out);
+            out.push('}');
+        }
+        ArchKey::Backend(key) => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"backend\",\"tag\":{},\"params\":",
+                key.arch_tag()
+            );
+            encode_words_into(&key.params(), out);
+            out.push('}');
+        }
+    }
+}
+
+/// Appends one snapshot entry object to the line.  This encoding is the
+/// canonical checksum domain: it is deterministic (keys in fixed order,
+/// exact-f64 numbers), so [`snapshot_checksum`] agrees between the exporter
+/// and a receiver that re-encodes what it decoded.
+fn encode_snapshot_entry_into(entry: &SnapshotEntry, out: &mut String) {
+    match entry {
+        SnapshotEntry::Result {
+            arch,
+            workload,
+            report,
+        } => {
+            out.push_str("{\"kind\":\"result\",\"arch\":");
+            encode_arch_key_into(arch, out);
+            out.push_str(",\"workload\":");
+            encode_workload_into(workload, out);
+            out.push_str(",\"report\":");
+            encode_report_into(report, out);
+            out.push('}');
+        }
+        SnapshotEntry::Model(ModelCacheEntry::Unit { key, report }) => {
+            out.push_str("{\"kind\":\"unit\",\"key\":");
+            encode_words_into(&key.to_words(), out);
+            let f = |label: &str, value: f64, out: &mut String| {
+                out.push_str(label);
+                json::push_f64(value, out);
+            };
+            let _ = write!(out, ",\"report\":{{\"arms\":{}", report.arms);
+            f(",\"pass_latency_s\":", report.pass_latency.value(), out);
+            f(",\"laser_mw\":", report.laser_power.value(), out);
+            f(",\"tuning_mw\":", report.tuning_power.value(), out);
+            f(",\"detection_mw\":", report.detection_power.value(), out);
+            f(",\"conversion_mw\":", report.conversion_power.value(), out);
+            out.push_str("}}");
+        }
+        SnapshotEntry::Model(ModelCacheEntry::Resolution { key, bits }) => {
+            out.push_str("{\"kind\":\"resolution\",\"key\":");
+            encode_words_into(&key.to_words(), out);
+            let _ = write!(out, ",\"bits\":{bits}}}");
+        }
+        SnapshotEntry::Model(ModelCacheEntry::Prepared {
+            config,
+            power,
+            area,
+            resolution_bits,
+        }) => {
+            out.push_str("{\"kind\":\"prepared\",\"config\":");
+            encode_words_into(&config.to_canonical_words(), out);
+            out.push_str(",\"power_mw\":");
+            encode_power_into(power, out);
+            out.push_str(",\"area_mm2\":");
+            encode_area_into(area, out);
+            let _ = write!(out, ",\"resolution_bits\":{resolution_bits}}}");
+        }
+    }
+}
+
+/// The canonical encoding of one snapshot entry, as it appears inside a
+/// chunk's `entries` array.
+#[must_use]
+pub fn encode_snapshot_entry(entry: &SnapshotEntry) -> String {
+    let mut out = String::with_capacity(256);
+    encode_snapshot_entry_into(entry, &mut out);
+    out
+}
+
+/// FNV-1a checksum over the canonical encodings of a snapshot's entries, in
+/// stream order.  Both sides of a transfer compute this over the same
+/// deterministic encoding, so any corruption, loss or reordering that
+/// survives the per-chunk sequence check is caught at the terminal frame.
+#[must_use]
+pub fn snapshot_checksum(entries: &[SnapshotEntry]) -> u64 {
+    let mut hasher = StableHasher::new();
+    let mut buf = String::with_capacity(512);
+    for entry in entries {
+        buf.clear();
+        encode_snapshot_entry_into(entry, &mut buf);
+        std::hash::Hasher::write(&mut hasher, buf.as_bytes());
+    }
+    std::hash::Hasher::finish(&hasher)
+}
+
+/// Packs entries greedily into chunks whose encoded `entries` arrays stay
+/// under `max_chunk_bytes`, preserving order and numbering the chunks from
+/// 0.  A single entry larger than the budget still ships alone (the caller
+/// picks a budget comfortably under the transport's line limit, and every
+/// cache entry the workspace produces encodes far below it).
+#[must_use]
+pub fn chunk_snapshot_entries(
+    entries: Vec<SnapshotEntry>,
+    max_chunk_bytes: usize,
+) -> Vec<SnapshotChunk> {
+    let budget = max_chunk_bytes.max(1);
+    let mut chunks: Vec<SnapshotChunk> = Vec::new();
+    let mut current: Vec<SnapshotEntry> = Vec::new();
+    let mut bytes = 0usize;
+    for entry in entries {
+        let encoded = encode_snapshot_entry(&entry).len() + 1;
+        if !current.is_empty() && bytes + encoded > budget {
+            chunks.push(SnapshotChunk {
+                seq: chunks.len() as u64,
+                entries: std::mem::take(&mut current),
+            });
+            bytes = 0;
+        }
+        bytes += encoded;
+        current.push(entry);
+    }
+    if !current.is_empty() {
+        chunks.push(SnapshotChunk {
+            seq: chunks.len() as u64,
+            entries: current,
+        });
+    }
+    chunks
+}
+
+fn encode_snapshot_chunk_into(chunk: &SnapshotChunk, out: &mut String) {
+    let _ = write!(
+        out,
+        "\"schema\":\"{SNAPSHOT_SCHEMA}\",\"seq\":{}",
+        chunk.seq
+    );
+    out.push_str(",\"entries\":[");
+    for (i, entry) in chunk.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_snapshot_entry_into(entry, out);
+    }
+    out.push(']');
+}
+
+fn encode_snapshot_end_into(end: &SnapshotEnd, out: &mut String) {
+    let _ = write!(
+        out,
+        "\"schema\":\"{SNAPSHOT_SCHEMA}\",\"chunks\":{},\"entries\":{},\"checksum\":\"{:016x}\"",
+        end.chunks, end.entries, end.checksum
+    );
+}
+
 /// Encodes a request as one JSON line (no trailing newline).
 #[must_use]
 pub fn encode_request(request: &Request) -> String {
@@ -923,6 +1197,15 @@ pub fn encode_request(request: &Request) -> String {
             if *format != MetricsFormat::Json {
                 let _ = write!(out, ",\"format\":\"{}\"", format.as_str());
             }
+        }
+        RequestBody::Snapshot => out.push_str(",\"op\":\"snapshot\""),
+        RequestBody::Restore(chunk) => {
+            out.push_str(",\"op\":\"restore\",");
+            encode_snapshot_chunk_into(chunk, &mut out);
+        }
+        RequestBody::RestoreEnd(end) => {
+            out.push_str(",\"op\":\"restore_end\",");
+            encode_snapshot_end_into(end, &mut out);
         }
     }
     out.push('}');
@@ -1081,6 +1364,23 @@ pub fn encode_response(response: &Response) -> String {
                 ]),
             };
             out.push_str(&body.encode());
+        }
+        ResponseBody::Snapshot(chunk) => {
+            out.push_str(",\"ok\":{\"type\":\"snapshot\",");
+            encode_snapshot_chunk_into(chunk, &mut out);
+            out.push('}');
+        }
+        ResponseBody::SnapshotEnd(end) => {
+            out.push_str(",\"ok\":{\"type\":\"snapshot_end\",");
+            encode_snapshot_end_into(end, &mut out);
+            out.push('}');
+        }
+        ResponseBody::Restored(frame) => {
+            let _ = write!(
+                out,
+                ",\"ok\":{{\"type\":\"restored\",\"entries\":{},\"results\":{},\"model\":{}}}",
+                frame.entries, frame.results, frame.model
+            );
         }
         ResponseBody::Pong => out.push_str(",\"ok\":{\"type\":\"pong\"}"),
         ResponseBody::Error(frame) => {
@@ -1327,6 +1627,9 @@ pub fn decode_request(line: &str) -> Result<Request, ErrorFrame> {
                 }
             },
         },
+        "snapshot" => RequestBody::Snapshot,
+        "restore" => RequestBody::Restore(decode_snapshot_chunk(&value)?),
+        "restore_end" => RequestBody::RestoreEnd(decode_snapshot_end(&value)?),
         other => return Err(ErrorFrame::malformed(format!("unknown op `{other}`"))),
     };
     Ok(Request { id, body })
@@ -1339,23 +1642,29 @@ pub fn peek_id(line: &str) -> Option<u64> {
     Json::parse(line).ok()?.get("id")?.as_u64()
 }
 
+fn decode_power(power: &Json) -> Result<crosslight_core::power::AcceleratorPower, ErrorFrame> {
+    Ok(crosslight_core::power::AcceleratorPower {
+        laser: MilliWatts::new(f64_field(power, "laser")?),
+        tuning: MilliWatts::new(f64_field(power, "tuning")?),
+        detection: MilliWatts::new(f64_field(power, "detection")?),
+        conversion: MilliWatts::new(f64_field(power, "conversion")?),
+        control: MilliWatts::new(f64_field(power, "control")?),
+    })
+}
+
+fn decode_area(area: &Json) -> Result<crosslight_core::area::AcceleratorArea, ErrorFrame> {
+    Ok(crosslight_core::area::AcceleratorArea {
+        mr_banks: SquareMillimeters::new(f64_field(area, "mr_banks")?),
+        arm_devices: SquareMillimeters::new(f64_field(area, "arm_devices")?),
+        unit_electronics: SquareMillimeters::new(f64_field(area, "unit_electronics")?),
+    })
+}
+
 fn decode_report(value: &Json) -> Result<SimulationReport, ErrorFrame> {
-    let power = field(value, "power_mw")?;
-    let area = field(value, "area_mm2")?;
     let metrics = field(value, "metrics")?;
     Ok(SimulationReport {
-        power: crosslight_core::power::AcceleratorPower {
-            laser: MilliWatts::new(f64_field(power, "laser")?),
-            tuning: MilliWatts::new(f64_field(power, "tuning")?),
-            detection: MilliWatts::new(f64_field(power, "detection")?),
-            conversion: MilliWatts::new(f64_field(power, "conversion")?),
-            control: MilliWatts::new(f64_field(power, "control")?),
-        },
-        area: crosslight_core::area::AcceleratorArea {
-            mr_banks: SquareMillimeters::new(f64_field(area, "mr_banks")?),
-            arm_devices: SquareMillimeters::new(f64_field(area, "arm_devices")?),
-            unit_electronics: SquareMillimeters::new(f64_field(area, "unit_electronics")?),
-        },
+        power: decode_power(field(value, "power_mw")?)?,
+        area: decode_area(field(value, "area_mm2")?)?,
         metrics: InferenceMetrics {
             latency: InferenceLatency {
                 conv_time: Seconds::new(f64_field(metrics, "conv_time_s")?),
@@ -1370,6 +1679,138 @@ fn decode_report(value: &Json) -> Result<SimulationReport, ErrorFrame> {
         },
         resolution_bits: u32::try_from(u64_field(value, "resolution_bits")?)
             .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))?,
+    })
+}
+
+/// Decodes a fixed-length canonical-word array.
+fn decode_words<const N: usize>(value: &Json, key: &str) -> Result<[u64; N], ErrorFrame> {
+    let items = field(value, key)?
+        .as_array()
+        .filter(|a| a.len() == N)
+        .ok_or_else(|| {
+            ErrorFrame::malformed(format!("field `{key}` must be a {N}-element integer array"))
+        })?;
+    let mut words = [0u64; N];
+    for (slot, item) in words.iter_mut().zip(items) {
+        *slot = item
+            .as_u64()
+            .ok_or_else(|| ErrorFrame::malformed(format!("`{key}` entries must be integers")))?;
+    }
+    Ok(words)
+}
+
+/// Maps a core canonical-codec rejection into a typed malformed frame.
+fn snapshot_entry_error(err: &dyn std::fmt::Display) -> ErrorFrame {
+    ErrorFrame::malformed(format!("invalid snapshot entry: {err}"))
+}
+
+fn decode_arch_key(value: &Json) -> Result<ArchKey, ErrorFrame> {
+    match str_field(value, "kind")? {
+        "crosslight" => {
+            let words: [u64; CONFIG_KEY_WORDS] = decode_words(value, "words")?;
+            ConfigKey::from_words(words)
+                .map(ArchKey::CrossLight)
+                .map_err(|err| snapshot_entry_error(&err))
+        }
+        "backend" => {
+            let tag = u8::try_from(u64_field(value, "tag")?)
+                .map_err(|_| ErrorFrame::malformed("field `tag` out of range"))?;
+            let params: [u64; 4] = decode_words(value, "params")?;
+            Ok(ArchKey::Backend(BackendKey::new(tag, params)))
+        }
+        other => Err(ErrorFrame::malformed(format!(
+            "unknown arch key kind `{other}`"
+        ))),
+    }
+}
+
+fn decode_snapshot_entry(value: &Json) -> Result<SnapshotEntry, ErrorFrame> {
+    match str_field(value, "kind")? {
+        "result" => Ok(SnapshotEntry::Result {
+            arch: decode_arch_key(field(value, "arch")?)?,
+            workload: decode_workload(field(value, "workload")?)?,
+            report: decode_report(field(value, "report")?)?,
+        }),
+        "unit" => {
+            let words: [u64; VDP_UNIT_KEY_WORDS] = decode_words(value, "key")?;
+            let key = VdpUnitKey::from_words(words).map_err(|err| snapshot_entry_error(&err))?;
+            let report = field(value, "report")?;
+            Ok(SnapshotEntry::Model(ModelCacheEntry::Unit {
+                key,
+                report: VdpUnitReport {
+                    arms: usize_from(u64_field(report, "arms")?, "arms")?,
+                    pass_latency: Seconds::new(f64_field(report, "pass_latency_s")?),
+                    laser_power: MilliWatts::new(f64_field(report, "laser_mw")?),
+                    tuning_power: MilliWatts::new(f64_field(report, "tuning_mw")?),
+                    detection_power: MilliWatts::new(f64_field(report, "detection_mw")?),
+                    conversion_power: MilliWatts::new(f64_field(report, "conversion_mw")?),
+                },
+            }))
+        }
+        "resolution" => {
+            let words: [u64; RESOLUTION_KEY_WORDS] = decode_words(value, "key")?;
+            let key = ResolutionKey::from_words(words).map_err(|err| snapshot_entry_error(&err))?;
+            let bits = u32::try_from(u64_field(value, "bits")?)
+                .map_err(|_| ErrorFrame::malformed("field `bits` out of range"))?;
+            Ok(SnapshotEntry::Model(ModelCacheEntry::Resolution {
+                key,
+                bits,
+            }))
+        }
+        "prepared" => {
+            let words: [u64; CONFIG_KEY_WORDS] = decode_words(value, "config")?;
+            let config = CrossLightConfig::from_canonical_words(words)
+                .map_err(|err| snapshot_entry_error(&err))?;
+            Ok(SnapshotEntry::Model(ModelCacheEntry::Prepared {
+                config,
+                power: decode_power(field(value, "power_mw")?)?,
+                area: decode_area(field(value, "area_mm2")?)?,
+                resolution_bits: u32::try_from(u64_field(value, "resolution_bits")?)
+                    .map_err(|_| ErrorFrame::malformed("field `resolution_bits` out of range"))?,
+            }))
+        }
+        other => Err(ErrorFrame::malformed(format!(
+            "unknown snapshot entry kind `{other}`"
+        ))),
+    }
+}
+
+/// Checks the snapshot schema tag; a mismatch is a typed `unsupported`
+/// error — the frame is well-formed, this build just speaks a different
+/// snapshot format.
+fn check_snapshot_schema(value: &Json) -> Result<(), ErrorFrame> {
+    let schema = str_field(value, "schema")?;
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(ErrorFrame::unsupported(format!(
+            "unknown snapshot schema `{schema}` (this build speaks {SNAPSHOT_SCHEMA})"
+        )));
+    }
+    Ok(())
+}
+
+fn decode_snapshot_chunk(value: &Json) -> Result<SnapshotChunk, ErrorFrame> {
+    check_snapshot_schema(value)?;
+    let entries = field(value, "entries")?
+        .as_array()
+        .ok_or_else(|| ErrorFrame::malformed("field `entries` must be an array"))?
+        .iter()
+        .map(decode_snapshot_entry)
+        .collect::<Result<Vec<SnapshotEntry>, ErrorFrame>>()?;
+    Ok(SnapshotChunk {
+        seq: u64_field(value, "seq")?,
+        entries,
+    })
+}
+
+fn decode_snapshot_end(value: &Json) -> Result<SnapshotEnd, ErrorFrame> {
+    check_snapshot_schema(value)?;
+    let checksum = str_field(value, "checksum")?;
+    let checksum = u64::from_str_radix(checksum, 16)
+        .map_err(|_| ErrorFrame::malformed("field `checksum` must be a 64-bit hex string"))?;
+    Ok(SnapshotEnd {
+        chunks: u64_field(value, "chunks")?,
+        entries: u64_field(value, "entries")?,
+        checksum,
     })
 }
 
@@ -1570,6 +2011,13 @@ pub fn decode_response(line: &str) -> Result<Response, ErrorFrame> {
             }),
             "metrics" => ResponseBody::Metrics(decode_metrics_frame(ok)?),
             "pong" => ResponseBody::Pong,
+            "snapshot" => ResponseBody::Snapshot(decode_snapshot_chunk(ok)?),
+            "snapshot_end" => ResponseBody::SnapshotEnd(decode_snapshot_end(ok)?),
+            "restored" => ResponseBody::Restored(RestoredFrame {
+                entries: u64_field(ok, "entries")?,
+                results: u64_field(ok, "results")?,
+                model: u64_field(ok, "model")?,
+            }),
             other => return Err(ErrorFrame::malformed(format!("unknown ok type `{other}`"))),
         },
         (None, Some(err)) => {
@@ -1753,6 +2201,191 @@ mod tests {
         match decoded.body {
             ResponseBody::Eval(frame) => assert_eq!(frame.report, report),
             other => panic!("expected eval frame, got {other:?}"),
+        }
+    }
+
+    /// A representative snapshot stream: result-cache entries under both
+    /// arch-key kinds plus every model-cache entry kind from an
+    /// organically warmed [`crosslight_core::cache::ModelCache`].
+    fn sample_snapshot_entries() -> Vec<SnapshotEntry> {
+        let workloads = paper_workloads();
+        let config = CrossLightConfig::paper_best();
+        let report = CrossLightSimulator::new(config)
+            .evaluate(&workloads[0])
+            .unwrap();
+        let mut entries = vec![
+            SnapshotEntry::Result {
+                arch: ArchKey::CrossLight(config.canonical_key()),
+                workload: (*workloads[0]).clone(),
+                report,
+            },
+            SnapshotEntry::Result {
+                arch: ArchKey::Backend(BackendKey::new(3, [9, 0, u64::MAX, 17])),
+                workload: (*workloads[1]).clone(),
+                report,
+            },
+        ];
+        let model = crosslight_core::cache::ModelCache::new();
+        for variant in CrossLightVariant::all() {
+            model.prepare(&variant.config()).unwrap();
+        }
+        entries.extend(model.export().into_iter().map(SnapshotEntry::Model));
+        entries
+    }
+
+    #[test]
+    fn snapshot_frames_round_trip_bit_exactly() {
+        let entries = sample_snapshot_entries();
+        assert!(
+            entries
+                .iter()
+                .any(|e| matches!(e, SnapshotEntry::Model(ModelCacheEntry::Prepared { .. }))),
+            "a warmed model cache exports prepared entries"
+        );
+        let checksum = snapshot_checksum(&entries);
+        let requests = vec![
+            Request {
+                id: 1,
+                body: RequestBody::Snapshot,
+            },
+            Request {
+                id: 2,
+                body: RequestBody::Restore(SnapshotChunk {
+                    seq: 0,
+                    entries: entries.clone(),
+                }),
+            },
+            Request {
+                id: 3,
+                body: RequestBody::RestoreEnd(SnapshotEnd {
+                    chunks: 1,
+                    entries: entries.len() as u64,
+                    checksum,
+                }),
+            },
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            assert_eq!(decode_request(&line).unwrap(), request, "{line}");
+        }
+        let responses = vec![
+            Response {
+                id: Some(4),
+                body: ResponseBody::Snapshot(SnapshotChunk {
+                    seq: 5,
+                    entries: entries.clone(),
+                }),
+            },
+            Response {
+                id: Some(5),
+                body: ResponseBody::SnapshotEnd(SnapshotEnd {
+                    chunks: 6,
+                    entries: entries.len() as u64,
+                    checksum,
+                }),
+            },
+            Response {
+                id: Some(6),
+                body: ResponseBody::Restored(RestoredFrame {
+                    entries: 12,
+                    results: 7,
+                    model: 5,
+                }),
+            },
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert_eq!(decode_response(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_checksum_is_deterministic_and_order_sensitive() {
+        let entries = sample_snapshot_entries();
+        assert_eq!(snapshot_checksum(&entries), snapshot_checksum(&entries));
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        assert_ne!(
+            snapshot_checksum(&entries),
+            snapshot_checksum(&reversed),
+            "reordering a stream must change its checksum"
+        );
+        // The decoded stream re-encodes to the identical checksum — the
+        // property the receiver-side verification relies on.
+        let chunk = SnapshotChunk { seq: 0, entries };
+        let line = encode_request(&Request {
+            id: 1,
+            body: RequestBody::Restore(chunk.clone()),
+        });
+        let Ok(Request {
+            body: RequestBody::Restore(decoded),
+            ..
+        }) = decode_request(&line)
+        else {
+            panic!("restore frame must decode");
+        };
+        assert_eq!(
+            snapshot_checksum(&decoded.entries),
+            snapshot_checksum(&chunk.entries)
+        );
+    }
+
+    #[test]
+    fn snapshot_chunking_respects_the_byte_budget_and_numbers_chunks() {
+        let entries = sample_snapshot_entries();
+        let budget = 600;
+        let chunks = chunk_snapshot_entries(entries.clone(), budget);
+        assert!(chunks.len() > 1, "a 600-byte budget must force chunking");
+        let mut reassembled = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.seq, i as u64);
+            assert!(!chunk.entries.is_empty());
+            let payload: usize = chunk
+                .entries
+                .iter()
+                .map(|e| encode_snapshot_entry(e).len() + 1)
+                .sum();
+            assert!(
+                payload <= budget || chunk.entries.len() == 1,
+                "chunk {i} holds {payload} bytes against a {budget} budget"
+            );
+            reassembled.extend(chunk.entries.iter().cloned());
+        }
+        assert_eq!(reassembled, entries, "chunking must preserve the stream");
+        // A generous budget yields one chunk.
+        assert_eq!(chunk_snapshot_entries(entries, usize::MAX).len(), 1);
+        // An empty stream yields no chunks.
+        assert!(chunk_snapshot_entries(Vec::new(), budget).is_empty());
+    }
+
+    #[test]
+    fn snapshot_decode_rejections_are_typed() {
+        // A foreign schema is a well-formed frame this build cannot apply.
+        let line = r#"{"v":1,"id":1,"op":"restore","schema":"crosslight-snapshot/v9","seq":0,"entries":[]}"#;
+        assert_eq!(
+            decode_request(line).unwrap_err().kind,
+            ErrorKind::Unsupported
+        );
+        // Everything else about a broken stream is malformed.
+        for line in [
+            // checksum not a hex string
+            r#"{"v":1,"id":1,"op":"restore_end","schema":"crosslight-snapshot/v1","chunks":0,"entries":0,"checksum":"zz"}"#,
+            // checksum as a bare number
+            r#"{"v":1,"id":1,"op":"restore_end","schema":"crosslight-snapshot/v1","chunks":0,"entries":0,"checksum":7}"#,
+            // entries not an array
+            r#"{"v":1,"id":1,"op":"restore","schema":"crosslight-snapshot/v1","seq":0,"entries":3}"#,
+            // unknown entry kind
+            r#"{"v":1,"id":1,"op":"restore","schema":"crosslight-snapshot/v1","seq":0,"entries":[{"kind":"mystery"}]}"#,
+            // wrong word-array arity
+            r#"{"v":1,"id":1,"op":"restore","schema":"crosslight-snapshot/v1","seq":0,"entries":[{"kind":"resolution","key":[1,2],"bits":8}]}"#,
+            // a prepared entry whose config words fail core validation
+            r#"{"v":1,"id":1,"op":"restore","schema":"crosslight-snapshot/v1","seq":0,"entries":[{"kind":"prepared","config":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"power_mw":{},"area_mm2":{},"resolution_bits":8}]}"#,
+        ] {
+            assert_eq!(
+                decode_request(line).unwrap_err().kind,
+                ErrorKind::Malformed,
+                "{line}"
+            );
         }
     }
 

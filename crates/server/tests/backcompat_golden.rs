@@ -94,10 +94,9 @@ fn serve_corpus() -> String {
                 id: Some(id),
                 body: ResponseBody::Pong,
             },
-            Ok(Request {
-                id,
-                body: RequestBody::Stats | RequestBody::Metrics { .. },
-            }) => panic!("corpus has no stats/metrics ops (non-deterministic), got id {id}"),
+            Ok(Request { id, .. }) => {
+                panic!("corpus has no stats/metrics/snapshot ops (non-deterministic), got id {id}")
+            }
             Err(frame) => Response::error(peek_id(line), frame),
         };
         out.push_str(line);

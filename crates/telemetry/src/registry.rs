@@ -382,6 +382,57 @@ impl RegistrySnapshot {
         families.sort_by(|a, b| a.name.cmp(&b.name));
         Ok(RegistrySnapshot { families })
     }
+
+    /// Sums snapshots of the *same* metric surface (e.g. one scrape per
+    /// cluster backend) into one: counters and gauges add, histograms
+    /// merge, matched by `(family, label set)`.  Series present in only
+    /// some parts pass through; a family whose kind disagrees across
+    /// parts keeps its first reading (malformed peers must not poison a
+    /// scrape).  Complements [`Self::merged`], which requires disjoint
+    /// family names.
+    #[must_use]
+    pub fn aggregated(parts: Vec<RegistrySnapshot>) -> RegistrySnapshot {
+        fn combine(current: &SeriesValue, incoming: &SeriesValue) -> SeriesValue {
+            match (current, incoming) {
+                (SeriesValue::Counter(a), SeriesValue::Counter(b)) => {
+                    SeriesValue::Counter(a.saturating_add(*b))
+                }
+                (SeriesValue::Gauge(a), SeriesValue::Gauge(b)) => {
+                    SeriesValue::Gauge(a.saturating_add(*b))
+                }
+                (SeriesValue::Histogram(a), SeriesValue::Histogram(b)) => {
+                    SeriesValue::Histogram(a.merge(b))
+                }
+                (mismatched, _) => mismatched.clone(),
+            }
+        }
+        let mut families: Vec<FamilySnapshot> = Vec::new();
+        for part in parts {
+            for family in part.families {
+                match families.iter_mut().find(|f| f.name == family.name) {
+                    None => families.push(family),
+                    Some(existing) if existing.kind == family.kind => {
+                        for series in family.series {
+                            match existing
+                                .series
+                                .iter_mut()
+                                .find(|s| s.labels == series.labels)
+                            {
+                                None => existing.series.push(series),
+                                Some(slot) => slot.value = combine(&slot.value, &series.value),
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for family in &mut families {
+            family.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot { families }
+    }
 }
 
 #[cfg(test)]
@@ -469,6 +520,43 @@ mod tests {
             registry.register_gauge("dup_total", "x", &[("worker", "1")], &Gauge::new()),
             Err(RegistryError::KindMismatch("dup_total".to_string()))
         );
+    }
+
+    #[test]
+    fn aggregated_sums_matching_series_and_passes_strays_through() {
+        let scrape = |requests: u64, depth: i64, latencies: &[u64]| {
+            let registry = Registry::new();
+            registry
+                .counter_with("agg_requests_total", "r", &[("worker", "0")])
+                .add(requests);
+            registry.gauge("agg_queue_depth", "d").set(depth);
+            let histogram = registry.histogram("agg_latency_ns", "l");
+            for &value in latencies {
+                histogram.record(value);
+            }
+            registry.snapshot()
+        };
+        let left = scrape(3, 2, &[100, 200]);
+        let mut right = scrape(4, 5, &[300]);
+        // A series only the right part carries must survive untouched.
+        let extra = Registry::new();
+        extra
+            .counter_with("agg_requests_total", "r", &[("worker", "1")])
+            .add(9);
+        right = RegistrySnapshot::aggregated(vec![right, extra.snapshot()]);
+        let total = RegistrySnapshot::aggregated(vec![left, right]);
+        let workers = &total.family("agg_requests_total").unwrap().series;
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].value, SeriesValue::Counter(7));
+        assert_eq!(workers[1].value, SeriesValue::Counter(9));
+        assert_eq!(total.value("agg_queue_depth"), Some(&SeriesValue::Gauge(7)));
+        match total.value("agg_latency_ns") {
+            Some(SeriesValue::Histogram(h)) => {
+                assert_eq!(h.count(), 3);
+                assert_eq!(h.sum(), 600);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

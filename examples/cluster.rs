@@ -19,9 +19,15 @@
 //!    killed with most of it outstanding: zero accepted requests are
 //!    lost, the answers stay bit-identical, and the re-routing is
 //!    observable (nonzero failovers, nonzero backend transport faults).
-//! 3. **Readmission** — the killed backend restarts on a new ephemeral
-//!    port and rejoins through half-open probing; a final sweep serves
-//!    across all three backends again.
+//! 3. **Warm readmission** — the killed backend restarts on a new
+//!    ephemeral port and rejoins through half-open probing *warm*: the
+//!    prober hands its shards back from the surviving replicas before
+//!    traffic returns (observable in `cluster_handoff_*`), the final
+//!    sweep serves across all three backends again, and the reborn
+//!    backend answers it with **zero** result-cache misses.  The
+//!    cluster-wide metrics page is scraped through the router (hedge
+//!    accounting included) and optionally dumped with
+//!    `--dump-metrics <path>` for the CI scrape step.
 //! 4. **Degradation + drain** — with every backend gone, an eval is
 //!    answered with a typed retryable `unavailable` frame within the
 //!    deadline, and router shutdown completes with a client connected.
@@ -30,7 +36,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crosslight::cluster::{CircuitState, RetryPolicy, Router, RouterOptions};
+use crosslight::cluster::{CircuitState, HedgePolicy, RetryPolicy, Router, RouterOptions};
 use crosslight::experiments::arch_zoo;
 use crosslight::neural::workload::NetworkWorkload;
 use crosslight::neural::zoo::PaperModel;
@@ -38,9 +44,10 @@ use crosslight::runtime::prelude::*;
 use crosslight::server::loadgen::{Client, ClientOptions};
 use crosslight::server::server::{Server, ServerOptions};
 use crosslight::server::wire::{
-    self, ArchRequest, ErrorKind, EvalFrame, EvalSpec, Request, RequestBody, Response,
-    ResponseBody, WorkloadRef,
+    self, ArchRequest, ErrorKind, EvalFrame, EvalSpec, MetricsFormat, MetricsFrame, Request,
+    RequestBody, Response, ResponseBody, WireMetricValue, WireMetricsSnapshot, WorkloadRef,
 };
+use crosslight::telemetry::validate_text;
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
     args.iter()
@@ -51,6 +58,42 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
                 .unwrap_or_else(|_| panic!("{flag} expects a non-negative integer, got `{v}`"))
         })
         .unwrap_or(default)
+}
+
+fn parse_path_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Sums a family's series across label sets (counter values, gauge
+/// values, histogram counts) in a wire metrics snapshot.
+fn family_total(snapshot: &WireMetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .families
+        .iter()
+        .filter(|family| family.name == name)
+        .flat_map(|family| &family.series)
+        .map(|series| match series.value {
+            WireMetricValue::Counter(value) => value,
+            WireMetricValue::Gauge(value) => value.max(0) as u64,
+            WireMetricValue::Histogram(ref h) => h.count,
+        })
+        .sum()
+}
+
+/// One JSON metrics scrape of `addr` (a backend directly, or the router
+/// for the merged cluster-wide page).
+fn scrape_json(addr: SocketAddr) -> WireMetricsSnapshot {
+    let mut client =
+        Client::connect_with(addr, ClientOptions::with_deadline(Duration::from_secs(10)))
+            .expect("connect for a metrics scrape");
+    let response = client.metrics(0, MetricsFormat::Json).expect("metrics op");
+    match response.body {
+        ResponseBody::Metrics(MetricsFrame::Snapshot(snapshot)) => snapshot,
+        other => panic!("expected a metrics snapshot, got {other:?}"),
+    }
 }
 
 /// A deterministic mixed sweep: the arch-zoo union grid cycled across the
@@ -158,6 +201,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let requests = parse_flag(&args, "--requests", 96).max(16);
     let workers = parse_flag(&args, "--workers", 2).max(1);
+    let dump_metrics = parse_path_flag(&args, "--dump-metrics");
 
     println!("=== crosslight-cluster — fault-tolerant router over 3 backends ===\n");
 
@@ -182,7 +226,10 @@ fn main() {
             jitter_seed: 0x5EED,
         })
         .with_retry_budget(1_000)
-        .with_request_deadline(Duration::from_secs(30));
+        .with_request_deadline(Duration::from_secs(30))
+        // Speculative second attempts on the other replica once a forward
+        // outlives the observed p99 — accounting shows up in the scrape.
+        .with_hedge(HedgePolicy::enabled());
     let router = Router::bind("127.0.0.1:0", &addrs, options).expect("bind router");
     println!("router  : {}", router.local_addr());
     for (index, addr) in addrs.iter().enumerate() {
@@ -232,7 +279,7 @@ fn main() {
         stats.retries - before.retries,
     );
 
-    // ---- Phase 3: restart + readmission via half-open probing --------------
+    // ---- Phase 3: restart + warm readmission via half-open probing ---------
     // First let the prober notice the corpse and trip the breaker.
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
@@ -246,6 +293,14 @@ fn main() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
+    // Serve a full sweep through the outage: the breaker is open, so every
+    // one of backend 1's shards is computed (and cached) on a surviving
+    // replica — the warm state the handoff below will pull from.  Results
+    // that lived only on the corpse are genuinely lost with it; this is
+    // the donors re-earning them.
+    let served = sweep_through(&mut client, &specs, None);
+    assert_eq!(served, reference, "open-breaker answers diverged");
+    println!("outage  : full sweep served bit-identically with backend 1's breaker open");
     let reborn = bind_backend(workers);
     router.update_backend_addr(1, reborn.local_addr());
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -260,12 +315,46 @@ fn main() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
+    let reborn_addr = reborn.local_addr();
     backends[1] = Some(reborn);
+
+    // The readmission must have been *warm*: the prober pulled backend 1's
+    // shards from the surviving replicas and restored them before closing
+    // the breaker.
+    let router_scrape = scrape_json(router.local_addr());
+    assert!(
+        family_total(&router_scrape, "cluster_handoff_restored_total") >= 1,
+        "readmission did not run a warm handoff"
+    );
+    let handed_over = family_total(&router_scrape, "cluster_handoff_entries_total");
+    assert!(handed_over >= 1, "the handoff moved no entries");
+    assert_eq!(
+        family_total(&router_scrape, "cluster_handoff_failed_total"),
+        0,
+        "a healthy-donor handoff must not fail"
+    );
+
     let served = sweep_through(&mut client, &specs, None);
     assert_eq!(served, reference, "post-readmission answers diverged");
+    // The handed-off shards serve from cache: the reborn backend answered
+    // its slice of the final sweep without a single result-cache miss.
+    let reborn_scrape = scrape_json(reborn_addr);
+    assert!(
+        family_total(&reborn_scrape, "server_restores_total") >= 1,
+        "the reborn backend accepted no restore stream"
+    );
+    assert!(
+        family_total(&reborn_scrape, "runtime_result_cache_hits_total") >= 1,
+        "the reborn backend served none of the final sweep"
+    );
+    assert_eq!(
+        family_total(&reborn_scrape, "runtime_result_cache_misses_total"),
+        0,
+        "a warm-readmitted backend must not recompute its shards"
+    );
     println!(
-        "readmit : backend 1 restarted on {} and readmitted through half-open probing",
-        backends[1].as_ref().expect("reborn").local_addr()
+        "readmit : backend 1 restarted on {reborn_addr} and readmitted WARM — \
+         {handed_over} cache entries handed back, 0 cold misses on the final sweep"
     );
 
     let stats = router.stats();
@@ -279,6 +368,36 @@ fn main() {
             .map(|s| s.as_str())
             .collect::<Vec<_>>(),
     );
+
+    // The router's metrics op serves the whole cluster: its own cluster_*
+    // families merged with the aggregated scrapes of every closed backend.
+    let mut metrics_client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(10)),
+    )
+    .expect("connect for the text scrape");
+    let response = metrics_client
+        .metrics(1, MetricsFormat::Text)
+        .expect("text metrics op");
+    let ResponseBody::Metrics(MetricsFrame::Text(page)) = response.body else {
+        panic!("metrics text endpoint returned an unexpected frame");
+    };
+    validate_text(&page).expect("the cluster-wide exposition page validates");
+    for family in [
+        "cluster_handoff_restored_total",
+        "cluster_hedges_launched_total",
+        "server_restores_total",
+        "runtime_result_cache_hits_total",
+    ] {
+        assert!(
+            page.contains(family),
+            "cluster-wide scrape is missing `{family}`"
+        );
+    }
+    if let Some(path) = &dump_metrics {
+        std::fs::write(path, &page).expect("write the dumped metrics page");
+        println!("metrics : dumped {} exposition bytes to {path}", page.len());
+    }
 
     // ---- Phase 4: degradation + drain --------------------------------------
     for backend in backends.iter_mut() {

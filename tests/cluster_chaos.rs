@@ -15,7 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crosslight::cluster::{
-    CircuitState, FaultAction, FaultPlan, FaultPoint, FaultRule, RetryPolicy, Router, RouterOptions,
+    CircuitState, FaultAction, FaultPlan, FaultPoint, FaultRule, HedgePolicy, RetryPolicy, Router,
+    RouterOptions,
 };
 use crosslight::experiments::arch_zoo;
 use crosslight::neural::workload::NetworkWorkload;
@@ -24,8 +25,8 @@ use crosslight::runtime::pool::{EvalService, RuntimeOptions};
 use crosslight::server::loadgen::{Client, ClientOptions};
 use crosslight::server::server::{Server, ServerOptions};
 use crosslight::server::wire::{
-    self, ArchRequest, ErrorKind, EvalFrame, EvalSpec, Request, RequestBody, Response,
-    ResponseBody, WireMetricsSnapshot, WorkloadRef,
+    self, ArchRequest, ErrorKind, EvalFrame, EvalSpec, MetricsFormat, MetricsFrame, Request,
+    RequestBody, Response, ResponseBody, WireMetricsSnapshot, WorkloadRef,
 };
 
 fn workload_table() -> [Arc<NetworkWorkload>; 4] {
@@ -160,6 +161,18 @@ fn family_total(snapshot: &WireMetricsSnapshot, name: &str) -> u64 {
             WireMetricValue::Histogram(ref h) => h.count,
         })
         .sum()
+}
+
+/// One direct metrics scrape of a backend server (not through the router).
+fn backend_scrape(addr: SocketAddr) -> WireMetricsSnapshot {
+    let mut client =
+        Client::connect_with(addr, ClientOptions::with_deadline(Duration::from_secs(10)))
+            .expect("connect to backend for scrape");
+    let response = client.metrics(0, MetricsFormat::Json).expect("metrics op");
+    match response.body {
+        ResponseBody::Metrics(MetricsFrame::Snapshot(snapshot)) => snapshot,
+        other => panic!("expected a metrics snapshot, got {other:?}"),
+    }
 }
 
 fn wait_for(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
@@ -450,6 +463,219 @@ fn seeded_fault_plan_chaos_sweep_stays_bit_identical() {
     assert!(
         stats.failovers >= 1,
         "killed/garbled exchanges must be re-routed: {stats:?}"
+    );
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn readmitted_backend_is_warm_restored_and_serves_its_shards_with_zero_cold_misses() {
+    let donor = bind_backend();
+    let doomed = bind_backend();
+    let addrs = vec![donor.local_addr(), doomed.local_addr()];
+    // Replication 2 over 2 backends: every shard lives on both, so the
+    // donor can rebuild the rejoining backend's entire warm state.
+    let router = Router::bind("127.0.0.1:0", &addrs, chaos_options().with_replication(2))
+        .expect("bind router");
+
+    let specs = mixed_sweep(24);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    let reference = sorted(reference_lines(&specs));
+
+    // Phase 1 — warm the cluster, then kill one backend.
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+    doomed.shutdown();
+    wait_for("the breaker to open", Duration::from_secs(10), || {
+        router.stats().backend_states[1] == CircuitState::Open
+    });
+
+    // Phase 2 — the outage sweep: the survivor absorbs the dead backend's
+    // shards, so it now holds the full warm state a donor needs.
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+
+    // Phase 3 — restart cold on a fresh port and wait for the warm
+    // readmission: probation → half-open probe → warming handoff → closed.
+    let reborn = bind_backend();
+    router.update_backend_addr(1, reborn.local_addr());
+    wait_for("warm readmission", Duration::from_secs(10), || {
+        let stats = router.stats();
+        stats.backend_states[1] == CircuitState::Closed && stats.readmitted[1] >= 1
+    });
+    let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+    assert!(
+        family_total(&scrape, "cluster_handoff_snapshots_sent_total") >= 1,
+        "the donor must have been asked for a snapshot"
+    );
+    assert_eq!(family_total(&scrape, "cluster_handoff_restored_total"), 1);
+    assert!(
+        family_total(&scrape, "cluster_handoff_entries_total") as usize >= specs.len(),
+        "every shard of the rejoining backend must have been transferred"
+    );
+    assert_eq!(family_total(&scrape, "cluster_handoff_failed_total"), 0);
+    assert!(
+        family_total(&scrape, "cluster_handoff_warmup_ns") >= 1,
+        "the warm-up duration must be recorded"
+    );
+    let restored = backend_scrape(reborn.local_addr());
+    assert_eq!(family_total(&restored, "server_restores_total"), 1);
+    assert!(family_total(&restored, "server_restore_entries_total") as usize >= specs.len());
+
+    // Phase 4 — the proof of warmth: the sweep stays bit-identical, the
+    // readmitted backend carries real traffic again, and it does so
+    // without a single cold result-cache or model-cache miss — its first
+    // routed requests already hit the restored state.
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+    let after = backend_scrape(reborn.local_addr());
+    assert!(
+        family_total(&after, "server_evals_ok_total") >= 1,
+        "the readmitted backend must serve its shards again"
+    );
+    assert!(family_total(&after, "runtime_result_cache_hits_total") >= 1);
+    assert_eq!(
+        family_total(&after, "runtime_result_cache_misses_total"),
+        0,
+        "a warm-restored backend must never recompute a handed-off shard"
+    );
+    assert_eq!(
+        family_total(&after, "runtime_model_cache_misses_total"),
+        0,
+        "a warm-restored backend must never re-prepare a model"
+    );
+
+    router.shutdown();
+    donor.shutdown();
+    reborn.shutdown();
+}
+
+#[test]
+fn corrupted_handoff_falls_back_to_cold_readmission_without_wedging() {
+    // Garble every warm-state transfer: the restore stream arrives
+    // corrupted at the rejoining backend, which must reject it with a
+    // typed error — and the router must readmit the backend cold.
+    let faults = FaultPlan::new(vec![FaultRule::always(
+        FaultPoint::Handoff,
+        Some(1),
+        FaultAction::Garble,
+    )]);
+    let donor = bind_backend();
+    let doomed = bind_backend();
+    let addrs = vec![donor.local_addr(), doomed.local_addr()];
+    let options = chaos_options()
+        .with_replication(2)
+        .with_faults(Arc::clone(&faults));
+    let router = Router::bind("127.0.0.1:0", &addrs, options).expect("bind router");
+
+    let specs = mixed_sweep(16);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    let reference = sorted(reference_lines(&specs));
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+
+    doomed.shutdown();
+    wait_for("the breaker to open", Duration::from_secs(10), || {
+        router.stats().backend_states[1] == CircuitState::Open
+    });
+    // Outage sweep so the donor holds state worth corrupting in transit.
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+
+    let reborn = bind_backend();
+    router.update_backend_addr(1, reborn.local_addr());
+    wait_for("cold readmission", Duration::from_secs(10), || {
+        let stats = router.stats();
+        stats.backend_states[1] == CircuitState::Closed && stats.readmitted[1] >= 1
+    });
+    assert!(
+        faults.injected() >= 1,
+        "the garble must actually have fired"
+    );
+    let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+    assert!(
+        family_total(&scrape, "cluster_handoff_failed_total") >= 1,
+        "the corrupted transfer must be counted as a failed handoff"
+    );
+    assert_eq!(family_total(&scrape, "cluster_handoff_restored_total"), 0);
+    let rejoined = backend_scrape(reborn.local_addr());
+    assert!(
+        family_total(&rejoined, "server_restore_failed_total") >= 1,
+        "the backend must have rejected the corrupt stream with a typed error"
+    );
+    assert_eq!(
+        family_total(&rejoined, "server_restores_total"),
+        0,
+        "no corrupt entry may reach the caches"
+    );
+
+    // Not wedged: the cold backend still serves, recomputes organically,
+    // and the sweep stays bit-identical.
+    assert_eq!(sorted(cluster_lines(&mut client, &specs)), reference);
+
+    router.shutdown();
+    donor.shutdown();
+    reborn.shutdown();
+}
+
+#[test]
+fn hedged_requests_deliver_exactly_once_and_account_every_hedge() {
+    let backends = [bind_backend(), bind_backend()];
+    let addrs: Vec<SocketAddr> = backends.iter().map(Server::local_addr).collect();
+    // A zero minimum delay makes the hedge race the primary outright —
+    // the harshest test of the first-answer-wins claim.
+    let hedge = HedgePolicy {
+        enabled: true,
+        p99_multiplier: 1.0,
+        min_delay: Duration::ZERO,
+        max_delay: Duration::from_millis(5),
+    };
+    let router = Router::bind(
+        "127.0.0.1:0",
+        &addrs,
+        chaos_options().with_replication(2).with_hedge(hedge),
+    )
+    .expect("bind router");
+
+    let specs = mixed_sweep(64);
+    let mut client = Client::connect_with(
+        router.local_addr(),
+        ClientOptions::with_deadline(Duration::from_secs(60)),
+    )
+    .expect("connect to router");
+    let served = cluster_lines(&mut client, &specs);
+    assert_eq!(sorted(served), sorted(reference_lines(&specs)));
+
+    // Exactly once: two attempts per request never inflate the answers.
+    let stats = router.stats();
+    assert_eq!(stats.evals_routed, 64);
+    assert_eq!(stats.evals_ok, 64);
+    assert_eq!(stats.evals_failed, 0);
+    assert_eq!(stats.shed_total, 0);
+
+    // Every launched hedge eventually resolves into the accounting
+    // vocabulary (won, cancelled before I/O, or wasted after it).
+    let launched = family_total(
+        &WireMetricsSnapshot::from(&router.metrics_snapshot()),
+        "cluster_hedges_launched_total",
+    );
+    assert!(launched >= 1, "hedges must actually have been launched");
+    wait_for(
+        "hedge accounting to settle",
+        Duration::from_secs(10),
+        || {
+            let scrape = WireMetricsSnapshot::from(&router.metrics_snapshot());
+            family_total(&scrape, "cluster_hedges_won_total")
+                + family_total(&scrape, "cluster_hedges_cancelled_total")
+                + family_total(&scrape, "cluster_hedges_wasted_total")
+                >= launched
+        },
     );
 
     router.shutdown();
