@@ -31,6 +31,13 @@ use crosslight_server::wire::{
     self, EvalFrame, EvalSpec, Request, RequestBody, Response, ResponseBody,
 };
 
+/// `server_loopback_warm_mix` as measured at commit 76707dc, when the
+/// front-end still ran a reader/responder/writer thread trio per
+/// connection.  The reactor scenarios use it as their fixed baseline, so
+/// their `speedup_vs_baseline` reads directly as "× faster than the
+/// thread-trio front-end".
+const THREAD_TRIO_LOOPBACK_WARM_MIX_NS: f64 = 11_837.5;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -201,6 +208,46 @@ fn main() {
         p50_ns: loopback.p50_ns.map(|p| p / specs.len() as f64),
         p99_ns: loopback.p99_ns.map(|p| p / specs.len() as f64),
     });
+    // The same measurement under its reactor name, judged against the
+    // recorded thread-trio figure instead of this run's direct dispatch —
+    // the regression gate for the reactor front-end itself.
+    results.push(BenchResult {
+        name: "reactor_loopback_warm_mix".to_string(),
+        ns_per_iter: per_request_ns,
+        iterations: loopback.iterations,
+        p50_ns: loopback.p50_ns.map(|p| p / specs.len() as f64),
+        p99_ns: loopback.p99_ns.map(|p| p / specs.len() as f64),
+    });
+
+    // ---- cross-connection micro-batching ----------------------------------
+    // Four connections pipeline the warm mix concurrently, so the server's
+    // micro-batcher can coalesce admitted evals across connections into
+    // pool batches.  Reported per request across all connections.
+    const MICROBATCH_CLIENTS: usize = 4;
+    let mut batch_clients: Vec<Client> = (0..MICROBATCH_CLIENTS)
+        .map(|_| Client::connect(server.local_addr()).expect("connect batch client"))
+        .collect();
+    let microbatch = measure("microbatch_warm_mix_batch", window_ms, || {
+        std::thread::scope(|scope| {
+            for client in batch_clients.iter_mut() {
+                scope.spawn(|| {
+                    client
+                        .eval_pipelined(&specs, 0)
+                        .expect("pipelined mix succeeds")
+                });
+            }
+        });
+    });
+    let microbatch_requests = (MICROBATCH_CLIENTS * specs.len()) as f64;
+    let microbatch_per_req_ns = microbatch.ns_per_iter / microbatch_requests;
+    results.push(BenchResult {
+        name: "microbatch_per_req".to_string(),
+        ns_per_iter: microbatch_per_req_ns,
+        iterations: microbatch.iterations,
+        p50_ns: microbatch.p50_ns.map(|p| p / microbatch_requests),
+        p99_ns: microbatch.p99_ns.map(|p| p / microbatch_requests),
+    });
+    drop(batch_clients);
 
     // Multi-connection aggregate throughput, reported for context.
     let load_options = LoadGenOptions::paper_mix(4, if quick { 64 } else { 256 }, 1);
@@ -227,11 +274,23 @@ fn main() {
             "direct_submit_batch_warm_per_req_unsampled_trace",
             batch_per_req_ns,
         ),
+        (
+            "reactor_loopback_warm_mix",
+            THREAD_TRIO_LOOPBACK_WARM_MIX_NS,
+        ),
+        ("microbatch_per_req", THREAD_TRIO_LOOPBACK_WARM_MIX_NS),
     ];
     let ratio = per_request_ns / direct_each_ns;
     println!(
         "\nserver loopback {per_request_ns:.0} ns/req vs direct dispatch {direct_each_ns:.0} \
          ns/req → {ratio:.2}× direct cost (acceptance bar: ≤ 2×)"
+    );
+    println!(
+        "reactor {per_request_ns:.0} ns/req vs thread-trio front-end \
+         {THREAD_TRIO_LOOPBACK_WARM_MIX_NS:.0} ns/req → {:.2}×; micro-batched \
+         {microbatch_per_req_ns:.0} ns/req over {MICROBATCH_CLIENTS} connections → {:.2}×",
+        THREAD_TRIO_LOOPBACK_WARM_MIX_NS / per_request_ns,
+        THREAD_TRIO_LOOPBACK_WARM_MIX_NS / microbatch_per_req_ns,
     );
     let overhead = traced_per_req_ns / batch_per_req_ns;
     println!(
@@ -244,7 +303,9 @@ fn main() {
         mode,
         "b2dd617 (pre-server seed: EvalService reachable in-process only; the recorded \
          baseline of server_loopback_warm_mix is direct_submit_each_warm measured in this \
-         same run, so speedup_vs_baseline is the loopback-vs-direct cost ratio)",
+         same run, so speedup_vs_baseline is the loopback-vs-direct cost ratio; \
+         reactor_loopback_warm_mix and microbatch_per_req are judged against the fixed \
+         thread-trio-era server_loopback_warm_mix figure from 76707dc)",
         &baselines,
         &results,
     );

@@ -1863,7 +1863,7 @@ fn client_read_loop(shared: &Arc<ClusterShared>, stream: &TcpStream, lines: &Syn
             // The router holds no caches of its own: warm state lives on the
             // backends, and the router moves it between them during handoff.
             // Clients wanting a snapshot talk to a backend directly.
-            RequestBody::Snapshot | RequestBody::Restore(_) | RequestBody::RestoreEnd(_) => {
+            RequestBody::Snapshot { .. } | RequestBody::Restore(_) | RequestBody::RestoreEnd(_) => {
                 let frame = ErrorFrame::new(
                     ErrorKind::Unsupported,
                     "snapshot/restore are backend ops; the router holds no cache state",

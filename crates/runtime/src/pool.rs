@@ -176,6 +176,31 @@ struct Job {
     cancel: Option<CancelToken>,
 }
 
+/// What travels down a worker's channel: either a single job or a whole
+/// same-worker group from [`EvalService::submit_detached_batch`].  Grouping
+/// amortizes the channel synchronization over the group — one send wakes the
+/// worker once for N jobs — without changing per-job processing, routing, or
+/// results.
+enum Dispatch {
+    One(Box<Job>),
+    Many(Vec<Job>),
+}
+
+/// One request of a detached batch submission (see
+/// [`EvalService::submit_detached_batch`]).
+#[derive(Debug)]
+pub struct BatchItem {
+    /// Correlation tag echoed on the reply channel.
+    pub tag: u64,
+    /// The evaluation to run.
+    pub request: EvalRequest,
+    /// Caller-built trace; workers close queue/cache/prepare/evaluate spans
+    /// on it exactly as for [`EvalService::submit_traced`].
+    pub trace: Option<Box<RequestTrace>>,
+    /// Advisory cancellation token, checked once at pickup.
+    pub cancel: Option<CancelToken>,
+}
+
 /// A trace travelling with a job, plus the enqueue instant the worker needs
 /// to close the queue-wait span.
 struct TracedJob {
@@ -360,7 +385,7 @@ impl Telemetry {
 /// ```
 #[derive(Debug)]
 pub struct EvalService {
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Sender<Dispatch>>,
     handles: Vec<JoinHandle<()>>,
     cache: Arc<ShardedCache>,
     model_cache: Arc<ModelCache>,
@@ -385,7 +410,7 @@ impl EvalService {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
+            let (tx, rx) = mpsc::channel::<Dispatch>();
             let cache = Arc::clone(&cache);
             let models = Arc::clone(&model_cache);
             let telemetry = Arc::clone(&telemetry);
@@ -568,6 +593,85 @@ impl EvalService {
         self.dispatch(tag, request, reply, Some(trace), Some(cancel))
     }
 
+    /// Routes a whole batch of detached requests at once, grouping the jobs
+    /// by their fingerprint-sharded target worker so each worker is woken by
+    /// a *single* channel send per batch instead of one per request.  This
+    /// is the dispatch path behind the server's cross-connection
+    /// micro-batcher: routing, caching, tracing and counters are identical
+    /// to per-request [`EvalService::submit_detached`], so responses stay
+    /// bit-identical for any batch partitioning.
+    ///
+    /// Every item is answered exactly once on `reply`: by its worker, or —
+    /// when the pool is shut down or a worker died — immediately here with
+    /// [`RuntimeError::WorkerLost`].  Returns the number of jobs that
+    /// reached a live worker's queue.
+    pub fn submit_detached_batch(
+        &self,
+        items: Vec<BatchItem>,
+        reply: &Sender<(u64, Result<EvalResponse>)>,
+    ) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        if self.senders.is_empty() {
+            for item in items {
+                let _ = reply.send((item.tag, Err(RuntimeError::WorkerLost)));
+            }
+            return 0;
+        }
+        let workers = self.senders.len();
+        let mut groups: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+        for item in items {
+            let key = item.request.key();
+            let worker = (key.fingerprint() % workers as u64) as usize;
+            groups[worker].push(Job {
+                tag: item.tag,
+                key,
+                request: item.request,
+                reply: reply.clone(),
+                trace: item.trace.map(|trace| {
+                    Box::new(TracedJob {
+                        trace: *trace,
+                        enqueued: Instant::now(),
+                    })
+                }),
+                cancel: item.cancel,
+            });
+        }
+        let mut enqueued = 0;
+        for (worker, mut group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let n = group.len();
+            self.telemetry.submitted.add(n as u64);
+            self.telemetry.queued[worker].add(n as i64);
+            let dispatch = if n == 1 {
+                Dispatch::One(Box::new(group.pop().expect("group has one job")))
+            } else {
+                Dispatch::Many(group)
+            };
+            match self.senders[worker].send(dispatch) {
+                Ok(()) => enqueued += n,
+                Err(mpsc::SendError(returned)) => {
+                    // The group never reached the worker: roll the counters
+                    // back and answer each job so the caller's accounting
+                    // (admission permits, pending maps) still settles.
+                    self.telemetry.queued[worker].sub(n as i64);
+                    self.telemetry.submitted.sub(n as u64);
+                    let jobs = match returned {
+                        Dispatch::One(job) => vec![*job],
+                        Dispatch::Many(jobs) => jobs,
+                    };
+                    for job in jobs {
+                        let _ = reply.send((job.tag, Err(RuntimeError::WorkerLost)));
+                    }
+                }
+            }
+        }
+        enqueued
+    }
+
     fn dispatch(
         &self,
         tag: u64,
@@ -598,13 +702,15 @@ impl EvalService {
         };
         self.telemetry.submitted.inc();
         self.telemetry.queued[worker].add(1);
-        self.senders[worker].send(job).map_err(|_| {
-            // The job never reached a worker: roll the counters back so the
-            // gauges cannot drift on a dying pool.
-            self.telemetry.queued[worker].sub(1);
-            self.telemetry.submitted.sub(1);
-            RuntimeError::WorkerLost
-        })
+        self.senders[worker]
+            .send(Dispatch::One(Box::new(job)))
+            .map_err(|_| {
+                // The job never reached a worker: roll the counters back so
+                // the gauges cannot drift on a dying pool.
+                self.telemetry.queued[worker].sub(1);
+                self.telemetry.submitted.sub(1);
+                RuntimeError::WorkerLost
+            })
     }
 
     /// Snapshot of the service counters.
@@ -691,43 +797,60 @@ impl Drop for EvalService {
 
 fn worker_loop(
     worker: usize,
-    jobs: &Receiver<Job>,
+    jobs: &Receiver<Dispatch>,
     cache: &ShardedCache,
     models: &ModelCache,
     telemetry: &Telemetry,
 ) {
-    while let Ok(mut job) = jobs.recv() {
-        telemetry.queued[worker].sub(1);
-        // Cancellation is checked exactly once, at pickup: queued work for
-        // a peer that already vanished is skipped without touching the
-        // simulator, and the (cheap) answer still flows through the normal
-        // reply channel so completion accounting stays exact.
-        if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-            telemetry.cancelled.inc();
-            telemetry.per_worker[worker].inc();
-            telemetry.completed.inc();
-            let _ = job.reply.send((job.tag, Err(RuntimeError::Cancelled)));
-            continue;
+    while let Ok(dispatch) = jobs.recv() {
+        match dispatch {
+            Dispatch::One(job) => run_job(worker, *job, cache, models, telemetry),
+            Dispatch::Many(batch) => {
+                for job in batch {
+                    run_job(worker, job, cache, models, telemetry);
+                }
+            }
         }
-        // Untraced jobs never read the clock: the trace check is the only
-        // per-job overhead on the hot path.
-        let picked_up = job.trace.as_ref().map(|_| Instant::now());
-        if let (Some(traced), Some(now)) = (job.trace.as_mut(), picked_up) {
-            telemetry
-                .queue_wait_ns
-                .record(now.saturating_duration_since(traced.enqueued).as_nanos() as u64);
-            traced.trace.record(Phase::Queue, traced.enqueued, now);
-        }
-        let outcome = serve(worker, &mut job, cache, models, telemetry);
-        if let Some(picked_up) = picked_up {
-            telemetry.worker_busy_ns[worker].add(picked_up.elapsed().as_nanos() as u64);
-        }
+    }
+}
+
+fn run_job(
+    worker: usize,
+    mut job: Job,
+    cache: &ShardedCache,
+    models: &ModelCache,
+    telemetry: &Telemetry,
+) {
+    telemetry.queued[worker].sub(1);
+    // Cancellation is checked exactly once, at pickup: queued work for
+    // a peer that already vanished is skipped without touching the
+    // simulator, and the (cheap) answer still flows through the normal
+    // reply channel so completion accounting stays exact.
+    if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+        telemetry.cancelled.inc();
         telemetry.per_worker[worker].inc();
         telemetry.completed.inc();
-        // A send error means the batch collector gave up (error fast-path);
-        // the remaining jobs still drain so the channel empties.
-        let _ = job.reply.send((job.tag, outcome));
+        let _ = job.reply.send((job.tag, Err(RuntimeError::Cancelled)));
+        return;
     }
+    // Untraced jobs never read the clock: the trace check is the only
+    // per-job overhead on the hot path.
+    let picked_up = job.trace.as_ref().map(|_| Instant::now());
+    if let (Some(traced), Some(now)) = (job.trace.as_mut(), picked_up) {
+        telemetry
+            .queue_wait_ns
+            .record(now.saturating_duration_since(traced.enqueued).as_nanos() as u64);
+        traced.trace.record(Phase::Queue, traced.enqueued, now);
+    }
+    let outcome = serve(worker, &mut job, cache, models, telemetry);
+    if let Some(picked_up) = picked_up {
+        telemetry.worker_busy_ns[worker].add(picked_up.elapsed().as_nanos() as u64);
+    }
+    telemetry.per_worker[worker].inc();
+    telemetry.completed.inc();
+    // A send error means the batch collector gave up (error fast-path);
+    // the remaining jobs still drain so the channel empties.
+    let _ = job.reply.send((job.tag, outcome));
 }
 
 /// Moves the finished trace out of the job and into the response.
@@ -966,6 +1089,83 @@ mod tests {
         assert_eq!(stats.in_flight(), 0);
         // Once every reply has been received, no job is waiting anywhere.
         assert_eq!(stats.queue_depths.len(), 3);
+        assert!(stats.queue_depths.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn detached_batch_dispatch_matches_serial_and_per_request_paths() {
+        let requests = paper_requests();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                CrossLightSimulator::new(r.config().unwrap())
+                    .evaluate(&r.workload)
+                    .unwrap()
+            })
+            .collect();
+        for workers in [1, 3] {
+            let service = EvalService::new(RuntimeOptions::default().with_workers(workers));
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let items: Vec<BatchItem> = requests
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, request)| BatchItem {
+                    tag: i as u64,
+                    request,
+                    trace: Some(Box::new(RequestTrace::new(i as u64))),
+                    cancel: Some(CancelToken::new()),
+                })
+                .collect();
+            let enqueued = service.submit_detached_batch(items, &reply_tx);
+            assert_eq!(enqueued, requests.len());
+            drop(reply_tx);
+            let mut answered: Vec<Option<EvalResponse>> = vec![None; requests.len()];
+            while let Ok((tag, outcome)) = reply_rx.recv() {
+                answered[tag as usize] = Some(outcome.unwrap());
+            }
+            for (response, expected) in answered.iter().zip(&serial) {
+                let response = response.as_ref().expect("every tag answered");
+                assert_eq!(response.report, *expected);
+                // The worker closed the queue-wait span on the carried trace.
+                let trace = response.trace.as_ref().expect("trace travels with job");
+                assert!(trace.phase_ns(Phase::Queue).is_some());
+            }
+            let stats = service.stats();
+            assert_eq!(stats.submitted, 16);
+            assert_eq!(stats.completed, 16);
+            assert!(stats.queue_depths.iter().all(|&d| d == 0));
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn detached_batch_to_a_shut_down_pool_answers_every_tag() {
+        let mut service = EvalService::new(RuntimeOptions::default().with_workers(2));
+        service.shutdown_in_place();
+        let workload =
+            Arc::new(NetworkWorkload::from_spec(&PaperModel::Lenet5SignMnist.spec()).unwrap());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let items: Vec<BatchItem> = (0..3)
+            .map(|tag| BatchItem {
+                tag,
+                request: EvalRequest::new(CrossLightConfig::paper_best(), Arc::clone(&workload)),
+                trace: None,
+                cancel: None,
+            })
+            .collect();
+        let enqueued = service.submit_detached_batch(items, &reply_tx);
+        assert_eq!(enqueued, 0);
+        drop(reply_tx);
+        let mut tags = Vec::new();
+        while let Ok((tag, outcome)) = reply_rx.recv() {
+            assert_eq!(outcome, Err(RuntimeError::WorkerLost));
+            tags.push(tag);
+        }
+        tags.sort_unstable();
+        assert_eq!(tags, [0, 1, 2]);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 0);
         assert!(stats.queue_depths.iter().all(|&d| d == 0));
     }
 

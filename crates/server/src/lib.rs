@@ -13,13 +13,20 @@
 //! * [`wire`] — the versioned frame vocabulary: `eval`/`stats`/`ping`
 //!   requests, `ok`/`err` responses, typed [`ErrorKind`]s, and the exact
 //!   report encoding, proven bit-identical to in-process evaluation.
-//! * [`server`] — acceptor + per-connection reader/responder/writer
-//!   threads, bounded admission with explicit `overloaded` shedding, a
-//!   `stats` endpoint exposing [`RuntimeStats`] plus queue depths and shed
-//!   counts, and graceful drain-on-shutdown.
-//! * [`loadgen`] — the reference [`Client`] and a deterministic seeded
+//! * [`poller`] — readiness primitives over `poll(2)` (via the offline
+//!   `libc` compat shim): a reusable poll set, a loopback wake channel,
+//!   and an incremental length-limited line scanner, shared by the server
+//!   reactor and the swarm load generator.
+//! * [`server`] — a poll-based reactor: one acceptor, a fixed pool of
+//!   event-loop threads multiplexing all connections, a micro-batcher
+//!   coalescing admitted evals across connections into pool submissions,
+//!   and one responder; bounded admission with explicit `overloaded`
+//!   shedding, a `stats` endpoint exposing [`RuntimeStats`] plus queue
+//!   depths and shed counts, and graceful drain-on-shutdown.
+//! * [`loadgen`] — the reference [`Client`], a deterministic seeded
 //!   multi-connection load generator behind `examples/serve.rs`,
-//!   `bench_server` and the stress tests.
+//!   `bench_server` and the stress tests, and a poll-driven connection
+//!   swarm for ten-thousand-connection stress runs.
 //!
 //! See the **Serving** section of `RUNTIME.md` at the repository root for
 //! the protocol specification and an example transcript.
@@ -34,6 +41,7 @@
 
 pub mod json;
 pub mod loadgen;
+pub mod poller;
 pub mod server;
 pub mod wire;
 

@@ -7,6 +7,10 @@
 //! aggregates a [`LoadReport`] — the tool behind `examples/serve.rs`, the
 //! `bench_server` trajectory bin, and the stress tests, so every
 //! throughput/shedding claim is produced by the same code path.
+//! [`connect_swarm`]/[`Swarm`] multiplex thousands of connections over
+//! `poll(2)` on a single thread — the client side of the
+//! ten-thousand-connection stress runs, where a thread per connection
+//! would blow the process budget the test is asserting.
 //!
 //! Determinism: client `c` of a run with seed `s` draws its scenario
 //! sequence from `StdRng::seed_from_u64(s + c)` and uses ids
@@ -24,6 +28,7 @@ use crosslight_core::variants::CrossLightVariant;
 use crosslight_neural::zoo::PaperModel;
 use crosslight_telemetry::{Histogram, HistogramSnapshot};
 
+use crate::poller::{fd_of, LineScanner, PollSet, ScanEvent};
 use crate::wire::{
     self, ErrorFrame, ErrorKind, EvalSpec, MetricsFormat, Request, RequestBody, Response,
     ResponseBody,
@@ -257,12 +262,27 @@ impl Client {
     /// carry stale snapshot frames afterwards, so use a dedicated
     /// connection per transfer.
     pub fn snapshot_entries(&mut self, id: u64) -> std::io::Result<Vec<wire::SnapshotEntry>> {
+        self.snapshot_entries_limited(id, None)
+    }
+
+    /// [`Client::snapshot_entries`] advertising this client's own line
+    /// budget, so a server with a larger `max_line_bytes` still sizes its
+    /// chunk frames under what this side can decode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::snapshot_entries`].
+    pub fn snapshot_entries_limited(
+        &mut self,
+        id: u64,
+        max_chunk_bytes: Option<u64>,
+    ) -> std::io::Result<Vec<wire::SnapshotEntry>> {
         fn corrupt(detail: String) -> std::io::Error {
             std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
         }
         self.send(&Request {
             id,
-            body: RequestBody::Snapshot,
+            body: RequestBody::Snapshot { max_chunk_bytes },
         })?;
         self.flush()?;
         let mut entries = Vec::new();
@@ -698,5 +718,248 @@ mod tests {
         };
         assert_eq!(report.throughput_rps(), 0.0);
         assert_eq!(report.latency.count(), 0);
+    }
+}
+
+/// One connection of a [`Swarm`]: a pre-encoded request pipeline on the
+/// write side, an incremental line scanner on the read side.
+#[derive(Debug)]
+struct SwarmConn {
+    stream: TcpStream,
+    scanner: LineScanner,
+    /// Every request line of this connection, pre-encoded back to back.
+    outbox: Vec<u8>,
+    written: usize,
+    expected: usize,
+    received: usize,
+    ok: u64,
+    errors: u64,
+    /// Set when the socket died; the remaining expected responses are
+    /// counted as errors.
+    failed: bool,
+}
+
+impl SwarmConn {
+    fn finished(&self) -> bool {
+        self.failed || (self.written >= self.outbox.len() && self.received >= self.expected)
+    }
+
+    fn fail(&mut self) {
+        if !self.failed {
+            self.errors += (self.expected - self.received) as u64;
+            self.failed = true;
+        }
+    }
+}
+
+/// What one [`Swarm::run`] pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwarmReport {
+    /// Responses decoded as successful evals.
+    pub ok: u64,
+    /// Error frames, undecodable lines, and responses lost to dead
+    /// sockets.
+    pub errors: u64,
+    /// Wall-clock time of the request pass.
+    pub elapsed: Duration,
+}
+
+/// A poll-driven swarm of concurrent connections, all multiplexed on the
+/// caller's thread — the client-side counterpart of the server reactor,
+/// built for ten-thousand-connection stress runs where a thread per
+/// connection is not an option.
+///
+/// Lifecycle: [`connect_swarm`] establishes every connection (in staggered
+/// waves, so the listener backlog is never overrun), the caller may hold
+/// the swarm open while it inspects the server, then [`Swarm::run`] sends
+/// `requests_per_conn` evals down every connection and reads the
+/// responses back.  Connections stay open until the swarm is dropped.
+#[derive(Debug)]
+pub struct Swarm {
+    conns: Vec<SwarmConn>,
+}
+
+/// Establishes `connections` nonblocking loopback connections in waves of
+/// `connect_batch` (clamped to at least 1) with a short pause between
+/// waves, retrying transient refusals while the listener's backlog drains.
+///
+/// # Errors
+///
+/// Propagates the first connection that still fails after retries.
+pub fn connect_swarm(
+    addr: SocketAddr,
+    connections: usize,
+    connect_batch: usize,
+) -> std::io::Result<Swarm> {
+    let batch = connect_batch.max(1);
+    let mut conns = Vec::with_capacity(connections);
+    for index in 0..connections {
+        if index > 0 && index % batch == 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stream = connect_with_retry(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        conns.push(SwarmConn {
+            stream,
+            scanner: LineScanner::new(),
+            outbox: Vec::new(),
+            written: 0,
+            expected: 0,
+            received: 0,
+            ok: 0,
+            errors: 0,
+            failed: false,
+        });
+    }
+    Ok(Swarm { conns })
+}
+
+/// A backlog-overrun-tolerant connect: the listener accepts in waves, so
+/// a refused or timed-out attempt is retried with linear-ish backoff
+/// before giving up.
+fn connect_with_retry(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(20);
+    for _ in 0..20 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}
+
+impl Swarm {
+    /// Live connections in the swarm.
+    #[must_use]
+    pub fn connected(&self) -> usize {
+        self.conns.iter().filter(|conn| !conn.failed).count()
+    }
+
+    /// Sends `requests_per_conn` copies of `spec` down every connection
+    /// (ids `start_id + conn_index * requests_per_conn + i`, so every
+    /// response maps back to its connection) and reads all responses
+    /// back, multiplexed over `poll(2)` on this thread.
+    pub fn run(&mut self, spec: &EvalSpec, requests_per_conn: usize, start_id: u64) -> SwarmReport {
+        for (index, conn) in self.conns.iter_mut().enumerate() {
+            conn.outbox.clear();
+            conn.written = 0;
+            conn.expected = requests_per_conn;
+            conn.received = 0;
+            for i in 0..requests_per_conn {
+                let id = start_id + (index * requests_per_conn + i) as u64;
+                let line = wire::encode_request(&Request {
+                    id,
+                    body: RequestBody::Eval(spec.clone()),
+                });
+                conn.outbox.extend_from_slice(line.as_bytes());
+                conn.outbox.push(b'\n');
+            }
+        }
+        let start = Instant::now();
+        let mut poll_set = PollSet::new();
+        let mut slots: Vec<usize> = Vec::new();
+        let mut scratch = vec![0u8; 16 * 1024];
+        loop {
+            poll_set.clear();
+            slots.clear();
+            for (index, conn) in self.conns.iter().enumerate() {
+                if conn.finished() {
+                    continue;
+                }
+                let want_write = conn.written < conn.outbox.len();
+                poll_set.push(fd_of(&conn.stream), true, want_write);
+                slots.push(index);
+            }
+            if slots.is_empty() {
+                break;
+            }
+            let _ = poll_set.poll(Some(Duration::from_millis(250)));
+            for (slot, &index) in slots.iter().enumerate() {
+                let readiness = poll_set.readiness(slot);
+                if !readiness.any() {
+                    continue;
+                }
+                let conn = &mut self.conns[index];
+                if readiness.error {
+                    conn.fail();
+                    continue;
+                }
+                if readiness.writable && conn.written < conn.outbox.len() {
+                    swarm_write(conn);
+                }
+                if readiness.readable {
+                    swarm_read(conn, &mut scratch);
+                }
+            }
+        }
+        SwarmReport {
+            ok: self.conns.iter().map(|conn| conn.ok).sum(),
+            errors: self.conns.iter().map(|conn| conn.errors).sum(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+fn swarm_write(conn: &mut SwarmConn) {
+    while conn.written < conn.outbox.len() {
+        match (&conn.stream).write(&conn.outbox[conn.written..]) {
+            Ok(0) => {
+                conn.fail();
+                return;
+            }
+            Ok(n) => conn.written += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.fail();
+                return;
+            }
+        }
+    }
+}
+
+fn swarm_read(conn: &mut SwarmConn, scratch: &mut [u8]) {
+    loop {
+        if conn.received >= conn.expected {
+            return;
+        }
+        let read = match std::io::Read::read(&mut (&conn.stream), scratch) {
+            Ok(0) => {
+                conn.fail();
+                return;
+            }
+            Ok(read) => read,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.fail();
+                return;
+            }
+        };
+        let SwarmConn {
+            scanner,
+            received,
+            ok,
+            errors,
+            ..
+        } = conn;
+        scanner.push(&scratch[..read], wire::DEFAULT_MAX_LINE_BYTES, |event| {
+            *received += 1;
+            match event {
+                ScanEvent::Line(line) => match wire::decode_response(&line) {
+                    Ok(Response {
+                        body: ResponseBody::Eval(_),
+                        ..
+                    }) => *ok += 1,
+                    _ => *errors += 1,
+                },
+                ScanEvent::Oversized | ScanEvent::InvalidUtf8 => *errors += 1,
+            }
+            true
+        });
     }
 }

@@ -1,20 +1,26 @@
-//! The TCP front-end: acceptor, per-connection readers, admission control.
+//! The TCP front-end: a poll-based reactor with cross-connection
+//! micro-batching.
 //!
 //! # Thread model
 //!
-//! One **acceptor** thread owns the [`TcpListener`].  Each accepted
-//! connection gets three threads:
-//!
-//! * a **reader** that parses JSON lines, answers `ping`/`stats`/error
-//!   frames inline, and feeds admitted `eval` requests to the
-//!   fingerprint-sharded [`EvalService`] via
-//!   [`EvalService::submit_detached`] (never blocking on evaluation, so
-//!   pipelined requests from one client run concurrently);
-//! * a **responder** that receives tagged completions from the pool,
-//!   encodes them, and releases their admission permits;
-//! * a **writer** that owns the socket's write half behind a channel and
-//!   batches flushes, so responses from the reader and responder interleave
-//!   safely.
+//! One **acceptor** thread owns the [`TcpListener`] and hands accepted
+//! sockets, round-robin, to a fixed pool of **event-loop** threads
+//! (`event_loops`, independent of the connection count).  Each loop
+//! multiplexes its connections over nonblocking sockets with `poll(2)`
+//! (via the offline `libc` compat shim — see [`crate::poller`]), running a
+//! per-connection state machine: an incremental length-limited line
+//! scanner on the read side and a bounded queue of encoded response lines
+//! on the write side.  `ping`/`stats`/error frames are answered inline by
+//! the loop; admitted `eval` frames flow to one **micro-batcher** thread
+//! that coalesces evals *across connections* into
+//! [`EvalService::submit_detached_batch`] windows (flushing at `batch_max`
+//! frames, after `batch_window`, or as soon as every admitted eval in the
+//! server is already in the batch — whichever comes first, so an
+//! unsaturated server adds no latency).  One **responder** thread receives
+//! tagged completions from the pool, encodes them, requeues them on their
+//! owning connection, and releases admission permits.  Thread count is
+//! therefore `4 + event_loops + workers` regardless of how many thousand
+//! connections are open.
 //!
 //! # Load shedding
 //!
@@ -24,41 +30,45 @@
 //! on evaluation and the server never buffers unbounded work.  Non-eval
 //! ops (`ping`, `stats`) bypass admission so health checks still work
 //! under overload.  The per-connection write queue is *bounded* too: a
-//! client that stops reading its responses back-pressures the responder
-//! and then the reader (which stops consuming input), and a socket that
-//! stays unwritable past `write_timeout` tears the connection down — so a
-//! non-reading client can neither grow server memory without bound nor
-//! wedge shutdown.
+//! client that stops reading its responses has its read interest dropped
+//! once the queue fills (back-pressure instead of buffering), and a socket
+//! that stays unwritable past `write_timeout` tears the connection down —
+//! so a non-reading client can neither grow server memory without bound
+//! nor wedge shutdown.  Queued lines dropped by such a teardown are
+//! subtracted from the queue-depth gauge and counted in
+//! `server_write_dropped_total`, so the gauge always returns to zero.
 //!
 //! # Graceful drain
 //!
-//! [`Server::shutdown`] stops the acceptor, half-closes every live
-//! connection's read side, and joins the connection threads: readers see
-//! EOF and stop accepting input, in-flight evaluations complete, responders
-//! drain every completion, writers flush, and only then does the underlying
-//! [`EvalService`] shut down.  No admitted request is ever dropped.
+//! [`Server::shutdown`] stops the acceptor and half-closes every live
+//! connection's read side: the loops see EOF and stop accepting input,
+//! in-flight evaluations complete, the responder drains every completion,
+//! the loops flush and close each connection once nothing is in flight,
+//! and only then does the underlying [`EvalService`] shut down.  No
+//! admitted request is ever dropped.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{BufRead, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crosslight_neural::workload::NetworkWorkload;
 use crosslight_neural::zoo::PaperModel;
-use crosslight_runtime::pool::{CancelToken, EvalService, RuntimeOptions, RuntimeStats};
-use crosslight_runtime::request::EvalResponse;
+use crosslight_runtime::cache::CacheKey;
+use crosslight_runtime::pool::{BatchItem, CancelToken, EvalService, RuntimeOptions, RuntimeStats};
+use crosslight_runtime::request::{EvalRequest, EvalResponse};
 use crosslight_runtime::RuntimeError;
 use crosslight_telemetry::{
     render_text, Counter, Gauge, Histogram, Phase, Registry, RegistrySnapshot, RequestTrace,
     SpanRing, TraceSampler,
 };
 
-use crosslight_runtime::cache::CacheKey;
-
+use crate::poller::{fd_of, wake_pair, LineScanner, PollSet, ScanEvent, WakeReceiver, Waker};
 use crate::wire::{
     self, ErrorFrame, ErrorKind, EvalFrame, MetricsFormat, MetricsFrame, RequestBody, Response,
     ResponseBody, SnapshotEnd, SnapshotEntry, StatsFrame, WireMetricsSnapshot, WireRuntimeStats,
@@ -78,14 +88,27 @@ pub struct ServerOptions {
     /// Maximum accepted line length in bytes (clamped to at least 1 KiB).
     pub max_line_bytes: usize,
     /// How long a socket write may stall before the connection is torn
-    /// down — the bound that keeps a non-reading client from wedging the
-    /// writer (and therefore shutdown) forever.
+    /// down — the bound that keeps a non-reading client from pinning its
+    /// write queue (and therefore shutdown) forever.
     pub write_timeout: Duration,
     /// Trace one eval request in every `trace_sample_every` per connection
     /// through the full phase pipeline (read → decode → admission → queue →
     /// cache lookup → prepare → evaluate → serialize → write queue → write).
     /// `0` disables tracing entirely; `1` (the default) traces everything.
     pub trace_sample_every: u64,
+    /// Event-loop threads multiplexing the connections (clamped to at
+    /// least 1).  Connection count is unrelated: each loop polls all of
+    /// its sockets, so thousands of connections share a handful of
+    /// threads.
+    pub event_loops: usize,
+    /// Most admitted evals coalesced into one pool submission (clamped to
+    /// at least 1).  `1` disables micro-batching.
+    pub batch_max: usize,
+    /// Longest an admitted eval may wait for company before its batch is
+    /// flushed anyway.  The batcher also flushes early the moment every
+    /// admitted eval in the server is already in the batch, so a single
+    /// un-pipelined client never waits this long.
+    pub batch_window: Duration,
 }
 
 impl ServerOptions {
@@ -124,13 +147,39 @@ impl ServerOptions {
         self.trace_sample_every = trace_sample_every;
         self
     }
+
+    /// Returns a copy with a different event-loop thread count.
+    #[must_use]
+    pub fn with_event_loops(mut self, event_loops: usize) -> Self {
+        self.event_loops = event_loops;
+        self
+    }
+
+    /// Returns a copy with a different micro-batch size cap
+    /// (`1` disables micro-batching).
+    #[must_use]
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Returns a copy with a different micro-batch coalescing window.
+    #[must_use]
+    pub fn with_batch_window(mut self, batch_window: Duration) -> Self {
+        self.batch_window = batch_window;
+        self
+    }
 }
 
 impl Default for ServerOptions {
     /// Default runtime options, 256 admitted evals, 64 KiB lines, 30 s
-    /// write-stall bound, every request traced.
+    /// write-stall bound, every request traced, half the cores (at most 4)
+    /// as event loops, micro-batches of up to 64 evals coalesced for at
+    /// most 100 µs.
     fn default() -> Self {
         let runtime = RuntimeOptions::default();
+        let event_loops =
+            std::thread::available_parallelism().map_or(1, |cores| (cores.get() / 2).clamp(1, 4));
         Self {
             workers: runtime.workers,
             cache_shards: runtime.cache_shards,
@@ -138,6 +187,9 @@ impl Default for ServerOptions {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             write_timeout: Duration::from_secs(30),
             trace_sample_every: 1,
+            event_loops,
+            batch_max: 64,
+            batch_window: Duration::from_micros(100),
         }
     }
 }
@@ -205,6 +257,15 @@ struct ServerTelemetry {
     bytes_written: Counter,
     /// Encoded response lines sitting in per-connection write queues.
     write_queue_depth: Gauge,
+    /// Encoded response lines dropped because their connection tore down
+    /// before they reached the socket.  Every drop is matched by a
+    /// `write_queue_depth` decrement for lines that were queued, so the
+    /// gauge returns to zero after every teardown.
+    write_dropped: Counter,
+    /// Micro-batches of admitted evals flushed to the evaluation pool.
+    batches_total: Counter,
+    /// Admitted evals per flushed micro-batch.
+    batch_size: Histogram,
     /// Scrape-time mirrors of the admission semaphore.
     admission_in_flight: Gauge,
     admission_capacity: Gauge,
@@ -291,6 +352,19 @@ impl ServerTelemetry {
                 "server_write_queue_depth",
                 "Encoded response lines waiting in per-connection write queues.",
             ),
+            write_dropped: registry.counter(
+                "server_write_dropped_total",
+                "Response lines dropped because their connection tore down \
+                 before they reached the socket.",
+            ),
+            batches_total: registry.counter(
+                "server_batches_total",
+                "Micro-batches of admitted evals flushed to the evaluation pool.",
+            ),
+            batch_size: registry.histogram(
+                "server_batch_size",
+                "Admitted evals per flushed micro-batch.",
+            ),
             admission_in_flight: registry.gauge(
                 "server_admission_in_flight",
                 "Admission permits currently held by in-flight evals.",
@@ -368,6 +442,19 @@ impl ServerTelemetry {
     }
 }
 
+/// A completion handed from the evaluation pool (or the batcher's failure
+/// paths) to the responder, keyed by the server-wide submission tag.
+type Completion = (u64, Result<EvalResponse, RuntimeError>);
+
+/// Where a completion's response line must go: the owning connection and
+/// the client's own request id to echo (tags are server-wide and never
+/// leak onto the wire).
+#[derive(Debug)]
+struct PendingEval {
+    conn: Arc<ConnShared>,
+    client_id: u64,
+}
+
 #[derive(Debug)]
 struct Shared {
     service: EvalService,
@@ -375,9 +462,13 @@ struct Shared {
     admission: Admission,
     telemetry: ServerTelemetry,
     shutting_down: AtomicBool,
-    /// Read-half handles of live connections, so shutdown can interrupt
-    /// blocked readers.
-    connections: Mutex<HashMap<u64, TcpStream>>,
+    /// Tag allocator for in-flight evals across all connections.
+    next_tag: AtomicU64,
+    /// Admitted evals sent toward the micro-batcher but not yet drained
+    /// into a batch — the batcher's "anybody else coming?" signal.
+    unbatched: AtomicUsize,
+    /// In-flight evals: tag → owning connection, for the responder.
+    pending: Mutex<HashMap<u64, PendingEval>>,
     /// Prebuilt Table I workloads, indexed as [`PaperModel::all`].
     workloads: [Arc<NetworkWorkload>; 4],
 }
@@ -570,15 +661,23 @@ pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    event_loops: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    responder: Option<JoinHandle<()>>,
+    /// The responder's input; dropped during shutdown so the responder can
+    /// observe the last runtime completion and exit.
+    completions_tx: Option<Sender<Completion>>,
+    wakers: Arc<Vec<Waker>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor and evaluation pool.
+    /// Binds the listener and spawns the acceptor, event loops, batcher,
+    /// responder, and evaluation pool.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding or address resolution.
+    /// Propagates socket errors from binding, address resolution, or
+    /// building the event loops' loopback wake channels.
     pub fn bind(addr: impl ToSocketAddrs, options: ServerOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -595,6 +694,8 @@ impl Server {
         let options = ServerOptions {
             queue_capacity: options.queue_capacity.max(1),
             max_line_bytes: options.max_line_bytes.max(1024),
+            event_loops: options.event_loops.max(1),
+            batch_max: options.batch_max.max(1),
             ..options
         };
         let admission = Admission {
@@ -609,23 +710,67 @@ impl Server {
             admission,
             telemetry,
             shutting_down: AtomicBool::new(false),
-            connections: Mutex::new(HashMap::new()),
+            next_tag: AtomicU64::new(0),
+            unbatched: AtomicUsize::new(0),
+            pending: Mutex::new(HashMap::new()),
             workloads,
         });
-        let connection_threads = Arc::new(Mutex::new(Vec::new()));
+        let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
+        let (batch_tx, batch_rx) = mpsc::channel::<BatchRequest>();
+        let mut wakers = Vec::with_capacity(options.event_loops);
+        let mut registrations = Vec::with_capacity(options.event_loops);
+        let mut event_loops = Vec::with_capacity(options.event_loops);
+        for loop_id in 0..options.event_loops {
+            let (waker, wake_rx) = wake_pair()?;
+            wakers.push(waker);
+            let (reg_tx, reg_rx) = mpsc::channel::<(u64, TcpStream)>();
+            registrations.push(reg_tx);
+            let shared = Arc::clone(&shared);
+            let batch_tx = batch_tx.clone();
+            event_loops.push(
+                std::thread::Builder::new()
+                    .name(format!("crosslight-server-loop-{loop_id}"))
+                    .spawn(move || event_loop(loop_id, &shared, &reg_rx, &wake_rx, &batch_tx))
+                    .expect("spawning an event-loop thread succeeds"),
+            );
+        }
+        // The loops hold the only long-lived batch senders: when they exit
+        // at shutdown, the batcher sees the channel close and drains out.
+        drop(batch_tx);
+        let wakers = Arc::new(wakers);
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let reply = completions_tx.clone();
+            std::thread::Builder::new()
+                .name("crosslight-server-batch".to_string())
+                .spawn(move || batch_loop(&shared, &batch_rx, &reply))
+                .expect("spawning the batcher thread succeeds")
+        };
+        let responder = {
+            let shared = Arc::clone(&shared);
+            let wakers = Arc::clone(&wakers);
+            std::thread::Builder::new()
+                .name("crosslight-server-respond".to_string())
+                .spawn(move || respond_loop(&shared, &completions_rx, &wakers))
+                .expect("spawning the responder thread succeeds")
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
-            let threads = Arc::clone(&connection_threads);
+            let wakers = Arc::clone(&wakers);
             std::thread::Builder::new()
                 .name("crosslight-server-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &threads))
+                .spawn(move || accept_loop(&listener, &shared, &registrations, &wakers))
                 .expect("spawning the acceptor thread succeeds")
         };
         Ok(Self {
             local_addr,
             shared,
             acceptor: Some(acceptor),
-            connection_threads,
+            event_loops,
+            batcher: Some(batcher),
+            responder: Some(responder),
+            completions_tx: Some(completions_tx),
+            wakers,
         })
     }
 
@@ -649,7 +794,7 @@ impl Server {
     }
 
     /// Stops accepting connections, drains every in-flight request, joins
-    /// all connection threads, and shuts the evaluation pool down.
+    /// every reactor thread, and shuts the evaluation pool down.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
@@ -664,26 +809,24 @@ impl Server {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        // Half-close the read side of every live connection: readers see
-        // EOF, stop taking input, and drain their in-flight work.
-        {
-            let connections = self
-                .shared
-                .connections
-                .lock()
-                .expect("connection registry lock poisoned");
-            for stream in connections.values() {
-                let _ = stream.shutdown(Shutdown::Read);
-            }
+        // Wake the loops: each one half-closes its connections' read
+        // sides, drains in-flight work (the responder is still running),
+        // and exits once its connection table is empty.
+        for waker in self.wakers.iter() {
+            waker.wake();
         }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut threads = self
-                .connection_threads
-                .lock()
-                .expect("connection thread registry lock poisoned");
-            threads.drain(..).collect()
-        };
-        for handle in handles {
+        for handle in self.event_loops.drain(..) {
+            let _ = handle.join();
+        }
+        // The loops held the batch senders; the batcher drains and exits.
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        // Late completions of cancelled evals still flow from the pool's
+        // workers; dropping our sender lets the responder observe the last
+        // one and exit.
+        drop(self.completions_tx.take());
+        if let Some(handle) = self.responder.take() {
             let _ = handle.join();
         }
         // Dropping the service inside `self.shared` when the last Arc goes
@@ -700,7 +843,8 @@ impl Drop for Server {
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
-    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    registrations: &[Sender<(u64, TcpStream)>],
+    wakers: &[Waker],
 ) {
     let mut next_id: u64 = 0;
     for stream in listener.incoming() {
@@ -711,52 +855,980 @@ fn accept_loop(
         // Responses are small frames on a request/response cycle; Nagle +
         // delayed ACK would add tens of milliseconds per exchange.
         let _ = stream.set_nodelay(true);
-        // Bound how long a write may stall on a client that stopped
-        // reading, so the writer (and shutdown behind it) cannot hang.
-        let _ = stream.set_write_timeout(Some(shared.options.write_timeout));
-        // Reap handles of connections that already finished so a
-        // long-running server does not accumulate one dead JoinHandle per
-        // historical connection (finished threads are safe to detach).
-        threads
-            .lock()
-            .expect("connection thread registry lock poisoned")
-            .retain(|handle| !handle.is_finished());
+        // The reactor owns all blocking via poll(2).
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
         let connection_id = next_id;
         next_id += 1;
         shared.telemetry.connections_accepted.inc();
         shared.telemetry.connections_active.add(1);
-        if let Ok(read_half) = stream.try_clone() {
-            shared
-                .connections
-                .lock()
-                .expect("connection registry lock poisoned")
-                .insert(connection_id, read_half);
+        let loop_id = (connection_id % registrations.len() as u64) as usize;
+        if registrations[loop_id].send((connection_id, stream)).is_ok() {
+            wakers[loop_id].wake();
+        } else {
+            // The loop is gone (shutdown raced the accept): the socket
+            // drops here, closing the connection.
+            shared.telemetry.connections_active.sub(1);
+            shared.telemetry.connections_drained.inc();
         }
-        let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name(format!("crosslight-conn-{connection_id}"))
-            .spawn(move || {
-                handle_connection(connection_id, stream, &shared);
-                shared
-                    .connections
-                    .lock()
-                    .expect("connection registry lock poisoned")
-                    .remove(&connection_id);
-                shared.telemetry.connections_active.sub(1);
-                shared.telemetry.connections_drained.inc();
-            })
-            .expect("spawning a connection thread succeeds");
-        threads
-            .lock()
-            .expect("connection thread registry lock poisoned")
-            .push(handle);
     }
 }
 
 /// Upper bound on encoded response lines queued per connection before the
-/// responder (and then the reader) block — the back-pressure bound that
-/// keeps a non-reading client from growing server memory.
+/// loop drops the connection's read interest — the back-pressure bound
+/// that keeps a non-reading client from growing server memory.
 const WRITE_QUEUE_LINES: usize = 1024;
+
+/// How long an idle event loop sleeps in `poll(2)` between housekeeping
+/// sweeps (write-stall checks); wakeups cut the sleep short.
+const POLL_TICK: Duration = Duration::from_millis(250);
+
+/// Most `read(2)` calls one connection may issue per poll tick, so a
+/// fire-hosing client cannot starve its loop-mates or stall shutdown.
+const MAX_READS_PER_TICK: usize = 32;
+
+/// One unit of write-side work: an encoded response line (newline
+/// included), plus — for the sampled requests — the trace to finish once
+/// the line reaches the socket.
+struct Outgoing {
+    line: String,
+    trace: Option<OutgoingTrace>,
+}
+
+/// The phase timeline riding on a queued response line.
+struct OutgoingTrace {
+    trace: Box<RequestTrace>,
+    /// When the line entered the write queue (`write_queue` phase start).
+    enqueued: Instant,
+    /// When the first write attempt began (`write` phase start); `None`
+    /// until the line reaches the queue front.
+    write_start: Option<Instant>,
+}
+
+/// The write-side state machine of one connection, shared between its
+/// event loop and the responder behind a mutex.
+#[derive(Default)]
+struct WriteState {
+    queue: VecDeque<Outgoing>,
+    /// Bytes of the front line already written (partial-write resume).
+    front_written: usize,
+    /// Set once the connection is torn down; late lines are dropped (and
+    /// counted) instead of queued.
+    closed: bool,
+    /// When the socket first refused to make progress; cleared by any
+    /// successful write.  The write-stall teardown bound.
+    stalled_since: Option<Instant>,
+}
+
+/// The connection state shared across threads: the event loop reads, the
+/// responder (and the loop) write under the `write` mutex.
+struct ConnShared {
+    loop_id: usize,
+    stream: TcpStream,
+    write: Mutex<WriteState>,
+    /// Cancels this connection's queued evaluations when the socket dies.
+    cancel: CancelToken,
+    /// Admitted evals awaiting their response line — the graceful-close
+    /// barrier.
+    in_flight: AtomicUsize,
+    /// Set by the loop while the write queue is full and read interest is
+    /// dropped; tells the responder a flush may need to wake the loop.
+    read_paused: AtomicBool,
+    /// Set by the loop at client EOF; tells the responder that draining
+    /// the last in-flight eval needs a close-condition re-check.
+    draining: AtomicBool,
+}
+
+impl ConnShared {
+    fn new(loop_id: usize, stream: TcpStream) -> Self {
+        Self {
+            loop_id,
+            stream,
+            write: Mutex::new(WriteState::default()),
+            cancel: CancelToken::new(),
+            in_flight: AtomicUsize::new(0),
+            read_paused: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+        }
+    }
+}
+
+impl fmt::Debug for ConnShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConnShared")
+            .field("loop_id", &self.loop_id)
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The event loop's private view of one connection.
+struct Conn {
+    link: Arc<ConnShared>,
+    scanner: LineScanner,
+    restore: RestoreSession,
+    read_closed: bool,
+}
+
+/// Queues one encoded response line (newline appended here), keeping the
+/// queue-depth gauge in step.  Returns `false` when the connection is
+/// already torn down — the line is dropped and counted, never queued.
+fn push_line(
+    telemetry: &ServerTelemetry,
+    conn: &ConnShared,
+    mut line: String,
+    trace: Option<(Box<RequestTrace>, Instant)>,
+) -> bool {
+    line.push('\n');
+    let mut guard = conn.write.lock().expect("write-state lock poisoned");
+    if guard.closed {
+        telemetry.write_dropped.inc();
+        return false;
+    }
+    telemetry.write_queue_depth.add(1);
+    guard.queue.push_back(Outgoing {
+        line,
+        trace: trace.map(|(trace, enqueued)| OutgoingTrace {
+            trace,
+            enqueued,
+            write_start: None,
+        }),
+    });
+    true
+}
+
+/// Subtracts every queued line from the depth gauge and counts it dropped.
+/// The complement of `push_line`'s increment on the teardown path — this
+/// pairing is what keeps `server_write_queue_depth` returning to zero.
+fn drop_queued_lines(telemetry: &ServerTelemetry, state: &mut WriteState) {
+    let dropped = state.queue.len();
+    if dropped > 0 {
+        telemetry.write_queue_depth.sub(dropped as i64);
+        telemetry.write_dropped.add(dropped as u64);
+    }
+    state.queue.clear();
+    state.front_written = 0;
+}
+
+/// Writes as much of the queue as the socket accepts right now, resuming
+/// partial lines, timing traced ones, and tearing the write side down on
+/// socket failure.  Called from both the event loop (on `POLLOUT`) and the
+/// responder (opportunistically, right after queueing a completion).
+/// Returns `false` when the write side is (or just became) dead.
+fn try_flush(telemetry: &ServerTelemetry, conn: &ConnShared) -> bool {
+    let mut finished: Vec<(Box<RequestTrace>, Instant)> = Vec::new();
+    let mut failed = false;
+    {
+        let mut guard = conn.write.lock().expect("write-state lock poisoned");
+        if guard.closed {
+            return false;
+        }
+        let state = &mut *guard;
+        // Gather up to a syscall's worth of queue front into one vectored
+        // write: under a pipelined burst this turns a write syscall per
+        // response line into one per flush.
+        const FLUSH_LINES: usize = 64;
+        'flush: while !state.queue.is_empty() {
+            let write_start = Instant::now();
+            for front in state.queue.iter_mut().take(FLUSH_LINES) {
+                if let Some(traced) = front.trace.as_mut() {
+                    if traced.write_start.is_none() {
+                        traced
+                            .trace
+                            .record(Phase::WriteQueue, traced.enqueued, write_start);
+                        traced.write_start = Some(write_start);
+                    }
+                }
+            }
+            let slices: Vec<IoSlice<'_>> = state
+                .queue
+                .iter()
+                .take(FLUSH_LINES)
+                .enumerate()
+                .map(|(i, out)| {
+                    let bytes = out.line.as_bytes();
+                    IoSlice::new(if i == 0 {
+                        &bytes[state.front_written..]
+                    } else {
+                        bytes
+                    })
+                })
+                .collect();
+            match (&conn.stream).write_vectored(&slices) {
+                Ok(0) => {
+                    failed = true;
+                    break 'flush;
+                }
+                Ok(mut written) => {
+                    state.stalled_since = None;
+                    while written > 0 {
+                        let front = state.queue.front().expect("accounted line exists");
+                        let remaining = front.line.len() - state.front_written;
+                        if written < remaining {
+                            state.front_written += written;
+                            break;
+                        }
+                        written -= remaining;
+                        telemetry.bytes_written.add(front.line.len() as u64);
+                        telemetry.write_queue_depth.sub(1);
+                        state.front_written = 0;
+                        let out = state.queue.pop_front().expect("front line exists");
+                        if let Some(traced) = out.trace {
+                            if let Some(write_start) = traced.write_start {
+                                finished.push((traced.trace, write_start));
+                            }
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if state.stalled_since.is_none() {
+                        state.stalled_since = Some(Instant::now());
+                    }
+                    break 'flush;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    failed = true;
+                    break 'flush;
+                }
+            }
+        }
+        if failed {
+            // The traces of unwritten lines (including the half-written
+            // front) are dropped with them — error paths are not part of
+            // the latency story.
+            drop_queued_lines(telemetry, state);
+            state.closed = true;
+        } else if state.queue.is_empty() {
+            state.stalled_since = None;
+        }
+    }
+    if !finished.is_empty() {
+        // One flush instant for the whole burst: these lines reached the
+        // socket together.
+        let flushed = Instant::now();
+        for (mut trace, write_start) in finished {
+            trace.record(Phase::Write, write_start, flushed);
+            telemetry.finish_trace(&trace);
+        }
+    }
+    if failed {
+        // No response can ever be delivered again, so queued evaluations
+        // for this connection are pure waste — cancel them, and close the
+        // read side so the loop reaps the connection.
+        conn.cancel.cancel();
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    true
+}
+
+/// Tears a connection's write side down outside of a flush: drains the
+/// queue with accounting, cancels its queued evaluations, and closes the
+/// socket.  Idempotent.
+fn abort_connection(telemetry: &ServerTelemetry, conn: &ConnShared) {
+    {
+        let mut guard = conn.write.lock().expect("write-state lock poisoned");
+        if !guard.closed {
+            guard.closed = true;
+            let state = &mut *guard;
+            drop_queued_lines(telemetry, state);
+        }
+    }
+    conn.cancel.cancel();
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}
+
+/// Final accounting when the event loop removes a connection from its
+/// table, for both graceful closes and aborts.
+fn finish_connection(telemetry: &ServerTelemetry, conn: &ConnShared) {
+    {
+        let mut guard = conn.write.lock().expect("write-state lock poisoned");
+        if !guard.closed {
+            guard.closed = true;
+            let state = &mut *guard;
+            drop_queued_lines(telemetry, state);
+        }
+    }
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    telemetry.connections_active.sub(1);
+    telemetry.connections_drained.inc();
+}
+
+/// An admitted eval on its way to the micro-batcher.
+struct BatchRequest {
+    tag: u64,
+    request: EvalRequest,
+    trace: Option<Box<RequestTrace>>,
+    cancel: CancelToken,
+}
+
+/// One event-loop thread: multiplexes its share of the connections over
+/// `poll(2)`, running the read-side state machines inline and flushing
+/// write queues as sockets drain.
+fn event_loop(
+    loop_id: usize,
+    shared: &Arc<Shared>,
+    registrations: &Receiver<(u64, TcpStream)>,
+    wake_rx: &WakeReceiver,
+    batcher: &Sender<BatchRequest>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut poll_set = PollSet::new();
+    let mut slots: Vec<Option<u64>> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        // Adopt connections the acceptor handed over.
+        while let Ok((id, stream)) = registrations.try_recv() {
+            conns.insert(
+                id,
+                Conn {
+                    link: Arc::new(ConnShared::new(loop_id, stream)),
+                    scanner: LineScanner::new(),
+                    restore: RestoreSession::Idle,
+                    read_closed: false,
+                },
+            );
+        }
+        let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+        if shutting_down {
+            // Half-close every read side (idempotent): the next read sees
+            // EOF, input stops, and in-flight work drains gracefully.
+            for conn in conns.values() {
+                let _ = conn.link.stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Housekeeping sweep: reap closed connections, finish graceful
+        // drains, and tear down stalled writers.
+        to_close.clear();
+        for (&id, conn) in &conns {
+            let (queue_len, closed, stalled_since) = {
+                let guard = conn.link.write.lock().expect("write-state lock poisoned");
+                (guard.queue.len(), guard.closed, guard.stalled_since)
+            };
+            if closed {
+                to_close.push(id);
+                continue;
+            }
+            if conn.read_closed
+                && queue_len == 0
+                && conn.link.in_flight.load(Ordering::Acquire) == 0
+            {
+                // Graceful close: EOF seen, every admitted eval answered,
+                // every response on the wire.
+                to_close.push(id);
+                continue;
+            }
+            if let Some(since) = stalled_since {
+                if since.elapsed() >= shared.options.write_timeout {
+                    abort_connection(&shared.telemetry, &conn.link);
+                    to_close.push(id);
+                }
+            }
+        }
+        for id in to_close.drain(..) {
+            if let Some(conn) = conns.remove(&id) {
+                finish_connection(&shared.telemetry, &conn.link);
+            }
+        }
+        if shutting_down && conns.is_empty() {
+            // Account for connections registered after our last adoption
+            // pass; they were never served.
+            while let Ok((_, stream)) = registrations.try_recv() {
+                let _ = stream.shutdown(Shutdown::Both);
+                shared.telemetry.connections_active.sub(1);
+                shared.telemetry.connections_drained.inc();
+            }
+            return;
+        }
+        // Interest registration: slot 0 is the wakeup channel; one slot
+        // per connection that wants anything.
+        poll_set.clear();
+        slots.clear();
+        poll_set.push(wake_rx.fd(), true, false);
+        slots.push(None);
+        for (&id, conn) in &conns {
+            let queue_len = {
+                let guard = conn.link.write.lock().expect("write-state lock poisoned");
+                guard.queue.len()
+            };
+            let paused = !conn.read_closed && queue_len >= WRITE_QUEUE_LINES;
+            conn.link.read_paused.store(paused, Ordering::Release);
+            let want_read = !conn.read_closed && !paused;
+            let want_write = queue_len > 0;
+            if want_read || want_write {
+                poll_set.push(fd_of(&conn.link.stream), want_read, want_write);
+                slots.push(Some(id));
+            }
+        }
+        let _ = poll_set.poll(Some(POLL_TICK));
+        for (slot, entry) in slots.iter().enumerate() {
+            let readiness = poll_set.readiness(slot);
+            if !readiness.any() {
+                continue;
+            }
+            let Some(id) = *entry else {
+                wake_rx.drain();
+                continue;
+            };
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if readiness.error {
+                abort_connection(&shared.telemetry, &conn.link);
+                if let Some(conn) = conns.remove(&id) {
+                    finish_connection(&shared.telemetry, &conn.link);
+                }
+                continue;
+            }
+            if readiness.writable {
+                let _ = try_flush(&shared.telemetry, &conn.link);
+            }
+            if readiness.readable {
+                if service_read(shared, conn, batcher, &mut scratch) {
+                    // Flush whatever the burst of inline responses queued
+                    // before going back to sleep.
+                    let _ = try_flush(&shared.telemetry, &conn.link);
+                } else {
+                    if let Some(conn) = conns.remove(&id) {
+                        finish_connection(&shared.telemetry, &conn.link);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads one connection until the socket would block (bounded per tick),
+/// feeding bytes through the line scanner into the request handler.
+/// Returns `false` when the connection failed and was aborted — the
+/// caller removes it immediately.
+fn service_read(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    batcher: &Sender<BatchRequest>,
+    scratch: &mut [u8],
+) -> bool {
+    let max_bytes = shared.options.max_line_bytes;
+    for _ in 0..MAX_READS_PER_TICK {
+        {
+            // Back-pressure mid-burst too: a full write queue stops the
+            // reads until the client drains its responses.
+            let guard = conn.link.write.lock().expect("write-state lock poisoned");
+            if guard.queue.len() >= WRITE_QUEUE_LINES {
+                break;
+            }
+        }
+        let read = match (&conn.link.stream).read(scratch) {
+            Ok(0) => {
+                conn.read_closed = true;
+                conn.link.draining.store(true, Ordering::Release);
+                break;
+            }
+            Ok(read) => read,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                abort_connection(&shared.telemetry, &conn.link);
+                return false;
+            }
+        };
+        let Conn {
+            link,
+            scanner,
+            restore,
+            ..
+        } = conn;
+        if !scanner.push(&scratch[..read], max_bytes, |event| {
+            handle_line_event(shared, link, restore, batcher, event)
+        }) {
+            // The write side tore down mid-burst; stop consuming input and
+            // let the sweep reap the connection.
+            break;
+        }
+    }
+    true
+}
+
+/// Handles one framing event from a connection's line scanner: the whole
+/// per-op protocol surface.  Inline ops are answered straight onto the
+/// write queue; admitted evals are tagged, registered as pending, and
+/// handed to the micro-batcher.  Returns `false` when the connection died
+/// and scanning should stop.
+fn handle_line_event(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    restore: &mut RestoreSession,
+    batcher: &Sender<BatchRequest>,
+    event: ScanEvent,
+) -> bool {
+    let telemetry = &shared.telemetry;
+    // Decide up front whether this request is traced: an untraced request
+    // must never read the clock, so the sampling decision precedes any
+    // timestamp.
+    let read_mark = if telemetry.sampler.sample() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    let line = match event {
+        ScanEvent::Line(line) => line,
+        ScanEvent::Oversized => {
+            telemetry.requests_total.inc();
+            telemetry.oversized_total.inc();
+            let frame = ErrorFrame::new(
+                ErrorKind::Oversized,
+                format!("line exceeds {} bytes", shared.options.max_line_bytes),
+            );
+            let line = wire::encode_response(&Response::error(None, frame));
+            return push_line(telemetry, conn, line, None);
+        }
+        ScanEvent::InvalidUtf8 => {
+            telemetry.requests_total.inc();
+            telemetry.malformed_total.inc();
+            let frame = ErrorFrame::new(ErrorKind::Malformed, "line is not valid UTF-8");
+            let line = wire::encode_response(&Response::error(None, frame));
+            return push_line(telemetry, conn, line, None);
+        }
+    };
+    if line.trim().is_empty() {
+        return true;
+    }
+    telemetry.bytes_read.add(line.len() as u64 + 1);
+    telemetry.requests_total.inc();
+    let request = match wire::decode_request(&line) {
+        Ok(request) => request,
+        Err(frame) => {
+            telemetry.malformed_total.inc();
+            let id = wire::peek_id(&line);
+            let line = wire::encode_response(&Response::error(id, frame));
+            return push_line(telemetry, conn, line, None);
+        }
+    };
+    match request.body {
+        RequestBody::Ping => {
+            let line = wire::encode_response(&Response {
+                id: Some(request.id),
+                body: ResponseBody::Pong,
+            });
+            push_line(telemetry, conn, line, None)
+        }
+        RequestBody::Stats => {
+            let stats = shared.snapshot();
+            let line = wire::encode_response(&Response {
+                id: Some(request.id),
+                body: ResponseBody::Stats(StatsFrame {
+                    server: stats.server,
+                    runtime: WireRuntimeStats::from(&stats.runtime),
+                }),
+            });
+            push_line(telemetry, conn, line, None)
+        }
+        RequestBody::Metrics { format } => {
+            let frame = match format {
+                MetricsFormat::Json => {
+                    MetricsFrame::Snapshot(WireMetricsSnapshot::from(&shared.metrics_snapshot()))
+                }
+                MetricsFormat::Text => MetricsFrame::Text(render_text(&shared.metrics_snapshot())),
+                MetricsFormat::Spans => {
+                    // Draining hands each exported timeline to exactly
+                    // one scraper; server and runtime rings append into
+                    // one page.
+                    let mut spans = telemetry.spans.drain();
+                    spans.extend(shared.service.span_ring().drain());
+                    MetricsFrame::Spans(spans)
+                }
+            };
+            let line = wire::encode_response(&Response {
+                id: Some(request.id),
+                body: ResponseBody::Metrics(frame),
+            });
+            push_line(telemetry, conn, line, None)
+        }
+        RequestBody::Snapshot { max_chunk_bytes } => {
+            telemetry.snapshots_total.inc();
+            let entries = shared.collect_snapshot();
+            telemetry.snapshot_entries_total.add(entries.len() as u64);
+            let total = entries.len() as u64;
+            let checksum = wire::snapshot_checksum(&entries);
+            // Keep every encoded chunk line comfortably under the line
+            // limit: the entries array gets 3/4 of the budget, leaving
+            // headroom for the response envelope.  The budget is our own
+            // line limit, lowered to the peer's announced one when the
+            // request carries `max_chunk_bytes` — a peer with a smaller
+            // limit than ours would otherwise shed every chunk as
+            // oversized.
+            let server_budget = (shared.options.max_line_bytes.saturating_mul(3) / 4).max(1);
+            let budget = match max_chunk_bytes {
+                Some(peer_limit) => {
+                    let peer_limit = usize::try_from(peer_limit).unwrap_or(usize::MAX);
+                    (peer_limit.saturating_mul(3) / 4).max(1).min(server_budget)
+                }
+                None => server_budget,
+            };
+            let chunks = wire::chunk_snapshot_entries(entries, budget);
+            let chunk_count = chunks.len() as u64;
+            for chunk in chunks {
+                let line = wire::encode_response(&Response {
+                    id: Some(request.id),
+                    body: ResponseBody::Snapshot(chunk),
+                });
+                if !push_line(telemetry, conn, line, None) {
+                    return false;
+                }
+            }
+            let line = wire::encode_response(&Response {
+                id: Some(request.id),
+                body: ResponseBody::SnapshotEnd(SnapshotEnd {
+                    chunks: chunk_count,
+                    entries: total,
+                    checksum,
+                }),
+            });
+            push_line(telemetry, conn, line, None)
+        }
+        RequestBody::Restore(chunk) => {
+            // Chunks are acknowledged only by the terminal frame; see
+            // `RestoreSession`.  Sequence 0 always starts a fresh stream,
+            // so a client can retry on a surviving connection.
+            if chunk.seq == 0 {
+                *restore = RestoreSession::Active {
+                    next_seq: 1,
+                    entries: chunk.entries,
+                };
+            } else {
+                match restore {
+                    RestoreSession::Active { next_seq, entries } if chunk.seq == *next_seq => {
+                        *next_seq += 1;
+                        entries.extend(chunk.entries);
+                    }
+                    RestoreSession::Poisoned { .. } => {}
+                    RestoreSession::Active { next_seq, .. } => {
+                        let frame = ErrorFrame::new(
+                            ErrorKind::Malformed,
+                            format!(
+                                "restore chunk out of sequence: expected {next_seq}, \
+                                 got {}",
+                                chunk.seq
+                            ),
+                        );
+                        *restore = RestoreSession::Poisoned { frame };
+                    }
+                    RestoreSession::Idle => {
+                        let frame = ErrorFrame::new(
+                            ErrorKind::Malformed,
+                            format!("restore stream must start at chunk 0, got {}", chunk.seq),
+                        );
+                        *restore = RestoreSession::Poisoned { frame };
+                    }
+                }
+            }
+            true
+        }
+        RequestBody::RestoreEnd(end) => {
+            let session = std::mem::replace(restore, RestoreSession::Idle);
+            // An empty stream (0 chunks) is a legal snapshot of an empty
+            // cache, so Idle folds into an empty Active session.
+            let response = match session {
+                RestoreSession::Poisoned { frame } => {
+                    telemetry.restore_failed_total.inc();
+                    Response::error(Some(request.id), frame)
+                }
+                RestoreSession::Idle => match shared.apply_restore(Vec::new(), 0, &end) {
+                    Ok(frame) => {
+                        telemetry.restores_total.inc();
+                        Response {
+                            id: Some(request.id),
+                            body: ResponseBody::Restored(frame),
+                        }
+                    }
+                    Err(frame) => {
+                        telemetry.restore_failed_total.inc();
+                        Response::error(Some(request.id), frame)
+                    }
+                },
+                RestoreSession::Active { next_seq, entries } => {
+                    let received = entries.len() as u64;
+                    match shared.apply_restore(entries, next_seq, &end) {
+                        Ok(frame) => {
+                            telemetry.restores_total.inc();
+                            telemetry.restore_entries_total.add(received);
+                            Response {
+                                id: Some(request.id),
+                                body: ResponseBody::Restored(frame),
+                            }
+                        }
+                        Err(frame) => {
+                            telemetry.restore_failed_total.inc();
+                            Response::error(Some(request.id), frame)
+                        }
+                    }
+                }
+            };
+            let line = wire::encode_response(&response);
+            push_line(telemetry, conn, line, None)
+        }
+        RequestBody::Eval(spec) => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                let frame = ErrorFrame::new(ErrorKind::ShuttingDown, "server is draining");
+                let line = wire::encode_response(&Response::error(Some(request.id), frame));
+                return push_line(telemetry, conn, line, None);
+            }
+            let eval_request = match spec.to_eval_request(request.id, &shared.workloads) {
+                Ok(eval_request) => eval_request,
+                Err(frame) => {
+                    telemetry.evals_failed.inc();
+                    let line = wire::encode_response(&Response::error(Some(request.id), frame));
+                    return push_line(telemetry, conn, line, None);
+                }
+            };
+            // Only successfully decoded evals grow into full traces;
+            // `decode` covers frame parsing plus spec resolution.  In the
+            // reactor the wait for bytes happens inside poll(2), not in a
+            // per-request read call, so the `read` span collapses to the
+            // instant the completed line surfaced from the scanner.
+            let mut trace = read_mark.map(|mark| {
+                let mut trace = Box::new(RequestTrace::with_origin(request.id, mark));
+                trace.record(Phase::Read, mark, mark);
+                trace.record_since(Phase::Decode, mark);
+                trace
+            });
+            let admission_start = trace.as_ref().map(|_| Instant::now());
+            if !shared.admission.try_acquire() {
+                let frame = ErrorFrame::new(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "admission queue full (capacity {})",
+                        shared.admission.capacity
+                    ),
+                );
+                let line = wire::encode_response(&Response::error(Some(request.id), frame));
+                return push_line(telemetry, conn, line, None);
+            }
+            if let (Some(trace), Some(start)) = (trace.as_mut(), admission_start) {
+                trace.record_since(Phase::Admission, start);
+            }
+            let tag = shared.next_tag.fetch_add(1, Ordering::Relaxed);
+            shared
+                .pending
+                .lock()
+                .expect("pending-eval map lock poisoned")
+                .insert(
+                    tag,
+                    PendingEval {
+                        conn: Arc::clone(conn),
+                        client_id: request.id,
+                    },
+                );
+            conn.in_flight.fetch_add(1, Ordering::AcqRel);
+            shared.unbatched.fetch_add(1, Ordering::AcqRel);
+            if trace.is_some() {
+                telemetry.traces_sampled.inc();
+            }
+            let submitted = batcher.send(BatchRequest {
+                tag,
+                request: eval_request,
+                trace,
+                cancel: conn.cancel.clone(),
+            });
+            if submitted.is_err() {
+                // Only possible while the batcher is tearing down at
+                // shutdown; undo the bookkeeping and answer inline.
+                shared
+                    .pending
+                    .lock()
+                    .expect("pending-eval map lock poisoned")
+                    .remove(&tag);
+                conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+                shared.unbatched.fetch_sub(1, Ordering::AcqRel);
+                shared.admission.release();
+                telemetry.evals_failed.inc();
+                let frame = ErrorFrame::new(ErrorKind::Evaluation, "evaluation pool unavailable");
+                let line = wire::encode_response(&Response::error(Some(request.id), frame));
+                return push_line(telemetry, conn, line, None);
+            }
+            true
+        }
+    }
+}
+
+/// The micro-batcher: coalesces admitted evals from every connection into
+/// one [`EvalService::submit_detached_batch`] call per window.  A batch
+/// flushes at `batch_max` evals, when `batch_window` elapses, or — the
+/// adaptive fast path — the moment every eval admitted so far is already
+/// in the batch (`unbatched` is incremented *before* the send to this
+/// thread, so reading it as 0 here proves nobody else is coming and
+/// waiting out the window would be pure added latency).
+fn batch_loop(shared: &Shared, requests: &Receiver<BatchRequest>, reply: &Sender<Completion>) {
+    let batch_max = shared.options.batch_max.max(1);
+    let window = shared.options.batch_window;
+    while let Ok(first) = requests.recv() {
+        shared.unbatched.fetch_sub(1, Ordering::AcqRel);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        loop {
+            while batch.len() < batch_max {
+                match requests.try_recv() {
+                    Ok(request) => {
+                        shared.unbatched.fetch_sub(1, Ordering::AcqRel);
+                        batch.push(request);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if batch.len() >= batch_max {
+                break;
+            }
+            if shared.unbatched.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match requests.recv_timeout(deadline - now) {
+                Ok(request) => {
+                    shared.unbatched.fetch_sub(1, Ordering::AcqRel);
+                    batch.push(request);
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        shared.telemetry.batches_total.inc();
+        shared.telemetry.batch_size.record(batch.len() as u64);
+        let items: Vec<BatchItem> = batch
+            .into_iter()
+            .map(|request| BatchItem {
+                tag: request.tag,
+                request: request.request,
+                trace: request.trace,
+                cancel: Some(request.cancel),
+            })
+            .collect();
+        // Unreachable workers are answered by the pool itself (one
+        // `WorkerLost` completion per item), so every tag still resolves.
+        let _ = shared.service.submit_detached_batch(items, reply);
+    }
+}
+
+/// The responder: routes each pool completion back to its owning
+/// connection, encodes the response line, flushes opportunistically, and
+/// releases the admission permit.
+///
+/// Completions are drained greedily before flushing: under a pipelined
+/// burst they arrive back to back, and flushing once per *connection* per
+/// drain instead of once per completion turns a write syscall per
+/// response into one per burst.
+fn respond_loop(shared: &Shared, completions: &Receiver<Completion>, wakers: &[Waker]) {
+    let telemetry = &shared.telemetry;
+    // Bounds one drain so a saturating completion stream cannot starve
+    // the flush (and thus the client) indefinitely.
+    const DRAIN_MAX: usize = 256;
+    let mut touched: Vec<Arc<ConnShared>> = Vec::new();
+    while let Ok(first) = completions.recv() {
+        let mut drained = 0usize;
+        let mut next = Some(first);
+        while let Some((tag, outcome)) = next {
+            if let Some(conn) = deliver_completion(shared, tag, outcome) {
+                if !touched.iter().any(|seen| Arc::ptr_eq(seen, &conn)) {
+                    touched.push(conn);
+                }
+            }
+            drained += 1;
+            next = if drained < DRAIN_MAX {
+                completions.try_recv().ok()
+            } else {
+                None
+            };
+        }
+        for conn in touched.drain(..) {
+            let _ = try_flush(telemetry, &conn);
+            // Wake the owning loop only when this drain changed what it
+            // must watch: a residual queue needs POLLOUT, an unpaused
+            // reader needs POLLIN back, and a draining connection needs
+            // its close-condition re-checked.  A fully-flushed response
+            // on a live connection changes nothing.
+            let residual = {
+                let guard = conn.write.lock().expect("write-state lock poisoned");
+                !guard.queue.is_empty()
+            };
+            let unpause = conn.read_paused.load(Ordering::Acquire);
+            let draining = conn.draining.load(Ordering::Acquire)
+                && conn.in_flight.load(Ordering::Acquire) == 0;
+            if residual || unpause || draining {
+                wakers[conn.loop_id].wake();
+            }
+        }
+    }
+}
+
+/// Handles one pool completion: encodes and enqueues the response line
+/// (or accounts for a cancelled/failed eval) and releases the admission
+/// permit.  Returns the owning connection so the caller can flush and
+/// re-arm its event loop once per drain.
+fn deliver_completion(
+    shared: &Shared,
+    tag: u64,
+    outcome: Result<EvalResponse, RuntimeError>,
+) -> Option<Arc<ConnShared>> {
+    let telemetry = &shared.telemetry;
+    let pending = shared
+        .pending
+        .lock()
+        .expect("pending-eval map lock poisoned")
+        .remove(&tag);
+    let PendingEval { conn, client_id } = pending?;
+    match outcome {
+        // A cancelled job means this connection already tore down:
+        // there is nowhere to send a response, so just release the
+        // permit and account for the skip.  Not an eval failure — the
+        // request was never evaluated.
+        Err(RuntimeError::Cancelled) => {
+            telemetry.evals_cancelled.inc();
+        }
+        Ok(mut eval) => {
+            telemetry.evals_ok.inc();
+            let trace = eval.trace.take();
+            let response = Response {
+                id: Some(client_id),
+                body: ResponseBody::Eval(EvalFrame {
+                    report: eval.report,
+                    cache_hit: eval.cache_hit,
+                    worker: eval.worker as u64,
+                }),
+            };
+            let serialize_start = trace.as_ref().map(|_| Instant::now());
+            let line = wire::encode_response(&response);
+            let traced = match (trace, serialize_start) {
+                (Some(mut trace), Some(start)) => {
+                    trace.record_since(Phase::Serialize, start);
+                    Some((trace, Instant::now()))
+                }
+                _ => None,
+            };
+            push_line(telemetry, &conn, line, traced);
+        }
+        Err(err) => {
+            // The runtime reports failures without the response object,
+            // so a failed eval's trace ends here — error paths are not
+            // part of the latency story.
+            telemetry.evals_failed.inc();
+            let response = Response::error(
+                Some(client_id),
+                ErrorFrame::new(ErrorKind::Evaluation, err.to_string()),
+            );
+            push_line(telemetry, &conn, wire::encode_response(&response), None);
+        }
+    }
+    // Release the permit only after the line is queued: a non-reading
+    // client therefore caps both the write queue and the number of
+    // evals in flight.
+    conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+    shared.admission.release();
+    Some(conn)
+}
 
 /// Outcome of reading one length-limited line.
 ///
@@ -821,564 +1893,6 @@ pub fn read_line_limited<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineRe
                 Ok(line) => LineRead::Line(line),
                 Err(_) => LineRead::InvalidUtf8,
             };
-        }
-    }
-}
-
-/// One unit of writer work: an encoded response line, plus — for the
-/// sampled requests — the trace to finish once the line reaches the socket.
-struct Outgoing {
-    line: String,
-    /// The request's phase timeline and the instant it entered the write
-    /// queue; `None` for every untraced response.
-    trace: Option<(Box<RequestTrace>, Instant)>,
-}
-
-impl Outgoing {
-    fn plain(line: String) -> Self {
-        Self { line, trace: None }
-    }
-}
-
-/// Sends one line to the (bounded) writer, keeping the queue-depth gauge
-/// in step.  Returns `false` when the writer is gone — i.e. the connection
-/// is dead and the caller should stop.
-fn enqueue_line(telemetry: &ServerTelemetry, lines: &SyncSender<Outgoing>, out: Outgoing) -> bool {
-    telemetry.write_queue_depth.add(1);
-    if lines.send(out).is_ok() {
-        true
-    } else {
-        telemetry.write_queue_depth.sub(1);
-        false
-    }
-}
-
-fn handle_connection(connection_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
-    let write_half = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-
-    // One cancel token per connection: when the writer tears down because
-    // the socket died (not on a clean drain), queued evaluations whose
-    // responses could never be delivered are skipped instead of computed.
-    let cancel = CancelToken::new();
-
-    // Writer: owns the socket write half; exits when every Sender is gone.
-    // The channel is bounded so a client that stops reading back-pressures
-    // the responder/reader instead of buffering responses without limit.
-    let (line_tx, line_rx) = mpsc::sync_channel::<Outgoing>(WRITE_QUEUE_LINES);
-    let writer = {
-        let shared = Arc::clone(shared);
-        let cancel = cancel.clone();
-        std::thread::Builder::new()
-            .name(format!("crosslight-conn-{connection_id}-write"))
-            .spawn(move || write_loop(write_half, &line_rx, &shared.telemetry, &cancel))
-            .expect("spawning a connection writer succeeds")
-    };
-
-    // Responder: turns pool completions into response lines and releases
-    // admission permits; exits when the reader and all in-flight jobs have
-    // dropped their Senders.
-    let (done_tx, done_rx) =
-        mpsc::channel::<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>();
-    let responder = {
-        let shared = Arc::clone(shared);
-        let line_tx = line_tx.clone();
-        std::thread::Builder::new()
-            .name(format!("crosslight-conn-{connection_id}-respond"))
-            .spawn(move || respond_loop(&shared, &done_rx, &line_tx))
-            .expect("spawning a connection responder succeeds")
-    };
-
-    read_loop(shared, &stream, &line_tx, &done_tx, &cancel);
-
-    // EOF (or shutdown): drop our channel ends so responder and writer
-    // drain and exit once in-flight work completes — the graceful part of
-    // the drain.
-    drop(done_tx);
-    drop(line_tx);
-    let _ = responder.join();
-    let _ = writer.join();
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn write_loop(
-    stream: TcpStream,
-    lines: &Receiver<Outgoing>,
-    telemetry: &ServerTelemetry,
-    cancel: &CancelToken,
-) {
-    let mut writer = BufWriter::new(stream);
-    if !pump_lines(&mut writer, lines, telemetry) {
-        // The socket failed (or timed out on a non-reading client): no
-        // response can ever be delivered again, so queued evaluations for
-        // this connection are pure waste — cancel them.  A clean drain
-        // (channel closed after EOF) must NOT cancel: in-flight work is
-        // still answered through the socket, which is alive.
-        cancel.cancel();
-    }
-    // Whether the channel closed normally or the socket write failed, tear
-    // the whole connection down: this unblocks the reader immediately, so
-    // the server cannot keep admitting and evaluating requests whose
-    // responses can never be delivered.
-    let _ = writer.get_ref().shutdown(Shutdown::Both);
-}
-
-/// Returns `true` when the channel drained normally, `false` on socket
-/// failure.
-fn pump_lines(
-    writer: &mut BufWriter<TcpStream>,
-    lines: &Receiver<Outgoing>,
-    telemetry: &ServerTelemetry,
-) -> bool {
-    // Traces whose lines are buffered but not yet flushed; their `write`
-    // phase ends at the flush that actually puts them on the wire.
-    let mut pending: Vec<(Box<RequestTrace>, Instant)> = Vec::new();
-    while let Ok(out) = lines.recv() {
-        if !write_one(writer, out, telemetry, &mut pending) {
-            return false;
-        }
-        // Batch whatever is already queued before paying for a flush.
-        while let Ok(more) = lines.try_recv() {
-            if !write_one(writer, more, telemetry, &mut pending) {
-                return false;
-            }
-        }
-        if writer.flush().is_err() {
-            return false;
-        }
-        if !pending.is_empty() {
-            let flushed = Instant::now();
-            for (mut trace, write_start) in pending.drain(..) {
-                trace.record(Phase::Write, write_start, flushed);
-                telemetry.finish_trace(&trace);
-            }
-        }
-    }
-    true
-}
-
-/// Writes one queued line into the buffered writer, timing the traced
-/// ones.  Returns `false` on socket failure (the trace of a failed write
-/// is dropped — error paths are not part of the latency story).
-fn write_one(
-    writer: &mut BufWriter<TcpStream>,
-    out: Outgoing,
-    telemetry: &ServerTelemetry,
-    pending: &mut Vec<(Box<RequestTrace>, Instant)>,
-) -> bool {
-    telemetry.write_queue_depth.sub(1);
-    let trace = out.trace.map(|(mut trace, enqueued)| {
-        let write_start = Instant::now();
-        trace.record(Phase::WriteQueue, enqueued, write_start);
-        (trace, write_start)
-    });
-    if writer.write_all(out.line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
-        return false;
-    }
-    telemetry.bytes_written.add(out.line.len() as u64 + 1);
-    if let Some(traced) = trace {
-        pending.push(traced);
-    }
-    true
-}
-
-fn respond_loop(
-    shared: &Shared,
-    completions: &Receiver<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
-    lines: &SyncSender<Outgoing>,
-) {
-    while let Ok((tag, outcome)) = completions.recv() {
-        let mut trace: Option<Box<RequestTrace>> = None;
-        let response = match outcome {
-            // A cancelled job means this connection's writer already died:
-            // there is nowhere to send a response, so just release the
-            // permit and account for the skip.  Not an eval failure — the
-            // request was never evaluated.
-            Err(RuntimeError::Cancelled) => {
-                shared.telemetry.evals_cancelled.inc();
-                shared.admission.release();
-                continue;
-            }
-            Ok(mut eval) => {
-                shared.telemetry.evals_ok.inc();
-                trace = eval.trace.take();
-                Response {
-                    id: Some(tag),
-                    body: ResponseBody::Eval(EvalFrame {
-                        report: eval.report,
-                        cache_hit: eval.cache_hit,
-                        worker: eval.worker as u64,
-                    }),
-                }
-            }
-            Err(err) => {
-                // The runtime reports failures without the response object,
-                // so a failed eval's trace ends here — error paths are not
-                // part of the latency story.
-                shared.telemetry.evals_failed.inc();
-                Response::error(
-                    Some(tag),
-                    ErrorFrame::new(ErrorKind::Evaluation, err.to_string()),
-                )
-            }
-        };
-        let serialize_start = trace.as_ref().map(|_| Instant::now());
-        let line = wire::encode_response(&response);
-        let out = match (trace, serialize_start) {
-            (Some(mut trace), Some(start)) => {
-                trace.record_since(Phase::Serialize, start);
-                Outgoing {
-                    line,
-                    trace: Some((trace, Instant::now())),
-                }
-            }
-            _ => Outgoing::plain(line),
-        };
-        // Hand the line to the (bounded) writer before releasing the
-        // admission permit: a non-reading client therefore caps both the
-        // write queue and the number of evals in flight.
-        let _ = enqueue_line(&shared.telemetry, lines, out);
-        shared.admission.release();
-    }
-}
-
-fn read_loop(
-    shared: &Arc<Shared>,
-    stream: &TcpStream,
-    lines: &SyncSender<Outgoing>,
-    completions: &Sender<(u64, Result<EvalResponse, crosslight_runtime::RuntimeError>)>,
-    cancel: &CancelToken,
-) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let max_bytes = shared.options.max_line_bytes;
-    let telemetry = &shared.telemetry;
-    let mut restore = RestoreSession::Idle;
-    loop {
-        // Decide up front whether this request is traced: an untraced
-        // request must never read the clock, so the sampling decision has
-        // to precede the `read` phase it would time.
-        let read_start = if telemetry.sampler.sample() {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        let line = match read_line_limited(&mut reader, max_bytes) {
-            LineRead::Line(line) => line,
-            LineRead::Oversized => {
-                telemetry.requests_total.inc();
-                telemetry.oversized_total.inc();
-                let frame = ErrorFrame::new(
-                    ErrorKind::Oversized,
-                    format!("line exceeds {max_bytes} bytes"),
-                );
-                let out = Outgoing::plain(wire::encode_response(&Response::error(None, frame)));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-                continue;
-            }
-            LineRead::InvalidUtf8 => {
-                telemetry.requests_total.inc();
-                telemetry.malformed_total.inc();
-                let frame = ErrorFrame::new(ErrorKind::Malformed, "line is not valid UTF-8");
-                let out = Outgoing::plain(wire::encode_response(&Response::error(None, frame)));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-                continue;
-            }
-            LineRead::Eof | LineRead::Error => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        // The `read` phase ends when the whole line is in memory; decoding
-        // starts here.  The boundary instant serves as both span edges.
-        let read_end = read_start.map(|_| Instant::now());
-        telemetry.bytes_read.add(line.len() as u64 + 1);
-        telemetry.requests_total.inc();
-        let request = match wire::decode_request(&line) {
-            Ok(request) => request,
-            Err(frame) => {
-                telemetry.malformed_total.inc();
-                let id = wire::peek_id(&line);
-                let out = Outgoing::plain(wire::encode_response(&Response::error(id, frame)));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-                continue;
-            }
-        };
-        match request.body {
-            RequestBody::Ping => {
-                let out = Outgoing::plain(wire::encode_response(&Response {
-                    id: Some(request.id),
-                    body: ResponseBody::Pong,
-                }));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-            }
-            RequestBody::Stats => {
-                let stats = shared.snapshot();
-                let out = Outgoing::plain(wire::encode_response(&Response {
-                    id: Some(request.id),
-                    body: ResponseBody::Stats(StatsFrame {
-                        server: stats.server,
-                        runtime: WireRuntimeStats::from(&stats.runtime),
-                    }),
-                }));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-            }
-            RequestBody::Metrics { format } => {
-                let frame = match format {
-                    MetricsFormat::Json => MetricsFrame::Snapshot(WireMetricsSnapshot::from(
-                        &shared.metrics_snapshot(),
-                    )),
-                    MetricsFormat::Text => {
-                        MetricsFrame::Text(render_text(&shared.metrics_snapshot()))
-                    }
-                    MetricsFormat::Spans => {
-                        // Draining hands each exported timeline to exactly
-                        // one scraper; server and runtime rings append into
-                        // one page.
-                        let mut spans = telemetry.spans.drain();
-                        spans.extend(shared.service.span_ring().drain());
-                        MetricsFrame::Spans(spans)
-                    }
-                };
-                let out = Outgoing::plain(wire::encode_response(&Response {
-                    id: Some(request.id),
-                    body: ResponseBody::Metrics(frame),
-                }));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-            }
-            RequestBody::Snapshot => {
-                telemetry.snapshots_total.inc();
-                let entries = shared.collect_snapshot();
-                telemetry.snapshot_entries_total.add(entries.len() as u64);
-                let total = entries.len() as u64;
-                let checksum = wire::snapshot_checksum(&entries);
-                // Keep every encoded chunk line comfortably under the peer's
-                // line limit: the entries array gets 3/4 of our own budget,
-                // leaving headroom for the response envelope.
-                let budget = (max_bytes.saturating_mul(3) / 4).max(1);
-                let chunks = wire::chunk_snapshot_entries(entries, budget);
-                let chunk_count = chunks.len() as u64;
-                for chunk in chunks {
-                    let out = Outgoing::plain(wire::encode_response(&Response {
-                        id: Some(request.id),
-                        body: ResponseBody::Snapshot(chunk),
-                    }));
-                    if !enqueue_line(telemetry, lines, out) {
-                        // The writer is gone; the connection is dead.
-                        return;
-                    }
-                }
-                let out = Outgoing::plain(wire::encode_response(&Response {
-                    id: Some(request.id),
-                    body: ResponseBody::SnapshotEnd(SnapshotEnd {
-                        chunks: chunk_count,
-                        entries: total,
-                        checksum,
-                    }),
-                }));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-            }
-            RequestBody::Restore(chunk) => {
-                // Chunks are acknowledged only by the terminal frame; see
-                // `RestoreSession`.  Sequence 0 always starts a fresh
-                // stream, so a client can retry on a surviving connection.
-                if chunk.seq == 0 {
-                    restore = RestoreSession::Active {
-                        next_seq: 1,
-                        entries: chunk.entries,
-                    };
-                } else {
-                    match &mut restore {
-                        RestoreSession::Active { next_seq, entries } if chunk.seq == *next_seq => {
-                            *next_seq += 1;
-                            entries.extend(chunk.entries);
-                        }
-                        RestoreSession::Poisoned { .. } => {}
-                        RestoreSession::Active { next_seq, .. } => {
-                            let frame = ErrorFrame::new(
-                                ErrorKind::Malformed,
-                                format!(
-                                    "restore chunk out of sequence: expected {next_seq}, \
-                                     got {}",
-                                    chunk.seq
-                                ),
-                            );
-                            restore = RestoreSession::Poisoned { frame };
-                        }
-                        RestoreSession::Idle => {
-                            let frame = ErrorFrame::new(
-                                ErrorKind::Malformed,
-                                format!("restore stream must start at chunk 0, got {}", chunk.seq),
-                            );
-                            restore = RestoreSession::Poisoned { frame };
-                        }
-                    }
-                }
-            }
-            RequestBody::RestoreEnd(end) => {
-                let session = std::mem::replace(&mut restore, RestoreSession::Idle);
-                // An empty stream (0 chunks) is a legal snapshot of an
-                // empty cache, so Idle folds into an empty Active session.
-                let response = match session {
-                    RestoreSession::Poisoned { frame } => {
-                        telemetry.restore_failed_total.inc();
-                        Response::error(Some(request.id), frame)
-                    }
-                    RestoreSession::Idle => match shared.apply_restore(Vec::new(), 0, &end) {
-                        Ok(frame) => {
-                            telemetry.restores_total.inc();
-                            Response {
-                                id: Some(request.id),
-                                body: ResponseBody::Restored(frame),
-                            }
-                        }
-                        Err(frame) => {
-                            telemetry.restore_failed_total.inc();
-                            Response::error(Some(request.id), frame)
-                        }
-                    },
-                    RestoreSession::Active { next_seq, entries } => {
-                        let received = entries.len() as u64;
-                        match shared.apply_restore(entries, next_seq, &end) {
-                            Ok(frame) => {
-                                telemetry.restores_total.inc();
-                                telemetry.restore_entries_total.add(received);
-                                Response {
-                                    id: Some(request.id),
-                                    body: ResponseBody::Restored(frame),
-                                }
-                            }
-                            Err(frame) => {
-                                telemetry.restore_failed_total.inc();
-                                Response::error(Some(request.id), frame)
-                            }
-                        }
-                    }
-                };
-                let out = Outgoing::plain(wire::encode_response(&response));
-                if !enqueue_line(telemetry, lines, out) {
-                    // The writer is gone; the connection is dead.
-                    return;
-                }
-            }
-            RequestBody::Eval(spec) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    let frame = ErrorFrame::new(ErrorKind::ShuttingDown, "server is draining");
-                    let out = Outgoing::plain(wire::encode_response(&Response::error(
-                        Some(request.id),
-                        frame,
-                    )));
-                    if !enqueue_line(telemetry, lines, out) {
-                        // The writer is gone; the connection is dead.
-                        return;
-                    }
-                    continue;
-                }
-                let eval_request = match spec.to_eval_request(request.id, &shared.workloads) {
-                    Ok(eval_request) => eval_request,
-                    Err(frame) => {
-                        telemetry.evals_failed.inc();
-                        let out = Outgoing::plain(wire::encode_response(&Response::error(
-                            Some(request.id),
-                            frame,
-                        )));
-                        if !enqueue_line(telemetry, lines, out) {
-                            // The writer is gone; the connection is dead.
-                            return;
-                        }
-                        continue;
-                    }
-                };
-                // Only successfully decoded evals grow into full traces;
-                // `decode` covers frame parsing plus spec resolution.
-                let mut trace = match (read_start, read_end) {
-                    (Some(start), Some(end)) => {
-                        let mut trace = Box::new(RequestTrace::with_origin(request.id, start));
-                        trace.record(Phase::Read, start, end);
-                        trace.record_since(Phase::Decode, end);
-                        Some(trace)
-                    }
-                    _ => None,
-                };
-                let admission_start = trace.as_ref().map(|_| Instant::now());
-                if !shared.admission.try_acquire() {
-                    let frame = ErrorFrame::new(
-                        ErrorKind::Overloaded,
-                        format!(
-                            "admission queue full (capacity {})",
-                            shared.admission.capacity
-                        ),
-                    );
-                    let out = Outgoing::plain(wire::encode_response(&Response::error(
-                        Some(request.id),
-                        frame,
-                    )));
-                    if !enqueue_line(telemetry, lines, out) {
-                        // The writer is gone; the connection is dead.
-                        return;
-                    }
-                    continue;
-                }
-                if let (Some(trace), Some(start)) = (trace.as_mut(), admission_start) {
-                    trace.record_since(Phase::Admission, start);
-                }
-                let submitted = match trace {
-                    Some(trace) => {
-                        telemetry.traces_sampled.inc();
-                        shared.service.submit_traced_cancellable(
-                            request.id,
-                            eval_request,
-                            completions,
-                            trace,
-                            cancel.clone(),
-                        )
-                    }
-                    None => shared.service.submit_cancellable(
-                        request.id,
-                        eval_request,
-                        completions,
-                        cancel.clone(),
-                    ),
-                };
-                if let Err(err) = submitted {
-                    shared.admission.release();
-                    telemetry.evals_failed.inc();
-                    let frame = ErrorFrame::new(ErrorKind::Evaluation, err.to_string());
-                    let out = Outgoing::plain(wire::encode_response(&Response::error(
-                        Some(request.id),
-                        frame,
-                    )));
-                    if !enqueue_line(telemetry, lines, out) {
-                        // The writer is gone; the connection is dead.
-                        return;
-                    }
-                }
-            }
         }
     }
 }
@@ -1456,5 +1970,97 @@ mod tests {
         admission.release();
         assert!(admission.try_acquire());
         assert_eq!(admission.in_flight.load(Ordering::Relaxed), 2);
+    }
+
+    /// A nonblocking loopback connection pair for write-path unit tests.
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let local = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (peer, _) = listener.accept().expect("accept");
+        local.set_nonblocking(true).expect("nonblocking");
+        (local, peer)
+    }
+
+    #[test]
+    fn aborting_a_connection_drains_the_write_queue_accounting() {
+        let telemetry = ServerTelemetry::new(&ServerOptions::default(), &Counter::new());
+        let (local, _peer) = loopback_pair();
+        let conn = ConnShared::new(0, local);
+        assert!(push_line(
+            &telemetry,
+            &conn,
+            r#"{"id":1}"#.to_string(),
+            None
+        ));
+        assert!(push_line(
+            &telemetry,
+            &conn,
+            r#"{"id":2}"#.to_string(),
+            None
+        ));
+        assert_eq!(telemetry.write_queue_depth.get(), 2);
+        abort_connection(&telemetry, &conn);
+        // Every queued line was subtracted from the gauge and counted
+        // dropped — the teardown leak this regression test guards.
+        assert_eq!(telemetry.write_queue_depth.get(), 0);
+        assert_eq!(telemetry.write_dropped.get(), 2);
+        // A late completion's line is dropped and counted, never queued.
+        assert!(!push_line(
+            &telemetry,
+            &conn,
+            r#"{"id":3}"#.to_string(),
+            None
+        ));
+        assert_eq!(telemetry.write_queue_depth.get(), 0);
+        assert_eq!(telemetry.write_dropped.get(), 3);
+        // Queued evaluations of the dead connection were cancelled.
+        assert!(conn.cancel.is_cancelled());
+        // Aborting twice is safe and counts nothing extra.
+        abort_connection(&telemetry, &conn);
+        assert_eq!(telemetry.write_dropped.get(), 3);
+    }
+
+    #[test]
+    fn a_failed_socket_write_drops_queued_lines_with_accounting() {
+        let telemetry = ServerTelemetry::new(&ServerOptions::default(), &Counter::new());
+        let (local, peer) = loopback_pair();
+        let conn = ConnShared::new(0, local);
+        // Kill the socket under the queue: the flush must fail.
+        conn.stream
+            .shutdown(Shutdown::Both)
+            .expect("shutdown succeeds");
+        drop(peer);
+        for id in 0..3 {
+            assert!(push_line(
+                &telemetry,
+                &conn,
+                format!(r#"{{"id":{id}}}"#),
+                None
+            ));
+        }
+        assert_eq!(telemetry.write_queue_depth.get(), 3);
+        assert!(!try_flush(&telemetry, &conn));
+        assert_eq!(telemetry.write_queue_depth.get(), 0);
+        assert_eq!(telemetry.write_dropped.get(), 3);
+        assert!(conn.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn try_flush_writes_queued_lines_and_keeps_the_gauge_in_step() {
+        let telemetry = ServerTelemetry::new(&ServerOptions::default(), &Counter::new());
+        let (local, peer) = loopback_pair();
+        let conn = ConnShared::new(0, local);
+        assert!(push_line(&telemetry, &conn, "pong".to_string(), None));
+        assert!(push_line(&telemetry, &conn, "stats".to_string(), None));
+        assert_eq!(telemetry.write_queue_depth.get(), 2);
+        assert!(try_flush(&telemetry, &conn));
+        assert_eq!(telemetry.write_queue_depth.get(), 0);
+        assert_eq!(telemetry.bytes_written.get(), 11);
+        let mut received = String::new();
+        let mut reader = std::io::BufReader::new(&peer);
+        reader.read_line(&mut received).expect("first line");
+        reader.read_line(&mut received).expect("second line");
+        assert_eq!(received, "pong\nstats\n");
+        assert_eq!(telemetry.write_dropped.get(), 0);
     }
 }

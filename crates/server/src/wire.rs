@@ -461,7 +461,15 @@ pub enum RequestBody {
     /// Export the full warm state (result + model caches) as a chunked
     /// snapshot stream: `snapshot` chunk responses followed by one
     /// `snapshot_end` frame.
-    Snapshot,
+    Snapshot {
+        /// The requesting peer's own line-length budget, in bytes.  The
+        /// exporter sizes chunk frames under `min(this, its own
+        /// max_line_bytes)` so a client with a smaller limit than the
+        /// server never receives an undecodable oversized chunk.  Absent
+        /// (the default) means "size by the server's limit", the historic
+        /// behaviour.
+        max_chunk_bytes: Option<u64>,
+    },
     /// One chunk of a restore stream.  Chunks must arrive in sequence on
     /// one connection, starting at 0; the server only answers at
     /// `restore_end`.
@@ -1198,7 +1206,14 @@ pub fn encode_request(request: &Request) -> String {
                 let _ = write!(out, ",\"format\":\"{}\"", format.as_str());
             }
         }
-        RequestBody::Snapshot => out.push_str(",\"op\":\"snapshot\""),
+        RequestBody::Snapshot { max_chunk_bytes } => {
+            out.push_str(",\"op\":\"snapshot\"");
+            // Omitted when absent so pre-existing frames (and the golden
+            // backcompat corpus) stay byte-identical.
+            if let Some(limit) = max_chunk_bytes {
+                let _ = write!(out, ",\"max_chunk_bytes\":{limit}");
+            }
+        }
         RequestBody::Restore(chunk) => {
             out.push_str(",\"op\":\"restore\",");
             encode_snapshot_chunk_into(chunk, &mut out);
@@ -1627,7 +1642,12 @@ pub fn decode_request(line: &str) -> Result<Request, ErrorFrame> {
                 }
             },
         },
-        "snapshot" => RequestBody::Snapshot,
+        "snapshot" => RequestBody::Snapshot {
+            max_chunk_bytes: match value.get("max_chunk_bytes") {
+                None => None,
+                Some(_) => Some(u64_field(&value, "max_chunk_bytes")?),
+            },
+        },
         "restore" => RequestBody::Restore(decode_snapshot_chunk(&value)?),
         "restore_end" => RequestBody::RestoreEnd(decode_snapshot_end(&value)?),
         other => return Err(ErrorFrame::malformed(format!("unknown op `{other}`"))),
@@ -2246,7 +2266,15 @@ mod tests {
         let requests = vec![
             Request {
                 id: 1,
-                body: RequestBody::Snapshot,
+                body: RequestBody::Snapshot {
+                    max_chunk_bytes: None,
+                },
+            },
+            Request {
+                id: 4,
+                body: RequestBody::Snapshot {
+                    max_chunk_bytes: Some(4096),
+                },
             },
             Request {
                 id: 2,

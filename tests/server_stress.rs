@@ -583,3 +583,342 @@ fn shutdown_closes_idle_connections_and_new_connects_fail() {
     // The listener is gone: new connections are refused (or reset).
     assert!(Client::connect(addr).is_err());
 }
+
+/// Driver half of `ten_thousand_connections_on_a_bounded_thread_budget`:
+/// when run directly (no env), this is a no-op pass.  The parent test
+/// re-executes the test binary with `--exact swarm_child` and the
+/// `CROSSLIGHT_SWARM_CHILD_ADDR` env set, so the connection swarm lives in
+/// its own process with its own file-descriptor budget, and the parent can
+/// assert the *server* process's thread count in isolation.
+///
+/// Protocol on stdio: child prints `SWARM_CONNECTED <n>`, blocks until the
+/// parent writes a `GO` line, runs one eval per connection, prints
+/// `SWARM_DONE ok=<ok> errors=<errors>`, and exits.
+#[test]
+fn swarm_child() {
+    use std::io::{BufRead as _, Write as _};
+
+    let Ok(addr) = std::env::var("CROSSLIGHT_SWARM_CHILD_ADDR") else {
+        return;
+    };
+    let addr: std::net::SocketAddr = addr.parse().expect("parse swarm server address");
+    let conns: usize = std::env::var("CROSSLIGHT_SWARM_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let mut swarm =
+        crosslight::server::loadgen::connect_swarm(addr, conns, 128).expect("swarm connects");
+    let mut stdout = std::io::stdout();
+    writeln!(stdout, "SWARM_CONNECTED {}", swarm.connected()).expect("report connect count");
+    stdout.flush().expect("flush connect report");
+
+    let mut go = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut go)
+        .expect("wait for GO");
+
+    let spec = EvalSpec::paper(CrossLightVariant::OptTed, PaperModel::Lenet5SignMnist);
+    let report = swarm.run(&spec, 1, 1_000_000);
+    writeln!(
+        stdout,
+        "SWARM_DONE ok={} errors={}",
+        report.ok, report.errors
+    )
+    .expect("report run outcome");
+    stdout.flush().expect("flush run report");
+}
+
+#[test]
+fn ten_thousand_connections_on_a_bounded_thread_budget() {
+    use std::io::{BufRead as _, Write as _};
+
+    // CI's reduced tier dials this down via CROSSLIGHT_SWARM_CONNS; the
+    // default is the full ten thousand.
+    let conns: usize = std::env::var("CROSSLIGHT_SWARM_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(2)
+            .with_event_loops(2)
+            .with_queue_capacity(conns.max(64))
+            .with_trace_sampling(64),
+    )
+    .expect("bind loopback server");
+
+    // The swarm lives in a child process (own fd budget, own threads), so
+    // the thread count read below is the server's alone.
+    let exe = std::env::current_exe().expect("locate test binary");
+    let mut child = std::process::Command::new(exe)
+        .args(["swarm_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env(
+            "CROSSLIGHT_SWARM_CHILD_ADDR",
+            server.local_addr().to_string(),
+        )
+        .env("CROSSLIGHT_SWARM_CONNS", conns.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn swarm child");
+    let mut child_out =
+        std::io::BufReader::new(child.stdout.take().expect("child stdout piped")).lines();
+    let mut next_report = |prefix: &str| -> String {
+        loop {
+            let line = child_out
+                .next()
+                .unwrap_or_else(|| panic!("child exited before {prefix}"))
+                .expect("read child stdout");
+            // libtest prints its own "test swarm_child ... " progress
+            // without a newline, so the marker may land mid-line: match
+            // it anywhere.
+            if let Some(pos) = line.find(prefix) {
+                return line[pos + prefix.len()..].trim().to_string();
+            }
+        }
+    };
+
+    let connected: usize = next_report("SWARM_CONNECTED ")
+        .parse()
+        .expect("parse connect count");
+    assert_eq!(connected, conns, "every swarm connection must establish");
+
+    // The server sees them all concurrently…
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        if stats.server.connections_active >= conns as u64 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never saw all {conns} connections: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // …on a bounded thread budget: the reactor multiplexes, it does not
+    // spawn per connection.  (Other tests may run concurrently in this
+    // process; 64 is far below the ~3 × connections a thread-per-
+    // connection design would need and far above what a handful of
+    // fixed-pool servers use.)
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    let threads: usize = status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("Threads: line present")
+        .trim()
+        .parse()
+        .expect("parse thread count");
+    assert!(
+        threads < 64,
+        "thread budget blown: {threads} threads while serving {conns} connections"
+    );
+
+    // Release the request phase: one eval per connection, all answered.
+    child
+        .stdin
+        .as_mut()
+        .expect("child stdin piped")
+        .write_all(b"GO\n")
+        .expect("start the request phase");
+    let done = next_report("SWARM_DONE ");
+    let (ok_part, err_part) = done.split_once(' ').expect("done line has two fields");
+    let ok: u64 = ok_part
+        .strip_prefix("ok=")
+        .expect("ok field")
+        .parse()
+        .expect("parse ok count");
+    let errors: u64 = err_part
+        .strip_prefix("errors=")
+        .expect("errors field")
+        .parse()
+        .expect("parse errors count");
+    assert_eq!(errors, 0, "no request of the swarm may fail");
+    assert_eq!(ok, conns as u64, "every connection gets its answer");
+    let status = child.wait().expect("reap swarm child");
+    assert!(status.success(), "swarm child failed: {status:?}");
+
+    // After the swarm disconnects, everything is reclaimed: the active
+    // gauge and the write-queue depth gauge both return to zero — the
+    // regression this PR's gauge-leak fix is guarding.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        let depth = server
+            .metrics_snapshot()
+            .value("server_write_queue_depth")
+            .cloned();
+        if stats.server.connections_active == 0 && depth == Some(SeriesValue::Gauge(0)) {
+            assert_eq!(stats.server.evals_ok, conns as u64);
+            assert_eq!(stats.server.shed_total, 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "teardown leaked accounting: {stats:?}, write queue depth {depth:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn micro_batching_is_bit_identical_across_batch_settings() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    // The same pipelined request sequence against a batch-of-one server
+    // and a wide-window batching server must produce byte-for-byte the
+    // same response lines (as a multiset — completion order may differ):
+    // batching is a scheduling optimization, never a semantic one.
+    let specs: Vec<EvalSpec> = (0..48)
+        .map(|i| EvalSpec::paper(CrossLightVariant::all()[i % 4], PaperModel::all()[i % 4]))
+        .collect();
+    let mut request_block = String::new();
+    for (i, spec) in specs.iter().enumerate() {
+        request_block.push_str(&crosslight::server::wire::encode_request(&Request {
+            id: i as u64,
+            body: RequestBody::Eval(spec.clone()),
+        }));
+        request_block.push('\n');
+    }
+
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for (batch_max, window) in [(1usize, 50u64), (64, 300)] {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions::default()
+                .with_workers(2)
+                .with_queue_capacity(1_000)
+                .with_batch_max(batch_max)
+                .with_batch_window(std::time::Duration::from_micros(window)),
+        )
+        .expect("bind loopback server");
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+        stream
+            .write_all(request_block.as_bytes())
+            .expect("pipeline the burst");
+        stream.flush().expect("flush the burst");
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::with_capacity(specs.len());
+        for _ in 0..specs.len() {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("read response line");
+            assert!(n > 0, "server closed before answering the burst");
+            lines.push(line);
+        }
+        lines.sort();
+        transcripts.push(lines);
+        server.shutdown();
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "micro-batching changed response bytes"
+    );
+}
+
+#[test]
+fn snapshot_transfers_honor_the_smaller_peer_line_budget() {
+    // A server with a large line budget talking to a client with a small
+    // one: the client advertises `max_chunk_bytes` and the server sizes
+    // chunks under the *smaller* limit — same entries, more chunks.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions::default()
+            .with_workers(1)
+            .with_max_line_bytes(256 * 1024),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // Warm the caches so there is something to transfer.
+    let mut warm = Client::connect(addr).expect("connect");
+    for (i, spec) in (0..4)
+        .map(|i| EvalSpec::paper(CrossLightVariant::all()[i], PaperModel::all()[i]))
+        .enumerate()
+    {
+        let response = warm.eval(i as u64, &spec).expect("warm eval");
+        assert!(matches!(response.body, ResponseBody::Eval(_)));
+    }
+
+    // One transfer per dedicated connection, as the client docs require.
+    let chunks_of = |max_chunk_bytes: Option<u64>| -> (usize, Vec<String>) {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect raw");
+        let line = crosslight::server::wire::encode_request(&Request {
+            id: 7,
+            body: RequestBody::Snapshot { max_chunk_bytes },
+        });
+        stream.write_all(line.as_bytes()).expect("send snapshot op");
+        stream.write_all(b"\n").expect("terminate snapshot op");
+        let mut reader = BufReader::new(stream);
+        let mut chunks = 0usize;
+        let mut entries = Vec::new();
+        loop {
+            let mut raw = String::new();
+            assert!(
+                reader.read_line(&mut raw).expect("read snapshot frame") > 0,
+                "stream ended before snapshot_end"
+            );
+            let response =
+                crosslight::server::wire::decode_response(raw.trim_end()).expect("decode frame");
+            match response.body {
+                ResponseBody::Snapshot(chunk) => {
+                    // A single unsplittable entry may exceed the budget
+                    // (it ships alone); any multi-entry chunk must fit.
+                    if let Some(limit) = max_chunk_bytes {
+                        assert!(
+                            raw.len() as u64 <= limit || chunk.entries.len() == 1,
+                            "multi-entry frame of {} bytes exceeds the \
+                             advertised {limit}-byte budget",
+                            raw.len()
+                        );
+                    }
+                    assert_eq!(chunk.seq, chunks as u64, "chunks arrive in sequence");
+                    chunks += 1;
+                    entries.extend(chunk.entries.into_iter().map(|e| format!("{e:?}")));
+                }
+                ResponseBody::SnapshotEnd(end) => {
+                    assert_eq!(end.entries as usize, entries.len());
+                    break;
+                }
+                other => panic!("unexpected frame in snapshot stream: {other:?}"),
+            }
+        }
+        entries.sort();
+        (chunks, entries)
+    };
+
+    let (full_chunks, full_entries) = chunks_of(None);
+    let (limited_chunks, limited_entries) = chunks_of(Some(4096));
+    assert!(!full_entries.is_empty(), "warm caches must export entries");
+    assert_eq!(
+        limited_entries, full_entries,
+        "the peer budget must never change *what* is transferred"
+    );
+    assert!(
+        limited_chunks >= full_chunks,
+        "a smaller budget cannot use fewer chunks ({limited_chunks} < {full_chunks})"
+    );
+    assert!(
+        limited_chunks > 1,
+        "a 4 KiB budget must split this transfer ({limited_chunks} chunk)"
+    );
+
+    // The typed client helper sees the same entries through its own
+    // advertised budget.
+    let mut typed = Client::connect(addr).expect("connect typed");
+    let mut typed_entries: Vec<String> = typed
+        .snapshot_entries_limited(9, Some(4096))
+        .expect("typed limited transfer")
+        .into_iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    typed_entries.sort();
+    assert_eq!(typed_entries, full_entries);
+    server.shutdown();
+}
